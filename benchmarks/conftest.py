@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact at reduced-but-honest
+scale, wraps the regeneration in ``pytest-benchmark`` timing, and asserts
+the published *shape* on the produced rows.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are deterministic (seeded); one timing round is
+    # representative and keeps the whole suite fast enough to gate CI.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False

@@ -1,0 +1,63 @@
+"""Benchmarks for the three ablations DESIGN.md defines (A1–A3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation_locality,
+    ablation_tessellation,
+    ablation_theorem7,
+)
+
+
+def test_bench_ablation_tessellation(benchmark):
+    """A1: no tessellation bucket size beats the local characterizer."""
+    result = benchmark(
+        ablation_tessellation.run,
+        steps=2,
+        seeds=(0, 1),
+        bucket_factors=(1.0, 2.0, 4.0, 8.0, 16.0),
+        n=1000,
+    )
+    rows = {row["method"]: row for row in result.rows}
+    ours = rows["local characterization"]
+    for factor in (1.0, 2.0, 4.0, 8.0, 16.0):
+        tess = rows[f"tessellation {factor:g}r"]
+        tess_total = (
+            tess["false_massive_percent"] + tess["false_isolated_percent"]
+        )
+        ours_total = (
+            ours["false_massive_percent"] + ours["false_isolated_percent"]
+        )
+        assert tess_total >= ours_total - 1e-9
+    # The dilemma: small buckets split groups, large buckets over-merge.
+    small = rows["tessellation 1r"]
+    large = rows["tessellation 16r"]
+    assert small["false_isolated_percent"] > large["false_isolated_percent"]
+    assert large["false_massive_percent"] >= small["false_massive_percent"]
+
+
+def test_bench_ablation_theorem7(benchmark):
+    """A2: the exact search settles every cheap-path abstention."""
+    result = benchmark(
+        ablation_theorem7.run, steps=2, seeds=(0, 1), errors_per_step=20, n=1000
+    )
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    unresolved = values["cheap-path unresolved (% of A_k)"]
+    recovered = values["recovered massive by Th.7 (% of A_k)"]
+    confirmed = values["confirmed unresolved by Cor.8 (% of A_k)"]
+    assert recovered + confirmed == pytest.approx(unresolved, abs=1e-9)
+    # Paper's Table II shape: recoveries are sub-percent rarities.
+    assert recovered < 3.0
+
+
+def test_bench_ablation_locality(benchmark):
+    """A3: the 4r knowledge radius loses nothing (100% agreement)."""
+    result = benchmark(
+        ablation_locality.run, steps=1, seeds=(0,), n=400, errors_per_step=12
+    )
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    assert values["devices checked"] > 0
+    assert values["disagreements"] == 0
+    assert values["match rate percent"] == 100.0

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the core machinery (not tied to a paper artifact).
+
+These quantify the costs the paper argues about qualitatively: motion
+enumeration on realistic neighbourhoods, a full characterization pass at
+``n = 1000``, and the greedy partition construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.motions import all_maximal_motions, maximal_motions_containing
+from repro.core.partition import greedy_partition
+from repro.simulation import SimulationConfig, Simulator
+
+
+@pytest.fixture(scope="module")
+def paper_step():
+    config = SimulationConfig(
+        n=1000, errors_per_step=20, isolated_probability=0.1, seed=123
+    )
+    return Simulator(config).step()
+
+
+def test_bench_motion_enumeration(benchmark, paper_step):
+    transition = paper_step.transition
+    devices = transition.flagged_sorted
+
+    def enumerate_all():
+        return [maximal_motions_containing(transition, j)[0] for j in devices]
+
+    families = benchmark(enumerate_all)
+    assert len(families) == len(devices)
+    assert all(families[i] for i in range(len(devices)))
+
+
+def test_bench_characterize_step(benchmark, paper_step):
+    def characterize():
+        return Characterizer(paper_step.transition).characterize_all()
+
+    results = benchmark(characterize)
+    assert set(results) == set(paper_step.transition.flagged_sorted)
+
+
+def test_bench_global_maximal_motions(benchmark, paper_step):
+    motions = benchmark(all_maximal_motions, paper_step.transition)
+    covered = set()
+    for motion in motions:
+        covered |= motion
+    assert covered == paper_step.transition.flagged
+
+
+def test_bench_greedy_partition(benchmark, paper_step):
+    partition = benchmark(greedy_partition, paper_step.transition)
+    flat = [device for block in partition for device in block]
+    assert sorted(flat) == list(paper_step.transition.flagged_sorted)

@@ -1,0 +1,44 @@
+"""Benchmarks for the extension ablations (A4 sampling, A5 malicious)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_malicious, ablation_sampling
+
+
+def test_bench_ablation_sampling(benchmark):
+    """A4: the unresolved ratio falls as sampling splits the load."""
+    result = benchmark(
+        ablation_sampling.run,
+        a_total=40,
+        multipliers=(1, 2, 4, 8),
+        steps=2,
+        seeds=(0, 1),
+    )
+    series = {row["multiplier"]: row["unresolved_ratio_percent"] for row in result.rows}
+    # Section VII-C's claim: sampling faster shrinks U drastically.  The
+    # slowest sampler must be materially worse than the fastest.
+    assert series[1] > series[8]
+    assert series[8] < series[1] / 2 + 1.0
+    # And the per-interval error count halves along the sweep.
+    loads = {row["multiplier"]: row["errors_per_interval"] for row in result.rows}
+    assert loads == {1: 40, 2: 20, 4: 10, 8: 5}
+
+
+def test_bench_ablation_malicious(benchmark):
+    """A5: mimicry fools the naive monitor, never the f-tolerant one."""
+    result = benchmark(
+        ablation_malicious.run,
+        forged_counts=(3,),
+        steps=2,
+        seeds=(0, 1),
+    )
+    (row,) = result.rows
+    assert row["victims_attacked"] > 0
+    # The attack works against the naive characterizer...
+    assert row["naive_suppression_percent"] > 50.0
+    # ...and never against the hardened one.
+    assert row["robust_suppression_percent"] == 0.0
+    # The cost: suspicion instead of certainty, plus some genuine massive
+    # verdicts degraded (quantified, not hidden).
+    assert row["robust_suspect_percent"] >= 0.0
+    assert 0.0 <= row["massive_certified_percent"] <= 100.0

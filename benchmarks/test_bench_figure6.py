@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Figure 6(a) and Figure 6(b).
+
+Closed-form analytics: full paper scale, shape asserted exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure6a, figure6b
+
+
+def test_bench_figure6a(benchmark):
+    result = benchmark(figure6a.run)
+    # Paper scale: five radii, m up to 200.
+    assert {row["r"] for row in result.rows} == {0.1, 0.05, 0.033, 0.025, 0.02}
+    # Shape: every curve is a CDF reaching ~1 by m = 200; curves order by r.
+    for r in (0.1, 0.05, 0.033, 0.025, 0.02):
+        series = [row["cdf"] for row in result.rows if row["r"] == r]
+        assert all(a <= b + 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] > 0.99
+    at_m50 = {
+        row["r"]: row["cdf"] for row in result.rows if row["m"] == 50
+    }
+    assert at_m50[0.02] >= at_m50[0.05] >= at_m50[0.1]
+
+
+def test_bench_figure6b(benchmark):
+    result = benchmark(figure6b.run)
+    # Paper scale: tau in 2..5, n up to 15000.
+    assert {row["tau"] for row in result.rows} == {2, 3, 4, 5}
+    assert max(row["n"] for row in result.rows) == 15000
+    # Shape: curves decrease in n, order by tau, stay above the paper's
+    # 0.997 axis floor.
+    for tau in (2, 3, 4, 5):
+        series = [row["containment"] for row in result.rows if row["tau"] == tau]
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+    finals = {
+        tau: min(row["containment"] for row in result.rows if row["tau"] == tau)
+        for tau in (2, 3, 4, 5)
+    }
+    assert finals[2] <= finals[3] <= finals[4] <= finals[5]
+    assert finals[2] > 0.997

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 7 (unresolved ratio vs A and G, R3 holds).
+
+Published shape: zero unresolved at A = 1; ratio grows with A;
+massive-heavy mixes (small G) sit highest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark):
+    result = benchmark(
+        figure7.run,
+        steps=2,
+        seeds=(0, 1),
+        a_values=(1, 20, 40, 60),
+        g_values=(0.0, 0.5, 1.0),
+        n=1000,
+    )
+    rows = {(row["G"], row["A"]): row["unresolved_ratio_percent"] for row in result.rows}
+    # A single error never yields an unresolved configuration.
+    for g in (0.0, 0.5, 1.0):
+        assert rows[(g, 1)] == 0.0
+    # Massive-heavy mixes produce more unresolved configurations than
+    # all-isolated mixes at every A beyond 1.
+    for a in (20, 40, 60):
+        assert rows[(0.0, a)] >= rows[(1.0, a)]
+    # The G = 0 curve is materially above zero past the origin.
+    assert max(rows[(0.0, a)] for a in (20, 40, 60)) > 1.0
+    # All-isolated with R3 enforced stays at (near) zero.
+    assert max(rows[(1.0, a)] for a in (20, 40, 60)) < 5.0

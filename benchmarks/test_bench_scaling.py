@@ -1,0 +1,57 @@
+"""Scalability benchmarks: cost of one characterization pass vs n.
+
+The paper's scalability argument is qualitative ("by design, our approach
+is scalable"): each device's work depends on its 4r neighbourhood, not on
+``n``.  These benchmarks quantify it — a full characterization pass over
+one interval at increasing system sizes, with the per-device neighbourhood
+statistics asserted to stay flat (the actual scalability invariant; wall
+time is reported by pytest-benchmark, not asserted, to stay robust on
+shared machines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.neighborhood import MotionCache
+from repro.simulation import SimulationConfig, Simulator
+
+
+def _one_step(n: int, errors: int):
+    config = SimulationConfig(
+        n=n, errors_per_step=errors, isolated_probability=0.2, seed=77
+    )
+    return Simulator(config).step()
+
+
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def test_bench_characterize_scaling(benchmark, n):
+    # Error load scales with n so flagged density stays constant.
+    step = _one_step(n, errors=max(1, n // 50))
+    transition = step.transition
+
+    def run():
+        return Characterizer(transition).characterize_all()
+
+    results = benchmark(run)
+    assert set(results) == set(transition.flagged_sorted)
+    # The scalability invariant: average 2r neighbourhood size among
+    # flagged devices is bounded by the dimensioning analysis, not by n.
+    sizes = [len(transition.neighborhood(j)) for j in transition.flagged_sorted]
+    assert sum(sizes) / len(sizes) < 25.0
+
+
+def test_bench_motion_cache_reuse(benchmark):
+    """A shared MotionCache computes each device's family exactly once."""
+    step = _one_step(1000, errors=20)
+    transition = step.transition
+
+    def run():
+        cache = MotionCache(transition)
+        for device in transition.flagged_sorted:
+            cache.family(device)
+        return cache
+
+    cache = benchmark(run)
+    assert cache.expansions == len(transition.flagged)

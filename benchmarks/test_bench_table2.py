@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table II (repartition of A_k).
+
+Paper values: I 2.54% / M(Th6) 88.34% / U 8.72% / M(Th7) 0.40%,
+|A_k| = 95.7, at A = 20, n = 1000, r = 0.03, tau = 3.  The assertions
+check the ordering and coarse magnitudes, not exact percentages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(
+        table2.run, steps=3, seeds=(0, 1), errors_per_step=20, n=1000
+    )
+    cells = {row["set"]: row["measured_percent"] for row in result.rows}
+    isolated = cells["I_k (Theorem 5)"]
+    massive6 = cells["M_k (Theorem 6)"]
+    unresolved = cells["U_k (Corollary 8)"]
+    massive7 = cells["M_k extra (Theorem 7)"]
+    mean_flagged = cells["mean |A_k|"]
+    # Shape: Theorem 6 dominates by a wide margin; unresolved is a
+    # single-digit-to-teens percentage; isolated is a few percent; the
+    # Theorem 7 remainder is sub-percent; |A_k| is near the paper's 95.7.
+    assert massive6 > 70.0
+    assert 0.0 < isolated < 10.0
+    assert 0.0 < unresolved < 25.0
+    assert massive7 < 2.0
+    assert massive6 > unresolved > massive7
+    assert 70.0 < mean_flagged < 120.0

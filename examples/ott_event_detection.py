@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""OTT scenario: detect network-level events from the edge.
+
+The paper's second deployment: an over-the-top operator (streaming
+service) rides on ISPs it does not control.  Its player instances run the
+OTT reporting policy — notify **only massive** anomalies — so the
+operator learns about network-level incidents within one monitoring tick,
+while per-household glitches (which would otherwise dominate its alert
+stream) stay local.
+
+The script also shows detector choice mattering: players use a CUSUM
+detector, which catches a *gradual* network degradation that a naive
+step-threshold detector misses.
+
+Run:  python examples/ott_event_detection.py
+"""
+
+from repro.detection import CusumDetector
+from repro.network import (
+    GatewayFault,
+    IspTopology,
+    NetworkFault,
+    NetworkMonitor,
+    ReportingPolicy,
+    TopologyConfig,
+)
+
+
+def main() -> None:
+    topology = IspTopology(
+        TopologyConfig(
+            cores=3,
+            aggregations_per_core=2,
+            access_per_aggregation=3,
+            gateways_per_access=15,
+        )
+    )
+    monitor = NetworkMonitor(
+        topology,
+        policy=ReportingPolicy.OTT,
+        detector_factory=lambda: CusumDetector(
+            threshold=0.08, drift=0.004, warmup=4
+        ),
+        noise_sigma=0.001,
+        seed=11,
+    )
+    print(f"OTT monitoring {topology.n_gateways} player endpoints (CUSUM detectors)")
+
+    # Warm up the detectors on nominal traffic.
+    for result in monitor.run(6):
+        assert not result.reports
+
+    # A household-level problem: should NOT reach the OTT operator.
+    monitor.injector.inject(GatewayFault(device_id=42, severity=0.5, duration=2))
+    result = monitor.tick()
+    print(
+        f"tick {result.tick}: household fault -> {len(result.flagged)} flagged, "
+        f"{len(result.reports)} OTT alerts (expected 0)"
+    )
+    assert result.reports == []
+    monitor.tick()  # let it expire
+
+    # A *gradual* aggregation-router degradation: 12% loss ramping in.
+    # CUSUM accumulates the small persistent shift and raises within a
+    # few ticks; the co-moving neighbourhood then certifies "massive".
+    monitor.tick()  # recovery transition of the household fault
+    monitor.injector.inject(NetworkFault("agg-0-0", severity=0.12, duration=6))
+    alerts = []
+    for _ in range(5):
+        result = monitor.tick()
+        alerts.extend(result.reports)
+        if result.reports:
+            print(
+                f"tick {result.tick}: NETWORK EVENT detected — "
+                f"{len(result.reports)} endpoints report massive anomaly"
+            )
+            break
+        print(f"tick {result.tick}: CUSUM still accumulating evidence ...")
+    assert alerts, "the gradual network event must be detected"
+    impacted_footprint = {
+        topology.graph.nodes[g]["device_id"]
+        for g in topology.gateways_behind("agg-0-0")
+    }
+    reporters = {report.device_id for report in alerts}
+    assert reporters <= impacted_footprint
+    print(
+        f"footprint check OK: all {len(reporters)} reporters sit behind agg-0-0 "
+        f"(footprint {len(impacted_footprint)} endpoints)"
+    )
+    print("OTT scenario OK: network event surfaced, household noise suppressed.")
+
+
+if __name__ == "__main__":
+    main()

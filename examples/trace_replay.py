@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Replay a recorded QoS trace through the full monitoring stack.
+
+Generates a two-day synthetic trace for a 120-gateway fleet — diurnal
+congestion cycles, measurement noise, one massive incident (a 10-gateway
+outage) and one isolated incident (a single flaky gateway) — serializes
+it to the JSON-lines trace format, reads it back, and replays it through
+step-threshold detectors plus the local characterizer.
+
+This is the workflow for users with their *own* monitoring data: dump it
+as a trace file, replay, and get per-interval isolated/massive verdicts.
+
+Run:  python examples/trace_replay.py
+"""
+
+from collections import Counter
+
+from repro.detection import StepThresholdDetector
+from repro.io import (
+    Incident,
+    TraceConfig,
+    generate_trace,
+    read_trace,
+    replay_trace,
+    write_trace,
+)
+
+N_DEVICES = 120
+
+
+def main() -> None:
+    config = TraceConfig(
+        devices=N_DEVICES,
+        services=2,
+        steps=48,            # two "days" at hourly snapshots
+        diurnal_period=24,
+        diurnal_amplitude=0.05,
+        noise_sigma=0.003,
+        seed=12,
+    )
+    incidents = [
+        Incident(start=18, duration=3, devices=tuple(range(40, 50)), service=0, drop=0.35),
+        Incident(start=30, duration=4, devices=(7,), service=1, drop=0.5),
+    ]
+    trace = generate_trace(config, incidents)
+
+    # Round-trip through the on-disk format, as a real deployment would.
+    serialized = write_trace(trace)
+    print(f"trace: {len(trace)} steps x {N_DEVICES} devices, "
+          f"{len(serialized) / 1024:.0f} KiB serialized")
+    trace = read_trace(serialized)
+
+    results = replay_trace(
+        trace, lambda: StepThresholdDetector(max_step=0.12), r=0.03, tau=3
+    )
+
+    print(f"\n{'step':>4} {'flagged':>8}  verdicts")
+    interesting = 0
+    for outcome in results:
+        if not outcome.flagged:
+            continue
+        interesting += 1
+        counts = Counter(str(v.anomaly_type) for v in outcome.verdicts.values())
+        print(f"{outcome.step:>4} {len(outcome.flagged):>8}  {dict(counts)}")
+
+    onset_massive = results[18]
+    assert sorted(onset_massive.flagged) == list(range(40, 50))
+    assert all(v.is_massive for v in onset_massive.verdicts.values())
+    onset_isolated = results[30]
+    assert onset_isolated.flagged == [7]
+    assert onset_isolated.verdicts[7].is_isolated
+
+    print(
+        f"\nreplay OK: {interesting} anomalous intervals; the 10-gateway "
+        "outage was certified massive\nat onset and recovery, the flaky "
+        "gateway isolated — straight from a trace file."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The authoritative metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-build-isolation --no-use-pep517` on offline machines
+whose setuptools cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

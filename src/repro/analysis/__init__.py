@@ -1,0 +1,45 @@
+"""Analytics: dimensioning mathematics and evaluation metrics.
+
+* :mod:`repro.analysis.dimensioning` — the closed-form binomial analysis
+  behind Figure 6 and the ``(r, tau)`` tuning rule of Section VII-A;
+* :mod:`repro.analysis.metrics` — Table II/III and Figure 7–9 quantities;
+* :mod:`repro.analysis.aggregate` — mean/CI aggregation across seeds.
+"""
+
+from repro.analysis.aggregate import SummaryStat, series_table, summarize
+from repro.analysis.dimensioning import (
+    DimensioningPoint,
+    expected_vicinity_size,
+    isolated_containment_probability,
+    isolated_overflow_probability,
+    recommend_parameters,
+    vicinity_probability,
+    vicinity_size_cdf,
+    vicinity_size_pmf,
+)
+from repro.analysis.metrics import (
+    ConfusionCounts,
+    MetricAccumulator,
+    StepMetrics,
+    compute_step_metrics,
+    confusion_against_truth,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "DimensioningPoint",
+    "MetricAccumulator",
+    "StepMetrics",
+    "SummaryStat",
+    "compute_step_metrics",
+    "confusion_against_truth",
+    "expected_vicinity_size",
+    "isolated_containment_probability",
+    "isolated_overflow_probability",
+    "recommend_parameters",
+    "series_table",
+    "summarize",
+    "vicinity_probability",
+    "vicinity_size_cdf",
+    "vicinity_size_pmf",
+]

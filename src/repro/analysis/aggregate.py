@@ -1,0 +1,72 @@
+"""Aggregation helpers: means, confidence intervals, series assembly.
+
+Experiments repeat every parameter cell over several seeds; these helpers
+turn the per-seed values into the mean ± confidence-half-width entries the
+EXPERIMENTS.md tables report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from scipy import stats
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["SummaryStat", "summarize", "series_table"]
+
+
+@dataclass(frozen=True)
+class SummaryStat:
+    """Mean, standard deviation and a confidence half-width of a sample."""
+
+    mean: float
+    std: float
+    count: int
+    ci_half_width: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci_half_width:.2g} (n={self.count})"
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> SummaryStat:
+    """Mean ± Student-t confidence half-width of a sample.
+
+    Degenerate samples (size < 2) report a zero half-width rather than
+    NaN so tables stay printable.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ConfigurationError("cannot summarize an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must lie in (0,1), got {confidence!r}")
+    n = len(data)
+    mean = sum(data) / n
+    if n < 2:
+        return SummaryStat(mean=mean, std=0.0, count=n, ci_half_width=0.0)
+    var = sum((x - mean) ** 2 for x in data) / (n - 1)
+    std = math.sqrt(var)
+    tcrit = float(stats.t.ppf(0.5 + confidence / 2.0, n - 1))
+    return SummaryStat(
+        mean=mean, std=std, count=n, ci_half_width=tcrit * std / math.sqrt(n)
+    )
+
+
+def series_table(
+    cells: Dict[Tuple[float, float], Sequence[float]],
+    *,
+    confidence: float = 0.95,
+) -> List[Tuple[float, float, SummaryStat]]:
+    """Summarize a ``{(x, group): samples}`` sweep into sorted rows.
+
+    Returns ``(x, group, SummaryStat)`` tuples ordered by group then x —
+    the layout of the figure series in EXPERIMENTS.md.
+    """
+    rows = [
+        (x, group, summarize(samples, confidence=confidence))
+        for (x, group), samples in cells.items()
+    ]
+    rows.sort(key=lambda row: (row[1], row[0]))
+    return rows

@@ -1,0 +1,247 @@
+"""Dimensioning of ``r`` and ``tau`` (Section VII-A, Figure 6).
+
+The paper tunes the consistency radius and density threshold so that the
+probability of more than ``tau`` *independent* isolated errors hitting
+devices within ``2r`` of each other is negligible.  Two random variables
+drive the analysis, for a device ``j`` with vicinity
+``V = {x : ||x - p(j)|| <= 2r}``:
+
+* ``N_r(j)`` — number of other devices inside ``V``; binomial
+  ``B(n-1, q_j)`` with ``q_j`` the probability a uniform device lands in
+  ``V``;
+* ``F_r(j)`` — number of *isolated-error-impacted* devices inside ``V``;
+  conditioned on ``N_r(j) = m`` it is binomial ``B(m, b)`` with ``b`` the
+  per-device isolated-error probability.
+
+This module evaluates the closed forms the paper plots:
+
+    ``P{N_r(j) <= m}``                                       (Figure 6a)
+    ``P{F_r(j) <= tau}
+        = sum_m P{F <= tau | N = m} P{N = m}``               (Figure 6b)
+
+and offers :func:`recommend_parameters`, the tuning loop "given a small
+constant eps, r and tau are tuned so that P{F_r(j) > tau} < eps".
+
+Boundary handling: a device near the cube boundary has a clipped
+vicinity.  ``q`` can be computed for an interior device (``(4r)^d``, what
+the paper's curves match) or averaged over a uniform position
+(``(4r - 4r^2)^d`` per dimension via the standard overlap integral).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import validate_radius
+
+__all__ = [
+    "vicinity_probability",
+    "vicinity_size_cdf",
+    "vicinity_size_pmf",
+    "expected_vicinity_size",
+    "isolated_overflow_probability",
+    "isolated_containment_probability",
+    "recommend_parameters",
+    "DimensioningPoint",
+]
+
+
+def vicinity_probability(
+    r: float,
+    dim: int,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 2.0,
+) -> float:
+    """Probability ``q`` that a uniform device lies in the vicinity.
+
+    The vicinity is the uniform-norm ball of radius ``radius_factor * r``
+    (the paper's Section VII-A vicinity uses ``2r``; see below).
+
+    ``boundary='interior'`` assumes the reference device sits far from
+    every face (vicinity volume ``(2 * radius_factor * r)^d``, capped at
+    1); ``boundary='average'`` integrates the clipped overlap over a
+    uniform reference position (per-dimension ``2s - s^2`` with
+    ``s = 2 * radius_factor * r``).
+
+    **Reproduction note.**  The paper's Figure 6(a) curves match the
+    ``2r`` vicinity (``q = (4r)^d``), but its Figure 6(b) values (e.g.
+    ``P{F_r(j) <= 2} ≈ 0.997`` at ``n = 15000, r = 0.03, b = 0.005``)
+    only come out with ``q = (2r)^d`` — the volume of a radius-``r``
+    error ball, which is the natural collision region for devices
+    impacted by the *same* isolated error.  Pass ``radius_factor=1`` to
+    reproduce Figure 6(b); EXPERIMENTS.md records the discrepancy.
+    """
+    validate_radius(r)
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim!r}")
+    if radius_factor <= 0:
+        raise ConfigurationError(
+            f"radius_factor must be positive, got {radius_factor!r}"
+        )
+    side = min(2.0 * radius_factor * r, 1.0)
+    if boundary == "interior":
+        per_dim = side
+    elif boundary == "average":
+        # E[|[u - rho, u + rho] ∩ [0, 1]|] for uniform u and rho = side/2
+        # is 2*rho - rho^2 = side - side^2 / 4.
+        per_dim = side - side * side / 4.0
+    else:
+        raise ConfigurationError(
+            f"boundary must be 'interior' or 'average', got {boundary!r}"
+        )
+    return float(per_dim**dim)
+
+
+def vicinity_size_pmf(
+    n: int,
+    r: float,
+    dim: int = 2,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 2.0,
+) -> np.ndarray:
+    """PMF of ``N_r(j)`` over ``0..n-1`` (binomial ``B(n-1, q)``)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n!r}")
+    q = vicinity_probability(r, dim, boundary=boundary, radius_factor=radius_factor)
+    support = np.arange(n)
+    return stats.binom.pmf(support, n - 1, q)
+
+
+def vicinity_size_cdf(
+    n: int,
+    r: float,
+    m: Sequence[int],
+    dim: int = 2,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 2.0,
+) -> np.ndarray:
+    """``P{N_r(j) <= m}`` for each entry of ``m`` (Figure 6a's curves)."""
+    q = vicinity_probability(r, dim, boundary=boundary, radius_factor=radius_factor)
+    return stats.binom.cdf(np.asarray(m, dtype=float), n - 1, q)
+
+
+def expected_vicinity_size(
+    n: int,
+    r: float,
+    dim: int = 2,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 2.0,
+) -> float:
+    """``E[N_r(j)] = (n-1) q`` — the paper's "m logarithmic in n" knob."""
+    return float(
+        (n - 1)
+        * vicinity_probability(r, dim, boundary=boundary, radius_factor=radius_factor)
+    )
+
+
+def isolated_containment_probability(
+    n: int,
+    r: float,
+    tau: int,
+    b: float,
+    dim: int = 2,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 1.0,
+) -> float:
+    """``P{F_r(j) <= tau}`` — Figure 6b's curves.
+
+    Implements the paper's double sum
+
+        ``sum_{m=0}^{n-1} sum_{l=0}^{tau} C(m,l) b^l (1-b)^{m-l}
+          C(n-1,m) q^m (1-q)^{n-1-m}``
+
+    but collapses it analytically: thinning a binomial is binomial, so
+    ``F_r(j) ~ B(n-1, q b)`` and the double sum equals
+    ``P{B(n-1, qb) <= tau}``.  (The tests verify the collapse against the
+    literal double sum.)
+
+    ``radius_factor`` defaults to 1 (error-ball volume ``(2r)^d``), which
+    is what matches the paper's published Figure 6(b) values; see
+    :func:`vicinity_probability`.
+    """
+    if not 0.0 <= b <= 1.0:
+        raise ConfigurationError(f"b must lie in [0, 1], got {b!r}")
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau!r}")
+    q = vicinity_probability(r, dim, boundary=boundary, radius_factor=radius_factor)
+    return float(stats.binom.cdf(tau, n - 1, q * b))
+
+
+def isolated_overflow_probability(
+    n: int,
+    r: float,
+    tau: int,
+    b: float,
+    dim: int = 2,
+    *,
+    boundary: str = "interior",
+    radius_factor: float = 1.0,
+) -> float:
+    """``P{F_r(j) > tau}`` — the quantity the tuning drives below eps."""
+    return 1.0 - isolated_containment_probability(
+        n, r, tau, b, dim, boundary=boundary, radius_factor=radius_factor
+    )
+
+
+@dataclass(frozen=True)
+class DimensioningPoint:
+    """One admissible ``(r, tau)`` choice with its achieved guarantees."""
+
+    r: float
+    tau: int
+    overflow_probability: float  # P{F_r(j) > tau}
+    expected_vicinity: float     # E[N_r(j)]
+
+
+def recommend_parameters(
+    n: int,
+    b: float,
+    epsilon: float = 1e-3,
+    dim: int = 2,
+    *,
+    taus: Sequence[int] = (2, 3, 4, 5),
+    radii: Sequence[float] = tuple(x / 1000.0 for x in range(5, 120, 5)),
+    boundary: str = "interior",
+) -> List[DimensioningPoint]:
+    """Enumerate ``(r, tau)`` pairs with ``P{F_r(j) > tau} < epsilon``.
+
+    Mirrors the paper's tuning: among admissible pairs, smaller ``r``
+    keeps neighbourhoods (and hence local computation) logarithmic in
+    ``n``, while larger ``r`` tolerates coarser QoS measurements.  The
+    returned list is sorted by expected vicinity size, the paper's chosen
+    efficiency proxy; its first entry is the recommended operating point.
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    points: List[DimensioningPoint] = []
+    for r in radii:
+        for tau in taus:
+            if not 1 <= tau <= n - 1:
+                continue
+            overflow = isolated_overflow_probability(
+                n, r, tau, b, dim, boundary=boundary
+            )
+            if overflow < epsilon:
+                points.append(
+                    DimensioningPoint(
+                        r=r,
+                        tau=tau,
+                        overflow_probability=overflow,
+                        expected_vicinity=expected_vicinity_size(
+                            n, r, dim, boundary=boundary
+                        ),
+                    )
+                )
+    points.sort(key=lambda p: (p.expected_vicinity, p.tau, p.r))
+    return points

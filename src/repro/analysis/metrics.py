@@ -1,0 +1,265 @@
+"""Evaluation metrics for characterization quality and cost.
+
+Implements exactly the quantities the paper's evaluation reports:
+
+* the repartition of ``A_k`` into ``I_k`` / ``M_k`` (Theorem 6) / ``U_k``
+  and the extra massive devices recovered by Theorem 7 (Table II);
+* the per-set average operation counts (Table III);
+* the unresolved ratio ``|U_k| / |A_k|`` (Figures 7 and 9);
+* the missed-detection rate — devices the model claims massive whose real
+  error was isolated (Figure 8);
+
+plus the standard precision/recall bookkeeping used by the baseline
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.core.types import AnomalyType, Characterization, DecisionRule
+
+__all__ = [
+    "StepMetrics",
+    "ConfusionCounts",
+    "compute_step_metrics",
+    "confusion_against_truth",
+    "MetricAccumulator",
+]
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Classification statistics of one characterized interval."""
+
+    flagged: int
+    isolated: int
+    massive_theorem6: int
+    massive_theorem7: int
+    unresolved: int
+
+    @property
+    def massive(self) -> int:
+        """All devices decided massive (Theorem 6 plus Theorem 7)."""
+        return self.massive_theorem6 + self.massive_theorem7
+
+    @property
+    def unresolved_ratio(self) -> float:
+        """``|U_k| / |A_k|`` — the Figure 7 / Figure 9 ordinate."""
+        return self.unresolved / self.flagged if self.flagged else 0.0
+
+    def fraction(self, what: str) -> float:
+        """Return one repartition entry as a fraction of ``|A_k|``."""
+        value = {
+            "isolated": self.isolated,
+            "massive_theorem6": self.massive_theorem6,
+            "massive_theorem7": self.massive_theorem7,
+            "massive": self.massive,
+            "unresolved": self.unresolved,
+        }[what]
+        return value / self.flagged if self.flagged else 0.0
+
+
+def compute_step_metrics(results: Mapping[int, Characterization]) -> StepMetrics:
+    """Summarize one interval's characterization results."""
+    isolated = massive6 = massive7 = unresolved = 0
+    for verdict in results.values():
+        if verdict.anomaly_type is AnomalyType.ISOLATED:
+            isolated += 1
+        elif verdict.anomaly_type is AnomalyType.MASSIVE:
+            if verdict.rule is DecisionRule.THEOREM_7:
+                massive7 += 1
+            else:
+                massive6 += 1
+        else:
+            unresolved += 1
+    return StepMetrics(
+        flagged=len(results),
+        isolated=isolated,
+        massive_theorem6=massive6,
+        massive_theorem7=massive7,
+        unresolved=unresolved,
+    )
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Model verdicts against ground truth (massive = positive class).
+
+    Unresolved devices are counted separately: the model deliberately
+    abstains on them, and folding them into either error type would
+    misrepresent both.
+    """
+
+    true_massive: int
+    true_isolated: int
+    false_massive: int   # claimed massive, truly isolated (Figure 8)
+    false_isolated: int  # claimed isolated, truly massive
+    abstained: int       # unresolved
+
+    @property
+    def missed_detection_rate(self) -> float:
+        """Figure 8's ordinate: falsely-massive devices over ``|A_k|``."""
+        total = (
+            self.true_massive
+            + self.true_isolated
+            + self.false_massive
+            + self.false_isolated
+            + self.abstained
+        )
+        return self.false_massive / total if total else 0.0
+
+    @property
+    def massive_precision(self) -> float:
+        """Precision of the massive verdicts."""
+        claimed = self.true_massive + self.false_massive
+        return self.true_massive / claimed if claimed else 1.0
+
+    @property
+    def massive_recall(self) -> float:
+        """Recall of the massive verdicts (abstentions count against)."""
+        actual = self.true_massive + self.false_isolated + self.abstained_massive
+        return self.true_massive / actual if actual else 1.0
+
+    # Recall needs to know how many abstentions were truly massive; kept
+    # as an extra field with a default for backward compatibility.
+    abstained_massive: int = 0
+
+
+def confusion_against_truth(
+    results: Mapping[int, Characterization],
+    truly_massive: FrozenSet[int],
+) -> ConfusionCounts:
+    """Score verdicts against the ledger's ground truth."""
+    tm = ti = fm = fi = ab = abm = 0
+    for device, verdict in results.items():
+        really_massive = device in truly_massive
+        if verdict.anomaly_type is AnomalyType.UNRESOLVED:
+            ab += 1
+            if really_massive:
+                abm += 1
+        elif verdict.anomaly_type is AnomalyType.MASSIVE:
+            if really_massive:
+                tm += 1
+            else:
+                fm += 1
+        else:
+            if really_massive:
+                fi += 1
+            else:
+                ti += 1
+    return ConfusionCounts(
+        true_massive=tm,
+        true_isolated=ti,
+        false_massive=fm,
+        false_isolated=fi,
+        abstained=ab,
+        abstained_massive=abm,
+    )
+
+
+@dataclass
+class MetricAccumulator:
+    """Average step metrics and per-set costs across many intervals.
+
+    Feeding it characterized steps accumulates the Table II repartition,
+    the Table III cost averages and the figure ratios in one pass.
+    """
+
+    steps: int = 0
+    flagged: int = 0
+    isolated: int = 0
+    massive6: int = 0
+    massive7: int = 0
+    unresolved: int = 0
+    false_massive: int = 0
+    cost_sums: Dict[str, float] = field(
+        default_factory=lambda: {
+            "isolated_maximal_motions": 0.0,
+            "massive_dense_motions": 0.0,
+            "unresolved_tested_collections": 0.0,
+            "massive7_tested_collections": 0.0,
+            "unresolved_total_collections": 0.0,
+        }
+    )
+    cost_counts: Dict[str, int] = field(
+        default_factory=lambda: {
+            "isolated_maximal_motions": 0,
+            "massive_dense_motions": 0,
+            "unresolved_tested_collections": 0,
+            "massive7_tested_collections": 0,
+            "unresolved_total_collections": 0,
+        }
+    )
+
+    def add_step(
+        self,
+        results: Mapping[int, Characterization],
+        truly_massive: Optional[FrozenSet[int]] = None,
+    ) -> StepMetrics:
+        """Fold one interval in; returns its own :class:`StepMetrics`."""
+        metrics = compute_step_metrics(results)
+        self.steps += 1
+        self.flagged += metrics.flagged
+        self.isolated += metrics.isolated
+        self.massive6 += metrics.massive_theorem6
+        self.massive7 += metrics.massive_theorem7
+        self.unresolved += metrics.unresolved
+        if truly_massive is not None:
+            for device, verdict in results.items():
+                if (
+                    verdict.anomaly_type is AnomalyType.MASSIVE
+                    and device not in truly_massive
+                ):
+                    self.false_massive += 1
+        for verdict in results.values():
+            cost = verdict.cost
+            if verdict.anomaly_type is AnomalyType.ISOLATED:
+                self._add_cost("isolated_maximal_motions", cost.maximal_motions)
+            elif verdict.anomaly_type is AnomalyType.MASSIVE:
+                self._add_cost("massive_dense_motions", cost.dense_motions)
+                if verdict.rule is DecisionRule.THEOREM_7:
+                    self._add_cost(
+                        "massive7_tested_collections", cost.tested_collections
+                    )
+            else:
+                self._add_cost(
+                    "unresolved_tested_collections", cost.tested_collections
+                )
+                if cost.total_collections is not None:
+                    self._add_cost(
+                        "unresolved_total_collections", cost.total_collections
+                    )
+        return metrics
+
+    def _add_cost(self, key: str, value: float) -> None:
+        self.cost_sums[key] += value
+        self.cost_counts[key] += 1
+
+    def average_cost(self, key: str) -> float:
+        """Average of one cost column over the devices that incurred it."""
+        count = self.cost_counts[key]
+        return self.cost_sums[key] / count if count else 0.0
+
+    @property
+    def massive(self) -> int:
+        """Total devices decided massive across all steps."""
+        return self.massive6 + self.massive7
+
+    def fraction(self, what: str) -> float:
+        """Aggregate repartition entry as a fraction of all flagged."""
+        value = {
+            "isolated": self.isolated,
+            "massive_theorem6": self.massive6,
+            "massive_theorem7": self.massive7,
+            "massive": self.massive,
+            "unresolved": self.unresolved,
+            "false_massive": self.false_massive,
+        }[what]
+        return value / self.flagged if self.flagged else 0.0
+
+    @property
+    def mean_flagged(self) -> float:
+        """Average ``|A_k|`` per interval."""
+        return self.flagged / self.steps if self.steps else 0.0

@@ -1,0 +1,28 @@
+"""Comparison baselines from the paper's related-work section.
+
+* :class:`~repro.baselines.tessellation.TessellationDetector` — the
+  fixed-bucket FixMe architecture ([1]), whose bucket-size dilemma the
+  paper criticizes (Ablation A1 measures it);
+* :class:`~repro.baselines.centralized.CentralizedClusteringMonitor` —
+  the [15]-style management-node k-means pipeline, including its
+  communication-cost accounting;
+* :func:`~repro.baselines.kmeans.kmeans` — the from-scratch clustering
+  substrate both of the above lean on.
+"""
+
+from repro.baselines.centralized import (
+    CentralizedClusteringMonitor,
+    CentralizedVerdict,
+)
+from repro.baselines.kmeans import KMeansResult, kmeans, kmeans_sweep
+from repro.baselines.tessellation import TessellationDetector, TessellationVerdict
+
+__all__ = [
+    "CentralizedClusteringMonitor",
+    "CentralizedVerdict",
+    "KMeansResult",
+    "TessellationDetector",
+    "TessellationVerdict",
+    "kmeans",
+    "kmeans_sweep",
+]

@@ -1,0 +1,118 @@
+"""From-scratch k-means with k-means++ seeding.
+
+Substrate for the centralized-clustering baseline ([15] and the k-means
+works the paper cites).  Pure numpy, deterministic under a seed, with an
+inertia-based sweep helper for choosing ``k`` — no sklearn dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_sweep"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Fitted clustering: centroids, assignments and inertia."""
+
+    centroids: np.ndarray       # (k, d)
+    labels: np.ndarray          # (m,)
+    inertia: float              # sum of squared distances to assigned centroid
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Population of each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    m = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=float)
+    first = int(rng.integers(m))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; any choice works.
+            centroids[i] = points[int(rng.integers(m))]
+            continue
+        probs = closest_sq / total
+        choice = int(rng.choice(m, p=probs))
+        centroids[i] = points[choice]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((points - centroids[i]) ** 2, axis=1)
+        )
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Empty clusters are re-seeded at the point farthest from its assigned
+    centroid, the standard repair keeping ``k`` effective clusters.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ConfigurationError("points must be an (m, d) array")
+    m = pts.shape[0]
+    if not 1 <= k <= m:
+        raise ConfigurationError(f"k must lie in [1, {m}], got {k!r}")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    centroids = _plus_plus_init(pts, k, generator)
+    labels = np.zeros(m, dtype=int)
+    for iteration in range(1, max_iter + 1):
+        distances = np.sum(
+            (pts[:, None, :] - centroids[None, :, :]) ** 2, axis=2
+        )
+        labels = np.argmin(distances, axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = pts[labels == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                assigned = distances[np.arange(m), labels]
+                new_centroids[cluster] = pts[int(np.argmax(assigned))]
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        if shift < tol:
+            break
+    distances = np.sum((pts[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(m), labels].sum())
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, iterations=iteration
+    )
+
+
+def kmeans_sweep(
+    points: np.ndarray,
+    k_values: Tuple[int, ...],
+    *,
+    seed: int = 0,
+) -> List[KMeansResult]:
+    """Fit one k-means per ``k`` (elbow-style model selection helper)."""
+    return [kmeans(points, k, seed=seed) for k in k_values]

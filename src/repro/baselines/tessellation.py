@@ -1,0 +1,100 @@
+"""Tessellation baseline (the FixMe architecture, reference [1]).
+
+The related-work section criticizes tessellation-based detection: the QoS
+space is cut into fixed buckets and a device decides isolated-vs-massive
+by counting flagged devices in *its own bucket*.  Two failure modes
+follow, which Ablation A1 quantifies:
+
+* **large buckets** — unrelated flagged devices share a bucket, so
+  isolated anomalies are mistaken for massive ones (false massive);
+* **small buckets** — a genuinely co-moving group straddles bucket
+  borders, so massive anomalies are mistaken for isolated ones (false
+  isolated / "false alarms" at the operator).
+
+The implementation tessellates the *combined* space (previous position ++
+current position), the fair analogue of the motion-based method: a bucket
+groups devices that were close at both times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.transition import Transition
+from repro.core.types import AnomalyType
+
+__all__ = ["TessellationDetector", "TessellationVerdict"]
+
+
+@dataclass(frozen=True)
+class TessellationVerdict:
+    """Verdict of the tessellation baseline for one device."""
+
+    device: int
+    anomaly_type: AnomalyType
+    bucket: Tuple[int, ...]
+    bucket_population: int
+
+
+class TessellationDetector:
+    """Fixed-grid isolated/massive classifier over one transition.
+
+    Parameters
+    ----------
+    bucket_side:
+        Side of the (hyper-cubic) buckets in QoS units.  The natural
+        comparison point with the paper's method is ``2 r``.
+    """
+
+    def __init__(self, transition: Transition, bucket_side: float) -> None:
+        if bucket_side <= 0 or bucket_side > 1:
+            raise ConfigurationError(
+                f"bucket_side must lie in (0, 1], got {bucket_side!r}"
+            )
+        self._transition = transition
+        self._side = float(bucket_side)
+        self._buckets: Dict[Tuple[int, ...], list] = {}
+        combined = transition.combined
+        for device in transition.flagged_sorted:
+            key = tuple(
+                int(c) for c in np.floor(combined[device] / self._side)
+            )
+            self._buckets.setdefault(key, []).append(device)
+
+    @property
+    def bucket_side(self) -> float:
+        """Bucket side in QoS units."""
+        return self._side
+
+    @property
+    def buckets(self) -> Mapping[Tuple[int, ...], list]:
+        """The populated buckets (read-only view)."""
+        return dict(self._buckets)
+
+    def classify(self, device: int) -> TessellationVerdict:
+        """Classify one flagged device by its bucket population."""
+        combined = self._transition.combined
+        key = tuple(int(c) for c in np.floor(combined[device] / self._side))
+        population = len(self._buckets.get(key, []))
+        anomaly = (
+            AnomalyType.MASSIVE
+            if population > self._transition.tau
+            else AnomalyType.ISOLATED
+        )
+        return TessellationVerdict(
+            device=device,
+            anomaly_type=anomaly,
+            bucket=key,
+            bucket_population=population,
+        )
+
+    def classify_all(self) -> Dict[int, TessellationVerdict]:
+        """Classify every flagged device."""
+        return {
+            device: self.classify(device)
+            for device in self._transition.flagged_sorted
+        }

@@ -1,0 +1,135 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table2
+    python -m repro.cli run figure7 --steps 2 --seeds 0,1 --json out.json
+    python -m repro.cli run all --steps 2 --seeds 0
+
+``run`` executes an experiment's ``run()`` with optional scale overrides
+and prints the rendered table (plus an ASCII chart for the figure sweeps);
+``--json`` additionally writes the raw :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    ablation_locality,
+    ablation_malicious,
+    ablation_sampling,
+    ablation_tessellation,
+    ablation_theorem7,
+    figure6a,
+    figure6b,
+    figure7,
+    figure8,
+    figure9,
+    table2,
+    table3,
+)
+from repro.io.records import ExperimentResult
+from repro.io.render import render_series, render_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment name -> (module, chart spec or None)
+EXPERIMENTS: Dict[str, tuple] = {
+    "figure6a": (figure6a, ("m", "cdf", "r")),
+    "figure6b": (figure6b, ("n", "containment", "tau")),
+    "table2": (table2, None),
+    "table3": (table3, None),
+    "figure7": (figure7, ("A", "unresolved_ratio_percent", "G")),
+    "figure8": (figure8, ("A", "missed_detection_percent", "G")),
+    "figure9": (figure9, ("A", "unresolved_ratio_percent", "G")),
+    "ablation-malicious": (ablation_malicious, None),
+    "ablation-sampling": (ablation_sampling, None),
+    "ablation-tessellation": (ablation_tessellation, None),
+    "ablation-theorem7": (ablation_theorem7, None),
+    "ablation-locality": (ablation_locality, None),
+}
+
+#: which experiments accept the scale overrides
+_SCALED = {
+    "ablation-malicious",
+    "ablation-sampling",
+    "table2",
+    "table3",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ablation-tessellation",
+    "ablation-theorem7",
+    "ablation-locality",
+}
+
+
+def _parse_seeds(text: str) -> tuple:
+    try:
+        return tuple(int(part) for part in text.split(",") if part != "")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the DSN'14 anomaly-characterization artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("--steps", type=int, default=None, help="intervals per seed")
+    run.add_argument(
+        "--seeds", type=_parse_seeds, default=None, help="comma-separated seeds"
+    )
+    run.add_argument("--json", default=None, help="also write the result JSON here")
+    return parser
+
+
+def _run_one(name: str, steps: Optional[int], seeds: Optional[tuple]) -> ExperimentResult:
+    module, _ = EXPERIMENTS[name]
+    kwargs = {}
+    if name in _SCALED:
+        if steps is not None:
+            kwargs["steps"] = steps
+        if seeds is not None:
+            kwargs["seeds"] = seeds
+    return module.run(**kwargs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            module, _ = EXPERIMENTS[name]
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<24} {doc}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = _run_one(name, args.steps, args.seeds)
+        print(render_table(result))
+        _, chart = EXPERIMENTS[name]
+        if chart is not None:
+            x, y, group = chart
+            print()
+            print(render_series(result, x=x, y=y, group=group))
+        if args.json:
+            path = args.json if len(names) == 1 else f"{args.json}.{name}.json"
+            with open(path, "w") as handle:
+                handle.write(result.to_json())
+            print(f"(wrote {path})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

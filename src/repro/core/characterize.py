@@ -1,0 +1,438 @@
+"""Local characterization of anomalies (Algorithms 3–5 of the paper).
+
+Given a transition and a flagged device ``j``, decide whether ``j`` belongs
+to ``I_k`` (isolated in every admissible anomaly partition), ``M_k``
+(massive in every one), or ``U_k`` (unresolved), using only trajectories
+within ``4r`` of ``j``:
+
+1. **Theorem 5** (exact, cheap): ``Wbar_k(j) = {}  <=>  j in I_k``.
+2. **Theorem 6** (sufficient, cheap): some maximal dense motion of ``j``
+   keeps more than ``tau`` members inside ``J_k(j)``  ``=>  j in M_k``.
+3. **Theorem 7 / Corollary 8** (exact, expensive): ``j in M_k`` iff *no*
+   collection of pairwise-disjoint dense motions of ``L_k(j)`` members can
+   simultaneously starve every dense motion of ``j`` (Relation 4) without
+   re-admitting ``j`` (Relation 5).  A collection achieving both is a
+   *counterexample* and certifies ``j in U_k``.
+
+The Theorem 7 search is implemented as a pruned depth-first search for a
+counterexample; Section "Algorithmic notes" of DESIGN.md records the
+derivations it relies on:
+
+* Relation (4) holds for a collection ``C`` iff some maximal dense motion
+  ``M`` of ``j`` satisfies ``|M \\ union(C)| > tau`` (any dense motion of
+  ``j`` inside ``D_k(j) \\ union(C)`` extends to a maximal one and
+  conversely any surviving chunk of a maximal one of size ``> tau`` is
+  itself a dense motion of ``j`` avoiding ``union(C)``);
+* Relation (5) holds for ``C`` iff some ``B in C`` has ``B | {j}``
+  r-consistent at both times (density is automatic since ``|B| > tau``).
+
+**Candidate pool.**  The theorem draws collection members from
+``W_k(l)`` — *all* tau-dense motions of ``L_k(j)`` members avoiding
+``j``, not only maximal ones (a dense block of a partition, e.g. a pair
+``{x, y}`` inside a larger maximal motion, need not be maximal).  The
+implementation therefore enumerates every dense sub-motion ``B`` of the
+``4r`` knowledge ball of ``j`` subject to three WLOG filters, each of
+which preserves at least one counterexample whenever one exists:
+
+* ``j not in B`` and ``B | {j}`` inconsistent — a collection containing a
+  ``B`` consistent with ``j`` satisfies Relation (5) outright and is not
+  a counterexample, so such ``B`` can never be needed;
+* ``B`` intersects ``D_k(j)`` — Relation (4) only reads
+  ``union(C) & D_k(j)``, and dropping a non-intersecting ``B`` keeps both
+  relations failing;
+* ``B`` lies inside the ``4r`` ball — any qualifying ``B`` touches
+  ``D_k(j)`` (within ``2r`` of ``j``) and is itself ``2r``-bounded.
+
+The membership requirement "``B in W_k(l)`` for some ``l in L_k(j)``" is
+implied: if every member of ``B & D_k(j)`` were in ``J_k(j)``, extending
+``B`` to a maximal dense motion would capture ``j`` and make
+``B | {j}`` consistent, contradicting the first filter.
+
+The search memoizes visited unions and counts every collection it
+examines, feeding the Table III cost columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import SearchBudgetExceeded, UnknownDeviceError
+from repro.core.motions import enumerate_maximal_motions
+from repro.core.neighborhood import MotionCache, NeighborhoodSplit, split_neighborhood
+from repro.core.transition import Transition
+from repro.core.types import (
+    AnomalyType,
+    Characterization,
+    CostCounters,
+    DecisionRule,
+)
+
+__all__ = ["Characterizer", "characterize_transition", "classify_sets"]
+
+Motion = FrozenSet[int]
+
+
+class _CollectionSearch:
+    """DFS for a Theorem 7 counterexample collection.
+
+    State: the set of chosen candidate motions (pairwise disjoint, all
+    avoiding ``j``) and their union.  A state is a *counterexample* when
+    every maximal dense motion of ``j`` has at most ``tau`` members outside
+    the union.  Three prunings keep the search far below the raw
+    collection count (compare the two rightmost columns of Table III):
+
+    * branching targets the *most constrained* still-violating motion
+      (fewest usable candidates), and only candidates intersecting it;
+    * *coverability*: a node is dead when some violating motion cannot be
+      starved below ``tau + 1`` even by taking every remaining usable
+      candidate;
+    * visited unions are memoized (different choice orders reaching the
+      same union are explored once).
+    """
+
+    def __init__(
+        self,
+        dense_of_j: Sequence[Motion],
+        candidates: Sequence[Motion],
+        tau: int,
+        budget: Optional[int],
+    ) -> None:
+        self._dense_of_j = list(dense_of_j)
+        self._candidates = list(candidates)
+        self._tau = tau
+        self._budget = budget
+        self._visited: Set[FrozenSet[int]] = set()
+        self.tested = 0
+        self.work = 0
+
+    def find_counterexample(self) -> Optional[Tuple[Motion, ...]]:
+        """Return a counterexample collection, or None if none exists."""
+        return self._dfs((), frozenset())
+
+    def _charge(self) -> None:
+        # Each node costs roughly one pass over the candidate pool, so the
+        # budget is enforced in *work units* (candidate inspections), not
+        # raw node counts — a node with a 10k-candidate pool is 10k times
+        # more expensive than one with a single candidate and must count
+        # accordingly for the bound to mean anything.
+        self.tested += 1
+        self.work += max(1, len(self._candidates))
+        if self._budget is not None and self.work > self._budget:
+            raise SearchBudgetExceeded(
+                f"Theorem 7 search exceeded its budget of {self._budget} "
+                "candidate inspections"
+            )
+
+    def _dfs(
+        self, chosen: Tuple[Motion, ...], union: FrozenSet[int]
+    ) -> Optional[Tuple[Motion, ...]]:
+        key = frozenset(union)
+        if key in self._visited:
+            return None
+        self._visited.add(key)
+        self._charge()
+        usable = [cand for cand in self._candidates if not cand & union]
+        # Find all violating motions; prune on coverability; branch on the
+        # one with the fewest helpers.
+        best_helpers: Optional[List[Motion]] = None
+        best_remainder: Optional[FrozenSet[int]] = None
+        for motion in self._dense_of_j:
+            remainder = motion - union
+            if len(remainder) <= self._tau:
+                continue
+            helpers = [cand for cand in usable if cand & remainder]
+            coverable: Set[int] = set()
+            for cand in helpers:
+                coverable |= cand & remainder
+            if len(remainder) - len(coverable & remainder) > self._tau:
+                return None  # this motion can never be starved from here
+            if best_helpers is None or len(helpers) < len(best_helpers):
+                best_helpers = helpers
+                best_remainder = remainder
+        if best_helpers is None:
+            return chosen  # Relations 4 and 5 both fail: counterexample.
+        assert best_remainder is not None
+        # Try candidates that bite off the most of the remainder first.
+        best_helpers.sort(key=lambda cand: -len(cand & best_remainder))
+        for cand in best_helpers:
+            hit = self._dfs(chosen + (cand,), union | cand)
+            if hit is not None:
+                return hit
+        return None
+
+
+def _count_collections(candidates: Sequence[Motion], cap: Optional[int] = None) -> int:
+    """Count all pairwise-disjoint sub-collections of ``candidates``.
+
+    This is the paper's "all the collections of dense motions containing
+    the devices in ``L_k(j)``" (fourth column of Table III).  The empty
+    collection is counted.  ``cap`` bounds the count to keep the Table III
+    experiment from running forever on adversarial inputs.
+
+    Candidates are compiled to integer bitmasks (one bit per device that
+    appears in any candidate) so the disjointness test inside the
+    exponential recursion is a single AND.
+    """
+    cands = list(candidates)
+    devices = sorted({device for cand in cands for device in cand})
+    bit_of = {device: 1 << i for i, device in enumerate(devices)}
+    masks: List[int] = []
+    for cand in cands:
+        mask = 0
+        for device in cand:
+            mask |= bit_of[device]
+        masks.append(mask)
+    total = 0
+
+    def rec(start: int, union: int) -> bool:
+        nonlocal total
+        total += 1
+        if cap is not None and total >= cap:
+            return False
+        for i in range(start, len(masks)):
+            if masks[i] & union:
+                continue
+            if not rec(i + 1, union | masks[i]):
+                return False
+        return True
+
+    rec(0, 0)
+    return total
+
+
+class Characterizer:
+    """Characterize flagged devices of one transition (Algorithm 3/4).
+
+    Parameters
+    ----------
+    transition:
+        The interval ``[k-1, k]`` under analysis.
+    full_nsc:
+        When true (default), devices that Theorem 6 cannot settle run the
+        Theorem 7 / Corollary 8 exact search (Algorithm 4).  When false,
+        they are reported unresolved with rule ``ALGORITHM_3`` — the cheap
+        mode whose accuracy Table II quantifies (it misses ~0.4% of
+        massive devices).
+    collection_budget:
+        Optional bound on the Theorem 7 search *work* per device, counted
+        in candidate inspections (each search node costs one pass over
+        the candidate pool); exceeding it raises
+        :class:`~repro.core.errors.SearchBudgetExceeded`.
+    count_all_collections:
+        When true, also count *all* admissible collections per device
+        (Table III's last column).  Off by default: the count can be
+        astronomically larger than the number of tested collections.
+    collection_count_cap:
+        Cap for the exhaustive collection count.
+    pool_cap:
+        Cap on the Theorem 7 candidate-pool size (and on the subset
+        enumeration of any single maximal motion).  The pool is tiny in
+        the paper's operating regime (the ``4r`` ball holds a handful of
+        flagged devices); the cap guards adversarial inputs.
+    budget_fallback:
+        When true, a device whose exact search exceeds ``collection_budget``
+        or ``pool_cap`` is reported *unresolved* with rule ``ALGORITHM_3``
+        (an explicit "undecided") instead of raising
+        :class:`SearchBudgetExceeded`.  Sound but incomplete — identical
+        in spirit to stopping at the Theorem 6 fast path — and the right
+        choice for long unattended sweeps.
+    """
+
+    def __init__(
+        self,
+        transition: Transition,
+        *,
+        full_nsc: bool = True,
+        collection_budget: Optional[int] = None,
+        count_all_collections: bool = False,
+        collection_count_cap: Optional[int] = 10_000_000,
+        pool_cap: Optional[int] = 1 << 22,
+        budget_fallback: bool = False,
+    ) -> None:
+        self._transition = transition
+        self._full_nsc = full_nsc
+        self._budget = collection_budget
+        self._count_all = count_all_collections
+        self._count_cap = collection_count_cap
+        self._pool_cap = pool_cap
+        self._budget_fallback = budget_fallback
+        self._cache = MotionCache(transition)
+
+    @property
+    def transition(self) -> Transition:
+        """The transition being characterized."""
+        return self._transition
+
+    @property
+    def cache(self) -> MotionCache:
+        """The shared motion-family cache (exposed for instrumentation)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def characterize(self, device: int) -> Characterization:
+        """Classify one flagged device (Algorithm 3, optionally 4)."""
+        if device not in self._transition.flagged:
+            raise UnknownDeviceError(
+                f"device {device} is not in A_k; only flagged devices are characterized"
+            )
+        cost = CostCounters()
+        family = self._cache.family(device)
+        cost.maximal_motions = len(family.motions)
+        cost.window_steps = family.window_steps
+
+        # --- Theorem 5: no dense motion => isolated, exactly. ---
+        if not family.has_dense_motion:
+            return Characterization(
+                device=device,
+                anomaly_type=AnomalyType.ISOLATED,
+                rule=DecisionRule.THEOREM_5,
+                cost=cost,
+            )
+
+        cost.dense_motions = len(family.dense)
+        before = self._cache.expansions
+        split = split_neighborhood(self._cache, device)
+        cost.neighbor_expansions = self._cache.expansions - before
+
+        # --- Theorem 6: a dense motion inside J_k(j) => massive. ---
+        tau = self._transition.tau
+        for motion in family.dense:
+            if len(motion & split.always_with_j) > tau:
+                return Characterization(
+                    device=device,
+                    anomaly_type=AnomalyType.MASSIVE,
+                    rule=DecisionRule.THEOREM_6,
+                    cost=cost,
+                    witness=(motion,),
+                )
+
+        if not self._full_nsc:
+            return Characterization(
+                device=device,
+                anomaly_type=AnomalyType.UNRESOLVED,
+                rule=DecisionRule.ALGORITHM_3,
+                cost=cost,
+            )
+
+        try:
+            return self._characterize_full(device, family.dense, split, cost)
+        except SearchBudgetExceeded:
+            if not self._budget_fallback:
+                raise
+            return Characterization(
+                device=device,
+                anomaly_type=AnomalyType.UNRESOLVED,
+                rule=DecisionRule.ALGORITHM_3,
+                cost=cost,
+            )
+
+    # ------------------------------------------------------------------
+    def _characterize_full(
+        self,
+        device: int,
+        dense_of_j: Sequence[Motion],
+        split: NeighborhoodSplit,
+        cost: CostCounters,
+    ) -> Characterization:
+        """Theorem 7 / Corollary 8 exact decision (Algorithms 4–5)."""
+        transition = self._transition
+        candidates = self._candidate_pool(device, split)
+        if self._count_all:
+            cost.total_collections = _count_collections(
+                candidates, cap=self._count_cap
+            )
+        search = _CollectionSearch(dense_of_j, candidates, transition.tau, self._budget)
+        counterexample = search.find_counterexample()
+        cost.tested_collections = search.tested
+        if counterexample is None:
+            return Characterization(
+                device=device,
+                anomaly_type=AnomalyType.MASSIVE,
+                rule=DecisionRule.THEOREM_7,
+                cost=cost,
+            )
+        return Characterization(
+            device=device,
+            anomaly_type=AnomalyType.UNRESOLVED,
+            rule=DecisionRule.COROLLARY_8,
+            cost=cost,
+            witness=counterexample,
+        )
+
+    def _candidate_pool(self, device: int, split: NeighborhoodSplit) -> List[Motion]:
+        """Enumerate every Theorem 7 collection candidate for ``device``.
+
+        Candidates are all tau-dense motions ``B`` within the ``4r``
+        knowledge ball such that ``device not in B``, ``B`` intersects
+        ``D_k(j)``, and ``B | {device}`` is not an r-consistent motion
+        (see the module docstring for why these filters are WLOG-complete).
+        Every consistent set is a subset of some maximal motion of the
+        ball, so we enumerate maximal motions first and then their
+        qualifying dense subsets.
+        """
+        transition = self._transition
+        tau = transition.tau
+        region = [x for x in transition.knowledge_ball(device) if x != device]
+        if not region:
+            return []
+        maximal, _ = enumerate_maximal_motions(transition, region)
+        neighborhood = split.dense_neighborhood
+        pool: Set[Motion] = set()
+        for motion in maximal:
+            members = sorted(motion)
+            m = len(members)
+            if m <= tau:
+                continue
+            if self._pool_cap is not None and (1 << m) > self._pool_cap:
+                raise SearchBudgetExceeded(
+                    f"candidate pool for device {device} requires enumerating "
+                    f"2^{m} subsets of one maximal motion (cap {self._pool_cap})"
+                )
+            for mask in range(1, 1 << m):
+                if bin(mask).count("1") <= tau:
+                    continue
+                subset = frozenset(
+                    members[i] for i in range(m) if mask >> i & 1
+                )
+                if subset in pool:
+                    continue
+                if not subset & neighborhood:
+                    continue
+                if transition.is_consistent_motion(subset | {device}):
+                    continue
+                pool.add(subset)
+            if self._pool_cap is not None and len(pool) > self._pool_cap:
+                raise SearchBudgetExceeded(
+                    f"candidate pool for device {device} exceeded {self._pool_cap}"
+                )
+        # Deterministic order: larger candidates first so the DFS starves
+        # violating motions quickly; ties broken lexicographically.
+        return sorted(pool, key=lambda b: (-len(b), tuple(sorted(b))))
+
+    # ------------------------------------------------------------------
+    def characterize_all(self) -> Dict[int, Characterization]:
+        """Classify every device of ``A_k`` (shared cache across devices)."""
+        return {
+            device: self.characterize(device)
+            for device in self._transition.flagged_sorted
+        }
+
+
+def characterize_transition(
+    transition: Transition, **kwargs
+) -> Dict[int, Characterization]:
+    """One-shot helper: build a :class:`Characterizer` and classify ``A_k``.
+
+    Keyword arguments are forwarded to :class:`Characterizer`.
+    """
+    return Characterizer(transition, **kwargs).characterize_all()
+
+
+def classify_sets(
+    results: Dict[int, Characterization]
+) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+    """Split characterization results into the sets ``(I_k, M_k, U_k)``."""
+    isolated = frozenset(j for j, c in results.items() if c.is_isolated)
+    massive = frozenset(j for j, c in results.items() if c.is_massive)
+    unresolved = frozenset(j for j, c in results.items() if c.is_unresolved)
+    return isolated, massive, unresolved

@@ -1,0 +1,233 @@
+"""Geometry of the QoS space ``E = [0, 1]^d`` under the uniform norm.
+
+The paper models the QoS of a device consuming ``d`` services as a point in
+the unit cube and measures closeness with the uniform (sup / Chebyshev /
+``L-inf``) norm: ``||x|| = max_i |x_i|``.  Two facts drive every algorithm
+in :mod:`repro.core`:
+
+* a set is *r-consistent* (pairwise distance at most ``2r``) **iff** its
+  axis-aligned bounding box has side at most ``2r`` in every dimension;
+* the ball of radius ``rho`` around a point is the axis-aligned box of
+  side ``2 * rho`` centred at it.
+
+This module provides the norm, box predicates and a uniform grid index used
+to answer "who is within distance ``rho`` of ``j``" queries in roughly
+constant time per neighbour, which keeps the local algorithms local in cost
+as well as in information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, DimensionMismatchError
+
+__all__ = [
+    "uniform_norm",
+    "uniform_distance",
+    "pairwise_uniform_distances",
+    "bounding_box_side",
+    "is_r_consistent_points",
+    "points_within",
+    "validate_radius",
+    "validate_unit_cube",
+    "GridIndex",
+]
+
+
+def uniform_norm(x: np.ndarray) -> float:
+    """Return ``||x||_inf = max_i |x_i|``.
+
+    The paper (Section III-B) uses this norm for all closeness arguments;
+    since all norms on a finite-dimensional space are equivalent, results
+    transfer to any norm up to a constant factor.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.max(np.abs(arr)))
+
+
+def uniform_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """Return the uniform-norm distance between two points."""
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise DimensionMismatchError(
+            f"points have shapes {ax.shape} and {ay.shape}"
+        )
+    return uniform_norm(ax - ay)
+
+
+def pairwise_uniform_distances(points: np.ndarray) -> np.ndarray:
+    """Return the ``(m, m)`` matrix of pairwise uniform distances.
+
+    ``points`` is an ``(m, d)`` array.  Vectorized; used by tests and by
+    the exhaustive oracle where clarity beats asymptotics.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise DimensionMismatchError("points must be an (m, d) array")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.max(np.abs(diff), axis=-1)
+
+
+def bounding_box_side(points: np.ndarray) -> float:
+    """Return the largest per-dimension extent of the point set.
+
+    For the uniform norm, the diameter of a finite set equals the largest
+    side of its axis-aligned bounding box, so a set is r-consistent iff
+    ``bounding_box_side(points) <= 2 * r``.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise DimensionMismatchError("points must be an (m, d) array")
+    if pts.shape[0] == 0:
+        return 0.0
+    return float(np.max(pts.max(axis=0) - pts.min(axis=0)))
+
+
+def is_r_consistent_points(points: np.ndarray, r: float, *, atol: float = 1e-12) -> bool:
+    """Check Definition 1: pairwise uniform distances all at most ``2r``.
+
+    A small absolute tolerance absorbs floating-point noise so that points
+    engineered to sit exactly ``2r`` apart (as in the paper's figures) are
+    classified consistently across platforms.
+    """
+    return bounding_box_side(points) <= 2.0 * r + atol
+
+
+def points_within(points: np.ndarray, center: np.ndarray, rho: float,
+                  *, atol: float = 1e-12) -> np.ndarray:
+    """Return indices of rows of ``points`` within uniform distance ``rho``.
+
+    This is the vicinity ``V = {x : ||x - center|| <= rho}`` of
+    Section VII-A, realized as a box membership test.
+    """
+    pts = np.asarray(points, dtype=float)
+    ctr = np.asarray(center, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != ctr.shape[0]:
+        raise DimensionMismatchError(
+            f"points shape {pts.shape} incompatible with center shape {ctr.shape}"
+        )
+    mask = np.all(np.abs(pts - ctr) <= rho + atol, axis=1)
+    return np.nonzero(mask)[0]
+
+
+def validate_radius(r: float) -> float:
+    """Validate the consistency impact radius ``r in [0, 1/4)``.
+
+    The bound comes from Definition 1 of the paper: beyond ``1/4`` the
+    ``2r`` boxes can cover half the unit interval and the locality argument
+    (knowledge radius ``4r``) stops being meaningfully local.
+    """
+    if not 0.0 <= r < 0.25:
+        raise ConfigurationError(f"radius r must lie in [0, 1/4), got {r!r}")
+    return float(r)
+
+
+def validate_unit_cube(points: np.ndarray, *, atol: float = 1e-9) -> np.ndarray:
+    """Validate that every coordinate lies in ``[0, 1]`` and return the array.
+
+    QoS measurement functions have range ``[0, 1]`` by definition
+    (Section III-A); out-of-range data indicates a broken measurement
+    pipeline and is rejected eagerly.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.size and (pts.min() < -atol or pts.max() > 1.0 + atol):
+        raise ConfigurationError(
+            "QoS coordinates must lie in [0, 1]; got range "
+            f"[{pts.min()}, {pts.max()}]"
+        )
+    return pts
+
+
+class GridIndex:
+    """Uniform-grid spatial index over points in ``[0, 1]^d``.
+
+    Cells have side ``cell``; a range query of radius ``rho`` inspects the
+    ``ceil(rho / cell) + 1`` ring of cells around the query point.  For the
+    paper's regime (``n = 1000``, ``r = 0.03``) neighbourhood queries touch
+    a handful of cells, so building the index once per snapshot makes the
+    whole characterization pass near-linear in ``n``.
+    """
+
+    def __init__(self, points: np.ndarray, cell: float) -> None:
+        if cell <= 0:
+            raise ConfigurationError(f"cell side must be positive, got {cell!r}")
+        self._points = np.asarray(points, dtype=float)
+        if self._points.ndim != 2:
+            raise DimensionMismatchError("points must be an (m, d) array")
+        self._cell = float(cell)
+        self._dim = self._points.shape[1]
+        self._cells: Dict[Tuple[int, ...], List[int]] = {}
+        keys = np.floor(self._points / self._cell).astype(int)
+        for idx, key in enumerate(map(tuple, keys)):
+            self._cells.setdefault(key, []).append(idx)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    @property
+    def cell(self) -> float:
+        """Side of the grid cells."""
+        return self._cell
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def query(self, center: Sequence[float], rho: float) -> List[int]:
+        """Return indices of points within uniform distance ``rho``.
+
+        The returned list is sorted for determinism.
+        """
+        ctr = np.asarray(center, dtype=float)
+        if ctr.shape != (self._dim,):
+            raise DimensionMismatchError(
+                f"center shape {ctr.shape} incompatible with dim {self._dim}"
+            )
+        lo = np.floor((ctr - rho) / self._cell).astype(int)
+        hi = np.floor((ctr + rho) / self._cell).astype(int)
+        out: List[int] = []
+        for key in _iter_cells(lo, hi):
+            bucket = self._cells.get(key)
+            if not bucket:
+                continue
+            pts = self._points[bucket]
+            mask = np.all(np.abs(pts - ctr) <= rho + 1e-12, axis=1)
+            out.extend(bucket[i] for i in np.nonzero(mask)[0])
+        out.sort()
+        return out
+
+    def query_pairs_within(self, rho: float) -> List[Tuple[int, int]]:
+        """Return all index pairs ``(i, j), i < j`` within distance ``rho``.
+
+        Useful for building neighbourhood graphs in analysis code and tests.
+        """
+        pairs: List[Tuple[int, int]] = []
+        for i in range(len(self)):
+            for j in self.query(self._points[i], rho):
+                if j > i:
+                    pairs.append((i, j))
+        return pairs
+
+
+def _iter_cells(lo: np.ndarray, hi: np.ndarray) -> Iterable[Tuple[int, ...]]:
+    """Yield every integer lattice point of the box ``[lo, hi]``."""
+    if lo.shape != hi.shape:
+        raise DimensionMismatchError("lo and hi must share a shape")
+    ranges = [range(int(a), int(b) + 1) for a, b in zip(lo, hi)]
+
+    def rec(prefix: Tuple[int, ...], rest: List[range]) -> Iterable[Tuple[int, ...]]:
+        if not rest:
+            yield prefix
+            return
+        head, tail = rest[0], rest[1:]
+        for v in head:
+            yield from rec(prefix + (v,), tail)
+
+    yield from rec((), ranges)

@@ -1,0 +1,252 @@
+"""Enumeration of maximal r-consistent motions (Algorithm 2 of the paper).
+
+A subset ``B`` of flagged devices has an *r-consistent motion* in
+``[k-1, k]`` iff it is r-consistent at both times, i.e. iff its points fit
+inside an axis-aligned box of side ``2r`` in the combined
+``2d``-dimensional embedding (previous coordinates concatenated with
+current ones).  The *maximal* such subsets containing a device ``j`` are
+exactly what the characterization theorems consume, via the families
+``W_k(j)`` and ``Wbar_k(j)``.
+
+The paper's Algorithm 2 enumerates them by sliding a window of width
+``2r`` along each dimension in turn, recursing on the devices covered by
+the current window placement.  We implement the same scheme:
+
+* window origins are point coordinates (every maximal box can be slid until
+  each lower face touches a point, so point-anchored windows lose nothing);
+* when an *anchor* device is supplied, only windows covering the anchor's
+  coordinate are explored — this is what keeps the computation local;
+* the recursion memoizes on (candidate set, dimension) so overlapping
+  windows do not multiply work;
+* results are reduced to inclusion-maximal sets at the end.
+
+Correctness is cross-checked in the test-suite against a brute-force
+enumerator over all subsets (``tests/core/test_motions.py``) and, at the
+characterization level, against the exhaustive partition oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import UnknownDeviceError
+from repro.core.transition import Transition
+from repro.core.types import MotionFamily
+
+__all__ = [
+    "enumerate_maximal_motions",
+    "maximal_motions_containing",
+    "motion_family",
+    "all_maximal_motions",
+    "largest_motion_size",
+    "brute_force_maximal_motions",
+]
+
+Motion = FrozenSet[int]
+
+
+class _WindowEnumerator:
+    """Recursive sliding-window sweep over the combined coordinates.
+
+    One instance handles one (transition, candidate set, anchor) query.
+    ``steps`` counts window placements; it is surfaced as the
+    machine-independent cost proxy reported in Table III benchmarks.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        width: float,
+        anchor_row: Optional[int],
+        atol: float = 1e-12,
+    ) -> None:
+        self._coords = coords
+        self._width = width
+        self._anchor = anchor_row
+        self._atol = atol
+        self._dims = coords.shape[1]
+        self._memo: Set[Tuple[FrozenSet[int], int]] = set()
+        self._results: Set[FrozenSet[int]] = set()
+        self.steps = 0
+
+    def run(self) -> List[FrozenSet[int]]:
+        """Enumerate and return inclusion-maximal covered sets (row indices)."""
+        m = self._coords.shape[0]
+        if m == 0:
+            return []
+        self._recurse(frozenset(range(m)), 0)
+        return _maximal_only(self._results)
+
+    def _recurse(self, rows: FrozenSet[int], dim: int) -> None:
+        if (rows, dim) in self._memo:
+            return
+        self._memo.add((rows, dim))
+        if not rows:
+            return
+        if dim == self._dims:
+            self._results.add(rows)
+            return
+        order = sorted(rows, key=lambda i: self._coords[i, dim])
+        values = [self._coords[i, dim] for i in order]
+        anchor_value = (
+            self._coords[self._anchor, dim] if self._anchor is not None else None
+        )
+        seen_here: Set[FrozenSet[int]] = set()
+        for start_pos, left in enumerate(values):
+            if start_pos > 0 and left == values[start_pos - 1]:
+                continue  # identical window
+            if anchor_value is not None:
+                # The window [left, left + width] must cover the anchor.
+                if left > anchor_value + self._atol:
+                    break
+                if anchor_value > left + self._width + self._atol:
+                    continue
+            covered = frozenset(
+                order[i]
+                for i in range(start_pos, len(order))
+                if values[i] <= left + self._width + self._atol
+            )
+            self.steps += 1
+            if covered in seen_here:
+                continue
+            if any(covered < other for other in seen_here):
+                continue  # strictly dominated placement in this dimension
+            seen_here.add(covered)
+            self._recurse(covered, dim + 1)
+
+
+def _maximal_only(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Filter a family of sets down to its inclusion-maximal members."""
+    ordered = sorted(set(sets), key=len, reverse=True)
+    out: List[FrozenSet[int]] = []
+    for cand in ordered:
+        if not any(cand < kept for kept in out):
+            out.append(cand)
+    return out
+
+
+def enumerate_maximal_motions(
+    transition: Transition,
+    candidates: Sequence[int],
+    anchor: Optional[int] = None,
+) -> Tuple[List[Motion], int]:
+    """Enumerate maximal r-consistent motions within ``candidates``.
+
+    Parameters
+    ----------
+    transition:
+        The interval ``[k-1, k]`` under analysis.
+    candidates:
+        Device identifiers to consider (typically ``N(j)`` or a partition
+        residue).  Duplicates are ignored.
+    anchor:
+        When given, only motions containing this device are enumerated and
+        maximality is relative to motions containing it — which coincides
+        with global maximality because any motion containing the anchor
+        extends to a maximal one that still contains it (Remark 1).
+
+    Returns
+    -------
+    (motions, steps):
+        ``motions`` is a list of frozensets of device ids, each an
+        inclusion-maximal r-consistent motion; ``steps`` counts window
+        placements examined (cost proxy).
+    """
+    ids = sorted(set(int(c) for c in candidates))
+    if anchor is not None and anchor not in ids:
+        raise UnknownDeviceError(f"anchor {anchor} not among candidates")
+    if not ids:
+        return [], 0
+    coords = transition.combined_of(ids)
+    anchor_row = ids.index(anchor) if anchor is not None else None
+    enum = _WindowEnumerator(coords, 2.0 * transition.r, anchor_row)
+    raw = enum.run()
+    motions = [frozenset(ids[i] for i in rows) for rows in raw]
+    if anchor is not None:
+        motions = [m for m in motions if anchor in m]
+        motions = _maximal_only(frozenset(m) for m in motions)
+    return motions, enum.steps
+
+
+def maximal_motions_containing(
+    transition: Transition, device: int
+) -> Tuple[List[Motion], int]:
+    """Return all maximal r-consistent motions (within ``A_k``) containing
+    ``device``.
+
+    The candidate pool is ``N(device)`` — flagged devices within ``2r`` at
+    both times — which is sufficient because every member of a motion
+    containing ``device`` lies within ``2r`` of it at both times.
+    """
+    neighborhood = transition.neighborhood(device)
+    return enumerate_maximal_motions(transition, neighborhood, anchor=device)
+
+
+def motion_family(transition: Transition, device: int) -> MotionFamily:
+    """Build the :class:`MotionFamily` of a device.
+
+    Packages ``M(j)`` (all maximal motions through ``j``) together with the
+    dense subfamily ``Wbar_k(j)`` (those with more than ``tau`` members).
+    """
+    motions, steps = maximal_motions_containing(transition, device)
+    dense = tuple(m for m in motions if len(m) > transition.tau)
+    return MotionFamily(
+        device=device,
+        motions=tuple(motions),
+        dense=dense,
+        window_steps=steps,
+    )
+
+
+def all_maximal_motions(transition: Transition) -> List[Motion]:
+    """Enumerate every maximal r-consistent motion within ``A_k``.
+
+    Used by the greedy partition construction (Algorithm 1) and the test
+    oracle.  Computed as the union of per-device anchored enumerations —
+    every maximal motion contains at least one device, so nothing is
+    missed — followed by a global maximality filter.
+    """
+    found: Set[Motion] = set()
+    for device in transition.flagged_sorted:
+        motions, _ = maximal_motions_containing(transition, device)
+        found.update(motions)
+    return sorted(_maximal_only(found), key=lambda m: tuple(sorted(m)))
+
+
+def largest_motion_size(transition: Transition, candidates: Sequence[int]) -> int:
+    """Return the size of the largest r-consistent motion within
+    ``candidates`` (0 for an empty pool).
+
+    This is the workhorse of the oracle's C1 check: condition C1 of
+    Definition 6 holds iff no subset of the sparse union is tau-dense,
+    i.e. iff this value is at most ``tau``.
+    """
+    motions, _ = enumerate_maximal_motions(transition, candidates)
+    return max((len(m) for m in motions), default=0)
+
+
+def brute_force_maximal_motions(
+    transition: Transition,
+    candidates: Sequence[int],
+    anchor: Optional[int] = None,
+) -> List[Motion]:
+    """Reference enumerator: test every subset (exponential; tests only).
+
+    Enumerates all subsets of ``candidates`` (containing ``anchor`` when
+    given), keeps the r-consistent motions, and reduces to maximal ones.
+    The sliding-window enumerator must agree with this on every input.
+    """
+    ids = sorted(set(int(c) for c in candidates))
+    if anchor is not None and anchor not in ids:
+        raise UnknownDeviceError(f"anchor {anchor} not among candidates")
+    consistent: List[Motion] = []
+    m = len(ids)
+    for mask in range(1, 1 << m):
+        subset = frozenset(ids[i] for i in range(m) if mask >> i & 1)
+        if anchor is not None and anchor not in subset:
+            continue
+        if transition.is_consistent_motion(subset):
+            consistent.append(subset)
+    return sorted(_maximal_only(consistent), key=lambda s: tuple(sorted(s)))

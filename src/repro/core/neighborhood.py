@@ -1,0 +1,119 @@
+"""The neighbourhood decomposition of Section V-B.
+
+For a device ``j`` with a non-empty dense family ``Wbar_k(j)`` the paper
+splits the devices of ``D_k(j)`` (union of ``j``'s maximal tau-dense
+motions) into
+
+* ``J_k(j)`` — devices all of whose maximal tau-dense motions contain
+  ``j`` (always includes ``j`` itself), and
+* ``L_k(j)`` — devices owning at least one maximal tau-dense motion that
+  avoids ``j``.
+
+Theorem 6 decides *massive* from ``J_k(j)`` alone; Theorem 7 additionally
+explores dense motions of ``L_k(j)`` members.  Computing the split needs
+the motion families of ``j``'s neighbours — i.e. trajectories within
+``4r`` of ``j`` — which is the paper's knowledge-radius claim.
+
+:class:`MotionCache` memoizes per-device motion families for one
+transition so a full characterization pass computes each family once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.motions import motion_family
+from repro.core.transition import Transition
+from repro.core.types import MotionFamily
+
+__all__ = ["MotionCache", "NeighborhoodSplit", "split_neighborhood"]
+
+Motion = FrozenSet[int]
+
+
+class MotionCache:
+    """Per-transition memo of :func:`repro.core.motions.motion_family`.
+
+    The characterization of one device touches the families of its
+    neighbours, and neighbourhoods overlap heavily, so a shared cache
+    turns a quadratic-ish pass into a linear one.  The cache also counts
+    how many families were computed (``expansions``), which feeds the
+    ``neighbor_expansions`` cost column.
+    """
+
+    def __init__(self, transition: Transition) -> None:
+        self._transition = transition
+        self._families: Dict[int, MotionFamily] = {}
+        self.expansions = 0
+
+    @property
+    def transition(self) -> Transition:
+        """The transition this cache is bound to."""
+        return self._transition
+
+    def family(self, device: int) -> MotionFamily:
+        """Return (and memoize) the motion family of ``device``."""
+        fam = self._families.get(device)
+        if fam is None:
+            fam = motion_family(self._transition, device)
+            self._families[device] = fam
+            self.expansions += 1
+        return fam
+
+    def dense_family(self, device: int) -> Tuple[Motion, ...]:
+        """Return ``Wbar_k(device)``: its maximal tau-dense motions."""
+        return self.family(device).dense
+
+    def __contains__(self, device: int) -> bool:
+        return device in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+
+@dataclass(frozen=True)
+class NeighborhoodSplit:
+    """The ``(D_k(j), J_k(j), L_k(j))`` decomposition for one device."""
+
+    device: int
+    dense_neighborhood: FrozenSet[int]   # D_k(j)
+    always_with_j: FrozenSet[int]        # J_k(j)
+    sometimes_without_j: FrozenSet[int]  # L_k(j)
+
+    def __post_init__(self) -> None:
+        # Invariants from the paper: D = J ⊎ L, j ∈ J, j ∉ L.
+        assert self.always_with_j | self.sometimes_without_j == self.dense_neighborhood
+        assert not (self.always_with_j & self.sometimes_without_j)
+
+
+def split_neighborhood(cache: MotionCache, device: int) -> NeighborhoodSplit:
+    """Compute ``D_k(j)``, ``J_k(j)`` and ``L_k(j)`` for ``device``.
+
+    Precondition: ``Wbar_k(device)`` is non-empty (otherwise Theorem 5
+    already classified the device as isolated and the split is moot); an
+    empty family yields the trivial split ``D = J = {}``, ``L = {}``.
+    """
+    dense = cache.dense_family(device)
+    neighborhood: set = set()
+    for motion in dense:
+        neighborhood.update(motion)
+    j_set: set = set()
+    l_set: set = set()
+    for member in neighborhood:
+        if member == device:
+            j_set.add(member)
+            continue
+        member_dense = cache.dense_family(member)
+        # ``member`` is in D_k(j) so it shares at least one maximal dense
+        # motion with j; its own dense family is therefore non-empty.
+        if all(device in motion for motion in member_dense):
+            j_set.add(member)
+        else:
+            l_set.add(member)
+    return NeighborhoodSplit(
+        device=device,
+        dense_neighborhood=frozenset(neighborhood),
+        always_with_j=frozenset(j_set),
+        sometimes_without_j=frozenset(l_set),
+    )

@@ -1,0 +1,110 @@
+"""The omniscient-observer oracle (Relations (2)/(3), Definition 8).
+
+The oracle enumerates *every* admissible anomaly partition of ``A_k`` and
+classifies each flagged device:
+
+* ``I_k`` — its block is sparse in every partition;
+* ``M_k`` — its block is dense in every partition;
+* ``U_k`` — both kinds of partition exist (unresolved).
+
+This is exactly the knowledge ceiling of the paper's omniscient observer,
+and Theorem 3 (ACP impossibility) manifests as ``U_k`` being non-empty for
+the Figure 3 configuration.  The oracle is exponential (Bell numbers) and
+exists to *validate* the local conditions: Theorems 5 and 7 and
+Corollary 8 must reproduce its verdict on every input, which the
+property-based tests check on random configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.partition import (
+    Partition,
+    enumerate_anomaly_partitions,
+    partition_block_of,
+)
+from repro.core.transition import Transition
+from repro.core.types import AnomalyType, Characterization, CostCounters, DecisionRule
+
+__all__ = ["OracleVerdict", "oracle_classify", "oracle_characterizations"]
+
+
+class OracleVerdict:
+    """Full output of the omniscient observer on one transition."""
+
+    def __init__(
+        self,
+        transition: Transition,
+        partitions: List[Partition],
+    ) -> None:
+        if not partitions:
+            # Lemma 2 guarantees at least one partition exists for any
+            # non-empty A_k; reaching this branch indicates a bug upstream.
+            if transition.flagged:
+                raise AssertionError(
+                    "no admissible anomaly partition found; Lemma 2 violated"
+                )
+        self.transition = transition
+        self.partitions = partitions
+        tau = transition.tau
+        isolated: set = set()
+        massive: set = set()
+        unresolved: set = set()
+        for device in transition.flagged_sorted:
+            dense_votes = 0
+            sparse_votes = 0
+            for partition in partitions:
+                block = partition_block_of(partition, device)
+                if len(block) > tau:
+                    dense_votes += 1
+                else:
+                    sparse_votes += 1
+            if dense_votes and not sparse_votes:
+                massive.add(device)
+            elif sparse_votes and not dense_votes:
+                isolated.add(device)
+            else:
+                unresolved.add(device)
+        self.isolated: FrozenSet[int] = frozenset(isolated)
+        self.massive: FrozenSet[int] = frozenset(massive)
+        self.unresolved: FrozenSet[int] = frozenset(unresolved)
+
+    def type_of(self, device: int) -> AnomalyType:
+        """Return the oracle classification of one device."""
+        if device in self.isolated:
+            return AnomalyType.ISOLATED
+        if device in self.massive:
+            return AnomalyType.MASSIVE
+        return AnomalyType.UNRESOLVED
+
+    @property
+    def acp_solvable(self) -> bool:
+        """Corollary 4: ACP is solvable on this configuration iff
+        ``U_k`` is empty."""
+        return not self.unresolved
+
+
+def oracle_classify(
+    transition: Transition, *, limit: Optional[int] = 2_000_000
+) -> OracleVerdict:
+    """Run the omniscient observer (exhaustive; small ``|A_k|`` only)."""
+    partitions = enumerate_anomaly_partitions(transition, limit=limit)
+    return OracleVerdict(transition, partitions)
+
+
+def oracle_characterizations(
+    transition: Transition, *, limit: Optional[int] = 2_000_000
+) -> Dict[int, Characterization]:
+    """Return oracle verdicts in the same shape the local characterizer
+    produces, for direct comparison in tests and ablations."""
+    verdict = oracle_classify(transition, limit=limit)
+    return {
+        device: Characterization(
+            device=device,
+            anomaly_type=verdict.type_of(device),
+            rule=DecisionRule.ORACLE,
+            cost=CostCounters(),
+        )
+        for device in transition.flagged_sorted
+    }

@@ -1,0 +1,240 @@
+"""Anomaly partitions (Definition 6, Lemma 2 and Algorithm 1).
+
+An *anomaly partition* splits the flagged set ``A_k`` into non-empty,
+disjoint r-consistent motions ``B_1, ..., B_l`` such that
+
+* **C1** — no subset of the union of the sparse blocks (``|B_i| <= tau``)
+  forms a tau-dense r-consistent motion, and
+* **C2** — no (non-empty) subset of that sparse union can merge with a
+  dense block into an r-consistent motion.
+
+This module provides:
+
+* :func:`is_anomaly_partition` — a Definition 6 validity checker, using two
+  exact simplifications proved in DESIGN.md: C1 reduces to "the largest
+  motion inside the sparse union has at most ``tau`` members", and C2 to
+  the singleton case "no sparse-union device extends a dense block"
+  (because ``B ∪ B_i`` consistent implies ``{x} ∪ B_i`` consistent for each
+  ``x in B``).
+* :func:`greedy_partition` — the paper's Algorithm 1: repeatedly peel off a
+  maximal r-consistent motion of the residue.  Lemma 2 proves the output
+  is always a valid anomaly partition; the test-suite asserts it.
+* :func:`enumerate_anomaly_partitions` — exhaustive enumeration over all
+  set partitions (restricted growth strings), used by the oracle on small
+  configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import PartitionError, SearchBudgetExceeded
+from repro.core.motions import enumerate_maximal_motions, largest_motion_size
+from repro.core.transition import Transition
+
+__all__ = [
+    "Partition",
+    "is_anomaly_partition",
+    "validate_anomaly_partition",
+    "greedy_partition",
+    "enumerate_anomaly_partitions",
+    "iter_set_partitions",
+    "partition_block_of",
+    "massive_isolated_split",
+]
+
+Motion = FrozenSet[int]
+Partition = Tuple[Motion, ...]
+
+
+def partition_block_of(partition: Sequence[Motion], device: int) -> Motion:
+    """Return ``P_k(device)``: the (unique) block containing the device."""
+    for block in partition:
+        if device in block:
+            return block
+    raise PartitionError(f"device {device} is in no block of the partition")
+
+
+def massive_isolated_split(
+    partition: Sequence[Motion], tau: int
+) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Return ``(M_P, I_P)``: devices in dense blocks vs sparse blocks
+    (Definition 7)."""
+    massive: Set[int] = set()
+    isolated: Set[int] = set()
+    for block in partition:
+        target = massive if len(block) > tau else isolated
+        target.update(block)
+    return frozenset(massive), frozenset(isolated)
+
+
+def _explain_invalid(transition: Transition, blocks: Sequence[Motion]) -> Optional[str]:
+    """Return a human-readable reason the partition is invalid, or None."""
+    tau = transition.tau
+    flagged = transition.flagged
+    seen: Set[int] = set()
+    for block in blocks:
+        if not block:
+            return "empty block"
+        if block & seen:
+            return f"blocks overlap on {sorted(block & seen)}"
+        seen.update(block)
+        if not block <= flagged:
+            return f"block {sorted(block)} contains non-flagged devices"
+        if not transition.is_consistent_motion(block):
+            return f"block {sorted(block)} is not an r-consistent motion"
+    if seen != flagged:
+        return f"blocks do not cover A_k (missing {sorted(flagged - seen)})"
+    sparse_union: Set[int] = set()
+    dense_blocks: List[Motion] = []
+    for block in blocks:
+        if len(block) > tau:
+            dense_blocks.append(block)
+        else:
+            sparse_union.update(block)
+    # C1: the sparse union must not hide a tau-dense motion.
+    if sparse_union and largest_motion_size(transition, sorted(sparse_union)) > tau:
+        return "C1 violated: the sparse union contains a tau-dense motion"
+    # C2: no sparse-union device may extend a dense block (singleton
+    # reduction; see module docstring).
+    for dense in dense_blocks:
+        for device in sparse_union:
+            if transition.is_consistent_motion(dense | {device}):
+                return (
+                    f"C2 violated: device {device} extends dense block "
+                    f"{sorted(dense)}"
+                )
+    return None
+
+
+def is_anomaly_partition(transition: Transition, blocks: Sequence[Motion]) -> bool:
+    """Check whether ``blocks`` is a valid anomaly partition of ``A_k``."""
+    return _explain_invalid(transition, blocks) is None
+
+
+def validate_anomaly_partition(
+    transition: Transition, blocks: Sequence[Motion]
+) -> Partition:
+    """Validate and normalize a partition, raising :class:`PartitionError`
+    with an explanation when Definition 6 is violated."""
+    reason = _explain_invalid(transition, blocks)
+    if reason is not None:
+        raise PartitionError(reason)
+    return tuple(sorted((frozenset(b) for b in blocks), key=lambda b: tuple(sorted(b))))
+
+
+def greedy_partition(
+    transition: Transition,
+    rng: Optional[random.Random] = None,
+    *,
+    strategy: str = "dense-first",
+) -> Partition:
+    """Algorithm 1: build an anomaly partition by peeling maximal motions.
+
+    Two strategies are provided:
+
+    ``"dense-first"`` (default)
+        While the residue contains a tau-dense maximal motion, peel one
+        (chosen at random among the dense maximal motions); once none
+        remains, peel maximal motions anchored at random devices.  This
+        always yields a valid anomaly partition: every sparse block is
+        formed from a residue that contains no dense motion, so no dense
+        motion can hide inside the sparse union (C1), and every sparse
+        device was still present when each dense block was peeled
+        maximally, so it cannot extend it (C2).
+
+    ``"paper"``
+        The verbatim Algorithm 1: pick a random device, peel a maximal
+        motion of the residue containing it.  **Reproduction note**: the
+        paper's Lemma 2 claims this always satisfies Definition 6, but a
+        sparse peel can sever a dense motion whose members then land in
+        *different* sparse blocks, violating C1 (the dense motion hides
+        inside the sparse union).  ``tests/core/test_partition.py``
+        carries a concrete counterexample.  Use this mode only to study
+        that behaviour.
+
+    Non-uniqueness across ``rng`` seeds is Figure 2's point and is
+    exercised by the tests for both strategies.
+    """
+    if strategy not in ("dense-first", "paper"):
+        raise PartitionError(f"unknown greedy strategy {strategy!r}")
+    rng = rng or random.Random(0)
+    residue: List[int] = list(transition.flagged_sorted)
+    blocks: List[Motion] = []
+    tau = transition.tau
+    while residue:
+        block: Optional[Motion] = None
+        if strategy == "dense-first":
+            motions, _ = enumerate_maximal_motions(transition, residue)
+            dense = sorted(
+                (m for m in motions if len(m) > tau),
+                key=lambda m: tuple(sorted(m)),
+            )
+            if dense:
+                block = dense[rng.randrange(len(dense))]
+        if block is None:
+            device = residue[rng.randrange(len(residue))]
+            anchored, _ = enumerate_maximal_motions(
+                transition, residue, anchor=device
+            )
+            block = max(anchored, key=lambda m: (len(m), tuple(sorted(m))))
+        blocks.append(block)
+        residue = [x for x in residue if x not in block]
+    return tuple(blocks)
+
+
+def iter_set_partitions(items: Sequence[int]) -> Iterator[List[List[int]]]:
+    """Yield every set partition of ``items`` (Bell-number many).
+
+    Uses restricted-growth strings, so each partition appears exactly once.
+    Intended for the oracle on small inputs only — Section V of the paper
+    explains why this is impractical at scale, which is precisely what the
+    local conditions avoid.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        yield []
+        return
+    codes = [0] * n
+
+    def rec(i: int, max_code: int) -> Iterator[List[List[int]]]:
+        if i == n:
+            blocks: List[List[int]] = [[] for _ in range(max_code + 1)]
+            for idx, code in enumerate(codes):
+                blocks[code].append(items[idx])
+            yield blocks
+            return
+        for code in range(max_code + 2):
+            codes[i] = code
+            yield from rec(i + 1, max(max_code, code))
+
+    codes[0] = 0
+    yield from rec(1, 0)
+
+
+def enumerate_anomaly_partitions(
+    transition: Transition, *, limit: Optional[int] = 2_000_000
+) -> List[Partition]:
+    """Enumerate every valid anomaly partition of ``A_k`` (small inputs).
+
+    ``limit`` bounds the number of *candidate* set partitions examined; the
+    Bell numbers grow super-exponentially, so exceeding the bound raises
+    :class:`SearchBudgetExceeded` instead of hanging.
+    """
+    flagged = list(transition.flagged_sorted)
+    valid: List[Partition] = []
+    examined = 0
+    for candidate in iter_set_partitions(flagged):
+        examined += 1
+        if limit is not None and examined > limit:
+            raise SearchBudgetExceeded(
+                f"anomaly partition enumeration exceeded {limit} candidates"
+            )
+        blocks = tuple(frozenset(b) for b in candidate)
+        if is_anomaly_partition(transition, blocks):
+            valid.append(
+                tuple(sorted(blocks, key=lambda b: tuple(sorted(b))))
+            )
+    return valid

@@ -1,0 +1,292 @@
+"""System states and transitions between two successive snapshots.
+
+The paper reasons about one time interval ``[k-1, k]`` at a time: the system
+state ``S_{k-1}``, the state ``S_k``, and the flagged set
+``A_k = {j : a_k(j) = true}``.  :class:`Transition` packages those three
+pieces together with the model parameters ``r`` (consistency impact radius)
+and ``tau`` (density threshold), pre-builds spatial indexes on both
+snapshots, and exposes the neighbourhood queries every local algorithm
+needs:
+
+* ``N(j)`` — flagged devices within ``2r`` of ``j`` at **both** times
+  (the input of Algorithm 2);
+* combined coordinates — the ``2d``-dimensional embedding in which an
+  r-consistent *motion* is simply a box of side ``2r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnknownDeviceError,
+)
+from repro.core.geometry import GridIndex, validate_radius, validate_unit_cube
+
+__all__ = ["Snapshot", "Transition"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Positions of ``n`` devices in the QoS space at one discrete time.
+
+    ``positions[j]`` is the point ``p_k(j) = (q_{1,k}(j), ..., q_{d,k}(j))``
+    of Section III-A.  Device identifiers are the row indices ``0..n-1``
+    (the paper's ``[[1, n]]`` shifted to zero-based).
+    """
+
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = validate_unit_cube(np.asarray(self.positions, dtype=float))
+        if pts.ndim != 2:
+            raise DimensionMismatchError("positions must be an (n, d) array")
+        object.__setattr__(self, "positions", pts)
+
+    @property
+    def n(self) -> int:
+        """Number of devices."""
+        return self.positions.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of services ``d`` (dimensionality of the QoS space)."""
+        return self.positions.shape[1]
+
+    def position(self, device: int) -> np.ndarray:
+        """Return ``p_k(device)``."""
+        if not 0 <= device < self.n:
+            raise UnknownDeviceError(f"device {device} not in [0, {self.n})")
+        return self.positions[device]
+
+
+class Transition:
+    """One monitored interval ``[k-1, k]``: states, flags and parameters.
+
+    Parameters
+    ----------
+    previous, current:
+        Snapshots ``S_{k-1}`` and ``S_k``; must have identical shape.
+    flagged:
+        The set ``A_k`` of devices whose error detection function returned
+        true.  Motions, partitions and characterizations only ever involve
+        flagged devices (Definition 5 onwards).
+    r:
+        Consistency impact radius in ``[0, 1/4)``.
+    tau:
+        Density threshold in ``[1, n - 1]`` separating isolated from
+        massive anomalies (Definition 4).
+    """
+
+    def __init__(
+        self,
+        previous: Snapshot,
+        current: Snapshot,
+        flagged: Iterable[int],
+        r: float,
+        tau: int,
+    ) -> None:
+        if previous.positions.shape != current.positions.shape:
+            raise DimensionMismatchError(
+                "previous and current snapshots must have the same shape; got "
+                f"{previous.positions.shape} vs {current.positions.shape}"
+            )
+        self._previous = previous
+        self._current = current
+        self._r = validate_radius(r)
+        n = previous.n
+        if not isinstance(tau, (int, np.integer)) or not 1 <= int(tau) <= max(1, n - 1):
+            raise ConfigurationError(
+                f"tau must be an integer in [1, n-1] = [1, {n - 1}], got {tau!r}"
+            )
+        self._tau = int(tau)
+        flagged_set = frozenset(int(j) for j in flagged)
+        for j in flagged_set:
+            if not 0 <= j < n:
+                raise UnknownDeviceError(f"flagged device {j} not in [0, {n})")
+        self._flagged: FrozenSet[int] = flagged_set
+        self._flagged_sorted: Tuple[int, ...] = tuple(sorted(flagged_set))
+        # Combined 2d-dimensional embedding: prev coords ++ cur coords.  A
+        # subset has an r-consistent *motion* iff it fits a 2r-box here.
+        self._combined = np.hstack(
+            [previous.positions, current.positions]
+        ).astype(float)
+        self._index_prev: Optional[GridIndex] = None
+        self._index_cur: Optional[GridIndex] = None
+        self._neighborhood_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Simple accessors
+    # ------------------------------------------------------------------
+    @property
+    def previous(self) -> Snapshot:
+        """Snapshot ``S_{k-1}``."""
+        return self._previous
+
+    @property
+    def current(self) -> Snapshot:
+        """Snapshot ``S_k``."""
+        return self._current
+
+    @property
+    def r(self) -> float:
+        """Consistency impact radius."""
+        return self._r
+
+    @property
+    def tau(self) -> int:
+        """Density threshold."""
+        return self._tau
+
+    @property
+    def n(self) -> int:
+        """Number of devices in the system."""
+        return self._previous.n
+
+    @property
+    def dim(self) -> int:
+        """Number of services per device."""
+        return self._previous.dim
+
+    @property
+    def flagged(self) -> FrozenSet[int]:
+        """The set ``A_k`` of devices with abnormal trajectories."""
+        return self._flagged
+
+    @property
+    def flagged_sorted(self) -> Tuple[int, ...]:
+        """``A_k`` as a sorted tuple, for deterministic iteration."""
+        return self._flagged_sorted
+
+    @property
+    def combined(self) -> np.ndarray:
+        """The ``(n, 2d)`` combined coordinates (prev ++ cur)."""
+        return self._combined
+
+    def combined_of(self, devices: Sequence[int]) -> np.ndarray:
+        """Return combined coordinates for a subset of devices."""
+        return self._combined[list(devices)]
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def _indexes(self) -> Tuple[GridIndex, GridIndex]:
+        """Lazily build grid indexes over the *flagged* devices."""
+        if self._index_prev is None:
+            flagged = list(self._flagged_sorted)
+            cell = max(2.0 * self._r, 1e-6)
+            prev_pts = self._previous.positions[flagged] if flagged else np.zeros((0, self.dim))
+            cur_pts = self._current.positions[flagged] if flagged else np.zeros((0, self.dim))
+            self._index_prev = GridIndex(prev_pts, cell)
+            self._index_cur = GridIndex(cur_pts, cell)
+        assert self._index_cur is not None
+        return self._index_prev, self._index_cur
+
+    def neighborhood(self, device: int, *, radius_factor: float = 2.0) -> Tuple[int, ...]:
+        """Return ``N(j)``: flagged devices within ``radius_factor * r`` of
+        ``j`` at both times (including ``j`` itself when flagged).
+
+        With the default factor 2 this is exactly the set Algorithm 2
+        receives: any device sharing an r-consistent motion with ``j`` is
+        within ``2r`` of it at both ``k-1`` and ``k``.
+        """
+        if device not in self._flagged:
+            raise UnknownDeviceError(
+                f"device {device} is not flagged; N(j) is defined on A_k"
+            )
+        cache_key = device if radius_factor == 2.0 else None
+        if cache_key is not None and cache_key in self._neighborhood_cache:
+            return self._neighborhood_cache[cache_key]
+        rho = radius_factor * self._r
+        idx_prev, idx_cur = self._indexes()
+        flagged = self._flagged_sorted
+        prev_hits = {flagged[i] for i in idx_prev.query(self._previous.positions[device], rho)}
+        cur_hits = {flagged[i] for i in idx_cur.query(self._current.positions[device], rho)}
+        out = tuple(sorted(prev_hits & cur_hits))
+        if cache_key is not None:
+            self._neighborhood_cache[cache_key] = out
+        return out
+
+    def knowledge_ball(self, device: int) -> Tuple[int, ...]:
+        """Return the ``4r`` knowledge radius of Section V.
+
+        The paper shows a device never needs trajectories farther than
+        ``4r`` from its own: its neighbours' neighbourhoods.  Exposed so
+        tests can assert the locality claim (Ablation A3).
+        """
+        return self.neighborhood(device, radius_factor=4.0)
+
+    # ------------------------------------------------------------------
+    # Consistency predicates
+    # ------------------------------------------------------------------
+    def is_consistent_motion(self, devices: Iterable[int], *, atol: float = 1e-12) -> bool:
+        """Definition 3: the subset is r-consistent at both times.
+
+        Implemented as a single bounding-box check in the combined
+        ``2d``-dimensional embedding.
+        """
+        idx = list(devices)
+        if len(idx) <= 1:
+            return True
+        pts = self._combined[idx]
+        side = float(np.max(pts.max(axis=0) - pts.min(axis=0)))
+        return side <= 2.0 * self._r + atol
+
+    def is_dense(self, devices: Iterable[int]) -> bool:
+        """Definition 4: a motion is tau-dense iff it has > tau members."""
+        return len(set(devices)) > self._tau
+
+    def is_dense_motion(self, devices: Iterable[int]) -> bool:
+        """True iff the subset is an r-consistent motion with > tau members."""
+        idx = list(set(devices))
+        return len(idx) > self._tau and self.is_consistent_motion(idx)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        previous: np.ndarray,
+        current: np.ndarray,
+        flagged: Iterable[int],
+        r: float,
+        tau: int,
+    ) -> "Transition":
+        """Build a transition straight from two ``(n, d)`` arrays."""
+        return cls(Snapshot(previous), Snapshot(current), flagged, r, tau)
+
+    @classmethod
+    def from_trajectories_1d(
+        cls,
+        prev_cur: Sequence[Tuple[float, float]],
+        flagged: Optional[Iterable[int]] = None,
+        *,
+        r: float,
+        tau: int,
+    ) -> "Transition":
+        """Build a one-service transition from ``(q_{k-1}, q_k)`` pairs.
+
+        Matches the paper's figures, which plot QoS at time ``k`` against
+        QoS at time ``k-1`` for a single service.  When ``flagged`` is
+        omitted every device is taken to be in ``A_k`` (as in the figures).
+        """
+        arr = np.asarray(prev_cur, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise DimensionMismatchError("prev_cur must be a sequence of pairs")
+        prev = arr[:, :1]
+        cur = arr[:, 1:]
+        if flagged is None:
+            flagged = range(arr.shape[0])
+        return cls(Snapshot(prev), Snapshot(cur), flagged, r, tau)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Transition(n={self.n}, d={self.dim}, |A_k|={len(self._flagged)}, "
+            f"r={self._r}, tau={self._tau})"
+        )

@@ -1,0 +1,42 @@
+"""Error detection functions ``a_k(j)`` (Section III-A substrate).
+
+The paper treats the per-device error detection function as a black box
+and cites threshold rules, Holt–Winters forecasting [6][12], CUSUM [10]
+and Kalman filtering [7] as candidate implementations.  This package
+provides all of them behind one streaming :class:`~repro.detection.base.Detector`
+interface, plus :class:`~repro.detection.composite.DeviceMonitor`, which
+ORs per-service verdicts into the device-level flag of Definition 5.
+"""
+
+from repro.detection.base import Detection, Detector, detect_series
+from repro.detection.composite import (
+    DeviceDetection,
+    DeviceMonitor,
+    make_detector_bank,
+)
+from repro.detection.cusum import CusumDetector
+from repro.detection.ewma import EwmaDetector
+from repro.detection.holt_winters import (
+    HoltWintersDetector,
+    SeasonalHoltWintersDetector,
+)
+from repro.detection.kalman import KalmanDetector
+from repro.detection.shewhart import ShewhartDetector
+from repro.detection.threshold import BandThresholdDetector, StepThresholdDetector
+
+__all__ = [
+    "BandThresholdDetector",
+    "CusumDetector",
+    "Detection",
+    "Detector",
+    "DeviceDetection",
+    "DeviceMonitor",
+    "EwmaDetector",
+    "HoltWintersDetector",
+    "KalmanDetector",
+    "SeasonalHoltWintersDetector",
+    "ShewhartDetector",
+    "StepThresholdDetector",
+    "detect_series",
+    "make_detector_bank",
+]

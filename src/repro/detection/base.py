@@ -1,0 +1,104 @@
+"""Detector interface: the error detection function ``a_k(j)``.
+
+Section III-A of the paper assumes each device feeds its per-service QoS
+samples to an *error detection function* that returns true when the
+variation of quality is too large to be considered normal, and lists the
+classic candidates — threshold rules, Holt–Winters forecasting, CUSUM —
+while scoping their implementation out of the paper.  This package
+implements them so the end-to-end pipeline (measure → detect → flag →
+characterize) is runnable.
+
+Every detector consumes one scalar QoS sample per step and produces a
+:class:`Detection` carrying the abnormality verdict plus its one-step-ahead
+forecast, which is how "predicted values differ from observed ones"
+(Definition 5's notion of abnormal trajectory) is realized.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Detection", "Detector", "detect_series"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Outcome of feeding one sample to a detector.
+
+    Attributes
+    ----------
+    abnormal:
+        The detector's verdict ``a_k(j)`` for this sample.
+    forecast:
+        The value the detector expected *before* seeing the sample
+        (``None`` while the detector is still warming up).
+    residual:
+        ``observed - forecast`` (``None`` during warm-up).
+    score:
+        Detector-specific abnormality score (e.g. CUSUM statistic, number
+        of sigmas); larger means more abnormal.  Always >= 0.
+    """
+
+    abnormal: bool
+    forecast: Optional[float] = None
+    residual: Optional[float] = None
+    score: float = 0.0
+
+
+class Detector(abc.ABC):
+    """Streaming abnormality detector over a scalar QoS series.
+
+    Subclasses implement :meth:`update`; they must be usable online (one
+    sample at a time, O(1) memory) because the paper's devices sample
+    their own QoS continuously and cannot buffer history indefinitely.
+    """
+
+    def __init__(self, *, warmup: int = 1) -> None:
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self._warmup = warmup
+        self._seen = 0
+
+    @property
+    def samples_seen(self) -> int:
+        """Number of samples consumed so far."""
+        return self._seen
+
+    @property
+    def warmed_up(self) -> bool:
+        """True once the detector has seen at least ``warmup`` samples."""
+        return self._seen >= self._warmup
+
+    def update(self, value: float) -> Detection:
+        """Consume one sample and return the verdict.
+
+        Template method: validates the sample, tracks warm-up and
+        delegates to :meth:`_update`.
+        """
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"QoS samples must lie in [0, 1], got {value!r}"
+            )
+        detection = self._update(float(value))
+        self._seen += 1
+        return detection
+
+    @abc.abstractmethod
+    def _update(self, value: float) -> Detection:
+        """Consume one validated sample (subclass responsibility)."""
+
+    def reset(self) -> None:
+        """Forget all state (default: re-init via ``__init__`` contract).
+
+        Subclasses with internal state must extend this.
+        """
+        self._seen = 0
+
+
+def detect_series(detector: Detector, series: Sequence[float]) -> List[Detection]:
+    """Feed a whole series through a detector and collect the verdicts."""
+    return [detector.update(value) for value in series]

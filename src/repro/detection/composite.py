@@ -1,0 +1,137 @@
+"""Per-device composite detector: the full ``a_k(j)`` of Definition 5.
+
+A device consumes ``d`` services and runs one scalar detector per service;
+``a_k(j)`` is true when *at least one* service's variation is abnormal
+("there is at least one service consumed by device j at time k whose
+variation of quality of service is too large", Section III-A).
+
+:class:`DeviceMonitor` bundles the per-service detectors and exposes the
+device's position in the QoS space alongside the flag — exactly the
+``(p_k(j), a_k(j))`` pair the characterization layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, DimensionMismatchError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["DeviceDetection", "DeviceMonitor", "DetectorFactory", "make_detector_bank"]
+
+DetectorFactory = Callable[[], Detector]
+
+
+@dataclass(frozen=True)
+class DeviceDetection:
+    """One device step: the QoS point, per-service verdicts and the flag."""
+
+    position: Tuple[float, ...]
+    per_service: Tuple[Detection, ...]
+    abnormal: bool
+
+    @property
+    def abnormal_services(self) -> Tuple[int, ...]:
+        """Indices of the services whose detectors raised."""
+        return tuple(
+            i for i, det in enumerate(self.per_service) if det.abnormal
+        )
+
+    @property
+    def max_score(self) -> float:
+        """Largest per-service abnormality score."""
+        return max((d.score for d in self.per_service), default=0.0)
+
+
+class DeviceMonitor:
+    """Run one detector per consumed service and OR the verdicts.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building a fresh scalar detector; one is
+        instantiated per service so their states stay independent.
+    services:
+        Number of services ``d`` the device consumes.
+    min_abnormal_services:
+        How many services must raise simultaneously for the device flag
+        (1 reproduces Definition 5; larger values trade latency for
+        robustness against single-service noise).
+    """
+
+    def __init__(
+        self,
+        factory: DetectorFactory,
+        services: int,
+        *,
+        min_abnormal_services: int = 1,
+    ) -> None:
+        if services < 1:
+            raise ConfigurationError(f"services must be >= 1, got {services!r}")
+        if not 1 <= min_abnormal_services <= services:
+            raise ConfigurationError(
+                "min_abnormal_services must lie in [1, services], got "
+                f"{min_abnormal_services!r}"
+            )
+        self._detectors: List[Detector] = [factory() for _ in range(services)]
+        self._min_raise = min_abnormal_services
+        self._history: List[DeviceDetection] = []
+
+    @property
+    def services(self) -> int:
+        """Number of monitored services."""
+        return len(self._detectors)
+
+    @property
+    def detectors(self) -> Sequence[Detector]:
+        """The per-service detectors (read-only view)."""
+        return tuple(self._detectors)
+
+    @property
+    def last(self) -> Optional[DeviceDetection]:
+        """The most recent device detection, if any."""
+        return self._history[-1] if self._history else None
+
+    def observe(self, qos: Sequence[float]) -> DeviceDetection:
+        """Feed one QoS vector (one value per service); return the flag."""
+        values = tuple(float(v) for v in qos)
+        if len(values) != len(self._detectors):
+            raise DimensionMismatchError(
+                f"expected {len(self._detectors)} QoS values, got {len(values)}"
+            )
+        verdicts = tuple(
+            detector.update(value)
+            for detector, value in zip(self._detectors, values)
+        )
+        raised = sum(1 for v in verdicts if v.abnormal)
+        detection = DeviceDetection(
+            position=values,
+            per_service=verdicts,
+            abnormal=raised >= self._min_raise,
+        )
+        self._history.append(detection)
+        return detection
+
+    def trajectory(self) -> np.ndarray:
+        """Return the full observed trajectory as an ``(steps, d)`` array."""
+        return np.array([d.position for d in self._history], dtype=float)
+
+    def reset(self) -> None:
+        """Reset all per-service detectors and forget history."""
+        for detector in self._detectors:
+            detector.reset()
+        self._history.clear()
+
+
+def make_detector_bank(
+    factory: DetectorFactory, devices: int, services: int, **kwargs
+) -> Dict[int, DeviceMonitor]:
+    """Build one :class:`DeviceMonitor` per device id ``0..devices-1``."""
+    if devices < 1:
+        raise ConfigurationError(f"devices must be >= 1, got {devices!r}")
+    return {
+        j: DeviceMonitor(factory, services, **kwargs) for j in range(devices)
+    }

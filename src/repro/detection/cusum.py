@@ -1,0 +1,105 @@
+"""Two-sided CUSUM detector (Page 1954, the paper's reference [10]).
+
+The cumulative-sum scheme accumulates deviations from a reference level in
+both directions:
+
+    ``S+_k = max(0, S+_{k-1} + (x_k - mu - drift))``
+    ``S-_k = max(0, S-_{k-1} - (x_k - mu) - drift)``
+
+and raises when either statistic crosses ``threshold``.  CUSUM is the
+classical optimal detector for small persistent level shifts, which is
+exactly the "QoS degradation" the paper's devices watch for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["CusumDetector"]
+
+
+class CusumDetector(Detector):
+    """Page's two-sided CUSUM over a streaming QoS series.
+
+    Parameters
+    ----------
+    threshold:
+        Decision interval ``h``: raise when either one-sided statistic
+        exceeds it (in the same units as the samples).
+    drift:
+        Allowance ``nu`` subtracted from every deviation — half the
+        smallest shift worth detecting.  Larger drift ignores slow noise.
+    mu:
+        Reference level; when ``None`` (default) it is learnt as the mean
+        of the first ``warmup`` samples.
+    warmup:
+        Number of samples used to learn ``mu`` (when not provided) and
+        during which no alarm is raised.
+    reset_on_alarm:
+        When true (default), the statistics restart at zero after an
+        alarm, so a persistent shift produces periodic alarms rather than
+        one saturating alarm.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.15,
+        drift: float = 0.01,
+        *,
+        mu: Optional[float] = None,
+        warmup: int = 10,
+        reset_on_alarm: bool = True,
+    ) -> None:
+        super().__init__(warmup=warmup)
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold!r}")
+        if drift < 0:
+            raise ConfigurationError(f"drift must be >= 0, got {drift!r}")
+        self._threshold = threshold
+        self._drift = drift
+        self._mu_fixed = mu
+        self._mu: Optional[float] = mu
+        self._warmup_sum = 0.0
+        self._pos = 0.0
+        self._neg = 0.0
+        self._reset_on_alarm = reset_on_alarm
+
+    @property
+    def statistics(self) -> tuple:
+        """Current one-sided statistics ``(S+, S-)``."""
+        return (self._pos, self._neg)
+
+    def _update(self, value: float) -> Detection:
+        if not self.warmed_up:
+            self._warmup_sum += value
+            if self._mu_fixed is None and self._seen + 1 == self._warmup:
+                self._mu = self._warmup_sum / self._warmup
+            return Detection(abnormal=False)
+        if self._mu is None:
+            # warmup == 0 with no fixed mu: bootstrap on the first sample.
+            self._mu = value
+        deviation = value - self._mu
+        self._pos = max(0.0, self._pos + deviation - self._drift)
+        self._neg = max(0.0, self._neg - deviation - self._drift)
+        score = max(self._pos, self._neg) / self._threshold
+        abnormal = score > 1.0
+        detection = Detection(
+            abnormal=abnormal,
+            forecast=self._mu,
+            residual=deviation,
+            score=score,
+        )
+        if abnormal and self._reset_on_alarm:
+            self._pos = 0.0
+            self._neg = 0.0
+        return detection
+
+    def reset(self) -> None:
+        super().reset()
+        self._mu = self._mu_fixed
+        self._warmup_sum = 0.0
+        self._pos = 0.0
+        self._neg = 0.0

@@ -1,0 +1,82 @@
+"""EWMA control-chart detector.
+
+An exponentially weighted moving average tracks the series level; an
+exponentially weighted estimate of the residual variance provides control
+limits at ``nsigma`` standard deviations.  This is the standard streaming
+compromise between the naive threshold rule and full forecasting models:
+O(1) state, smooth adaptation, and a tunable false-positive rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["EwmaDetector"]
+
+
+class EwmaDetector(Detector):
+    """Flag samples outside ``mean ± nsigma * std`` of an EWMA tracker.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; larger adapts faster but forgives
+        slow drifts less.
+    nsigma:
+        Width of the control band in residual standard deviations.
+    min_std:
+        Variance floor, preventing a perfectly flat warm-up series from
+        flagging every subsequent measurement noise-level wiggle.
+    warmup:
+        Samples consumed before verdicts may be abnormal.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        nsigma: float = 4.0,
+        *,
+        min_std: float = 1e-3,
+        warmup: int = 8,
+    ) -> None:
+        super().__init__(warmup=warmup)
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must lie in (0, 1], got {alpha!r}")
+        if nsigma <= 0:
+            raise ConfigurationError(f"nsigma must be positive, got {nsigma!r}")
+        if min_std < 0:
+            raise ConfigurationError(f"min_std must be >= 0, got {min_std!r}")
+        self._alpha = alpha
+        self._nsigma = nsigma
+        self._min_std = min_std
+        self._mean: Optional[float] = None
+        self._var: float = 0.0
+
+    def _update(self, value: float) -> Detection:
+        if self._mean is None:
+            self._mean = value
+            return Detection(abnormal=False)
+        forecast = self._mean
+        residual = value - forecast
+        std = max(math.sqrt(self._var), self._min_std)
+        score = abs(residual) / std
+        abnormal = self.warmed_up and score > self._nsigma
+        # Abnormal samples do not update the tracker: a genuine level shift
+        # should keep flagging until an operator (or the characterization
+        # layer) reacts, instead of being silently absorbed.
+        if not abnormal:
+            alpha = self._alpha
+            self._mean = forecast + alpha * residual
+            self._var = (1 - alpha) * (self._var + alpha * residual * residual)
+        return Detection(
+            abnormal=abnormal, forecast=forecast, residual=residual, score=score
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._mean = None
+        self._var = 0.0

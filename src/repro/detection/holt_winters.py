@@ -1,0 +1,194 @@
+"""Holt–Winters forecasting detectors (the paper's references [6], [12]).
+
+Holt's double exponential smoothing tracks level and trend; the seasonal
+(triple) variant adds an additive seasonal component, useful for QoS
+series with daily usage cycles.  A sample is abnormal when it falls
+outside a confidence band around the one-step-ahead forecast, the band
+width being an EWMA of absolute residuals (the classic
+Brutlag-style deviation tracking).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["HoltWintersDetector", "SeasonalHoltWintersDetector"]
+
+
+class HoltWintersDetector(Detector):
+    """Holt's linear (level + trend) forecaster with deviation bands.
+
+    Parameters
+    ----------
+    alpha:
+        Level smoothing factor in ``(0, 1]``.
+    beta:
+        Trend smoothing factor in ``[0, 1]``.
+    gamma:
+        Deviation smoothing factor in ``(0, 1]``.
+    band:
+        Number of smoothed absolute deviations tolerated around the
+        forecast.
+    min_deviation:
+        Floor on the deviation estimate.
+    warmup:
+        Samples consumed before verdicts may be abnormal (>= 2 so level
+        and trend can initialize).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        gamma: float = 0.3,
+        *,
+        band: float = 4.0,
+        min_deviation: float = 5e-3,
+        warmup: int = 5,
+    ) -> None:
+        super().__init__(warmup=max(2, warmup))
+        for name, value, lo in (("alpha", alpha, 0.0), ("gamma", gamma, 0.0)):
+            if not lo < value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in (0, 1], got {value!r}")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must lie in [0, 1], got {beta!r}")
+        if band <= 0:
+            raise ConfigurationError(f"band must be positive, got {band!r}")
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._band = band
+        self._min_dev = min_deviation
+        self._level: Optional[float] = None
+        self._trend: float = 0.0
+        self._deviation: float = 0.0
+
+    def forecast_ahead(self, horizon: int = 1) -> Optional[float]:
+        """Return the ``horizon``-step-ahead forecast (None pre-warm-up)."""
+        if self._level is None:
+            return None
+        return self._level + horizon * self._trend
+
+    def _update(self, value: float) -> Detection:
+        if self._level is None:
+            self._level = value
+            return Detection(abnormal=False)
+        if self._seen == 1:
+            # Second sample initializes the trend.
+            self._trend = value - self._level
+        forecast = self._level + self._trend
+        residual = value - forecast
+        deviation = max(self._deviation, self._min_dev)
+        score = abs(residual) / (self._band * deviation) if deviation else 0.0
+        abnormal = self.warmed_up and abs(residual) > self._band * deviation
+        if not abnormal:
+            level_prev = self._level
+            self._level = self._alpha * value + (1 - self._alpha) * (
+                self._level + self._trend
+            )
+            self._trend = self._beta * (self._level - level_prev) + (
+                1 - self._beta
+            ) * self._trend
+            self._deviation = self._gamma * abs(residual) + (
+                1 - self._gamma
+            ) * self._deviation
+        return Detection(
+            abnormal=abnormal, forecast=forecast, residual=residual, score=score
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._level = None
+        self._trend = 0.0
+        self._deviation = 0.0
+
+
+class SeasonalHoltWintersDetector(Detector):
+    """Additive triple exponential smoothing (Winters' seasonal variant).
+
+    Maintains level, trend and a length-``period`` additive seasonal
+    profile.  The first ``period`` samples initialize the seasonal indices
+    (relative to their mean); alarms are suppressed until one full period
+    plus ``warmup`` extra samples have been seen.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        alpha: float = 0.4,
+        beta: float = 0.1,
+        gamma_season: float = 0.3,
+        *,
+        band: float = 4.0,
+        gamma_dev: float = 0.3,
+        min_deviation: float = 5e-3,
+        warmup: int = 3,
+    ) -> None:
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period!r}")
+        super().__init__(warmup=period + warmup)
+        for name, value in (("alpha", alpha), ("gamma_season", gamma_season)):
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in (0, 1], got {value!r}")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must lie in [0, 1], got {beta!r}")
+        self._period = period
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma_season = gamma_season
+        self._gamma_dev = gamma_dev
+        self._band = band
+        self._min_dev = min_deviation
+        self._history: List[float] = []
+        self._season: Optional[List[float]] = None
+        self._level: float = 0.0
+        self._trend: float = 0.0
+        self._deviation: float = 0.0
+
+    def _init_components(self) -> None:
+        history = self._history
+        mean = sum(history) / len(history)
+        self._season = [x - mean for x in history]
+        self._level = mean
+        self._trend = 0.0
+
+    def _update(self, value: float) -> Detection:
+        if self._season is None:
+            self._history.append(value)
+            if len(self._history) == self._period:
+                self._init_components()
+            return Detection(abnormal=False)
+        idx = self._seen % self._period
+        forecast = self._level + self._trend + self._season[idx]
+        residual = value - forecast
+        deviation = max(self._deviation, self._min_dev)
+        score = abs(residual) / (self._band * deviation) if deviation else 0.0
+        abnormal = self.warmed_up and abs(residual) > self._band * deviation
+        if not abnormal:
+            level_prev = self._level
+            self._level = self._alpha * (value - self._season[idx]) + (
+                1 - self._alpha
+            ) * (self._level + self._trend)
+            self._trend = self._beta * (self._level - level_prev) + (
+                1 - self._beta
+            ) * self._trend
+            self._season[idx] = self._gamma_season * (value - self._level) + (
+                1 - self._gamma_season
+            ) * self._season[idx]
+            self._deviation = self._gamma_dev * abs(residual) + (
+                1 - self._gamma_dev
+            ) * self._deviation
+        return Detection(
+            abnormal=abnormal, forecast=forecast, residual=residual, score=score
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = []
+        self._season = None
+        self._level = 0.0
+        self._trend = 0.0
+        self._deviation = 0.0

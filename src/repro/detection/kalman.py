@@ -1,0 +1,111 @@
+"""Scalar Kalman-filter detector (the paper's reference [7]).
+
+The [15]-style monitoring systems the paper discusses install Kalman
+filters at monitored nodes so the management node can predict metric
+values instead of receiving them.  We implement the one-dimensional
+local-level model
+
+    ``x_k = x_{k-1} + w,   w ~ N(0, q)``       (state / QoS level)
+    ``z_k = x_k + v,       v ~ N(0, rho)``     (measurement)
+
+whose filter reduces to two scalar recurrences.  A sample is abnormal when
+its normalized innovation ``|z - x̂| / sqrt(S)`` exceeds ``nsigma`` (the
+innovation test), with ``S`` the innovation variance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["KalmanDetector"]
+
+
+class KalmanDetector(Detector):
+    """Local-level Kalman filter with an innovation gate.
+
+    Parameters
+    ----------
+    process_var:
+        Process noise variance ``q`` — how fast the true QoS level is
+        allowed to wander per step.
+    measurement_var:
+        Measurement noise variance ``rho``.
+    nsigma:
+        Innovation gate width in standard deviations.
+    initial_var:
+        Prior state variance before the first observation.
+    warmup:
+        Samples consumed before verdicts may be abnormal.
+    gate_updates:
+        When true (default), gated (abnormal) samples do not update the
+        state, so a level shift keeps flagging rather than being tracked.
+    """
+
+    def __init__(
+        self,
+        process_var: float = 1e-4,
+        measurement_var: float = 1e-3,
+        nsigma: float = 4.0,
+        *,
+        initial_var: float = 1.0,
+        warmup: int = 5,
+        gate_updates: bool = True,
+    ) -> None:
+        super().__init__(warmup=warmup)
+        if process_var < 0 or measurement_var <= 0:
+            raise ConfigurationError(
+                "need process_var >= 0 and measurement_var > 0; got "
+                f"q={process_var!r}, rho={measurement_var!r}"
+            )
+        if nsigma <= 0:
+            raise ConfigurationError(f"nsigma must be positive, got {nsigma!r}")
+        self._q = process_var
+        self._rho = measurement_var
+        self._nsigma = nsigma
+        self._initial_var = initial_var
+        self._x: Optional[float] = None
+        self._p = initial_var
+        self._gate_updates = gate_updates
+
+    @property
+    def state(self) -> tuple:
+        """Current ``(estimate, variance)`` of the filtered level."""
+        return (self._x, self._p)
+
+    def _update(self, value: float) -> Detection:
+        if self._x is None:
+            # First observation initializes the state directly.
+            self._x = value
+            self._p = self._rho
+            return Detection(abnormal=False)
+        # Predict.
+        x_pred = self._x
+        p_pred = self._p + self._q
+        # Innovation test.
+        innovation = value - x_pred
+        s = p_pred + self._rho
+        score = abs(innovation) / math.sqrt(s)
+        abnormal = self.warmed_up and score > self._nsigma
+        if not (abnormal and self._gate_updates):
+            gain = p_pred / s
+            self._x = x_pred + gain * innovation
+            self._p = (1 - gain) * p_pred
+        else:
+            # Keep the prediction (time update only).
+            self._x = x_pred
+            self._p = p_pred
+        return Detection(
+            abnormal=abnormal,
+            forecast=x_pred,
+            residual=innovation,
+            score=score / self._nsigma,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._x = None
+        self._p = self._initial_var

@@ -1,0 +1,69 @@
+"""Shewhart control chart over a sliding window.
+
+The classical X-chart: a sample is abnormal when it departs from the mean
+of a recent window by more than ``nsigma`` window standard deviations.
+Less sensitive to small persistent shifts than CUSUM but robust and
+assumption-light; included as the standard baseline control chart.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["ShewhartDetector"]
+
+
+class ShewhartDetector(Detector):
+    """Windowed X-chart detector.
+
+    Parameters
+    ----------
+    window:
+        Number of recent *normal* samples the chart statistics are
+        computed over.
+    nsigma:
+        Control band width in window standard deviations.
+    min_std:
+        Variance floor (flat windows would otherwise flag everything).
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        nsigma: float = 3.5,
+        *,
+        min_std: float = 1e-3,
+        warmup: int = 5,
+    ) -> None:
+        super().__init__(warmup=warmup)
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window!r}")
+        if nsigma <= 0:
+            raise ConfigurationError(f"nsigma must be positive, got {nsigma!r}")
+        self._window: collections.deque = collections.deque(maxlen=window)
+        self._nsigma = nsigma
+        self._min_std = min_std
+
+    def _update(self, value: float) -> Detection:
+        if len(self._window) < 2:
+            self._window.append(value)
+            return Detection(abnormal=False)
+        mean = sum(self._window) / len(self._window)
+        var = sum((x - mean) ** 2 for x in self._window) / len(self._window)
+        std = max(math.sqrt(var), self._min_std)
+        residual = value - mean
+        score = abs(residual) / std
+        abnormal = self.warmed_up and score > self._nsigma
+        if not abnormal:
+            self._window.append(value)
+        return Detection(
+            abnormal=abnormal, forecast=mean, residual=residual, score=score
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._window.clear()

@@ -1,0 +1,88 @@
+"""Simple threshold detectors ("simple threshold based functions", §III-A)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.detection.base import Detection, Detector
+
+__all__ = ["StepThresholdDetector", "BandThresholdDetector"]
+
+
+class StepThresholdDetector(Detector):
+    """Flag a sample when it jumps more than ``max_step`` from the last one.
+
+    The crudest ``a_k(j)``: the forecast is simply the previous sample, and
+    an abnormal trajectory is a step larger than ``max_step``.  This is the
+    detector the Section VII simulator effectively assumes (impacted
+    devices are relocated uniformly, i.e. by a macroscopic step).
+    """
+
+    def __init__(self, max_step: float, *, warmup: int = 1) -> None:
+        super().__init__(warmup=warmup)
+        if not 0.0 < max_step <= 1.0:
+            raise ConfigurationError(
+                f"max_step must lie in (0, 1], got {max_step!r}"
+            )
+        self._max_step = max_step
+        self._last: Optional[float] = None
+
+    @property
+    def max_step(self) -> float:
+        """Largest step considered normal."""
+        return self._max_step
+
+    def _update(self, value: float) -> Detection:
+        last = self._last
+        self._last = value
+        if last is None or not self.warmed_up:
+            return Detection(abnormal=False, forecast=None, residual=None)
+        residual = value - last
+        score = abs(residual) / self._max_step
+        return Detection(
+            abnormal=abs(residual) > self._max_step,
+            forecast=last,
+            residual=residual,
+            score=score,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._last = None
+
+
+class BandThresholdDetector(Detector):
+    """Flag a sample that leaves a fixed acceptable band ``[low, high]``.
+
+    Models SLA-style monitoring: the provider declares a quality floor
+    (e.g. "QoS must stay above 0.8") and any excursion is abnormal,
+    regardless of the trajectory that led there.
+    """
+
+    def __init__(self, low: float, high: float = 1.0, *, warmup: int = 0) -> None:
+        super().__init__(warmup=warmup)
+        if not 0.0 <= low < high <= 1.0:
+            raise ConfigurationError(
+                f"band must satisfy 0 <= low < high <= 1, got [{low}, {high}]"
+            )
+        self._low = low
+        self._high = high
+
+    @property
+    def band(self) -> tuple:
+        """The acceptable band ``(low, high)``."""
+        return (self._low, self._high)
+
+    def _update(self, value: float) -> Detection:
+        if not self.warmed_up:
+            return Detection(abnormal=False)
+        center = (self._low + self._high) / 2.0
+        half = (self._high - self._low) / 2.0
+        score = abs(value - center) / half if half else 0.0
+        return Detection(
+            abnormal=value < self._low or value > self._high,
+            forecast=center,
+            residual=value - center,
+            score=score,
+        )

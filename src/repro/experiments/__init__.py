@@ -1,0 +1,45 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every module exposes ``run(...) -> ExperimentResult`` (scale-tunable) and
+a ``main()`` printing the rendered artifact, so
+
+    python -m repro.experiments.table2
+    python -m repro.experiments.figure7
+
+regenerate the paper's results from the command line.  The benchmark
+suite under ``benchmarks/`` calls the same ``run`` functions at reduced
+scale and asserts the published *shape*.
+"""
+
+from repro.experiments import (
+    ablation_locality,
+    ablation_malicious,
+    ablation_sampling,
+    ablation_tessellation,
+    ablation_theorem7,
+    figure6a,
+    figure6b,
+    figure7,
+    figure8,
+    figure9,
+    table2,
+    table3,
+)
+from repro.experiments.runner import simulate_and_accumulate, sweep
+
+__all__ = [
+    "ablation_locality",
+    "ablation_malicious",
+    "ablation_sampling",
+    "ablation_tessellation",
+    "ablation_theorem7",
+    "figure6a",
+    "figure6b",
+    "figure7",
+    "figure8",
+    "figure9",
+    "simulate_and_accumulate",
+    "sweep",
+    "table2",
+    "table3",
+]

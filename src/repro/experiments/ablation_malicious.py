@@ -1,0 +1,118 @@
+"""Ablation A5: collusion attacks and the f-tolerant defense (§VIII).
+
+Mounts the mimicry (suppression) attack of :mod:`repro.robust.attacks`
+against isolated devices of simulated intervals and compares three
+monitors:
+
+* the **naive** characterizer — how often the attack silently flips an
+  isolated victim to massive (suppressing its ISP report);
+* the **robust** characterizer with the correct collusion bound ``f`` —
+  suppression must drop to zero (victims become SUSPECT, never MASSIVE);
+* the robust characterizer's **collateral cost** — genuinely massive
+  devices that can no longer be certified (degraded to SUSPECT).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.characterize import Characterizer
+from repro.core.types import AnomalyType
+from repro.io.records import ExperimentResult
+from repro.io.render import render_table
+from repro.robust import MimicryAttack, RobustCharacterizer, RobustLabel
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulator
+
+__all__ = ["run", "main"]
+
+
+def run(
+    *,
+    forged_counts: Sequence[int] = (3, 5),
+    steps: int = 2,
+    seeds: Sequence[int] = (0, 1),
+    errors_per_step: int = 15,
+    isolated_probability: float = 0.5,
+    n: int = 600,
+    r: float = 0.03,
+    tau: int = 3,
+) -> ExperimentResult:
+    """Measure suppression success vs the f-tolerant defense."""
+    result = ExperimentResult(
+        experiment_id="ablation-malicious",
+        title="Mimicry suppression vs f-tolerant characterization (A5)",
+        parameters={
+            "n": n,
+            "r": r,
+            "tau": tau,
+            "A": errors_per_step,
+            "G": isolated_probability,
+            "forged_counts": list(forged_counts),
+            "steps": steps,
+            "seeds": list(seeds),
+        },
+    )
+    config = SimulationConfig(
+        n=n,
+        r=r,
+        tau=tau,
+        errors_per_step=errors_per_step,
+        isolated_probability=isolated_probability,
+    )
+    for forged in forged_counts:
+        victims = 0
+        naive_suppressed = 0
+        robust_suppressed = 0
+        robust_suspect = 0
+        massive_total = 0
+        massive_certified = 0
+        for seed in seeds:
+            simulator = Simulator(config.with_overrides(seed=seed))
+            for step in simulator.run(steps):
+                transition = step.transition
+                honest = Characterizer(transition).characterize_all()
+                isolated_devices = [
+                    d for d, v in honest.items() if v.anomaly_type is AnomalyType.ISOLATED
+                ]
+                if not isolated_devices:
+                    continue
+                victim = isolated_devices[0]
+                victims += 1
+                attack = MimicryAttack(forged_count=forged, seed=seed)
+                outcome = attack.mount(transition, victim=victim)
+                naive = Characterizer(outcome.transition).characterize(victim)
+                if naive.anomaly_type is AnomalyType.MASSIVE:
+                    naive_suppressed += 1
+                robust = RobustCharacterizer(outcome.transition, f=forged)
+                verdict = robust.characterize(victim)
+                if verdict.label is RobustLabel.MASSIVE:
+                    robust_suppressed += 1
+                elif verdict.label is RobustLabel.SUSPECT:
+                    robust_suspect += 1
+                # Collateral: how many honest massive devices survive the
+                # hardened threshold on the *attacked* transition.
+                for device, base in honest.items():
+                    if base.anomaly_type is AnomalyType.MASSIVE:
+                        massive_total += 1
+                        if robust.characterize(device).label is RobustLabel.MASSIVE:
+                            massive_certified += 1
+        result.add_row(
+            forged=forged,
+            victims_attacked=victims,
+            naive_suppression_percent=100.0 * naive_suppressed / victims if victims else 0.0,
+            robust_suppression_percent=100.0 * robust_suppressed / victims if victims else 0.0,
+            robust_suspect_percent=100.0 * robust_suspect / victims if victims else 0.0,
+            massive_certified_percent=100.0 * massive_certified / massive_total
+            if massive_total
+            else 0.0,
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,61 @@
+"""Figure 6(a): CDF of the vicinity size ``P{N_r(j) <= m}``.
+
+Closed-form binomial curves for ``n = 1000`` and
+``r in {0.1, 0.05, 0.033, 0.025, 0.02}``, over vicinity sizes
+``m = 0..200`` — the plot the paper uses to argue that ``r = 0.03`` keeps
+neighbourhoods logarithmic in the population size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.dimensioning import expected_vicinity_size, vicinity_size_cdf
+from repro.io.records import ExperimentResult
+from repro.io.render import render_series, render_table
+
+__all__ = ["run", "main"]
+
+PAPER_RADII = (0.1, 0.05, 0.033, 0.025, 0.02)
+
+
+def run(
+    n: int = 1000,
+    radii: Sequence[float] = PAPER_RADII,
+    m_max: int = 200,
+    m_step: int = 5,
+    dim: int = 2,
+) -> ExperimentResult:
+    """Compute the Figure 6(a) curves."""
+    result = ExperimentResult(
+        experiment_id="figure6a",
+        title="P{N_r(j) <= m} as a function of m (Fig. 6a)",
+        parameters={"n": n, "radii": list(radii), "dim": dim},
+    )
+    ms = list(range(0, m_max + 1, m_step))
+    for r in radii:
+        cdf = vicinity_size_cdf(n, r, ms, dim)
+        expected = expected_vicinity_size(n, r, dim)
+        for m, p in zip(ms, cdf):
+            result.add_row(r=r, m=m, cdf=float(p), expected_vicinity=expected)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(render_series(result, x="m", y="cdf", group="r"))
+    print()
+    compact = ExperimentResult(
+        experiment_id=result.experiment_id,
+        title="Expected vicinity size per radius",
+    )
+    seen = set()
+    for row in result.rows:
+        if row["r"] not in seen:
+            seen.add(row["r"])
+            compact.add_row(r=row["r"], expected_vicinity=row["expected_vicinity"])
+    print(render_table(compact))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

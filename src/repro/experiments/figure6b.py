@@ -1,0 +1,51 @@
+"""Figure 6(b): ``P{F_r(j) <= tau}`` as a function of the system size.
+
+Closed-form curves for ``r = 0.03``, ``b = 0.005``,
+``tau in {2, 3, 4, 5}`` and ``n`` up to 15000 — the plot backing the
+choice ``tau = 3`` ("the probability of more than tau independent errors
+impacting close devices is negligible").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.dimensioning import isolated_containment_probability
+from repro.io.records import ExperimentResult
+from repro.io.render import render_series
+
+__all__ = ["run", "main"]
+
+PAPER_TAUS = (2, 3, 4, 5)
+
+
+def run(
+    r: float = 0.03,
+    b: float = 0.005,
+    taus: Sequence[int] = PAPER_TAUS,
+    n_max: int = 15000,
+    n_step: int = 500,
+    dim: int = 2,
+) -> ExperimentResult:
+    """Compute the Figure 6(b) curves."""
+    result = ExperimentResult(
+        experiment_id="figure6b",
+        title="P{F_r(j) <= tau} as a function of n (Fig. 6b)",
+        parameters={"r": r, "b": b, "taus": list(taus), "dim": dim},
+    )
+    for tau in taus:
+        for n in range(n_step, n_max + 1, n_step):
+            result.add_row(
+                tau=tau,
+                n=n,
+                containment=isolated_containment_probability(n, r, tau, b, dim),
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_series(run(), x="n", y="containment", group="tau"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

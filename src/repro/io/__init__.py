@@ -1,0 +1,28 @@
+"""Result records, text rendering and trace (de)serialization."""
+
+from repro.io.records import ExperimentResult
+from repro.io.synthetic import (
+    Incident,
+    ReplayResult,
+    TraceConfig,
+    generate_trace,
+    replay_trace,
+)
+from repro.io.render import format_cell, render_series, render_table
+from repro.io.traces import TraceStep, read_trace, trace_to_arrays, write_trace
+
+__all__ = [
+    "ExperimentResult",
+    "Incident",
+    "ReplayResult",
+    "TraceConfig",
+    "generate_trace",
+    "replay_trace",
+    "TraceStep",
+    "format_cell",
+    "read_trace",
+    "render_series",
+    "render_table",
+    "trace_to_arrays",
+    "write_trace",
+]

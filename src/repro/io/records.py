@@ -1,0 +1,100 @@
+"""Experiment result records.
+
+Every experiment produces an :class:`ExperimentResult`: a named collection
+of rows (plain dicts) plus the parameters that generated them.  Keeping
+results as data — rather than printing inside the experiment — lets the
+benchmark harness, EXPERIMENTS.md generation and tests all consume the
+same object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.errors import TraceFormatError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + provenance for one table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper anchor, e.g. ``"table2"`` or ``"figure7"``.
+    title:
+        Human-readable description.
+    parameters:
+        The sweep/settings that generated the rows.
+    columns:
+        Ordered column names.
+    rows:
+        One dict per row; keys must be a subset of ``columns``.
+    """
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row, growing ``columns`` for any new keys."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column as a list (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "parameters": self.parameters,
+                "columns": self.columns,
+                "rows": self.rows,
+            },
+            indent=2,
+            sort_keys=False,
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse a document produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                parameters=payload.get("parameters", {}),
+                columns=list(payload.get("columns", [])),
+                rows=list(payload.get("rows", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed experiment result: {exc}") from exc
+
+    def to_csv(self) -> str:
+        """Render as CSV (header + rows, cells stringified)."""
+        def cell(value: Any) -> str:
+            text = "" if value is None else str(value)
+            if any(c in text for c in ",\"\n"):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(cell(row.get(col)) for col in self.columns))
+        return "\n".join(lines) + "\n"

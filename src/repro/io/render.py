@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The environment is headless, so figures are rendered as aligned ASCII
+tables and simple unicode line charts — enough to eyeball whether a
+series has the paper's shape (who wins, where it bends) straight from a
+terminal or EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.io.records import ExperimentResult
+
+__all__ = ["render_table", "render_series", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Format one cell: floats get 4 significant digits, rest str()."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned ASCII table."""
+    columns = result.columns
+    grid = [[format_cell(row.get(col)) for col in columns] for row in result.rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in grid)) if grid else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"# {result.title} ({result.experiment_id})",
+        " | ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        sep,
+    ]
+    for line in grid:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    result: ExperimentResult,
+    x: str,
+    y: str,
+    group: Optional[str] = None,
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render an x/y sweep as a crude unicode scatter chart.
+
+    ``group`` selects a column whose distinct values become separate
+    glyph series (like the G-curves of Figures 7–9).
+    """
+    glyphs = "ox+*#@%&"
+    points: Dict[Any, List] = {}
+    for row in result.rows:
+        if row.get(x) is None or row.get(y) is None:
+            continue
+        key = row.get(group) if group else ""
+        points.setdefault(key, []).append((float(row[x]), float(row[y])))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for series in points.values() for p in series]
+    ys = [p[1] for series in points.values() for p in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (key, series) in enumerate(sorted(points.items(), key=lambda kv: str(kv[0]))):
+        glyph = glyphs[idx % len(glyphs)]
+        legend.append(f"{glyph} = {group}={key}" if group else f"{glyph} = {y}")
+        for px, py in series:
+            col = int((px - x_lo) / x_span * (width - 1))
+            row_i = height - 1 - int((py - y_lo) / y_span * (height - 1))
+            canvas[row_i][col] = glyph
+    lines = [f"# {result.title} — {y} vs {x}"]
+    lines.append(f"{y} in [{y_lo:.4g}, {y_hi:.4g}]")
+    lines.extend("|" + "".join(row) + "|" for row in canvas)
+    lines.append(f"{x} in [{x_lo:.4g}, {x_hi:.4g}]")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""QoS trace (de)serialization.
+
+A *trace* is the raw material of the monitoring pipeline: per step, per
+device, per service QoS samples.  The JSON-lines format here lets users
+replay recorded traces through the detectors and characterizer — the
+"public/synthetic traces" substitution DESIGN.md documents for the
+paper's proprietary gateway data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import TraceFormatError
+
+__all__ = ["TraceStep", "write_trace", "read_trace", "trace_to_arrays"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One snapshot: step index and the ``(n, d)`` QoS matrix."""
+
+    step: int
+    qos: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.qos, dtype=float)
+        if arr.ndim != 2:
+            raise TraceFormatError("qos must be an (n, d) matrix")
+        object.__setattr__(self, "qos", arr)
+
+
+def write_trace(steps: Iterable[TraceStep]) -> str:
+    """Serialize snapshots as JSON lines (one step per line)."""
+    lines = []
+    for step in steps:
+        lines.append(
+            json.dumps({"step": step.step, "qos": step.qos.tolist()})
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_trace(text: str) -> List[TraceStep]:
+    """Parse a JSON-lines trace, validating shape consistency."""
+    steps: List[TraceStep] = []
+    shape = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            step = TraceStep(step=int(payload["step"]), qos=np.array(payload["qos"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+        if shape is None:
+            shape = step.qos.shape
+        elif step.qos.shape != shape:
+            raise TraceFormatError(
+                f"line {lineno}: shape {step.qos.shape} != first step's {shape}"
+            )
+        steps.append(step)
+    return steps
+
+
+def trace_to_arrays(steps: Sequence[TraceStep]) -> np.ndarray:
+    """Stack a trace into a ``(steps, n, d)`` array."""
+    if not steps:
+        raise TraceFormatError("empty trace")
+    return np.stack([s.qos for s in steps])

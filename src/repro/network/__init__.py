@@ -1,0 +1,35 @@
+"""Synthetic ISP/OTT network substrate (the paper's motivating deployment).
+
+Build an :class:`~repro.network.topology.IspTopology`, attach a
+:class:`~repro.network.monitor.NetworkMonitor`, inject
+:class:`~repro.network.faults.NetworkFault` / \
+:class:`~repro.network.faults.GatewayFault` events, and watch gateways
+self-classify their QoS degradations as isolated or massive — reporting
+to the operator only what the chosen policy deems actionable.
+"""
+
+from repro.network.faults import FaultInjector, GatewayFault, NetworkFault
+from repro.network.monitor import (
+    NetworkMonitor,
+    Report,
+    ReportingPolicy,
+    TickResult,
+)
+from repro.network.services import Service, ServiceCatalog, default_catalog
+from repro.network.topology import IspTopology, NodeKind, TopologyConfig
+
+__all__ = [
+    "FaultInjector",
+    "GatewayFault",
+    "IspTopology",
+    "NetworkFault",
+    "NetworkMonitor",
+    "NodeKind",
+    "Report",
+    "ReportingPolicy",
+    "Service",
+    "ServiceCatalog",
+    "TickResult",
+    "TopologyConfig",
+    "default_catalog",
+]

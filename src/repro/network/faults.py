@@ -1,0 +1,127 @@
+"""Fault injection into the ISP topology.
+
+Two fault classes mirror the paper's dichotomy:
+
+* :class:`NetworkFault` — degrades a router/access node, impacting every
+  gateway routed through it (massive anomaly ground truth);
+* :class:`GatewayFault` — degrades a single gateway's own equipment
+  (isolated anomaly ground truth).
+
+:class:`FaultInjector` owns the active fault set, applies health changes
+at the start of each tick and expires faults after their duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.errors import ConfigurationError, UnknownDeviceError
+from repro.network.topology import IspTopology, NodeKind
+
+__all__ = ["NetworkFault", "GatewayFault", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """Degradation of a non-leaf equipment.
+
+    ``severity`` is the health *loss*: health becomes ``1 - severity``.
+    ``duration`` counts ticks; ``None`` means until explicitly cleared.
+    """
+
+    node: str
+    severity: float
+    duration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.severity <= 1.0:
+            raise ConfigurationError(
+                f"severity must lie in (0, 1], got {self.severity!r}"
+            )
+        if self.duration is not None and self.duration < 1:
+            raise ConfigurationError(
+                f"duration must be >= 1 or None, got {self.duration!r}"
+            )
+
+
+@dataclass(frozen=True)
+class GatewayFault:
+    """Degradation of one gateway's own hardware or software."""
+
+    device_id: int
+    severity: float
+    duration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.severity <= 1.0:
+            raise ConfigurationError(
+                f"severity must lie in (0, 1], got {self.severity!r}"
+            )
+        if self.duration is not None and self.duration < 1:
+            raise ConfigurationError(
+                f"duration must be >= 1 or None, got {self.duration!r}"
+            )
+
+
+@dataclass
+class _ActiveFault:
+    node: str
+    severity: float
+    remaining: Optional[int]
+
+
+class FaultInjector:
+    """Schedules faults and keeps topology health in sync per tick."""
+
+    def __init__(self, topology: IspTopology) -> None:
+        self._topology = topology
+        self._active: List[_ActiveFault] = []
+
+    @property
+    def active_nodes(self) -> Set[str]:
+        """Nodes currently affected by at least one fault."""
+        return {fault.node for fault in self._active}
+
+    def inject(self, fault) -> None:
+        """Schedule a :class:`NetworkFault` or :class:`GatewayFault`."""
+        if isinstance(fault, NetworkFault):
+            node = fault.node
+            if node not in self._topology.graph:
+                raise UnknownDeviceError(f"unknown node {node!r}")
+            if self._topology.kind(node) is NodeKind.GATEWAY:
+                raise ConfigurationError(
+                    "NetworkFault targets infrastructure; use GatewayFault "
+                    f"for {node!r}"
+                )
+        elif isinstance(fault, GatewayFault):
+            node = self._topology.gateway_name(fault.device_id)
+        else:
+            raise ConfigurationError(f"unsupported fault type {type(fault)!r}")
+        self._active.append(
+            _ActiveFault(node=node, severity=fault.severity, remaining=fault.duration)
+        )
+
+    def clear(self, node: str) -> None:
+        """Remove every fault affecting a node."""
+        self._active = [fault for fault in self._active if fault.node != node]
+
+    def tick(self) -> None:
+        """Apply active faults to topology health and age them one tick.
+
+        Multiple faults on one node compose multiplicatively (two
+        half-degradations leave 25% health), matching how independent
+        impairments stack on a real path.
+        """
+        self._topology.reset_health()
+        for fault in self._active:
+            current = self._topology.health(fault.node)
+            self._topology.set_health(fault.node, current * (1.0 - fault.severity))
+        for fault in self._active:
+            if fault.remaining is not None:
+                fault.remaining -= 1
+        self._active = [
+            fault
+            for fault in self._active
+            if fault.remaining is None or fault.remaining > 0
+        ]

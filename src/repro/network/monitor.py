@@ -1,0 +1,203 @@
+"""End-to-end monitoring pipeline over the ISP substrate.
+
+Ties every layer of the reproduction together, per tick:
+
+1. :class:`~repro.network.faults.FaultInjector` updates equipment health;
+2. each gateway *measures* the end-to-end QoS of its services (path
+   health x nominal quality, plus measurement noise);
+3. each gateway's :class:`~repro.detection.composite.DeviceMonitor` flags
+   abnormal variations (``a_k(j)``);
+4. the last two QoS snapshots plus the flagged set form a
+   :class:`~repro.core.transition.Transition`, characterized locally;
+5. a *reporting policy* turns verdicts into operator notifications:
+   ISP mode reports isolated anomalies only (gateways self-diagnose their
+   own faults; massive events would flood the call center), OTT mode
+   reports massive anomalies only (the over-the-top operator wants
+   network-level events).
+
+This is exactly the deployment story of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import AnomalyType, Characterization
+from repro.detection.base import Detector
+from repro.detection.composite import DeviceMonitor
+from repro.detection.threshold import StepThresholdDetector
+from repro.network.faults import FaultInjector
+from repro.network.services import ServiceCatalog, default_catalog
+from repro.network.topology import IspTopology
+
+__all__ = ["ReportingPolicy", "Report", "TickResult", "NetworkMonitor"]
+
+
+class ReportingPolicy(enum.Enum):
+    """Who gets notified about what."""
+
+    ISP = "isp"    # report isolated anomalies (local equipment faults)
+    OTT = "ott"    # report massive anomalies (network-level events)
+    ALL = "all"    # report everything (debugging / call-center baseline)
+
+    def should_report(self, anomaly_type: AnomalyType) -> bool:
+        """Whether a verdict of this type is worth an operator report."""
+        if self is ReportingPolicy.ALL:
+            return True
+        if self is ReportingPolicy.ISP:
+            return anomaly_type is AnomalyType.ISOLATED
+        return anomaly_type is AnomalyType.MASSIVE
+
+
+@dataclass(frozen=True)
+class Report:
+    """One operator notification emitted by a gateway."""
+
+    tick: int
+    device_id: int
+    gateway: str
+    anomaly_type: AnomalyType
+    position: tuple
+
+
+@dataclass
+class TickResult:
+    """Everything observable about one monitoring tick."""
+
+    tick: int
+    qos: np.ndarray                       # (n, d) measured QoS
+    flagged: List[int]                    # devices with a_k(j) = true
+    transition: Optional[Transition]      # None on the first tick
+    verdicts: Dict[int, Characterization] = field(default_factory=dict)
+    reports: List[Report] = field(default_factory=list)
+
+
+class NetworkMonitor:
+    """Drives the measure → detect → characterize → report loop.
+
+    Parameters
+    ----------
+    topology:
+        The access network.
+    catalog:
+        Services to monitor; defaults to a two-service catalog.
+    detector_factory:
+        Builds the per-service scalar detector each gateway runs;
+        defaults to a step-threshold detector with ``max_step = 4 r``
+        (a relocation in the QoS space is macroscopic by construction).
+    policy:
+        Reporting policy (ISP / OTT / ALL).
+    r, tau:
+        Characterization parameters.
+    noise_sigma:
+        Gaussian measurement noise on every QoS sample.
+    seed:
+        RNG seed for measurement noise.
+    """
+
+    def __init__(
+        self,
+        topology: IspTopology,
+        catalog: Optional[ServiceCatalog] = None,
+        *,
+        detector_factory: Optional[Callable[[], Detector]] = None,
+        policy: ReportingPolicy = ReportingPolicy.ISP,
+        r: float = 0.03,
+        tau: int = 3,
+        noise_sigma: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ConfigurationError(f"noise_sigma must be >= 0, got {noise_sigma!r}")
+        self._topology = topology
+        self._catalog = catalog or default_catalog(topology)
+        self._injector = FaultInjector(topology)
+        factory = detector_factory or (
+            lambda: StepThresholdDetector(max_step=min(4.0 * r, 1.0))
+        )
+        self._monitors: Dict[int, DeviceMonitor] = {
+            device_id: DeviceMonitor(factory, self._catalog.dim)
+            for device_id in range(topology.n_gateways)
+        }
+        self._policy = policy
+        self._r = r
+        self._tau = tau
+        self._noise = noise_sigma
+        self._rng = np.random.default_rng(seed)
+        self._tick = 0
+        self._previous_qos: Optional[np.ndarray] = None
+
+    @property
+    def injector(self) -> FaultInjector:
+        """The fault scheduler (inject faults through this)."""
+        return self._injector
+
+    @property
+    def catalog(self) -> ServiceCatalog:
+        """The monitored services."""
+        return self._catalog
+
+    @property
+    def policy(self) -> ReportingPolicy:
+        """Current reporting policy."""
+        return self._policy
+
+    @property
+    def current_tick(self) -> int:
+        """Number of completed ticks."""
+        return self._tick
+
+    def _measure_all(self) -> np.ndarray:
+        """Measure the QoS of every service at every gateway."""
+        n = self._topology.n_gateways
+        qos = np.empty((n, self._catalog.dim), dtype=float)
+        for device_id in range(n):
+            gateway = self._topology.gateway_name(device_id)
+            qos[device_id] = self._catalog.qos_vector(self._topology, gateway)
+        if self._noise:
+            qos += self._rng.normal(0.0, self._noise, qos.shape)
+        return np.clip(qos, 0.0, 1.0)
+
+    def tick(self) -> TickResult:
+        """Run one monitoring interval."""
+        self._tick += 1
+        self._injector.tick()
+        qos = self._measure_all()
+        flagged: List[int] = []
+        for device_id, monitor in self._monitors.items():
+            detection = monitor.observe(qos[device_id])
+            if detection.abnormal:
+                flagged.append(device_id)
+        result = TickResult(tick=self._tick, qos=qos, flagged=flagged, transition=None)
+        previous = self._previous_qos
+        self._previous_qos = qos
+        if previous is None or not flagged:
+            return result
+        transition = Transition(
+            Snapshot(previous), Snapshot(qos), flagged, self._r, self._tau
+        )
+        result.transition = transition
+        result.verdicts = Characterizer(transition).characterize_all()
+        for device_id, verdict in result.verdicts.items():
+            if self._policy.should_report(verdict.anomaly_type):
+                result.reports.append(
+                    Report(
+                        tick=self._tick,
+                        device_id=device_id,
+                        gateway=self._topology.gateway_name(device_id),
+                        anomaly_type=verdict.anomaly_type,
+                        position=tuple(float(x) for x in qos[device_id]),
+                    )
+                )
+        return result
+
+    def run(self, ticks: int) -> List[TickResult]:
+        """Run several intervals and collect the results."""
+        return [self.tick() for _ in range(ticks)]

@@ -1,0 +1,93 @@
+"""Services consumed by gateways (the ``d`` QoS dimensions).
+
+Each gateway continuously consumes ``d`` services (IPTV, VoIP, web, ...),
+every one hosted on a content server of the topology.  A service's QoS at
+a gateway is its nominal quality attenuated by the multiplicative health
+of the route — the "chain of equipments and network links from the
+providers of consumed services to the monitored devices" of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.network.topology import IspTopology
+
+__all__ = ["Service", "ServiceCatalog", "default_catalog"]
+
+
+@dataclass(frozen=True)
+class Service:
+    """One service: a name, its hosting server and its nominal quality."""
+
+    index: int
+    name: str
+    server: str
+    base_qos: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_qos <= 1.0:
+            raise ConfigurationError(
+                f"base_qos must lie in (0, 1], got {self.base_qos!r}"
+            )
+
+
+class ServiceCatalog:
+    """The ordered set of services defining the QoS space dimensions."""
+
+    def __init__(self, services: Sequence[Service]) -> None:
+        if not services:
+            raise ConfigurationError("a catalog needs at least one service")
+        for i, service in enumerate(services):
+            if service.index != i:
+                raise ConfigurationError(
+                    f"service {service.name!r} has index {service.index}, "
+                    f"expected {i} (catalog order defines QoS dimensions)"
+                )
+        self._services = list(services)
+
+    @property
+    def dim(self) -> int:
+        """Number of services, i.e. the QoS space dimension ``d``."""
+        return len(self._services)
+
+    def __iter__(self):
+        return iter(self._services)
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __getitem__(self, index: int) -> Service:
+        return self._services[index]
+
+    def qos_vector(self, topology: IspTopology, gateway: str) -> List[float]:
+        """Noise-free QoS of every service at one gateway."""
+        return [
+            service.base_qos * topology.path_health(gateway, service.server)
+            for service in self._services
+        ]
+
+
+def default_catalog(topology: IspTopology, dim: int = 2) -> ServiceCatalog:
+    """Build ``dim`` services spread round-robin over the servers.
+
+    Two services (the paper's ``d = 2``) hosted on distinct servers give
+    network faults direction in the QoS space: a core fault near server 0
+    moves gateways along dimension 0, etc.
+    """
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim!r}")
+    names = ["iptv", "voip", "web", "gaming", "backup", "telemetry"]
+    servers = topology.servers
+    services = [
+        Service(
+            index=i,
+            name=names[i % len(names)] + (f"-{i}" if i >= len(names) else ""),
+            server=servers[i % len(servers)],
+            base_qos=0.95,
+        )
+        for i in range(dim)
+    ]
+    return ServiceCatalog(services)

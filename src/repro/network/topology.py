@@ -1,0 +1,220 @@
+"""Synthetic hierarchical ISP topology.
+
+The paper motivates its algorithm with Internet service providers
+operating millions of home gateways.  We model the standard access-network
+shape:
+
+    content servers — core ring — aggregation routers — access nodes
+    (DSLAMs) — home gateways
+
+as a networkx graph whose nodes carry a ``kind`` attribute and a ``health``
+in ``[0, 1]`` (1 = nominal).  A network-level fault degrades the health of
+a router or access node and therefore every gateway whose service path
+crosses it — the "massive anomaly" of the paper — while a gateway fault
+degrades a single leaf — the "isolated anomaly".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.errors import ConfigurationError, UnknownDeviceError
+
+__all__ = ["NodeKind", "TopologyConfig", "IspTopology"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the access network."""
+
+    SERVER = "server"
+    CORE = "core"
+    AGGREGATION = "aggregation"
+    ACCESS = "access"
+    GATEWAY = "gateway"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the synthetic ISP tree.
+
+    Defaults give ``4 * 3 * 4 * 20 = 960`` gateways — the scale of the
+    paper's ``n = 1000`` simulations — behind 48 access nodes.
+    """
+
+    cores: int = 4
+    aggregations_per_core: int = 3
+    access_per_aggregation: int = 4
+    gateways_per_access: int = 20
+    servers: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cores",
+            "aggregations_per_core",
+            "access_per_aggregation",
+            "gateways_per_access",
+            "servers",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    @property
+    def total_gateways(self) -> int:
+        """Number of leaf gateways the config produces."""
+        return (
+            self.cores
+            * self.aggregations_per_core
+            * self.access_per_aggregation
+            * self.gateways_per_access
+        )
+
+
+class IspTopology:
+    """The access network: construction, health state and routing.
+
+    Node names are structured strings (``core-0``, ``agg-0-1``,
+    ``acc-0-1-2``, ``gw-0-1-2-3``, ``srv-0``) so tests and examples can
+    address equipment precisely.  Gateways are additionally numbered
+    ``0..n-1`` (attribute ``device_id``) to line up with the
+    characterization layer's device ids.
+    """
+
+    def __init__(self, config: Optional[TopologyConfig] = None) -> None:
+        self._config = config or TopologyConfig()
+        self._graph = nx.Graph()
+        self._gateways: List[str] = []
+        self._servers: List[str] = []
+        self._build()
+        self._paths: Dict[Tuple[str, str], List[str]] = {}
+
+    @property
+    def config(self) -> TopologyConfig:
+        """The shape this topology was built from."""
+        return self._config
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (mutating health is fine;
+        mutating structure invalidates cached routes)."""
+        return self._graph
+
+    @property
+    def gateways(self) -> List[str]:
+        """Gateway node names, ordered by device id."""
+        return list(self._gateways)
+
+    @property
+    def servers(self) -> List[str]:
+        """Content-server node names."""
+        return list(self._servers)
+
+    @property
+    def n_gateways(self) -> int:
+        """Number of gateways (the system size ``n``)."""
+        return len(self._gateways)
+
+    # ------------------------------------------------------------------
+    def _add_node(self, name: str, kind: NodeKind, **attrs) -> None:
+        self._graph.add_node(name, kind=kind, health=1.0, **attrs)
+
+    def _build(self) -> None:
+        cfg = self._config
+        core_names = [f"core-{c}" for c in range(cfg.cores)]
+        for name in core_names:
+            self._add_node(name, NodeKind.CORE)
+        # Core ring (single core degenerates to a lone node).
+        for i, name in enumerate(core_names):
+            if len(core_names) > 1:
+                self._graph.add_edge(name, core_names[(i + 1) % len(core_names)])
+        for s in range(cfg.servers):
+            server = f"srv-{s}"
+            self._add_node(server, NodeKind.SERVER)
+            self._graph.add_edge(server, core_names[s % len(core_names)])
+            self._servers.append(server)
+        device_id = 0
+        for c in range(cfg.cores):
+            for a in range(cfg.aggregations_per_core):
+                agg = f"agg-{c}-{a}"
+                self._add_node(agg, NodeKind.AGGREGATION)
+                self._graph.add_edge(agg, f"core-{c}")
+                for x in range(cfg.access_per_aggregation):
+                    acc = f"acc-{c}-{a}-{x}"
+                    self._add_node(acc, NodeKind.ACCESS)
+                    self._graph.add_edge(acc, agg)
+                    for g in range(cfg.gateways_per_access):
+                        gw = f"gw-{c}-{a}-{x}-{g}"
+                        self._add_node(gw, NodeKind.GATEWAY, device_id=device_id)
+                        self._graph.add_edge(gw, acc)
+                        self._gateways.append(gw)
+                        device_id += 1
+
+    # ------------------------------------------------------------------
+    def gateway_name(self, device_id: int) -> str:
+        """Translate a device id into its gateway node name."""
+        if not 0 <= device_id < len(self._gateways):
+            raise UnknownDeviceError(
+                f"device {device_id} not in [0, {len(self._gateways)})"
+            )
+        return self._gateways[device_id]
+
+    def kind(self, node: str) -> NodeKind:
+        """Return a node's role."""
+        return self._graph.nodes[node]["kind"]
+
+    def health(self, node: str) -> float:
+        """Current health of a node in ``[0, 1]``."""
+        return float(self._graph.nodes[node]["health"])
+
+    def set_health(self, node: str, health: float) -> None:
+        """Set a node's health (clamped to ``[0, 1]``)."""
+        if node not in self._graph:
+            raise UnknownDeviceError(f"unknown node {node!r}")
+        self._graph.nodes[node]["health"] = float(np.clip(health, 0.0, 1.0))
+
+    def reset_health(self) -> None:
+        """Restore every node to nominal health."""
+        for node in self._graph.nodes:
+            self._graph.nodes[node]["health"] = 1.0
+
+    def route(self, gateway: str, server: str) -> List[str]:
+        """Shortest path from a gateway to a server (cached).
+
+        In the tree-plus-ring topology this is the gateway's unique access
+        chain followed by the core hops toward the server.
+        """
+        key = (gateway, server)
+        path = self._paths.get(key)
+        if path is None:
+            path = nx.shortest_path(self._graph, gateway, server)
+            self._paths[key] = path
+        return list(path)
+
+    def path_health(self, gateway: str, server: str) -> float:
+        """Multiplicative health of the route (the end-to-end quality
+        attenuation a measurement function observes)."""
+        health = 1.0
+        for node in self.route(gateway, server):
+            health *= self.health(node)
+        return health
+
+    def gateways_behind(self, node: str) -> List[str]:
+        """Gateways whose route to *any* server crosses ``node``.
+
+        The impact footprint of a network-level fault: used by tests and
+        examples to know the ground truth of an injected event.
+        """
+        impacted: List[str] = []
+        for gateway in self._gateways:
+            for server in self._servers:
+                if node in self.route(gateway, server):
+                    impacted.append(gateway)
+                    break
+        return impacted

@@ -1,0 +1,32 @@
+"""Malicious-device extension (the paper's Section VIII future work).
+
+* :mod:`repro.robust.attacks` — the collusion threat model: mimicry
+  (suppress an isolated victim's report) and ambiguity (degrade massive
+  verdicts to unresolved) via forged trajectories;
+* :mod:`repro.robust.characterizer` — the f-tolerant defense: harden the
+  density threshold to ``tau + f`` so massive verdicts survive up to
+  ``f`` forgeries, with the inherent completeness loss surfaced as an
+  explicit ``SUSPECT`` label.
+"""
+
+from repro.robust.attacks import (
+    AmbiguityAttack,
+    AttackOutcome,
+    MimicryAttack,
+    apply_forgeries,
+)
+from repro.robust.characterizer import (
+    RobustCharacterizer,
+    RobustLabel,
+    RobustVerdict,
+)
+
+__all__ = [
+    "AmbiguityAttack",
+    "AttackOutcome",
+    "MimicryAttack",
+    "RobustCharacterizer",
+    "RobustLabel",
+    "RobustVerdict",
+    "apply_forgeries",
+]

@@ -1,0 +1,186 @@
+"""Trajectory-forgery attacks (the paper's Section VIII future work).
+
+The conclusion announces an extension "to take into account malicious
+devices... the presence of collusion of malicious devices whose aim would
+be to prevent an impacted device to be detected by the monitoring
+application".  This module implements that threat model so the defense in
+:mod:`repro.robust.characterizer` has something concrete to defend
+against.
+
+Threat model
+------------
+The attacker controls ``f`` devices per neighbourhood.  Malicious devices
+cannot alter honest devices' measurements; they can only *report forged
+trajectories* of their own (positions at ``k-1`` and ``k``, plus a forged
+abnormality flag).  Because the characterization consumes trajectories of
+flagged neighbours, forged trajectories can only **add** motions — which
+yields two natural attack goals:
+
+* **suppression** (:class:`MimicryAttack`) — forge copies of an isolated
+  victim's trajectory so its motion becomes tau-dense: the victim then
+  classifies its own local fault as *massive* and, under the ISP policy,
+  never reports it (exactly the paper's collusion scenario);
+* **confusion** (:class:`AmbiguityAttack`) — forge a competing dense
+  motion partially overlapping a genuine massive group (the Figure 3
+  pattern) so fringe members decay from *massive* to *unresolved* and an
+  OTT operator loses detection coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, UnknownDeviceError
+from repro.core.transition import Snapshot, Transition
+
+__all__ = ["AttackOutcome", "MimicryAttack", "AmbiguityAttack", "apply_forgeries"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of mounting an attack on a transition.
+
+    ``transition`` is the *observed* transition (honest + forged
+    trajectories); ``forged_devices`` identifies the attacker-controlled
+    device ids inside it (appended after the honest ids, so honest ids
+    are unchanged); ``victim`` is the targeted honest device.
+    """
+
+    transition: Transition
+    forged_devices: FrozenSet[int]
+    victim: int
+
+    @property
+    def honest_flagged(self) -> FrozenSet[int]:
+        """Flagged devices that are not attacker-controlled."""
+        return self.transition.flagged - self.forged_devices
+
+
+def apply_forgeries(
+    transition: Transition,
+    forged_prev: np.ndarray,
+    forged_cur: np.ndarray,
+    *,
+    victim: int,
+) -> AttackOutcome:
+    """Append forged trajectories to a transition and re-flag them.
+
+    Forged devices get ids ``n, n+1, ...`` and are always flagged (the
+    attacker wants them to participate in motions).
+    """
+    prev = transition.previous.positions
+    cur = transition.current.positions
+    forged_prev = np.asarray(forged_prev, dtype=float)
+    forged_cur = np.asarray(forged_cur, dtype=float)
+    if forged_prev.shape != forged_cur.shape or forged_prev.ndim != 2:
+        raise ConfigurationError("forged positions must be matching (f, d) arrays")
+    if forged_prev.shape[1] != transition.dim:
+        raise ConfigurationError(
+            f"forged positions have dim {forged_prev.shape[1]}, "
+            f"system has {transition.dim}"
+        )
+    n = transition.n
+    count = forged_prev.shape[0]
+    observed = Transition(
+        Snapshot(np.vstack([prev, np.clip(forged_prev, 0, 1)])),
+        Snapshot(np.vstack([cur, np.clip(forged_cur, 0, 1)])),
+        set(transition.flagged) | set(range(n, n + count)),
+        transition.r,
+        transition.tau,
+    )
+    return AttackOutcome(
+        transition=observed,
+        forged_devices=frozenset(range(n, n + count)),
+        victim=victim,
+    )
+
+
+class MimicryAttack:
+    """Suppress an isolated victim by forging co-moving trajectories.
+
+    The attacker reads the victim's reported trajectory and fabricates
+    ``f`` flagged devices whose positions shadow it (within ``jitter * r``
+    at both snapshots).  With ``f >= tau`` the victim's own trajectory
+    sits in a ``tau``-dense motion and a naive characterizer calls it
+    massive.
+    """
+
+    def __init__(self, forged_count: int, *, jitter: float = 0.25, seed: int = 0) -> None:
+        if forged_count < 1:
+            raise ConfigurationError(
+                f"forged_count must be >= 1, got {forged_count!r}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError(f"jitter must lie in [0, 1], got {jitter!r}")
+        self._count = forged_count
+        self._jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def mount(self, transition: Transition, victim: int) -> AttackOutcome:
+        """Forge ``forged_count`` shadows of the victim's trajectory."""
+        if victim not in transition.flagged:
+            raise UnknownDeviceError(
+                f"victim {victim} is not flagged; nothing to suppress"
+            )
+        scale = self._jitter * transition.r
+        prev_center = transition.previous.positions[victim]
+        cur_center = transition.current.positions[victim]
+        forged_prev = prev_center + self._rng.uniform(
+            -scale, scale, (self._count, transition.dim)
+        )
+        forged_cur = cur_center + self._rng.uniform(
+            -scale, scale, (self._count, transition.dim)
+        )
+        return apply_forgeries(transition, forged_prev, forged_cur, victim=victim)
+
+
+class AmbiguityAttack:
+    """Degrade a massive verdict to unresolved via a competing motion.
+
+    The attacker fabricates a dense group that overlaps the victim's
+    genuine group on one side (offset ``~1.8 r`` at both snapshots),
+    recreating the paper's Figure 3: the victim now belongs to two
+    maximal dense motions that admissible partitions may split either
+    way.  Fringe honest devices become unresolved.
+    """
+
+    def __init__(
+        self,
+        forged_count: int,
+        *,
+        offset_factor: float = 1.8,
+        seed: int = 0,
+    ) -> None:
+        if forged_count < 1:
+            raise ConfigurationError(
+                f"forged_count must be >= 1, got {forged_count!r}"
+            )
+        if offset_factor <= 0:
+            raise ConfigurationError(
+                f"offset_factor must be positive, got {offset_factor!r}"
+            )
+        self._count = forged_count
+        self._offset = offset_factor
+        self._rng = np.random.default_rng(seed)
+
+    def mount(self, transition: Transition, victim: int) -> AttackOutcome:
+        """Forge a dense group offset from the victim's trajectory."""
+        if victim not in transition.flagged:
+            raise UnknownDeviceError(f"victim {victim} is not flagged")
+        r = transition.r
+        direction = np.zeros(transition.dim)
+        direction[0] = 1.0
+        shift = self._offset * r * direction
+        jitter = 0.2 * r
+        prev_center = transition.previous.positions[victim] + shift
+        cur_center = transition.current.positions[victim] + shift
+        forged_prev = prev_center + self._rng.uniform(
+            -jitter, jitter, (self._count, transition.dim)
+        )
+        forged_cur = cur_center + self._rng.uniform(
+            -jitter, jitter, (self._count, transition.dim)
+        )
+        return apply_forgeries(transition, forged_prev, forged_cur, victim=victim)

@@ -1,0 +1,144 @@
+"""f-tolerant characterization: the defense side of Section VIII.
+
+Key asymmetry of the threat model (see :mod:`repro.robust.attacks`):
+malicious devices can **add** forged trajectories to a neighbourhood but
+cannot remove or alter honest ones.  Consequently:
+
+* a *massive* verdict can be forged (shadow an isolated victim until its
+  motion looks dense), but
+* an *isolated* verdict cannot (removing trajectories is impossible, and
+  Theorem 5's condition is monotone: adding trajectories only creates
+  motions).
+
+The :class:`RobustCharacterizer` therefore hardens the dense test: a
+motion only counts as dense when it has **more than ``tau + f`` members**,
+so that even if ``f`` of them are forged, more than ``tau`` honest devices
+co-moved.  Mechanically this is the plain characterizer run with an
+inflated threshold ``tau' = tau + f`` — the formal results all hold for
+any threshold, so soundness transfers directly:
+
+* ``MASSIVE`` under ``tau'``  ⇒  at least ``tau' + 1 - f > tau`` honest
+  co-moving devices  ⇒  truly massive *(attack-proof soundness)*;
+* ``ISOLATED`` under ``tau'`` is **not** proof of isolation: a genuine
+  massive group of size in ``(tau, tau + f]`` also lands here.  The
+  verdict therefore degrades honestly: every device isolated under
+  ``tau'`` but not under ``tau`` is reported ``SUSPECT`` — it may be a
+  small massive group or a mimicry attack in progress.
+
+This completeness loss is inherent, not an implementation artifact: with
+``f`` forgeries a group of ``tau + 1`` observed trajectories is
+*indistinguishable* from an isolated device shadowed by ``f`` colluders
+whenever ``f >= tau - |honest group| + 1``.  The experiment
+``repro.experiments.ablation_malicious`` quantifies both sides.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import AnomalyType, Characterization, DecisionRule
+
+__all__ = ["RobustVerdict", "RobustLabel", "RobustCharacterizer"]
+
+
+class RobustLabel(enum.Enum):
+    """Verdicts of the f-tolerant characterizer."""
+
+    ISOLATED = "isolated"          # isolated even at the base threshold
+    MASSIVE = "massive"            # dense beyond tau + f: attack-proof
+    SUSPECT = "suspect"            # dense at tau but not beyond tau + f
+    UNRESOLVED = "unresolved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RobustVerdict:
+    """Robust classification of one device.
+
+    ``base`` and ``hardened`` carry the underlying plain verdicts at
+    thresholds ``tau`` and ``tau + f`` for inspection.
+    """
+
+    device: int
+    label: RobustLabel
+    base: Characterization
+    hardened: Characterization
+
+
+class RobustCharacterizer:
+    """Characterize with tolerance for up to ``f`` forged trajectories.
+
+    Parameters
+    ----------
+    transition:
+        The observed transition — honest plus possibly forged devices
+        (the defender cannot tell which).
+    f:
+        Collusion bound per neighbourhood.
+    """
+
+    def __init__(self, transition: Transition, f: int, **characterizer_kwargs) -> None:
+        if f < 0:
+            raise ConfigurationError(f"f must be >= 0, got {f!r}")
+        if transition.tau + f > transition.n - 1:
+            raise ConfigurationError(
+                f"tau + f = {transition.tau + f} exceeds n - 1 = {transition.n - 1}; "
+                "the hardened threshold is undefined"
+            )
+        self._f = f
+        self._base = Characterizer(transition, **characterizer_kwargs)
+        if f == 0:
+            self._hardened = self._base
+        else:
+            hardened_transition = Transition(
+                Snapshot(transition.previous.positions),
+                Snapshot(transition.current.positions),
+                transition.flagged,
+                transition.r,
+                transition.tau + f,
+            )
+            self._hardened = Characterizer(hardened_transition, **characterizer_kwargs)
+
+    @property
+    def f(self) -> int:
+        """The tolerated number of forged trajectories."""
+        return self._f
+
+    def characterize(self, device: int) -> RobustVerdict:
+        """Classify one device with the f-tolerant rules."""
+        base = self._base.characterize(device)
+        hardened = self._hardened.characterize(device)
+        label = self._combine(base, hardened)
+        return RobustVerdict(device=device, label=label, base=base, hardened=hardened)
+
+    def characterize_all(self) -> Dict[int, RobustVerdict]:
+        """Classify every flagged device."""
+        return {
+            device: self.characterize(device)
+            for device in self._base.transition.flagged_sorted
+        }
+
+    def _combine(
+        self, base: Characterization, hardened: Characterization
+    ) -> RobustLabel:
+        if hardened.anomaly_type is AnomalyType.MASSIVE:
+            # Dense beyond tau + f: more than tau honest co-movers even in
+            # the worst case — attack-proof massive.
+            return RobustLabel.MASSIVE
+        if base.anomaly_type is AnomalyType.ISOLATED:
+            # No dense motion even at the base threshold; forgeries can
+            # only have *added* motions, so the honest picture is at most
+            # this dense: genuinely isolated.
+            return RobustLabel.ISOLATED
+        if hardened.anomaly_type is AnomalyType.UNRESOLVED:
+            return RobustLabel.UNRESOLVED
+        # Dense at tau, sparse at tau + f: could be a small massive group
+        # or a mimicry attack — flag for investigation.
+        return RobustLabel.SUSPECT

@@ -1,0 +1,29 @@
+"""Section VII-A simulation substrate.
+
+A :class:`~repro.simulation.simulator.Simulator` reproduces the paper's
+generative process: uniform initial state over ``[0,1]^d``, ``A`` injected
+errors per interval with isolated/massive mix ``G``, group relocation by a
+common translation, and a :class:`~repro.simulation.ledger.GroundTruthLedger`
+recording the real scenario ``R_k`` the devices must never see.
+"""
+
+from repro.simulation.config import PAPER_DEFAULTS, SimulationConfig
+from repro.simulation.generator import inject_errors
+from repro.simulation.ledger import (
+    ErrorKind,
+    ErrorRecord,
+    GroundTruthLedger,
+    StepTruth,
+)
+from repro.simulation.simulator import SimulationStep, Simulator
+
+__all__ = [
+    "ErrorKind",
+    "ErrorRecord",
+    "GroundTruthLedger",
+    "PAPER_DEFAULTS",
+    "SimulationConfig",
+    "SimulationStep",
+    "Simulator",
+    "inject_errors",
+]

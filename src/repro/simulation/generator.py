@@ -1,0 +1,256 @@
+"""Error injection: one interval of the Section VII-A generative process.
+
+Per interval ``[k-1, k]``, ``A`` errors are injected.  Each error:
+
+1. picks an *anchor* device uniformly among the not-yet-impacted ones
+   (Restriction R1: a device is hit by at most one error per interval);
+   a massive error re-draws its anchor until the ball of radius ``r``
+   around it holds more than ``tau`` candidates (when
+   ``require_dense_ball`` is set), so its ground truth is genuinely
+   massive;
+2. collects the devices inside the ball of radius ``r`` centred at the
+   anchor (positions at ``k-1``), excluding already-impacted ones;
+3. draws the impacted subset — with probability ``G`` an *isolated* error
+   impacting 1..tau of them, otherwise a *massive* error impacting
+   tau+1..all of them (tau..all in the relaxed regime);
+4. relocates the whole group by a common translation to a uniformly drawn
+   target centre in ``[r, 1-r]^d`` (Restriction R2: same error, same
+   trajectory; the margin keeps the group inside the unit cube without
+   clipping, so the group stays r-consistent at time ``k``).
+
+R3 regimes
+----------
+*Enforced* (Figure 7 / Tables II–III): target centres of isolated errors
+are rejection-sampled to stay at least ``r3_separation_factor * r`` away
+from every other error's target (and massive targets away from isolated
+ones).  Devices of different errors then end the interval strictly
+farther than ``2r`` apart, so no isolated-error device can join a
+tau-dense motion: Restriction R3 holds by construction.
+
+*Relaxed* (Figures 8–9): no separation, massive anchors are not re-drawn
+(degenerate massive errors of at most ``tau`` devices occur in thin
+regions), and with probability ``correlated_error_probability`` an error
+is *correlated* with an earlier error of the interval — anchored in its
+source neighbourhood and relocated next to its target — modelling the
+"simultaneous or temporally close errors" with similar effects that
+Restrictions R1–R3 deliberately exclude.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.geometry import points_within
+from repro.simulation.config import SimulationConfig
+from repro.simulation.ledger import ErrorKind, ErrorRecord, GroundTruthLedger, StepTruth
+
+__all__ = ["inject_errors"]
+
+
+def _draw_target(
+    rng: np.random.Generator,
+    config: SimulationConfig,
+    kind: ErrorKind,
+    placed: List[Tuple[np.ndarray, ErrorKind]],
+) -> Tuple[np.ndarray, bool]:
+    """Draw a relocation centre, honouring R3 separation when enabled.
+
+    Returns ``(center, respected)`` where ``respected`` is false iff the
+    rejection budget ran out and the last draw was accepted anyway.
+    """
+    lo, hi = config.r, 1.0 - config.r
+    min_gap = config.r3_separation_factor * config.r
+
+    def conflicts(center: np.ndarray) -> bool:
+        if not config.enforce_r3:
+            return False
+        for other_center, other_kind in placed:
+            # Isolated errors must stay away from everything; massive
+            # errors only need to stay away from isolated ones (massive
+            # superposition is legal and is what produces unresolved
+            # configurations).
+            if kind is ErrorKind.MASSIVE and other_kind is ErrorKind.MASSIVE:
+                continue
+            if float(np.max(np.abs(center - other_center))) < min_gap:
+                return True
+        return False
+
+    center = rng.uniform(lo, hi, size=config.dim)
+    for _ in range(config.r3_max_retries):
+        if not conflicts(center):
+            return center, True
+        center = rng.uniform(lo, hi, size=config.dim)
+    return center, False
+
+
+def _ball_members(
+    previous: np.ndarray, available: Sequence[int], anchor: int, r: float
+) -> List[int]:
+    """Available devices within uniform distance ``r`` of the anchor,
+    anchor excluded."""
+    avail = list(available)
+    hits = points_within(previous[avail], previous[anchor], r)
+    return [avail[i] for i in hits if avail[i] != anchor]
+
+
+def _pick_anchor(
+    rng: np.random.Generator,
+    config: SimulationConfig,
+    previous: np.ndarray,
+    available: Sequence[int],
+    kind: ErrorKind,
+) -> Tuple[int, List[int]]:
+    """Pick an anchor (re-drawing for massive errors until the ball is
+    dense enough, when configured) and return it with its ball."""
+    avail = list(available)
+    anchor = int(avail[rng.integers(len(avail))])
+    ball = _ball_members(previous, avail, anchor, config.r)
+    if kind is ErrorKind.MASSIVE and config.require_dense_ball:
+        retries = config.r3_max_retries
+        while len(ball) < config.tau and retries > 0:
+            anchor = int(avail[rng.integers(len(avail))])
+            ball = _ball_members(previous, avail, anchor, config.r)
+            retries -= 1
+    return anchor, ball
+
+
+def _correlated_parent(
+    rng: np.random.Generator,
+    config: SimulationConfig,
+    truth: StepTruth,
+    kind: ErrorKind,
+) -> Tuple[Optional[ErrorRecord], bool]:
+    """Return ``(parent, is_superposition)`` for a correlated placement.
+
+    Two distinct mechanisms (see the module docstring):
+
+    * *massive superposition* — a massive error stacking onto an earlier
+      massive error of the interval; legal under R3, active in both
+      regimes, and the source of unresolved configurations;
+    * *R3-violating correlation* — relaxed regime only: any error (in
+      practice the isolated ones matter) stacking onto any earlier error,
+      producing the model/ground-truth divergence of Figure 8.
+    """
+    if kind is ErrorKind.MASSIVE:
+        massive_parents = [
+            rec for rec in truth.records if rec.kind is ErrorKind.MASSIVE
+        ]
+        if massive_parents:
+            # Pairwise superposition: the chance of colliding with *some*
+            # earlier massive error grows with how many are concurrent —
+            # this is what makes |U_k|/|A_k| grow with A (Figure 7) and
+            # shrink when sampling splits the load (Section VII-C).
+            p_pair = config.massive_superposition_probability
+            prob = 1.0 - (1.0 - p_pair) ** len(massive_parents)
+            if rng.random() < prob:
+                return massive_parents[int(rng.integers(len(massive_parents)))], True
+    if config.enforce_r3 or not truth.records:
+        return None, False
+    if rng.random() >= config.correlated_error_probability:
+        return None, False
+    return truth.records[int(rng.integers(len(truth.records)))], False
+
+
+def inject_errors(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    previous: np.ndarray,
+    truth: StepTruth,
+    ledger: GroundTruthLedger,
+) -> Tuple[np.ndarray, Set[int]]:
+    """Inject one interval's errors; return ``(positions_k, A_k)``.
+
+    ``previous`` is the ``(n, d)`` position array at time ``k-1`` (not
+    modified); the returned array is the time-``k`` state.
+    """
+    current = previous.copy()
+    impacted: Set[int] = set()
+    placed_targets: List[Tuple[np.ndarray, ErrorKind]] = []
+    n = config.n
+    for _ in range(config.errors_per_step):
+        available = [j for j in range(n) if j not in impacted]
+        if not available:
+            break
+        kind = (
+            ErrorKind.ISOLATED
+            if rng.random() < config.isolated_probability
+            else ErrorKind.MASSIVE
+        )
+        parent, is_superposition = _correlated_parent(rng, config, truth, kind)
+        if parent is not None and is_superposition:
+            # Superposed massive error: anchor near the parent's source so
+            # the groups are close at k-1 as well as at k.
+            near_source = [
+                j
+                for j in available
+                if float(np.max(np.abs(previous[j] - previous[parent.anchor])))
+                <= 2.0 * config.r
+            ]
+            if near_source:
+                anchor = int(near_source[rng.integers(len(near_source))])
+                ball = _ball_members(previous, available, anchor, config.r)
+            else:
+                parent = None
+        elif parent is not None:
+            # R3-violating correlation: draw the victims from the parent's
+            # own source ball and reuse the parent's displacement, so the
+            # correlated devices *merge into* the parent's motion at both
+            # snapshots (missed detections) instead of chaining next to it
+            # (which would inflate the unresolved ratio — the paper reports
+            # R3 violations leave |U_k| untouched, Figure 9).
+            same_ball = [
+                j
+                for j in available
+                if float(np.max(np.abs(previous[j] - previous[parent.anchor])))
+                <= config.r
+            ]
+            if same_ball:
+                anchor = int(same_ball[rng.integers(len(same_ball))])
+                ball = [j for j in same_ball if j != anchor]
+            else:
+                parent = None
+        if parent is None:
+            anchor, ball = _pick_anchor(rng, config, previous, available, kind)
+        rng.shuffle(ball)
+        if kind is ErrorKind.ISOLATED:
+            count = int(rng.integers(1, min(config.tau, 1 + len(ball)) + 1))
+        else:
+            low = config.tau + 1 if config.require_dense_ball else config.tau
+            low = min(low, 1 + len(ball))
+            count = int(rng.integers(low, 1 + len(ball) + 1))
+        members = frozenset([anchor] + ball[: count - 1])
+        if parent is not None and is_superposition:
+            # Superposed massive error: land at a partial offset from the
+            # parent target so the two dense motions overlap without
+            # merging (the Figure 3 pattern).
+            offset = rng.uniform(-1.5 * config.r, 1.5 * config.r, size=config.dim)
+            target = np.clip(
+                np.asarray(parent.target_center) + offset, config.r, 1 - config.r
+            )
+            respected = True  # superposition of massive errors is R3-legal
+        elif parent is not None:
+            # R3-violating correlation: identical displacement to the
+            # parent, so parent and child groups form one motion.
+            displacement = np.asarray(parent.target_center) - previous[parent.anchor]
+            target = np.clip(previous[anchor] + displacement, 0.0, 1.0)
+            respected = False
+        else:
+            target, respected = _draw_target(rng, config, kind, placed_targets)
+        placed_targets.append((target, kind))
+        displacement = target - previous[anchor]
+        for member in members:
+            current[member] = np.clip(previous[member] + displacement, 0.0, 1.0)
+        impacted.update(members)
+        truth.records.append(
+            ErrorRecord(
+                error_id=ledger.next_error_id(),
+                kind=kind,
+                anchor=anchor,
+                members=members,
+                target_center=tuple(float(x) for x in target),
+                r3_respected=respected,
+            )
+        )
+    return current, impacted

@@ -1,0 +1,125 @@
+"""Ground-truth ledger: the real scenario of errors ``R_k``.
+
+The whole point of the paper is that devices (and even an omniscient
+observer) do *not* know the real error scenario.  The simulator, however,
+does — it injected the errors — and records every injection here so the
+evaluation can measure model-vs-reality divergence (Figure 8's missed
+detections, the pertinence of Restriction R3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+__all__ = ["ErrorKind", "ErrorRecord", "StepTruth", "GroundTruthLedger"]
+
+
+class ErrorKind(enum.Enum):
+    """Intent of an injected error."""
+
+    ISOLATED = "isolated"
+    MASSIVE = "massive"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One injected error: who it hit and how it moved them.
+
+    ``r3_respected`` is false when the injector could not find a
+    relocation target keeping this (isolated) error's devices away from
+    every other error's devices — only possible when R3 enforcement is on
+    and rejection sampling exhausted its budget.
+    """
+
+    error_id: int
+    kind: ErrorKind
+    anchor: int
+    members: FrozenSet[int]
+    target_center: Tuple[float, ...]
+    r3_respected: bool = True
+
+    @property
+    def size(self) -> int:
+        """Number of devices the error impacted."""
+        return len(self.members)
+
+
+@dataclass
+class StepTruth:
+    """Ground truth for one interval ``[k-1, k]`` (the paper's ``R_k``)."""
+
+    step: int
+    records: List[ErrorRecord] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> FrozenSet[int]:
+        """All devices impacted this step (the true ``A_k``)."""
+        out: set = set()
+        for record in self.records:
+            out.update(record.members)
+        return frozenset(out)
+
+    def truly_massive(self, tau: int) -> FrozenSet[int]:
+        """Devices whose own error impacted more than ``tau`` devices
+        (the ``M_{R_k}`` of Definition 7 applied to the real scenario)."""
+        out: set = set()
+        for record in self.records:
+            if record.size > tau:
+                out.update(record.members)
+        return frozenset(out)
+
+    def truly_isolated(self, tau: int) -> FrozenSet[int]:
+        """Devices whose own error impacted at most ``tau`` devices."""
+        return self.flagged - self.truly_massive(tau)
+
+    def error_of(self, device: int) -> Optional[ErrorRecord]:
+        """Return the error that impacted a device (R1: at most one)."""
+        for record in self.records:
+            if device in record.members:
+                return record
+        return None
+
+    @property
+    def r3_violation_possible(self) -> bool:
+        """True when some isolated error could not be separated."""
+        return any(not rec.r3_respected for rec in self.records)
+
+
+class GroundTruthLedger:
+    """Accumulates :class:`StepTruth` entries across a simulation run."""
+
+    def __init__(self) -> None:
+        self._steps: Dict[int, StepTruth] = {}
+        self._next_error_id = 0
+
+    def new_step(self, step: int) -> StepTruth:
+        """Open (and return) the truth record for a new step."""
+        truth = StepTruth(step=step)
+        self._steps[step] = truth
+        return truth
+
+    def next_error_id(self) -> int:
+        """Allocate a globally unique error identifier."""
+        out = self._next_error_id
+        self._next_error_id += 1
+        return out
+
+    def step(self, step: int) -> StepTruth:
+        """Return the truth for one step (KeyError if never simulated)."""
+        return self._steps[step]
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self):
+        return iter(sorted(self._steps))
+
+    def all_records(self) -> Iterable[ErrorRecord]:
+        """Iterate every error record in step order."""
+        for step in sorted(self._steps):
+            yield from self._steps[step].records

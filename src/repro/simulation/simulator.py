@@ -1,0 +1,115 @@
+"""Discrete-time simulator driving the Section VII evaluation.
+
+:class:`Simulator` owns the system state: an ``(n, d)`` position array
+initialized uniformly over the QoS space (the paper's ``S_0``), advanced
+one interval at a time by :func:`repro.simulation.generator.inject_errors`.
+Each :meth:`Simulator.step` returns a :class:`SimulationStep` bundling the
+:class:`~repro.core.transition.Transition` (what the devices can see) with
+the :class:`~repro.simulation.ledger.StepTruth` (what really happened) —
+keeping the two rigorously separate is what lets the experiments measure
+missed detections honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.characterize import Characterizer
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import Characterization
+from repro.simulation.config import SimulationConfig
+from repro.simulation.generator import inject_errors
+from repro.simulation.ledger import GroundTruthLedger, StepTruth
+
+__all__ = ["SimulationStep", "Simulator"]
+
+
+@dataclass
+class SimulationStep:
+    """One simulated interval: observable transition plus ground truth."""
+
+    step: int
+    transition: Transition
+    truth: StepTruth
+
+    def characterize(self, **kwargs) -> Dict[int, Characterization]:
+        """Run the local characterization on this step's flagged devices.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.core.characterize.Characterizer`.
+        """
+        return Characterizer(self.transition, **kwargs).characterize_all()
+
+
+class Simulator:
+    """Stateful discrete-time simulator of the monitored system.
+
+    Parameters
+    ----------
+    config:
+        The scenario parameters.
+    rng:
+        Optional numpy Generator; defaults to one seeded from
+        ``config.seed`` so runs are reproducible by construction.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._config = config
+        self._rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._positions = self._rng.random((config.n, config.dim))
+        self._ledger = GroundTruthLedger()
+        self._step = 0
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The scenario parameters."""
+        return self._config
+
+    @property
+    def ledger(self) -> GroundTruthLedger:
+        """Ground truth accumulated so far."""
+        return self._ledger
+
+    @property
+    def current_step(self) -> int:
+        """Number of completed intervals."""
+        return self._step
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current system state (read-only copy)."""
+        return self._positions.copy()
+
+    def step(self) -> SimulationStep:
+        """Advance one interval and return what happened."""
+        self._step += 1
+        truth = self._ledger.new_step(self._step)
+        previous = self._positions
+        current, flagged = inject_errors(
+            self._config, self._rng, previous, truth, self._ledger
+        )
+        self._positions = current
+        transition = Transition(
+            Snapshot(previous),
+            Snapshot(current),
+            flagged,
+            self._config.r,
+            self._config.tau,
+        )
+        return SimulationStep(step=self._step, transition=transition, truth=truth)
+
+    def run(self, steps: int) -> List[SimulationStep]:
+        """Advance ``steps`` intervals and collect the results."""
+        return [self.step() for _ in range(steps)]
+
+    def __iter__(self) -> Iterator[SimulationStep]:
+        """Endless iterator of simulation steps (callers break)."""
+        while True:
+            yield self.step()

@@ -1,0 +1,12 @@
+"""Locally tuned sampling (Section VII-C substrate).
+
+:class:`~repro.streaming.sampler.AdaptiveSampler` lets each device speed
+up its own snapshot rate under anomaly bursts with no global
+coordination; ``repro.experiments.ablation_sampling`` measures the
+paper's claimed payoff (fewer concomitant errors per interval, hence
+fewer unresolved configurations).
+"""
+
+from repro.streaming.sampler import AdaptiveSampler, SamplerConfig
+
+__all__ = ["AdaptiveSampler", "SamplerConfig"]

@@ -1,0 +1,171 @@
+"""Tests for the Figure 6 dimensioning mathematics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.dimensioning import (
+    expected_vicinity_size,
+    isolated_containment_probability,
+    isolated_overflow_probability,
+    recommend_parameters,
+    vicinity_probability,
+    vicinity_size_cdf,
+    vicinity_size_pmf,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestVicinityProbability:
+    def test_interior_formula(self):
+        assert vicinity_probability(0.03, 2) == pytest.approx((4 * 0.03) ** 2)
+
+    def test_average_formula(self):
+        r = 0.1
+        assert vicinity_probability(r, 1, boundary="average") == pytest.approx(
+            4 * r - 4 * r * r
+        )
+
+    def test_average_below_interior(self):
+        assert vicinity_probability(0.05, 2, boundary="average") < vicinity_probability(
+            0.05, 2, boundary="interior"
+        )
+
+    def test_average_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        r, n_samples = 0.06, 200_000
+        x = rng.random(n_samples)
+        y = rng.random(n_samples)
+        hits = np.abs(x - y) <= 2 * r
+        assert vicinity_probability(r, 1, boundary="average") == pytest.approx(
+            hits.mean(), abs=5e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            vicinity_probability(0.3, 2)
+        with pytest.raises(ConfigurationError):
+            vicinity_probability(0.03, 0)
+        with pytest.raises(ConfigurationError):
+            vicinity_probability(0.03, 2, boundary="bogus")
+
+
+class TestVicinityDistribution:
+    def test_pmf_sums_to_one(self):
+        pmf = vicinity_size_pmf(500, 0.03)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        cdf = vicinity_size_cdf(1000, 0.03, list(range(0, 100, 5)))
+        assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+
+    def test_paper_figure6a_shape(self):
+        """Larger r shifts mass right: at fixed m, CDF decreases in r."""
+        m = [25]
+        values = [
+            float(vicinity_size_cdf(1000, r, m)[0])
+            for r in (0.02, 0.025, 0.033, 0.05, 0.1)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_paper_operating_point_logarithmic(self):
+        """r = 0.03, n = 1000: expected vicinity ~ 14, O(log n)-ish."""
+        expected = expected_vicinity_size(1000, 0.03)
+        assert 10 < expected < 20
+        # And almost surely below 40 (the "m logarithmic in n" argument).
+        assert float(vicinity_size_cdf(1000, 0.03, [40])[0]) > 0.999
+
+    def test_expected_matches_pmf_mean(self):
+        pmf = vicinity_size_pmf(300, 0.05)
+        mean = float(np.sum(np.arange(300) * pmf))
+        assert expected_vicinity_size(300, 0.05) == pytest.approx(mean, rel=1e-9)
+
+
+class TestIsolatedContainment:
+    def test_matches_literal_double_sum(self):
+        """The binomial-thinning collapse equals the paper's double sum."""
+        n, r, tau, b = 120, 0.05, 3, 0.01
+        q = vicinity_probability(r, 2, radius_factor=1.0)
+        literal = 0.0
+        for m in range(n):
+            p_n = stats.binom.pmf(m, n - 1, q)
+            for ell in range(tau + 1):
+                literal += stats.binom.pmf(ell, m, b) * p_n
+        assert isolated_containment_probability(n, r, tau, b) == pytest.approx(
+            literal, rel=1e-10
+        )
+
+    def test_paper_figure6b_shape(self):
+        """Containment decreases in n and increases in tau; the paper's
+        operating point stays above 0.997 up to n = 15000."""
+        for tau in (2, 3, 4, 5):
+            values = [
+                isolated_containment_probability(n, 0.03, tau, 0.005)
+                for n in (1000, 5000, 10000, 15000)
+            ]
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        by_tau = [
+            isolated_containment_probability(15000, 0.03, tau, 0.005)
+            for tau in (2, 3, 4, 5)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(by_tau, by_tau[1:]))
+        assert by_tau[0] > 0.997  # the y-axis floor of Figure 6(b)
+
+    def test_overflow_complement(self):
+        args = (1000, 0.03, 3, 0.005)
+        assert isolated_overflow_probability(*args) == pytest.approx(
+            1.0 - isolated_containment_probability(*args)
+        )
+
+    def test_monte_carlo_agreement(self):
+        """Closed form vs direct simulation of the generative story."""
+        rng = np.random.default_rng(7)
+        n, r, tau, b, trials = 400, 0.05, 2, 0.02, 4000
+        overflow = 0
+        for _ in range(trials):
+            # Devices uniform; count impacted ones within 2r of the centre
+            # device placed in the interior.
+            positions = rng.random((n - 1, 2)) * 0.8 + 0.1
+            center = np.array([0.5, 0.5])
+            close = np.all(np.abs(positions - center) <= 2 * r, axis=1)
+            impacted = rng.random(n - 1) < b
+            if int(np.sum(close & impacted)) > tau:
+                overflow += 1
+        measured = overflow / trials
+        # positions constrained to [0.1,0.9]^2 -> density 1/0.64 higher
+        q = (4 * r / 0.8) ** 2
+        expected = 1.0 - float(stats.binom.cdf(tau, n - 1, q * b))
+        assert measured == pytest.approx(expected, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            isolated_containment_probability(100, 0.03, -1, 0.01)
+        with pytest.raises(ConfigurationError):
+            isolated_containment_probability(100, 0.03, 2, 1.5)
+
+
+class TestRecommendation:
+    def test_paper_operating_point_admissible(self):
+        """(r=0.03, tau=3) must satisfy the paper's tuning criterion."""
+        points = recommend_parameters(1000, 0.005, epsilon=1e-3)
+        assert any(
+            abs(p.r - 0.03) < 1e-9 and p.tau == 3 for p in points
+        )
+
+    def test_all_points_meet_epsilon(self):
+        eps = 1e-4
+        for point in recommend_parameters(2000, 0.005, epsilon=eps):
+            assert point.overflow_probability < eps
+
+    def test_sorted_by_vicinity(self):
+        points = recommend_parameters(1000, 0.005)
+        vicinities = [p.expected_vicinity for p in points]
+        assert vicinities == sorted(vicinities)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommend_parameters(1000, 0.005, epsilon=0.0)

@@ -1,0 +1,172 @@
+"""Tests for the evaluation metrics and aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregate import SummaryStat, series_table, summarize
+from repro.analysis.metrics import (
+    ConfusionCounts,
+    MetricAccumulator,
+    compute_step_metrics,
+    confusion_against_truth,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.types import (
+    AnomalyType,
+    Characterization,
+    CostCounters,
+    DecisionRule,
+)
+
+
+def verdict(device, anomaly, rule, **cost):
+    return Characterization(
+        device=device,
+        anomaly_type=anomaly,
+        rule=rule,
+        cost=CostCounters(**cost),
+    )
+
+
+@pytest.fixture
+def sample_results():
+    return {
+        0: verdict(0, AnomalyType.ISOLATED, DecisionRule.THEOREM_5, maximal_motions=2),
+        1: verdict(1, AnomalyType.MASSIVE, DecisionRule.THEOREM_6, dense_motions=1),
+        2: verdict(2, AnomalyType.MASSIVE, DecisionRule.THEOREM_6, dense_motions=3),
+        3: verdict(
+            3, AnomalyType.MASSIVE, DecisionRule.THEOREM_7, tested_collections=40
+        ),
+        4: verdict(
+            4,
+            AnomalyType.UNRESOLVED,
+            DecisionRule.COROLLARY_8,
+            tested_collections=10,
+            total_collections=100,
+        ),
+    }
+
+
+class TestStepMetrics:
+    def test_counts(self, sample_results):
+        metrics = compute_step_metrics(sample_results)
+        assert metrics.flagged == 5
+        assert metrics.isolated == 1
+        assert metrics.massive_theorem6 == 2
+        assert metrics.massive_theorem7 == 1
+        assert metrics.massive == 3
+        assert metrics.unresolved == 1
+
+    def test_ratios(self, sample_results):
+        metrics = compute_step_metrics(sample_results)
+        assert metrics.unresolved_ratio == pytest.approx(0.2)
+        assert metrics.fraction("isolated") == pytest.approx(0.2)
+        assert metrics.fraction("massive") == pytest.approx(0.6)
+
+    def test_empty(self):
+        metrics = compute_step_metrics({})
+        assert metrics.unresolved_ratio == 0.0
+        assert metrics.fraction("massive") == 0.0
+
+
+class TestConfusion:
+    def test_confusion_counts(self, sample_results):
+        truth = frozenset({1, 2, 4})  # 3 claimed massive but truly isolated
+        confusion = confusion_against_truth(sample_results, truth)
+        assert confusion.true_massive == 2
+        assert confusion.false_massive == 1
+        assert confusion.true_isolated == 1
+        assert confusion.false_isolated == 0
+        assert confusion.abstained == 1
+        assert confusion.abstained_massive == 1
+
+    def test_missed_detection_rate(self, sample_results):
+        truth = frozenset({1, 2, 4})
+        confusion = confusion_against_truth(sample_results, truth)
+        assert confusion.missed_detection_rate == pytest.approx(1 / 5)
+
+    def test_precision_recall(self):
+        confusion = ConfusionCounts(
+            true_massive=8,
+            true_isolated=5,
+            false_massive=2,
+            false_isolated=1,
+            abstained=4,
+            abstained_massive=1,
+        )
+        assert confusion.massive_precision == pytest.approx(0.8)
+        assert confusion.massive_recall == pytest.approx(0.8)
+
+    def test_empty_edge_cases(self):
+        confusion = ConfusionCounts(0, 0, 0, 0, 0)
+        assert confusion.missed_detection_rate == 0.0
+        assert confusion.massive_precision == 1.0
+        assert confusion.massive_recall == 1.0
+
+
+class TestAccumulator:
+    def test_accumulates_across_steps(self, sample_results):
+        acc = MetricAccumulator()
+        acc.add_step(sample_results)
+        acc.add_step(sample_results)
+        assert acc.steps == 2
+        assert acc.flagged == 10
+        assert acc.massive == 6
+        assert acc.mean_flagged == pytest.approx(5.0)
+        assert acc.fraction("unresolved") == pytest.approx(0.2)
+
+    def test_cost_averages(self, sample_results):
+        acc = MetricAccumulator()
+        acc.add_step(sample_results)
+        assert acc.average_cost("isolated_maximal_motions") == pytest.approx(2.0)
+        assert acc.average_cost("massive_dense_motions") == pytest.approx(4 / 3)
+        assert acc.average_cost("unresolved_tested_collections") == pytest.approx(10.0)
+        assert acc.average_cost("massive7_tested_collections") == pytest.approx(40.0)
+        assert acc.average_cost("unresolved_total_collections") == pytest.approx(100.0)
+
+    def test_false_massive_tracking(self, sample_results):
+        acc = MetricAccumulator()
+        acc.add_step(sample_results, truly_massive=frozenset({1}))
+        # Devices 2 and 3 claimed massive but truly isolated.
+        assert acc.false_massive == 2
+        assert acc.fraction("false_massive") == pytest.approx(0.4)
+
+    def test_empty_cost_average(self):
+        acc = MetricAccumulator()
+        assert acc.average_cost("isolated_maximal_motions") == 0.0
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        stat = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.count == 4
+        assert stat.ci_half_width > 0
+
+    def test_single_sample(self):
+        stat = summarize([5.0])
+        assert stat.mean == 5.0
+        assert stat.ci_half_width == 0.0
+
+    def test_ci_widens_with_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = summarize(data, confidence=0.8)
+        wide = summarize(data, confidence=0.99)
+        assert wide.ci_half_width > narrow.ci_half_width
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize([1.0], confidence=1.5)
+
+    def test_series_table_sorted(self):
+        cells = {
+            (2.0, 1.0): [0.1, 0.2],
+            (1.0, 1.0): [0.3],
+            (1.0, 0.0): [0.5, 0.6],
+        }
+        rows = series_table(cells)
+        assert [(x, g) for x, g, _ in rows] == [(1.0, 0.0), (1.0, 1.0), (2.0, 1.0)]
+        assert isinstance(rows[0][2], SummaryStat)

@@ -1,0 +1,168 @@
+"""Tests for the tessellation and centralized-clustering baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CentralizedClusteringMonitor,
+    TessellationDetector,
+    kmeans,
+    kmeans_sweep,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.types import AnomalyType
+from tests.conftest import make_transition_1d
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(0.2, 0.01, (30, 2))
+        blob_b = rng.normal(0.8, 0.01, (30, 2))
+        points = np.vstack([blob_a, blob_b])
+        result = kmeans(points, 2, seed=1)
+        labels_a = set(result.labels[:30].tolist())
+        labels_b = set(result.labels[30:].tolist())
+        assert len(labels_a) == 1
+        assert len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((60, 2))
+        results = kmeans_sweep(points, (1, 2, 4, 8), seed=0)
+        inertias = [r.inertia for r in results]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_equals_m_zero_inertia(self):
+        points = np.random.default_rng(2).random((5, 2))
+        result = kmeans(points, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_cluster_sizes_sum(self):
+        points = np.random.default_rng(3).random((40, 3))
+        result = kmeans(points, 4, seed=0)
+        assert result.cluster_sizes().sum() == 40
+
+    def test_deterministic_under_seed(self):
+        points = np.random.default_rng(4).random((50, 2))
+        a = kmeans(points, 3, seed=9)
+        b = kmeans(points, 3, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kmeans(np.zeros((3, 2)), 0)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.zeros((3, 2)), 4)
+        with pytest.raises(ConfigurationError):
+            kmeans(np.zeros(3), 1)
+
+    def test_duplicate_points_handled(self):
+        points = np.tile(np.array([[0.5, 0.5]]), (10, 1))
+        result = kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestTessellation:
+    def test_co_bucketed_blob_is_massive(self):
+        pairs = [(0.501, 0.701)] * 5 + [(0.9, 0.1)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        detector = TessellationDetector(t, bucket_side=0.06)
+        verdicts = detector.classify_all()
+        for device in range(5):
+            assert verdicts[device].anomaly_type is AnomalyType.MASSIVE
+        assert verdicts[5].anomaly_type is AnomalyType.ISOLATED
+
+    def test_straddling_group_misclassified(self):
+        """The false-alarm failure mode: a genuine co-moving group that
+        straddles a bucket border looks isolated to the tessellation."""
+        # Group of 5 centred exactly on the bucket boundary 0.5.
+        pairs = [(0.49, 0.49), (0.495, 0.495), (0.5, 0.5), (0.505, 0.505), (0.51, 0.51)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        detector = TessellationDetector(t, bucket_side=0.5)
+        verdicts = detector.classify_all()
+        # Wait: bucket side 0.5 puts boundary at 0.5, splitting the group.
+        assert any(
+            v.anomaly_type is AnomalyType.ISOLATED for v in verdicts.values()
+        )
+
+    def test_large_buckets_merge_unrelated_devices(self):
+        """The false-massive failure mode: unrelated isolated devices in
+        one giant bucket count as a massive anomaly."""
+        pairs = [(0.1, 0.1), (0.2, 0.3), (0.3, 0.2), (0.35, 0.4), (0.05, 0.45)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        detector = TessellationDetector(t, bucket_side=0.5)
+        verdicts = detector.classify_all()
+        assert all(
+            v.anomaly_type is AnomalyType.MASSIVE for v in verdicts.values()
+        )
+        # Our method correctly keeps them isolated.
+        from repro.core.characterize import characterize_transition
+
+        ours = characterize_transition(t)
+        assert all(v.is_isolated for v in ours.values())
+
+    def test_bucket_population_reported(self):
+        pairs = [(0.501, 0.701)] * 4
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        verdict = TessellationDetector(t, bucket_side=0.06).classify(0)
+        assert verdict.bucket_population == 4
+
+    def test_bucket_side_validation(self):
+        t = make_transition_1d([(0.5, 0.5)], r=0.03, tau=1, flagged=[0])
+        with pytest.raises(ConfigurationError):
+            TessellationDetector(t, bucket_side=0.0)
+        with pytest.raises(ConfigurationError):
+            TessellationDetector(t, bucket_side=1.5)
+
+
+class TestCentralized:
+    def test_separated_blob_and_stragglers(self):
+        pairs = [(0.3, 0.8)] * 6 + [(0.05, 0.1), (0.9, 0.4)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        monitor = CentralizedClusteringMonitor(t, k=3, seed=0)
+        verdicts = monitor.classify_all()
+        massive = [d for d, v in verdicts.items() if v.anomaly_type is AnomalyType.MASSIVE]
+        assert set(massive) == set(range(6))
+
+    def test_consistency_check_blocks_wide_clusters(self):
+        # Five devices spread far apart: a forced single cluster would be
+        # "massive" by size, but the consistency check vetoes it.
+        pairs = [(0.1, 0.1), (0.3, 0.3), (0.5, 0.5), (0.7, 0.7), (0.9, 0.9)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        monitor = CentralizedClusteringMonitor(t, k=1, seed=0)
+        verdicts = monitor.classify_all()
+        assert all(
+            v.anomaly_type is AnomalyType.ISOLATED for v in verdicts.values()
+        )
+
+    def test_without_consistency_check_wide_cluster_is_massive(self):
+        pairs = [(0.1, 0.1), (0.3, 0.3), (0.5, 0.5), (0.7, 0.7), (0.9, 0.9)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        monitor = CentralizedClusteringMonitor(
+            t, k=1, enforce_consistency=False, seed=0
+        )
+        verdicts = monitor.classify_all()
+        assert all(
+            v.anomaly_type is AnomalyType.MASSIVE for v in verdicts.values()
+        )
+
+    def test_default_k(self):
+        pairs = [(0.1 * i, 0.1 * i) for i in range(1, 9)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        monitor = CentralizedClusteringMonitor(t, seed=0)
+        assert monitor.k == 2  # ceil(8 / 4)
+
+    def test_upload_cost_counts_all_flagged(self):
+        pairs = [(0.2, 0.2)] * 5
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        monitor = CentralizedClusteringMonitor(t, seed=0)
+        assert monitor.messages_uploaded == 5
+
+    def test_no_flagged_rejected(self):
+        t = make_transition_1d([(0.5, 0.5), (0.6, 0.6)], r=0.03, tau=1, flagged=[])
+        with pytest.raises(ConfigurationError):
+            CentralizedClusteringMonitor(t)

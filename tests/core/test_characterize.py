@@ -1,0 +1,193 @@
+"""Tests for the local characterization engine (Theorems 5–7, Cor. 8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.characterize import Characterizer, characterize_transition, classify_sets
+from repro.core.errors import SearchBudgetExceeded, UnknownDeviceError
+from repro.core.neighborhood import MotionCache, split_neighborhood
+from repro.core.types import AnomalyType, DecisionRule
+from tests.conftest import make_transition_1d, random_clustered_pairs
+
+
+class TestTheorem5:
+    def test_scattered_devices_all_isolated(self, scattered_transition):
+        results = Characterizer(scattered_transition).characterize_all()
+        for verdict in results.values():
+            assert verdict.anomaly_type is AnomalyType.ISOLATED
+            assert verdict.rule is DecisionRule.THEOREM_5
+
+    def test_small_group_is_isolated(self):
+        # Three coincident flagged devices with tau = 3: sparse, isolated.
+        pairs = [(0.5, 0.5)] * 3 + [(0.9, 0.1)]
+        t = make_transition_1d(pairs, r=0.03, tau=3, flagged=[0, 1, 2])
+        results = characterize_transition(t)
+        assert all(v.is_isolated for v in results.values())
+
+    def test_divergent_trajectories_are_isolated(self):
+        # Close at k-1 but scattering at k: no consistent motion, so even a
+        # big group is isolated (the error did not move them consistently).
+        pairs = [(0.5, 0.1 * i) for i in range(6)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        results = characterize_transition(t)
+        assert all(v.is_isolated for v in results.values())
+
+
+class TestTheorem6:
+    def test_single_blob_massive(self, single_blob_transition):
+        results = Characterizer(single_blob_transition).characterize_all()
+        for verdict in results.values():
+            assert verdict.anomaly_type is AnomalyType.MASSIVE
+            assert verdict.rule is DecisionRule.THEOREM_6
+            assert verdict.witness is not None
+
+    def test_witness_is_dense_motion_inside_J(self, single_blob_transition):
+        t = single_blob_transition
+        results = Characterizer(t).characterize_all()
+        for device, verdict in results.items():
+            (motion,) = verdict.witness
+            assert len(motion) > t.tau
+            assert t.is_consistent_motion(motion)
+            assert device in motion
+
+    def test_blob_plus_straggler(self):
+        # Five coincident devices and one isolated: mixed verdicts.
+        pairs = [(0.5, 0.8)] * 5 + [(0.1, 0.2)]
+        t = make_transition_1d(pairs, r=0.03, tau=3)
+        isolated, massive, unresolved = classify_sets(characterize_transition(t))
+        assert massive == frozenset({0, 1, 2, 3, 4})
+        assert isolated == frozenset({5})
+        assert not unresolved
+
+
+class TestTheorem7AndCorollary8:
+    def test_figure3_unresolved_endpoints(self, figure3_transition):
+        results = Characterizer(figure3_transition).characterize_all()
+        assert results[0].anomaly_type is AnomalyType.UNRESOLVED
+        assert results[0].rule is DecisionRule.COROLLARY_8
+        assert results[4].anomaly_type is AnomalyType.UNRESOLVED
+        for j in (1, 2, 3):
+            assert results[j].anomaly_type is AnomalyType.MASSIVE
+
+    def test_figure3_counterexample_witness(self, figure3_transition):
+        verdict = Characterizer(figure3_transition).characterize(0)
+        assert verdict.witness is not None
+        # The counterexample for device 0 is the competing dense motion
+        # {1,2,3,4}.
+        assert frozenset({1, 2, 3, 4}) in verdict.witness
+
+    def test_figure5_needs_theorem7(self, figure5_transition):
+        results = Characterizer(figure5_transition).characterize_all()
+        for verdict in results.values():
+            assert verdict.anomaly_type is AnomalyType.MASSIVE
+            assert verdict.rule is DecisionRule.THEOREM_7
+
+    def test_cheap_mode_falls_back_to_unresolved(self, figure5_transition):
+        results = Characterizer(figure5_transition, full_nsc=False).characterize_all()
+        for verdict in results.values():
+            assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+            assert verdict.rule is DecisionRule.ALGORITHM_3
+
+    def test_budget_enforced(self, figure5_transition):
+        with pytest.raises(SearchBudgetExceeded):
+            Characterizer(figure5_transition, collection_budget=0).characterize(0)
+
+
+class TestCostCounters:
+    def test_isolated_cost_is_maximal_motion_count(self, scattered_transition):
+        verdict = Characterizer(scattered_transition).characterize(0)
+        assert verdict.cost.maximal_motions >= 1
+        assert verdict.cost.dense_motions == 0
+        assert verdict.cost.tested_collections == 0
+
+    def test_theorem7_tested_collections_positive(self, figure5_transition):
+        verdict = Characterizer(figure5_transition).characterize(0)
+        assert verdict.cost.tested_collections >= 1
+
+    def test_total_collections_counted_on_request(self, figure3_transition):
+        char = Characterizer(figure3_transition, count_all_collections=True)
+        verdict = char.characterize(0)
+        assert verdict.cost.total_collections is not None
+        assert verdict.cost.total_collections >= 1
+
+    def test_cost_merge(self):
+        from repro.core.types import CostCounters
+
+        a = CostCounters(maximal_motions=2, tested_collections=5)
+        b = CostCounters(maximal_motions=3, total_collections=7, window_steps=4)
+        a.merge(b)
+        assert a.maximal_motions == 5
+        assert a.total_collections == 7
+        assert a.window_steps == 4
+        assert a.as_dict()["tested_collections"] == 5
+
+
+class TestNeighborhoodSplit:
+    def test_J_contains_device_itself(self, figure3_transition):
+        cache = MotionCache(figure3_transition)
+        split = split_neighborhood(cache, 0)
+        assert 0 in split.always_with_j
+        assert 0 not in split.sometimes_without_j
+
+    def test_figure3_split_for_endpoint(self, figure3_transition):
+        cache = MotionCache(figure3_transition)
+        split = split_neighborhood(cache, 0)
+        # Devices 1,2,3 also belong to {1,2,3,4} which avoids 0: all in L.
+        assert split.sometimes_without_j == frozenset({1, 2, 3})
+        assert split.always_with_j == frozenset({0})
+
+    def test_figure3_split_for_center(self, figure3_transition):
+        cache = MotionCache(figure3_transition)
+        split = split_neighborhood(cache, 2)
+        # Every neighbour's dense motions all contain device 2.
+        assert split.always_with_j == frozenset({0, 1, 2, 3, 4})
+        assert split.sometimes_without_j == frozenset()
+
+    def test_blob_split_trivial(self, single_blob_transition):
+        cache = MotionCache(single_blob_transition)
+        split = split_neighborhood(cache, 0)
+        assert split.always_with_j == single_blob_transition.flagged
+        assert not split.sometimes_without_j
+
+    def test_isolated_device_split_empty(self, scattered_transition):
+        cache = MotionCache(scattered_transition)
+        split = split_neighborhood(cache, 0)
+        assert split.dense_neighborhood == frozenset()
+
+
+class TestInterface:
+    def test_unflagged_device_rejected(self):
+        t = make_transition_1d([(0.5, 0.5), (0.6, 0.6)], r=0.03, tau=1, flagged=[0])
+        with pytest.raises(UnknownDeviceError):
+            Characterizer(t).characterize(1)
+
+    def test_characterize_all_covers_flagged(self):
+        rng = random.Random(2)
+        pairs = random_clustered_pairs(rng, 9, 0.05)
+        t = make_transition_1d(pairs, r=0.05, tau=2, flagged=[1, 3, 5])
+        results = characterize_transition(t)
+        assert set(results) == {1, 3, 5}
+
+    def test_classification_deterministic(self, figure3_transition):
+        first = characterize_transition(figure3_transition)
+        second = characterize_transition(figure3_transition)
+        assert {j: v.anomaly_type for j, v in first.items()} == {
+            j: v.anomaly_type for j, v in second.items()
+        }
+
+    def test_classify_sets_partition_flagged(self, figure3_transition):
+        results = characterize_transition(figure3_transition)
+        isolated, massive, unresolved = classify_sets(results)
+        assert isolated | massive | unresolved == figure3_transition.flagged
+        assert not (isolated & massive)
+        assert not (isolated & unresolved)
+        assert not (massive & unresolved)
+
+    def test_cache_shared_across_devices(self, figure3_transition):
+        char = Characterizer(figure3_transition)
+        char.characterize_all()
+        # Every flagged device's family computed at most once.
+        assert char.cache.expansions <= figure3_transition.n

@@ -1,0 +1,172 @@
+"""Second battery of characterization tests: two-service QoS space.
+
+The paper's evaluation uses ``d = 2`` (combined motion space of four
+dimensions).  Everything proved for ``d = 1`` must carry over; these
+tests re-run the oracle cross-check and the structural properties on
+random two-dimensional configurations, plus exercise the budget and
+fallback machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterize import Characterizer, classify_sets
+from repro.core.errors import SearchBudgetExceeded
+from repro.core.motions import (
+    brute_force_maximal_motions,
+    enumerate_maximal_motions,
+)
+from repro.core.oracle import oracle_classify
+from repro.core.partition import greedy_partition, massive_isolated_split
+from repro.core.transition import Transition
+from repro.core.types import AnomalyType, DecisionRule
+
+
+def _random_transition_2d(seed: int) -> Transition:
+    """Random clustered two-service configuration (small, oracle-friendly)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    tau = int(rng.integers(1, n))
+    r = float(rng.uniform(0.03, 0.15))
+    prev = np.empty((n, 2))
+    cur = np.empty((n, 2))
+    for i in range(n):
+        if i and rng.random() < 0.6:
+            j = int(rng.integers(i))
+            prev[i] = prev[j] + rng.uniform(-2.2 * r, 2.2 * r, 2)
+            cur[i] = cur[j] + rng.uniform(-2.2 * r, 2.2 * r, 2)
+        else:
+            prev[i] = rng.random(2)
+            cur[i] = rng.random(2)
+    prev = np.clip(prev, 0, 1)
+    cur = np.clip(cur, 0, 1)
+    return Transition.from_arrays(prev, cur, range(n), r, tau)
+
+
+class TestOracleCrosscheck2D:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_local_equals_oracle(self, seed):
+        t = _random_transition_2d(seed)
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device), (
+                f"seed={seed} device={device}"
+            )
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_local_equals_oracle_fuzz(self, seed):
+        t = _random_transition_2d(seed)
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_motion_enumerator_2d_fuzz(self, seed):
+        t = _random_transition_2d(seed)
+        fast, _ = enumerate_maximal_motions(t, range(t.n))
+        slow = brute_force_maximal_motions(t, range(t.n))
+        assert sorted(map(sorted, fast)) == sorted(map(sorted, slow))
+
+
+class TestGreedyContainment:
+    """Relations M_k ⊆ M_P and I_k ⊆ I_P for the greedy partition P."""
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_certain_sets_contained_in_greedy_split(self, seed):
+        t = _random_transition_2d(seed)
+        isolated, massive, _ = classify_sets(Characterizer(t).characterize_all())
+        partition = greedy_partition(t, random.Random(seed))
+        dense, sparse = massive_isolated_split(partition, t.tau)
+        assert massive <= dense
+        assert isolated <= sparse
+
+
+class TestBudgets:
+    def _unresolved_config(self) -> Transition:
+        # Figure 3-like chain in 2-D: two overlapping dense motions.
+        prev = np.array(
+            [[0.30, 0.30], [0.32, 0.32], [0.35, 0.35], [0.38, 0.38], [0.42, 0.42]]
+        )
+        return Transition.from_arrays(prev, prev.copy(), range(5), 0.05, 3)
+
+    def test_budget_raises_without_fallback(self):
+        t = self._unresolved_config()
+        with pytest.raises(SearchBudgetExceeded):
+            Characterizer(t, collection_budget=0).characterize(0)
+
+    def test_budget_fallback_degrades_to_unresolved(self):
+        t = self._unresolved_config()
+        verdict = Characterizer(
+            t, collection_budget=0, budget_fallback=True
+        ).characterize(0)
+        assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+        assert verdict.rule is DecisionRule.ALGORITHM_3
+
+    def test_fallback_never_affects_cheap_verdicts(self):
+        t = self._unresolved_config()
+        strict = Characterizer(t).characterize_all()
+        fallback = Characterizer(
+            t, collection_budget=0, budget_fallback=True
+        ).characterize_all()
+        for device in t.flagged_sorted:
+            if strict[device].rule in (DecisionRule.THEOREM_5, DecisionRule.THEOREM_6):
+                assert fallback[device].anomaly_type is strict[device].anomaly_type
+
+    def test_pool_cap_raises(self):
+        t = self._unresolved_config()
+        with pytest.raises(SearchBudgetExceeded):
+            Characterizer(t, pool_cap=1).characterize(0)
+
+    def test_generous_budget_matches_unbudgeted(self):
+        t = self._unresolved_config()
+        unbudgeted = Characterizer(t).characterize_all()
+        budgeted = Characterizer(
+            t, collection_budget=10**6, budget_fallback=True
+        ).characterize_all()
+        assert {j: v.anomaly_type for j, v in unbudgeted.items()} == {
+            j: v.anomaly_type for j, v in budgeted.items()
+        }
+
+
+class TestHigherDimensions:
+    def test_three_service_blob(self):
+        """d = 3: one co-moving blob and one straggler."""
+        rng = np.random.default_rng(5)
+        prev = np.clip(rng.normal(0.8, 0.005, (7, 3)), 0, 1)
+        cur = prev.copy()
+        cur[:5] = np.clip(cur[:5] - 0.4, 0, 1)
+        cur[5] = [0.1, 0.9, 0.5]
+        cur[6] = [0.9, 0.1, 0.2]
+        t = Transition.from_arrays(prev, cur, range(7), 0.03, 3)
+        isolated, massive, unresolved = classify_sets(
+            Characterizer(t).characterize_all()
+        )
+        assert massive == frozenset(range(5))
+        assert isolated == frozenset({5, 6})
+        assert not unresolved
+
+    def test_dimension_mismatch_between_motion_and_space(self):
+        """A group consistent in one service but split in another is not
+        a motion: per-dimension boxes must all be satisfied."""
+        prev = np.array([[0.5, 0.5], [0.51, 0.51], [0.52, 0.52], [0.53, 0.53]])
+        cur = prev.copy()
+        cur[:, 0] -= 0.3          # all move together on service 0
+        cur[3, 1] = 0.9           # device 3 diverges on service 1
+        cur = np.clip(cur, 0, 1)
+        t = Transition.from_arrays(prev, cur, range(4), 0.03, 2)
+        isolated, massive, unresolved = classify_sets(
+            Characterizer(t).characterize_all()
+        )
+        assert massive == frozenset({0, 1, 2})
+        assert isolated == frozenset({3})

@@ -1,0 +1,90 @@
+"""Figure 4-style tests: the J_k(j) / L_k(j) neighbourhood split.
+
+The paper's Figure 4 illustrates splitting ``D_k(j)`` into devices whose
+*every* maximal dense motion contains ``j`` (``J_k(j)``) and those owning
+a dense motion avoiding ``j`` (``L_k(j)``), with ``tau = 2``.  These
+tests build the same structures on a three-motion chain and verify the
+split and its downstream consequences (Theorem 6 vs Corollary 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.characterize import Characterizer
+from repro.core.motions import all_maximal_motions
+from repro.core.neighborhood import MotionCache, split_neighborhood
+from repro.core.types import AnomalyType, DecisionRule
+from tests.conftest import make_transition_1d
+
+# Five devices in a chain; 2r = 0.06, spacing 0.03, tau = 2:
+# maximal dense motions {0,1,2}, {1,2,3}, {2,3,4}.
+CHAIN = [(0.30, 0.30), (0.33, 0.33), (0.36, 0.36), (0.39, 0.39), (0.42, 0.42)]
+R, TAU = 0.03, 2
+
+
+def chain_transition():
+    return make_transition_1d(CHAIN, r=R, tau=TAU)
+
+
+class TestChainMotions:
+    def test_three_maximal_dense_motions(self):
+        t = chain_transition()
+        motions = sorted(tuple(sorted(m)) for m in all_maximal_motions(t))
+        assert motions == [(0, 1, 2), (1, 2, 3), (2, 3, 4)]
+
+
+class TestCenterDevice:
+    """Device 2 sits in every motion: D = J, L empty (Figure 4a shape)."""
+
+    def test_split(self):
+        t = chain_transition()
+        split = split_neighborhood(MotionCache(t), 2)
+        assert split.always_with_j == frozenset({0, 1, 2, 3, 4})
+        assert split.sometimes_without_j == frozenset()
+
+    def test_theorem6_decides_massive(self):
+        t = chain_transition()
+        verdict = Characterizer(t).characterize(2)
+        assert verdict.anomaly_type is AnomalyType.MASSIVE
+        assert verdict.rule is DecisionRule.THEOREM_6
+
+
+class TestEdgeDevice:
+    """Device 0's neighbours own motions avoiding it (Figure 4b shape)."""
+
+    def test_split(self):
+        t = chain_transition()
+        split = split_neighborhood(MotionCache(t), 0)
+        assert split.dense_neighborhood == frozenset({0, 1, 2})
+        assert split.always_with_j == frozenset({0})
+        assert split.sometimes_without_j == frozenset({1, 2})
+
+    def test_corollary8_unresolved(self):
+        # The competing motion {1,2,3} can absorb 0's partners, leaving 0
+        # alone: an admissible partition with |P(0)| <= tau exists, and
+        # another with 0 inside a dense block; device 0 is unresolved.
+        t = chain_transition()
+        verdict = Characterizer(t).characterize(0)
+        assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+        assert verdict.rule is DecisionRule.COROLLARY_8
+        assert verdict.witness is not None
+
+    def test_oracle_agrees_on_whole_chain(self):
+        from repro.core.oracle import oracle_classify
+
+        t = chain_transition()
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device)
+
+
+class TestSplitAsymmetry:
+    def test_l_membership_is_not_symmetric(self):
+        """1 in L(0) (it owns {1,2,3} avoiding 0) but 0 not in D(1)'s L:
+        0's only dense motion {0,1,2} contains 1."""
+        t = chain_transition()
+        cache = MotionCache(t)
+        split0 = split_neighborhood(cache, 0)
+        split1 = split_neighborhood(cache, 1)
+        assert 1 in split0.sometimes_without_j
+        assert 0 in split1.always_with_j

@@ -1,0 +1,165 @@
+"""Unit tests for :mod:`repro.core.geometry`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, DimensionMismatchError
+from repro.core.geometry import (
+    GridIndex,
+    bounding_box_side,
+    is_r_consistent_points,
+    pairwise_uniform_distances,
+    points_within,
+    uniform_distance,
+    uniform_norm,
+    validate_radius,
+    validate_unit_cube,
+)
+
+
+class TestUniformNorm:
+    def test_scalar_vector(self):
+        assert uniform_norm(np.array([0.3, -0.7, 0.2])) == pytest.approx(0.7)
+
+    def test_empty_vector_is_zero(self):
+        assert uniform_norm(np.array([])) == 0.0
+
+    def test_distance_symmetry(self):
+        x = np.array([0.1, 0.9])
+        y = np.array([0.4, 0.5])
+        assert uniform_distance(x, y) == uniform_distance(y, x) == pytest.approx(0.4)
+
+    def test_distance_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            uniform_distance(np.zeros(2), np.zeros(3))
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=1, max_size=5).map(np.array),
+        st.lists(st.floats(0, 1), min_size=1, max_size=5).map(np.array),
+    )
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, x, y):
+        if x.shape != y.shape:
+            return
+        z = np.zeros_like(x)
+        assert uniform_distance(x, y) <= (
+            uniform_distance(x, z) + uniform_distance(z, y) + 1e-12
+        )
+
+
+class TestPairwiseDistances:
+    def test_matrix_matches_scalar(self):
+        pts = np.array([[0.0, 0.0], [0.3, 0.1], [0.9, 0.5]])
+        mat = pairwise_uniform_distances(pts)
+        for i in range(3):
+            for j in range(3):
+                assert mat[i, j] == pytest.approx(uniform_distance(pts[i], pts[j]))
+
+    def test_diagonal_zero(self):
+        pts = np.random.default_rng(0).random((6, 3))
+        mat = pairwise_uniform_distances(pts)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(DimensionMismatchError):
+            pairwise_uniform_distances(np.array([1.0, 2.0]))
+
+
+class TestBoundingBox:
+    def test_side_equals_diameter_under_uniform_norm(self):
+        pts = np.array([[0.1, 0.2], [0.25, 0.2], [0.18, 0.05]])
+        assert bounding_box_side(pts) == pytest.approx(
+            pairwise_uniform_distances(pts).max()
+        )
+
+    def test_empty_set(self):
+        assert bounding_box_side(np.zeros((0, 2))) == 0.0
+
+    def test_consistency_predicate_boundary(self):
+        # Exactly 2r apart must count as consistent (closed ball).
+        pts = np.array([[0.0], [0.2]])
+        assert is_r_consistent_points(pts, 0.1)
+        assert not is_r_consistent_points(pts, 0.0999)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=1, max_size=8
+        ),
+        st.floats(0.01, 0.24),
+    )
+    @settings(max_examples=50)
+    def test_consistency_matches_pairwise_definition(self, raw, r):
+        pts = np.array(raw)
+        expected = pairwise_uniform_distances(pts).max() <= 2 * r + 1e-12
+        assert is_r_consistent_points(pts, r) == expected
+
+
+class TestPointsWithin:
+    def test_box_membership(self):
+        pts = np.array([[0.1, 0.1], [0.2, 0.1], [0.5, 0.5]])
+        hits = points_within(pts, np.array([0.15, 0.1]), 0.06)
+        assert list(hits) == [0, 1]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            points_within(np.zeros((3, 2)), np.zeros(3), 0.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("r", [-0.01, 0.25, 0.5, 1.0])
+    def test_radius_out_of_range(self, r):
+        with pytest.raises(ConfigurationError):
+            validate_radius(r)
+
+    @pytest.mark.parametrize("r", [0.0, 0.03, 0.2499])
+    def test_radius_accepted(self, r):
+        assert validate_radius(r) == r
+
+    def test_unit_cube_rejects_outliers(self):
+        with pytest.raises(ConfigurationError):
+            validate_unit_cube(np.array([[0.5, 1.2]]))
+
+    def test_unit_cube_accepts_boundary(self):
+        pts = validate_unit_cube(np.array([[0.0, 1.0]]))
+        assert pts.shape == (1, 2)
+
+
+class TestGridIndex:
+    def test_query_matches_linear_scan(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((200, 2))
+        index = GridIndex(pts, cell=0.06)
+        for _ in range(20):
+            center = rng.random(2)
+            rho = rng.uniform(0.01, 0.15)
+            expected = sorted(points_within(pts, center, rho).tolist())
+            assert index.query(center, rho) == expected
+
+    def test_len_and_properties(self):
+        pts = np.random.default_rng(1).random((10, 3))
+        index = GridIndex(pts, cell=0.1)
+        assert len(index) == 10
+        assert index.dim == 3
+        assert index.cell == 0.1
+
+    def test_zero_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(np.zeros((1, 2)), cell=0.0)
+
+    def test_query_dimension_mismatch(self):
+        index = GridIndex(np.zeros((1, 2)), cell=0.1)
+        with pytest.raises(DimensionMismatchError):
+            index.query([0.5], 0.1)
+
+    def test_pairs_within(self):
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [0.9, 0.9]])
+        index = GridIndex(pts, cell=0.1)
+        assert index.query_pairs_within(0.06) == [(0, 1)]
+
+    def test_empty_index(self):
+        index = GridIndex(np.zeros((0, 2)), cell=0.1)
+        assert index.query([0.5, 0.5], 0.2) == []

@@ -1,0 +1,122 @@
+"""Property-based validation: local theorems == omniscient oracle.
+
+The central correctness claim of the paper (and of this implementation) is
+that the locally computable conditions of Theorems 5 and 7 and Corollary 8
+classify every device exactly as the omniscient observer would.  These
+tests enumerate all admissible anomaly partitions on random small
+configurations and compare.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterize import Characterizer
+from repro.core.oracle import oracle_classify
+from repro.core.partition import enumerate_anomaly_partitions
+from repro.core.types import AnomalyType, DecisionRule
+from tests.conftest import make_transition_1d, random_clustered_pairs
+
+
+def _random_transition(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(2, 8)
+    tau = rng.randint(1, max(1, n - 1))
+    r = rng.uniform(0.02, 0.2)
+    pairs = random_clustered_pairs(rng, n, r)
+    return make_transition_1d(pairs, r=r, tau=tau)
+
+
+class TestLocalEqualsOracle:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_classification_matches(self, seed):
+        t = _random_transition(seed)
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device), (
+                f"seed={seed} device={device}"
+            )
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_classification_matches_fuzz(self, seed):
+        t = _random_transition(seed)
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem6_never_contradicts_oracle(self, seed):
+        """Theorem 6 is only sufficient, but must never *mis*classify."""
+        t = _random_transition(seed)
+        cheap = Characterizer(t, full_nsc=False).characterize_all()
+        oracle = oracle_classify(t)
+        for device in t.flagged_sorted:
+            verdict = cheap[device]
+            if verdict.anomaly_type is AnomalyType.MASSIVE:
+                assert oracle.type_of(device) is AnomalyType.MASSIVE
+            elif verdict.anomaly_type is AnomalyType.ISOLATED:
+                assert oracle.type_of(device) is AnomalyType.ISOLATED
+            # UNRESOLVED in cheap mode can be anything except isolated:
+            # Theorem 5 is exact, so a cheap-unresolved device is truly
+            # massive or truly unresolved.
+            else:
+                assert oracle.type_of(device) is not AnomalyType.ISOLATED
+
+
+class TestLemma2:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_at_least_one_partition_exists(self, seed):
+        t = _random_transition(seed)
+        assert enumerate_anomaly_partitions(t)
+
+
+class TestRelaxedAcpContainments:
+    """Problem 2: M_k ⊆ M_P and I_k ⊆ I_P for every partition P."""
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_containments(self, seed):
+        t = _random_transition(seed)
+        oracle = oracle_classify(t)
+        tau = t.tau
+        for partition in oracle.partitions:
+            dense = frozenset(
+                x for block in partition if len(block) > tau for x in block
+            )
+            sparse = t.flagged - dense
+            assert oracle.massive <= dense
+            assert oracle.isolated <= sparse
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_three_sets_partition_flagged(self, seed):
+        t = _random_transition(seed)
+        oracle = oracle_classify(t)
+        union = oracle.isolated | oracle.massive | oracle.unresolved
+        assert union == t.flagged
+        assert not oracle.isolated & oracle.massive
+        assert not oracle.isolated & oracle.unresolved
+        assert not oracle.massive & oracle.unresolved
+
+
+class TestDecisionRuleSoundness:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_rules_report_correct_type(self, seed):
+        t = _random_transition(seed)
+        for device, verdict in Characterizer(t).characterize_all().items():
+            if verdict.rule is DecisionRule.THEOREM_5:
+                assert verdict.anomaly_type is AnomalyType.ISOLATED
+            elif verdict.rule in (DecisionRule.THEOREM_6, DecisionRule.THEOREM_7):
+                assert verdict.anomaly_type is AnomalyType.MASSIVE
+            elif verdict.rule is DecisionRule.COROLLARY_8:
+                assert verdict.anomaly_type is AnomalyType.UNRESOLVED

@@ -1,0 +1,239 @@
+"""Scenario tests encoding the paper's worked examples verbatim.
+
+Each class reproduces one figure or theorem-level claim of the paper on the
+exact configuration (translated to zero-based ids and explicit
+coordinates) and asserts the published conclusion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.characterize import Characterizer, classify_sets
+from repro.core.motions import all_maximal_motions, maximal_motions_containing
+from repro.core.oracle import oracle_classify
+from repro.core.partition import (
+    enumerate_anomaly_partitions,
+    greedy_partition,
+    is_anomaly_partition,
+)
+from repro.core.types import AnomalyType, DecisionRule
+from tests.conftest import (
+    FIGURE3_PAIRS,
+    FIGURE3_R,
+    FIGURE3_TAU,
+    figure5_pairs,
+    FIGURE5_R,
+    FIGURE5_TAU,
+    make_transition_1d,
+)
+
+
+def canonical(motions):
+    return sorted(tuple(sorted(m)) for m in motions)
+
+
+class TestFigure1MaximalConsistentSets:
+    """Figure 1: a device belonging to two maximal r-consistent sets."""
+
+    # One dimension, six devices; device 0 sits in two maximal sets
+    # B1 = {0,1,2,3} and B2 = {0,1,2,4,5} (paper ids 1..6).
+    PAIRS = [
+        (0.50, 0.50),  # 0 (paper 1)
+        (0.52, 0.52),  # 1 (paper 2)
+        (0.54, 0.54),  # 2 (paper 3)
+        (0.45, 0.45),  # 3 (paper 4): pulls the window left
+        (0.58, 0.58),  # 4 (paper 5)
+        (0.60, 0.60),  # 5 (paper 6): pulls the window right
+    ]
+
+    def test_two_maximal_sets_containing_device_0(self):
+        t = make_transition_1d(self.PAIRS, r=0.05, tau=2)
+        motions, _ = maximal_motions_containing(t, 0)
+        assert canonical(motions) == [(0, 1, 2, 3), (0, 1, 2, 4, 5)]
+
+    def test_subsets_are_consistent(self):
+        t = make_transition_1d(self.PAIRS, r=0.05, tau=2)
+        # "Any subset of B1 and any subset of B2 is an r-consistent set."
+        assert t.is_consistent_motion({0, 3})
+        assert t.is_consistent_motion({1, 2, 4})
+        # But mixing the extremes of B1 and B2 is not.
+        assert not t.is_consistent_motion({3, 5})
+
+
+class TestFigure2PartitionNonUniqueness:
+    """Figure 2 / Lemma 2: anomaly partitions are not unique."""
+
+    # Ten devices, tau = 3.  A chain 0-1-2-3 of overlapping small motions,
+    # a 5-device dense group, and a loner; mirrors the paper's C1..C4.
+    PAIRS = (
+        [(0.20, 0.20), (0.23, 0.23), (0.26, 0.26), (0.29, 0.29)]  # chain 0..3
+        + [(0.60, 0.60)] * 5                                        # dense C3
+        + [(0.90, 0.90)]                                            # loner
+    )
+
+    def test_multiple_admissible_partitions(self):
+        t = make_transition_1d(self.PAIRS, r=0.03, tau=3)
+        partitions = enumerate_anomaly_partitions(t)
+        assert len(partitions) > 1
+
+    def test_chain_can_break_either_way(self):
+        t = make_transition_1d(self.PAIRS, r=0.03, tau=3)
+        p_left = (
+            frozenset({0, 1, 2}),
+            frozenset({3}),
+            frozenset({4, 5, 6, 7, 8}),
+            frozenset({9}),
+        )
+        p_right = (
+            frozenset({0}),
+            frozenset({1, 2, 3}),
+            frozenset({4, 5, 6, 7, 8}),
+            frozenset({9}),
+        )
+        assert is_anomaly_partition(t, p_left)
+        assert is_anomaly_partition(t, p_right)
+
+    def test_greedy_seed_dependence(self):
+        t = make_transition_1d(self.PAIRS, r=0.03, tau=3)
+        outcomes = {
+            frozenset(greedy_partition(t, random.Random(seed))) for seed in range(12)
+        }
+        assert len(outcomes) > 1
+
+
+class TestFigure3AcpImpossibility:
+    """Figure 3 / Theorem 3: the ACP cannot be solved."""
+
+    def make(self):
+        return make_transition_1d(FIGURE3_PAIRS, r=FIGURE3_R, tau=FIGURE3_TAU)
+
+    def test_two_maximal_motions(self):
+        t = self.make()
+        assert canonical(all_maximal_motions(t)) == [(0, 1, 2, 3), (1, 2, 3, 4)]
+
+    def test_exactly_two_anomaly_partitions(self):
+        t = self.make()
+        assert len(enumerate_anomaly_partitions(t)) == 2
+
+    def test_unresolved_set_nonempty_so_acp_unsolvable(self):
+        t = self.make()
+        verdict = oracle_classify(t)
+        assert verdict.unresolved == frozenset({0, 4})
+        assert not verdict.acp_solvable
+
+    def test_core_devices_massive_in_both_partitions(self):
+        t = self.make()
+        verdict = oracle_classify(t)
+        assert verdict.massive == frozenset({1, 2, 3})
+        assert verdict.isolated == frozenset()
+
+    def test_local_conditions_match_omniscient_observer(self):
+        t = self.make()
+        local = Characterizer(t).characterize_all()
+        verdict = oracle_classify(t)
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is verdict.type_of(device)
+
+
+class TestFigure5Theorem7Necessity:
+    """Figure 5: Theorem 6 insufficient, Theorem 7 decides massive."""
+
+    def make(self):
+        return make_transition_1d(figure5_pairs(), r=FIGURE5_R, tau=FIGURE5_TAU)
+
+    def test_four_maximal_dense_motions(self):
+        t = self.make()
+        motions = all_maximal_motions(t)
+        assert canonical(motions) == [
+            (0, 1, 2, 3),
+            (0, 1, 6, 7),
+            (2, 3, 4, 5),
+            (4, 5, 6, 7),
+        ]
+
+    def test_exactly_two_partitions_both_all_dense(self):
+        t = self.make()
+        partitions = enumerate_anomaly_partitions(t)
+        as_sets = {frozenset(p) for p in partitions}
+        assert as_sets == {
+            frozenset({frozenset({0, 1, 2, 3}), frozenset({4, 5, 6, 7})}),
+            frozenset({frozenset({0, 1, 6, 7}), frozenset({2, 3, 4, 5})}),
+        }
+
+    def test_all_devices_massive_via_theorem7(self):
+        t = self.make()
+        results = Characterizer(t).characterize_all()
+        for verdict in results.values():
+            assert verdict.anomaly_type is AnomalyType.MASSIVE
+            assert verdict.rule is DecisionRule.THEOREM_7
+
+    def test_theorem6_alone_cannot_decide(self):
+        t = self.make()
+        results = Characterizer(t, full_nsc=False).characterize_all()
+        assert all(v.anomaly_type is AnomalyType.UNRESOLVED for v in results.values())
+
+    def test_oracle_agrees(self):
+        t = self.make()
+        verdict = oracle_classify(t)
+        assert verdict.massive == t.flagged
+        assert verdict.acp_solvable
+
+
+class TestCorollary4:
+    """Corollary 4: empty U_k implies ACP solvable."""
+
+    def test_unambiguous_configuration(self, single_blob_transition):
+        verdict = oracle_classify(single_blob_transition)
+        assert not verdict.unresolved
+        assert verdict.acp_solvable
+        # And every admissible partition then yields the same M/I split.
+        splits = set()
+        for partition in verdict.partitions:
+            dense = frozenset(
+                x
+                for block in partition
+                if len(block) > single_blob_transition.tau
+                for x in block
+            )
+            splits.add(dense)
+        assert len(splits) == 1
+
+
+class TestKnowledgeRadius:
+    """Section V's locality claim: 4r knowledge suffices.
+
+    Characterizing a device must not change when devices farther than 4r
+    (at either time) are removed from the system entirely.
+    """
+
+    def test_far_devices_do_not_affect_verdict(self):
+        rng = random.Random(77)
+        from tests.conftest import random_clustered_pairs
+
+        for trial in range(10):
+            pairs = random_clustered_pairs(rng, 12, 0.04)
+            t = make_transition_1d(pairs, r=0.04, tau=2)
+            full = Characterizer(t).characterize_all()
+            for device in range(12):
+                ball = set(t.knowledge_ball(device))
+                # Keep the 4r ball plus anything it can see transitively
+                # within another 4r (safe over-approximation of the
+                # knowledge the theorems use).
+                keep = set(ball)
+                for member in ball:
+                    keep.update(t.knowledge_ball(member))
+                keep_sorted = sorted(keep)
+                remap = {old: new for new, old in enumerate(keep_sorted)}
+                sub_pairs = [pairs[i] for i in keep_sorted]
+                # Pad with far, unflagged dummies so tau stays in [1, n-1];
+                # unflagged devices never join motions so they cannot
+                # influence the verdict.
+                flagged = list(range(len(sub_pairs)))
+                while len(sub_pairs) < 4:
+                    sub_pairs.append((0.99, 0.01))
+                sub = make_transition_1d(sub_pairs, r=0.04, tau=2, flagged=flagged)
+                verdict = Characterizer(sub).characterize(remap[device])
+                assert verdict.anomaly_type is full[device].anomaly_type, (
+                    f"trial {trial} device {device}"
+                )

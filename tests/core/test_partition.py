@@ -1,0 +1,236 @@
+"""Tests for anomaly partitions (:mod:`repro.core.partition`)."""
+
+from __future__ import annotations
+
+import random
+from math import factorial
+
+import pytest
+
+from repro.core.errors import PartitionError
+from repro.core.partition import (
+    enumerate_anomaly_partitions,
+    greedy_partition,
+    is_anomaly_partition,
+    iter_set_partitions,
+    massive_isolated_split,
+    partition_block_of,
+    validate_anomaly_partition,
+)
+from tests.conftest import (
+    FIGURE3_PAIRS,
+    FIGURE3_R,
+    FIGURE3_TAU,
+    make_transition_1d,
+    random_clustered_pairs,
+)
+
+
+def bell_number(n: int) -> int:
+    """Bell numbers via the triangle recurrence (reference for the
+    partition generator)."""
+    row = [1]
+    for _ in range(n - 1):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[0] if n > 0 else 1
+
+
+class TestSetPartitionGenerator:
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)])
+    def test_counts_are_bell_numbers(self, n, expected):
+        assert sum(1 for _ in iter_set_partitions(list(range(n)))) == expected
+
+    def test_partitions_are_distinct_and_cover(self):
+        items = [10, 20, 30, 40]
+        seen = set()
+        for blocks in iter_set_partitions(items):
+            key = frozenset(frozenset(b) for b in blocks)
+            assert key not in seen
+            seen.add(key)
+            flat = sorted(x for b in blocks for x in b)
+            assert flat == items
+
+
+class TestPartitionValidity:
+    def test_figure3_partitions(self):
+        t = make_transition_1d(FIGURE3_PAIRS, r=FIGURE3_R, tau=FIGURE3_TAU)
+        p1 = (frozenset({0, 1, 2, 3}), frozenset({4}))
+        p2 = (frozenset({0}), frozenset({1, 2, 3, 4}))
+        assert is_anomaly_partition(t, p1)
+        assert is_anomaly_partition(t, p2)
+
+    def test_figure3_invalid_partition(self):
+        # Splitting the dense motion in half leaves a dense motion inside
+        # the sparse union (C1 violation): {0,1,2} u {3,4} can rebuild a
+        # 4-dense motion.
+        t = make_transition_1d(FIGURE3_PAIRS, r=FIGURE3_R, tau=FIGURE3_TAU)
+        p = (frozenset({0, 1, 2}), frozenset({3, 4}))
+        assert not is_anomaly_partition(t, p)
+
+    def test_non_consistent_block_rejected(self):
+        t = make_transition_1d([(0.1, 0.1), (0.9, 0.9)], r=0.03, tau=1)
+        assert not is_anomaly_partition(t, (frozenset({0, 1}),))
+
+    def test_overlap_rejected(self):
+        t = make_transition_1d([(0.5, 0.5)] * 2, r=0.03, tau=1)
+        p = (frozenset({0, 1}), frozenset({1}))
+        assert not is_anomaly_partition(t, p)
+
+    def test_cover_required(self):
+        t = make_transition_1d([(0.1, 0.1), (0.9, 0.9)], r=0.03, tau=1)
+        assert not is_anomaly_partition(t, (frozenset({0}),))
+
+    def test_empty_block_rejected(self):
+        t = make_transition_1d([(0.5, 0.5)], r=0.03, tau=1)
+        assert not is_anomaly_partition(t, (frozenset(), frozenset({0})))
+
+    def test_c2_violation(self):
+        # Four coincident devices plus one at distance exactly 2r: putting
+        # the singleton aside while keeping the blob dense violates C2
+        # because the singleton could merge with the dense block.
+        pairs = [(0.5, 0.5)] * 4 + [(0.6, 0.6)]
+        t = make_transition_1d(pairs, r=0.05, tau=3)
+        p = (frozenset({0, 1, 2, 3}), frozenset({4}))
+        assert not is_anomaly_partition(t, p)
+        # The only valid partition keeps all five together.
+        assert is_anomaly_partition(t, (frozenset({0, 1, 2, 3, 4}),))
+
+    def test_validate_raises_with_reason(self):
+        t = make_transition_1d([(0.1, 0.1), (0.9, 0.9)], r=0.03, tau=1)
+        with pytest.raises(PartitionError):
+            validate_anomaly_partition(t, (frozenset({0, 1}),))
+
+    def test_validate_normalizes(self):
+        t = make_transition_1d([(0.1, 0.1), (0.9, 0.9)], r=0.03, tau=1)
+        out = validate_anomaly_partition(t, (frozenset({1}), frozenset({0})))
+        assert out == (frozenset({0}), frozenset({1}))
+
+
+class TestBlockHelpers:
+    def test_block_of(self):
+        p = (frozenset({0, 1}), frozenset({2}))
+        assert partition_block_of(p, 2) == frozenset({2})
+        with pytest.raises(PartitionError):
+            partition_block_of(p, 5)
+
+    def test_massive_isolated_split(self):
+        p = (frozenset({0, 1, 2, 3}), frozenset({4}))
+        massive, isolated = massive_isolated_split(p, tau=3)
+        assert massive == frozenset({0, 1, 2, 3})
+        assert isolated == frozenset({4})
+
+
+class TestGreedyPartition:
+    def test_greedy_output_is_valid(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            pairs = random_clustered_pairs(rng, 10, 0.05)
+            t = make_transition_1d(pairs, r=0.05, tau=2)
+            partition = greedy_partition(t, random.Random(seed))
+            assert is_anomaly_partition(t, partition)
+
+    def test_greedy_covers_flagged(self):
+        rng = random.Random(4)
+        pairs = random_clustered_pairs(rng, 8, 0.05)
+        t = make_transition_1d(pairs, r=0.05, tau=2, flagged=[0, 2, 4, 6])
+        partition = greedy_partition(t)
+        flat = frozenset(x for b in partition for x in b)
+        assert flat == frozenset({0, 2, 4, 6})
+
+    def test_non_uniqueness_figure2_style(self):
+        # A chain of overlapping motions: different seeds may peel blocks
+        # differently (Lemma 2's non-uniqueness).
+        pairs = [(0.30, 0.30), (0.33, 0.33), (0.36, 0.36), (0.39, 0.39), (0.42, 0.42)]
+        t = make_transition_1d(pairs, r=0.03, tau=2)
+        seen = set()
+        for seed in range(20):
+            partition = greedy_partition(t, random.Random(seed))
+            assert is_anomaly_partition(t, partition)
+            seen.add(frozenset(partition))
+        assert len(seen) > 1
+
+    def test_empty_flagged(self):
+        t = make_transition_1d([(0.5, 0.5), (0.6, 0.6)], r=0.03, tau=1, flagged=[])
+        assert greedy_partition(t) == ()
+
+
+class TestGreedyStrategies:
+    """Reproduction finding: verbatim Algorithm 1 can violate C1.
+
+    With devices at combined coordinates 0.50, 0.53, 0.56, 0.62 and
+    ``2r = 0.06``, ``tau = 2``: the maximal motion through device 3 is the
+    sparse pair {2, 3}; peeling it first strands the dense motion
+    {0, 1, 2} across two sparse blocks, violating condition C1 of
+    Definition 6.  The dense-first strategy is immune by construction.
+    """
+
+    PAIRS = [(0.50, 0.50), (0.53, 0.53), (0.56, 0.56), (0.62, 0.62)]
+
+    def make(self):
+        return make_transition_1d(self.PAIRS, r=0.03, tau=2)
+
+    def test_paper_strategy_can_violate_c1(self):
+        t = self.make()
+        invalid_seen = False
+        for seed in range(30):
+            p = greedy_partition(t, random.Random(seed), strategy="paper")
+            if not is_anomaly_partition(t, p):
+                invalid_seen = True
+                # The failure mode is precisely the severed dense motion.
+                sparse_union = frozenset(
+                    x for b in p if len(b) <= t.tau for x in b
+                )
+                assert frozenset({0, 1, 2}) <= sparse_union
+        assert invalid_seen
+
+    def test_dense_first_always_valid_here(self):
+        t = self.make()
+        for seed in range(30):
+            p = greedy_partition(t, random.Random(seed), strategy="dense-first")
+            assert is_anomaly_partition(t, p)
+
+    def test_dense_first_always_valid_random(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            n = rng.randint(2, 9)
+            pairs = random_clustered_pairs(rng, n, 0.05)
+            t = make_transition_1d(pairs, r=0.05, tau=rng.randint(1, min(3, n - 1)))
+            for gseed in range(5):
+                p = greedy_partition(t, random.Random(gseed))
+                assert is_anomaly_partition(t, p)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PartitionError):
+            greedy_partition(self.make(), strategy="bogus")
+
+
+class TestEnumeration:
+    def test_lemma2_existence(self):
+        # Lemma 2: at least one admissible partition exists for any config.
+        for seed in range(15):
+            rng = random.Random(seed)
+            n = rng.randint(2, 7)
+            pairs = random_clustered_pairs(rng, n, 0.05)
+            t = make_transition_1d(pairs, r=0.05, tau=rng.randint(1, min(3, n - 1)))
+            assert enumerate_anomaly_partitions(t), f"seed {seed}: no partition"
+
+    def test_figure3_exactly_two_partitions(self):
+        t = make_transition_1d(FIGURE3_PAIRS, r=FIGURE3_R, tau=FIGURE3_TAU)
+        partitions = enumerate_anomaly_partitions(t)
+        as_sets = {frozenset(p) for p in partitions}
+        assert as_sets == {
+            frozenset({frozenset({0, 1, 2, 3}), frozenset({4})}),
+            frozenset({frozenset({0}), frozenset({1, 2, 3, 4})}),
+        }
+
+    def test_greedy_result_among_enumerated(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            pairs = random_clustered_pairs(rng, 6, 0.05)
+            t = make_transition_1d(pairs, r=0.05, tau=2)
+            enumerated = {frozenset(p) for p in enumerate_anomaly_partitions(t)}
+            greedy = frozenset(greedy_partition(t, random.Random(seed)))
+            assert greedy in enumerated

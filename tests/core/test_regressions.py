@@ -1,0 +1,120 @@
+"""Regression tests for bugs found (and fixed) during the reproduction.
+
+Each class pins one concrete configuration that once produced a wrong
+answer, so the fix can never silently regress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.motions import all_maximal_motions
+from repro.core.oracle import oracle_classify
+from repro.core.transition import Transition
+from repro.core.types import AnomalyType
+
+
+class TestTheorem7NonMaximalCollections:
+    """Found by property-based fuzzing (seed 137868 of the 1-D generator).
+
+    Theorem 7's collection family is ``W_k(l)`` — *all* tau-dense motions
+    of ``L_k(j)`` members — not only maximal ones.  An early
+    implementation drew candidates from the maximal family only and
+    declared device 1 massive; the true verdict is unresolved, witnessed
+    by the collection ``{{0,2,3}, {4,5}}`` whose member ``{4,5}`` is a
+    *non-maximal* dense motion (``tau = 1``) inside ``{0,2,4,5}``.
+    """
+
+    COMBINED = np.array(
+        [
+            [0.6510, 0.5494],
+            [0.4403, 0.9462],
+            [0.5271, 0.6276],
+            [0.3381, 0.8828],
+            [0.7710, 0.7689],
+            [0.5778, 0.4563],
+        ]
+    )
+    R = 0.174
+    TAU = 1
+
+    def make(self) -> Transition:
+        prev = self.COMBINED[:, :1]
+        cur = self.COMBINED[:, 1:]
+        return Transition.from_arrays(prev, cur, range(6), self.R, self.TAU)
+
+    def test_motion_structure(self):
+        t = self.make()
+        motions = sorted(tuple(sorted(m)) for m in all_maximal_motions(t))
+        assert motions == [(0, 2, 3), (0, 2, 4, 5), (1, 2, 3), (1, 2, 4)]
+
+    def test_device1_is_unresolved(self):
+        t = self.make()
+        verdict = Characterizer(t).characterize(1)
+        assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+
+    def test_counterexample_uses_nonmaximal_member(self):
+        t = self.make()
+        verdict = Characterizer(t).characterize(1)
+        assert verdict.witness is not None
+        union = frozenset().union(*verdict.witness)
+        # The counterexample must starve both of device 1's dense motions
+        # {1,2,3} and {1,2,4} down to tau = 1 leftovers.
+        assert len(frozenset({1, 2, 3}) - union) <= 1
+        assert len(frozenset({1, 2, 4}) - union) <= 1
+
+    def test_whole_configuration_matches_oracle(self):
+        t = self.make()
+        local = Characterizer(t).characterize_all()
+        oracle = oracle_classify(t)
+        assert oracle.massive == frozenset({0, 2, 4})
+        assert oracle.unresolved == frozenset({1, 3, 5})
+        for device in t.flagged_sorted:
+            assert local[device].anomaly_type is oracle.type_of(device)
+
+
+class TestPartialFlaggingOracleAgreement:
+    """Motions must only ever involve flagged devices: unflagged bystanders
+    sitting inside a moving box must not influence verdicts."""
+
+    def test_bystanders_ignored(self):
+        # Four co-moving devices but only three are flagged (one detector
+        # missed): with tau = 3 the flagged ones are isolated.
+        prev = np.full((5, 2), 0.5)
+        cur = prev - 0.2
+        cur[4] = [0.9, 0.9]
+        t = Transition.from_arrays(prev, np.clip(cur, 0, 1), [0, 1, 2], 0.03, 3)
+        local = Characterizer(t).characterize_all()
+        assert all(v.anomaly_type is AnomalyType.ISOLATED for v in local.values())
+        oracle = oracle_classify(t)
+        assert oracle.isolated == frozenset({0, 1, 2})
+
+    def test_flagging_the_fourth_flips_to_massive(self):
+        prev = np.full((5, 2), 0.5)
+        cur = prev - 0.2
+        cur[4] = [0.9, 0.9]
+        t = Transition.from_arrays(prev, np.clip(cur, 0, 1), [0, 1, 2, 3], 0.03, 3)
+        local = Characterizer(t).characterize_all()
+        assert all(v.anomaly_type is AnomalyType.MASSIVE for v in local.values())
+
+
+class TestBoundaryCoordinates:
+    """Devices pinned at the cube faces (post-clipping) must be handled."""
+
+    def test_group_at_origin_corner(self):
+        prev = np.full((5, 2), 0.02)
+        cur = np.zeros((5, 2))  # clipped flush against the corner
+        t = Transition.from_arrays(prev, cur, range(5), 0.03, 3)
+        local = Characterizer(t).characterize_all()
+        assert all(v.anomaly_type is AnomalyType.MASSIVE for v in local.values())
+
+    def test_exactly_2r_separation_is_consistent(self):
+        # The closed-ball boundary: distance exactly 2r joins the motion.
+        prev = np.array([[0.5, 0.5], [0.56, 0.5], [0.5, 0.56], [0.56, 0.56]])
+        cur = prev.copy()
+        t = Transition.from_arrays(prev, cur, range(4), 0.03, 3)
+        assert t.is_consistent_motion([0, 1, 2, 3])
+        motions = all_maximal_motions(t)
+        assert sorted(tuple(sorted(m)) for m in motions) == [(0, 1, 2, 3)]

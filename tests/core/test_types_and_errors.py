@@ -1,0 +1,101 @@
+"""Coverage for the small core value types and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors as err
+from repro.core.types import (
+    AnomalyType,
+    Characterization,
+    CostCounters,
+    DecisionRule,
+    MotionFamily,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            err.ConfigurationError,
+            err.DimensionMismatchError,
+            err.UnknownDeviceError,
+            err.PartitionError,
+            err.SearchBudgetExceeded,
+            err.TraceFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, err.ReproError)
+        with pytest.raises(err.ReproError):
+            raise cls("boom")
+
+    def test_repro_error_not_bare_exception_catchall(self):
+        # Library errors must be distinguishable from programming errors.
+        assert not issubclass(KeyError, err.ReproError)
+
+
+class TestCharacterizationProperties:
+    def make(self, anomaly):
+        return Characterization(
+            device=3, anomaly_type=anomaly, rule=DecisionRule.THEOREM_5
+        )
+
+    def test_type_predicates_are_exclusive(self):
+        for anomaly in AnomalyType:
+            verdict = self.make(anomaly)
+            flags = [verdict.is_isolated, verdict.is_massive, verdict.is_unresolved]
+            assert sum(flags) == 1
+
+    def test_frozen(self):
+        verdict = self.make(AnomalyType.ISOLATED)
+        with pytest.raises(AttributeError):
+            verdict.device = 9  # type: ignore[misc]
+
+    def test_string_forms(self):
+        assert str(AnomalyType.MASSIVE) == "massive"
+        assert str(DecisionRule.COROLLARY_8) == "corollary-8"
+
+
+class TestCostCounters:
+    def test_defaults_zero(self):
+        cost = CostCounters()
+        assert cost.maximal_motions == 0
+        assert cost.total_collections is None
+
+    def test_merge_handles_missing_totals(self):
+        a = CostCounters(total_collections=None)
+        b = CostCounters(total_collections=None)
+        a.merge(b)
+        assert a.total_collections is None
+        c = CostCounters(total_collections=5)
+        a.merge(c)
+        assert a.total_collections == 5
+
+    def test_as_dict_keys_stable(self):
+        keys = set(CostCounters().as_dict())
+        assert keys == {
+            "maximal_motions",
+            "dense_motions",
+            "neighbor_expansions",
+            "tested_collections",
+            "total_collections",
+            "window_steps",
+        }
+
+
+class TestMotionFamily:
+    def test_neighborhood_is_union_of_dense(self):
+        fam = MotionFamily(
+            device=0,
+            motions=(frozenset({0, 1}), frozenset({0, 2, 3, 4})),
+            dense=(frozenset({0, 2, 3, 4}),),
+        )
+        assert fam.neighborhood == frozenset({0, 2, 3, 4})
+        assert fam.has_dense_motion
+
+    def test_empty_dense_family(self):
+        fam = MotionFamily(device=0, motions=(frozenset({0}),), dense=())
+        assert fam.neighborhood == frozenset()
+        assert not fam.has_dense_motion

@@ -1,0 +1,93 @@
+"""Tests for the per-device composite detector (Definition 5's a_k(j))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, DimensionMismatchError
+from repro.detection import DeviceMonitor, StepThresholdDetector, make_detector_bank
+
+
+def factory():
+    return StepThresholdDetector(max_step=0.1)
+
+
+class TestDeviceMonitor:
+    def test_or_semantics(self):
+        monitor = DeviceMonitor(factory, services=2)
+        monitor.observe([0.9, 0.9])
+        detection = monitor.observe([0.88, 0.4])  # only service 1 jumps
+        assert detection.abnormal
+        assert detection.abnormal_services == (1,)
+
+    def test_quiet_when_all_services_quiet(self):
+        monitor = DeviceMonitor(factory, services=3)
+        monitor.observe([0.9, 0.8, 0.7])
+        assert not monitor.observe([0.88, 0.79, 0.71]).abnormal
+
+    def test_min_abnormal_services(self):
+        monitor = DeviceMonitor(factory, services=2, min_abnormal_services=2)
+        monitor.observe([0.9, 0.9])
+        assert not monitor.observe([0.4, 0.88]).abnormal  # one service only
+        monitor2 = DeviceMonitor(factory, services=2, min_abnormal_services=2)
+        monitor2.observe([0.9, 0.9])
+        assert monitor2.observe([0.4, 0.4]).abnormal
+
+    def test_dimension_checked(self):
+        monitor = DeviceMonitor(factory, services=2)
+        with pytest.raises(DimensionMismatchError):
+            monitor.observe([0.9])
+
+    def test_trajectory_accumulates(self):
+        monitor = DeviceMonitor(factory, services=2)
+        monitor.observe([0.9, 0.8])
+        monitor.observe([0.85, 0.75])
+        trajectory = monitor.trajectory()
+        assert trajectory.shape == (2, 2)
+        assert trajectory[0].tolist() == [0.9, 0.8]
+
+    def test_last_property(self):
+        monitor = DeviceMonitor(factory, services=1)
+        assert monitor.last is None
+        monitor.observe([0.5])
+        assert monitor.last is not None
+        assert monitor.last.position == (0.5,)
+
+    def test_max_score(self):
+        monitor = DeviceMonitor(factory, services=2)
+        monitor.observe([0.9, 0.9])
+        detection = monitor.observe([0.9, 0.5])
+        assert detection.max_score > 1.0
+
+    def test_reset(self):
+        monitor = DeviceMonitor(factory, services=2)
+        monitor.observe([0.9, 0.9])
+        monitor.reset()
+        assert monitor.last is None
+        assert not monitor.observe([0.1, 0.1]).abnormal  # fresh warmup
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMonitor(factory, services=0)
+        with pytest.raises(ConfigurationError):
+            DeviceMonitor(factory, services=2, min_abnormal_services=3)
+
+
+class TestDetectorBank:
+    def test_bank_shape(self):
+        bank = make_detector_bank(factory, devices=5, services=2)
+        assert set(bank) == set(range(5))
+        assert all(m.services == 2 for m in bank.values())
+
+    def test_bank_independence(self):
+        bank = make_detector_bank(factory, devices=2, services=1)
+        bank[0].observe([0.9])
+        bank[0].observe([0.3])
+        # Device 1's detectors must be untouched by device 0's history.
+        bank[1].observe([0.9])
+        assert not bank[1].observe([0.88]).abnormal
+
+    def test_bank_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_detector_bank(factory, devices=0, services=1)

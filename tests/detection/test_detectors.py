@@ -1,0 +1,270 @@
+"""Unit tests for the scalar error detection functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.detection import (
+    BandThresholdDetector,
+    CusumDetector,
+    EwmaDetector,
+    HoltWintersDetector,
+    KalmanDetector,
+    SeasonalHoltWintersDetector,
+    ShewhartDetector,
+    StepThresholdDetector,
+    detect_series,
+)
+
+
+def steady(value: float, count: int):
+    return [value] * count
+
+
+class TestStepThreshold:
+    def test_flags_large_step(self):
+        det = StepThresholdDetector(max_step=0.1)
+        det.update(0.9)
+        assert not det.update(0.85).abnormal
+        assert det.update(0.3).abnormal
+
+    def test_forecast_is_previous_value(self):
+        det = StepThresholdDetector(max_step=0.1)
+        det.update(0.7)
+        detection = det.update(0.65)
+        assert detection.forecast == pytest.approx(0.7)
+        assert detection.residual == pytest.approx(-0.05)
+
+    def test_first_sample_never_abnormal(self):
+        det = StepThresholdDetector(max_step=0.05)
+        assert not det.update(0.1).abnormal
+
+    def test_reset(self):
+        det = StepThresholdDetector(max_step=0.05)
+        det.update(0.9)
+        det.reset()
+        assert not det.update(0.1).abnormal
+        assert det.samples_seen == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_bad_max_step(self, bad):
+        with pytest.raises(ConfigurationError):
+            StepThresholdDetector(max_step=bad)
+
+    def test_out_of_range_sample_rejected(self):
+        det = StepThresholdDetector(max_step=0.1)
+        with pytest.raises(ConfigurationError):
+            det.update(1.2)
+
+
+class TestBandThreshold:
+    def test_band_membership(self):
+        det = BandThresholdDetector(low=0.8)
+        assert not det.update(0.9).abnormal
+        assert det.update(0.7).abnormal
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandThresholdDetector(low=0.9, high=0.8)
+
+    def test_warmup_suppresses(self):
+        det = BandThresholdDetector(low=0.8, warmup=2)
+        assert not det.update(0.1).abnormal
+        assert not det.update(0.1).abnormal
+        assert det.update(0.1).abnormal
+
+
+class TestEwma:
+    def test_steady_series_quiet(self):
+        det = EwmaDetector()
+        verdicts = detect_series(det, steady(0.9, 50))
+        assert not any(v.abnormal for v in verdicts)
+
+    def test_level_shift_flagged(self):
+        det = EwmaDetector(alpha=0.3, nsigma=4.0, warmup=5)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            det.update(float(np.clip(0.9 + rng.normal(0, 0.005), 0, 1)))
+        assert det.update(0.4).abnormal
+
+    def test_abnormal_samples_do_not_update_mean(self):
+        det = EwmaDetector(alpha=0.3, nsigma=3.0, warmup=2)
+        for _ in range(10):
+            det.update(0.9)
+        det.update(0.1)  # flagged, must not drag the mean down
+        detection = det.update(0.9)
+        assert not detection.abnormal
+
+    def test_slow_drift_tracked(self):
+        det = EwmaDetector(alpha=0.3, nsigma=6.0, warmup=3, min_std=5e-3)
+        value = 0.9
+        abnormal = 0
+        for _ in range(200):
+            value = max(0.0, value - 0.001)
+            abnormal += det.update(value).abnormal
+        assert abnormal == 0
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.2])
+    def test_alpha_validation(self, alpha):
+        with pytest.raises(ConfigurationError):
+            EwmaDetector(alpha=alpha)
+
+
+class TestCusum:
+    def test_steady_series_quiet(self):
+        det = CusumDetector(threshold=0.1, drift=0.005)
+        assert not any(v.abnormal for v in detect_series(det, steady(0.8, 60)))
+
+    def test_small_persistent_shift_detected(self):
+        det = CusumDetector(threshold=0.1, drift=0.005, warmup=10)
+        for v in steady(0.8, 10):
+            det.update(v)
+        verdicts = detect_series(det, steady(0.75, 20))
+        assert any(v.abnormal for v in verdicts)
+
+    def test_detects_upward_shift_too(self):
+        det = CusumDetector(threshold=0.1, drift=0.005, warmup=10)
+        for v in steady(0.5, 10):
+            det.update(v)
+        assert any(v.abnormal for v in detect_series(det, steady(0.56, 20)))
+
+    def test_statistics_reset_on_alarm(self):
+        det = CusumDetector(threshold=0.05, drift=0.0, warmup=2, mu=0.5)
+        det.update(0.5)
+        det.update(0.5)
+        detection = det.update(0.9)
+        assert detection.abnormal
+        assert det.statistics == (0.0, 0.0)
+
+    def test_learned_mu_matches_warmup_mean(self):
+        det = CusumDetector(threshold=0.1, warmup=4)
+        for v in (0.2, 0.4, 0.6, 0.8):
+            det.update(v)
+        detection = det.update(0.5)
+        assert detection.forecast == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(drift=-0.1)
+
+
+class TestHoltWinters:
+    def test_tracks_linear_trend(self):
+        det = HoltWintersDetector(warmup=5)
+        abnormal = 0
+        for k in range(100):
+            value = min(1.0, 0.2 + 0.004 * k)
+            abnormal += det.update(value).abnormal
+        assert abnormal == 0
+
+    def test_flags_break_in_trend(self):
+        det = HoltWintersDetector(warmup=5)
+        for k in range(50):
+            det.update(min(1.0, 0.2 + 0.004 * k))
+        assert det.update(0.9).abnormal
+
+    def test_forecast_ahead(self):
+        det = HoltWintersDetector()
+        assert det.forecast_ahead() is None
+        for k in range(20):
+            det.update(0.1 + 0.01 * k)
+        two_ahead = det.forecast_ahead(2)
+        one_ahead = det.forecast_ahead(1)
+        assert two_ahead > one_ahead
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HoltWintersDetector(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HoltWintersDetector(beta=1.5)
+        with pytest.raises(ConfigurationError):
+            HoltWintersDetector(band=0.0)
+
+
+class TestSeasonalHoltWinters:
+    def test_tracks_periodic_series(self):
+        period = 8
+        det = SeasonalHoltWintersDetector(period=period, warmup=2 * period)
+        abnormal = 0
+        for k in range(160):
+            value = 0.7 + 0.1 * math.sin(2 * math.pi * k / period)
+            abnormal += det.update(value).abnormal
+        assert abnormal == 0
+
+    def test_flags_out_of_season_drop(self):
+        period = 8
+        det = SeasonalHoltWintersDetector(period=period, warmup=period)
+        for k in range(80):
+            det.update(0.7 + 0.1 * math.sin(2 * math.pi * k / period))
+        assert det.update(0.1).abnormal
+
+    def test_period_validation(self):
+        with pytest.raises(ConfigurationError):
+            SeasonalHoltWintersDetector(period=1)
+
+
+class TestKalman:
+    def test_steady_series_quiet(self):
+        det = KalmanDetector()
+        rng = np.random.default_rng(1)
+        verdicts = [
+            det.update(float(np.clip(0.8 + rng.normal(0, 0.01), 0, 1)))
+            for _ in range(100)
+        ]
+        assert sum(v.abnormal for v in verdicts) == 0
+
+    def test_level_jump_flagged(self):
+        det = KalmanDetector(warmup=3)
+        for _ in range(20):
+            det.update(0.8)
+        assert det.update(0.2).abnormal
+
+    def test_variance_converges(self):
+        det = KalmanDetector(process_var=1e-6, measurement_var=1e-3)
+        for _ in range(200):
+            det.update(0.5)
+        _, p = det.state
+        assert p < 1e-3
+
+    def test_gated_updates_keep_estimate(self):
+        det = KalmanDetector(warmup=2)
+        for _ in range(20):
+            det.update(0.8)
+        x_before, _ = det.state
+        det.update(0.2)  # gated
+        x_after, _ = det.state
+        assert x_after == pytest.approx(x_before, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KalmanDetector(measurement_var=0.0)
+        with pytest.raises(ConfigurationError):
+            KalmanDetector(nsigma=-1.0)
+
+
+class TestShewhart:
+    def test_steady_series_quiet(self):
+        det = ShewhartDetector()
+        rng = np.random.default_rng(2)
+        verdicts = [
+            det.update(float(np.clip(0.6 + rng.normal(0, 0.01), 0, 1)))
+            for _ in range(100)
+        ]
+        assert sum(v.abnormal for v in verdicts) == 0
+
+    def test_outlier_flagged(self):
+        det = ShewhartDetector(window=10, nsigma=3.0, warmup=3)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            det.update(float(np.clip(0.6 + rng.normal(0, 0.01), 0, 1)))
+        assert det.update(0.1).abnormal
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShewhartDetector(window=1)

@@ -1,0 +1,135 @@
+"""Tests for records, rendering and trace serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.io import (
+    ExperimentResult,
+    TraceStep,
+    read_trace,
+    render_series,
+    render_table,
+    trace_to_arrays,
+    write_trace,
+)
+
+
+@pytest.fixture
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo result",
+        parameters={"n": 10},
+    )
+    result.add_row(x=1, y=0.5, label="a")
+    result.add_row(x=2, y=0.75, label="b")
+    return result
+
+
+class TestExperimentResult:
+    def test_columns_grow_with_rows(self, sample_result):
+        sample_result.add_row(x=3, z=9)
+        assert sample_result.columns == ["x", "y", "label", "z"]
+        assert sample_result.rows[-1] == {"x": 3, "z": 9}
+
+    def test_column_extraction(self, sample_result):
+        assert sample_result.column("y") == [0.5, 0.75]
+        sample_result.add_row(x=3)
+        assert sample_result.column("y") == [0.5, 0.75, None]
+
+    def test_json_roundtrip(self, sample_result):
+        text = sample_result.to_json()
+        parsed = ExperimentResult.from_json(text)
+        assert parsed.experiment_id == "demo"
+        assert parsed.rows == sample_result.rows
+        assert parsed.parameters == {"n": 10}
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(TraceFormatError):
+            ExperimentResult.from_json("{}")
+        with pytest.raises(TraceFormatError):
+            ExperimentResult.from_json("not json")
+
+    def test_csv(self, sample_result):
+        csv = sample_result.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "x,y,label"
+        assert lines[1] == "1,0.5,a"
+
+    def test_csv_escaping(self):
+        result = ExperimentResult(experiment_id="e", title="t")
+        result.add_row(name='contains "quotes", commas')
+        assert '"contains ""quotes"", commas"' in result.to_csv()
+
+
+class TestRendering:
+    def test_table_contains_all_cells(self, sample_result):
+        text = render_table(sample_result)
+        assert "Demo result" in text
+        assert "0.75" in text
+        assert "label" in text
+
+    def test_series_chart(self, sample_result):
+        chart = render_series(sample_result, x="x", y="y")
+        assert "y vs x" in chart
+        assert "|" in chart
+
+    def test_series_with_group(self, sample_result):
+        chart = render_series(sample_result, x="x", y="y", group="label")
+        assert "label=a" in chart
+        assert "label=b" in chart
+
+    def test_series_empty(self):
+        result = ExperimentResult(experiment_id="e", title="t")
+        assert render_series(result, x="x", y="y") == "(no data)"
+
+
+class TestTraces:
+    def test_roundtrip(self):
+        steps = [
+            TraceStep(step=0, qos=np.array([[0.9, 0.8], [0.7, 0.6]])),
+            TraceStep(step=1, qos=np.array([[0.91, 0.79], [0.71, 0.59]])),
+        ]
+        text = write_trace(steps)
+        parsed = read_trace(text)
+        assert len(parsed) == 2
+        assert parsed[1].step == 1
+        assert np.allclose(parsed[0].qos, steps[0].qos)
+
+    def test_shape_consistency_enforced(self):
+        text = (
+            '{"step": 0, "qos": [[0.5, 0.5]]}\n'
+            '{"step": 1, "qos": [[0.5, 0.5], [0.4, 0.4]]}\n'
+        )
+        with pytest.raises(TraceFormatError):
+            read_trace(text)
+
+    def test_malformed_line_reported_with_number(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_trace('{"step": 0, "qos": [[0.5]]}\nbroken\n')
+
+    def test_blank_lines_skipped(self):
+        text = '{"step": 0, "qos": [[0.5]]}\n\n'
+        assert len(read_trace(text)) == 1
+
+    def test_to_arrays(self):
+        steps = [
+            TraceStep(step=k, qos=np.full((3, 2), 0.1 * k)) for k in range(4)
+        ]
+        arr = trace_to_arrays(steps)
+        assert arr.shape == (4, 3, 2)
+
+    def test_to_arrays_empty(self):
+        with pytest.raises(TraceFormatError):
+            trace_to_arrays([])
+
+    def test_bad_qos_shape(self):
+        with pytest.raises(TraceFormatError):
+            TraceStep(step=0, qos=np.array([0.5, 0.6]))
+
+    def test_empty_trace_roundtrip(self):
+        assert write_trace([]) == ""
+        assert read_trace("") == []

@@ -1,0 +1,143 @@
+"""Tests for synthetic trace generation and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import AnomalyType
+from repro.detection import CusumDetector, StepThresholdDetector
+from repro.io import Incident, TraceConfig, generate_trace, replay_trace
+from repro.io.traces import read_trace, write_trace
+
+
+class TestIncident:
+    def test_active_window(self):
+        incident = Incident(start=5, duration=3, devices=(0,), service=0, drop=0.3)
+        assert not incident.active_at(4)
+        assert incident.active_at(5)
+        assert incident.active_at(7)
+        assert not incident.active_at(8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=-1, duration=1, devices=(0,), service=0, drop=0.3),
+            dict(start=0, duration=0, devices=(0,), service=0, drop=0.3),
+            dict(start=0, duration=1, devices=(), service=0, drop=0.3),
+            dict(start=0, duration=1, devices=(0,), service=0, drop=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Incident(**kwargs)
+
+
+class TestGenerateTrace:
+    def test_shape_and_range(self):
+        config = TraceConfig(devices=20, services=2, steps=30, seed=1)
+        trace = generate_trace(config)
+        assert len(trace) == 30
+        for step in trace:
+            assert step.qos.shape == (20, 2)
+            assert step.qos.min() >= 0.0
+            assert step.qos.max() <= 1.0
+
+    def test_diurnal_cycle_visible(self):
+        config = TraceConfig(
+            devices=5, steps=48, diurnal_period=24, diurnal_amplitude=0.1,
+            noise_sigma=0.0, phase_jitter=0.0,
+        )
+        trace = generate_trace(config)
+        series = [float(step.qos[0, 0]) for step in trace]
+        assert max(series) - min(series) == pytest.approx(0.1, abs=1e-6)
+
+    def test_incident_applied(self):
+        config = TraceConfig(devices=10, steps=20, noise_sigma=0.0, seed=2)
+        incident = Incident(start=10, duration=2, devices=(3, 4), service=1, drop=0.4)
+        trace = generate_trace(config, [incident])
+        before = trace[9].qos
+        during = trace[10].qos
+        assert during[3, 1] < before[3, 1] - 0.3
+        assert during[3, 0] == pytest.approx(before[3, 0], abs=0.05)
+
+    def test_unknown_target_rejected(self):
+        config = TraceConfig(devices=5, services=2, steps=10)
+        with pytest.raises(ConfigurationError):
+            generate_trace(
+                config,
+                [Incident(start=0, duration=1, devices=(9,), service=0, drop=0.2)],
+            )
+        with pytest.raises(ConfigurationError):
+            generate_trace(
+                config,
+                [Incident(start=0, duration=1, devices=(0,), service=5, drop=0.2)],
+            )
+
+    def test_deterministic_under_seed(self):
+        config = TraceConfig(devices=8, steps=12, seed=7)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert all(np.allclose(x.qos, y.qos) for x, y in zip(a, b))
+
+    def test_serialization_roundtrip(self):
+        trace = generate_trace(TraceConfig(devices=4, steps=6))
+        parsed = read_trace(write_trace(trace))
+        assert len(parsed) == 6
+        assert np.allclose(parsed[3].qos, trace[3].qos)
+
+
+class TestReplay:
+    def test_quiet_trace_produces_no_flags(self):
+        trace = generate_trace(TraceConfig(devices=20, steps=30, seed=3))
+        results = replay_trace(
+            trace, lambda: StepThresholdDetector(max_step=0.12), tau=3
+        )
+        assert all(not r.flagged for r in results)
+
+    def test_massive_incident_characterized(self):
+        config = TraceConfig(devices=40, steps=24, seed=4)
+        incident = Incident(
+            start=12, duration=4, devices=tuple(range(8)), service=0, drop=0.4
+        )
+        trace = generate_trace(config, [incident])
+        results = replay_trace(
+            trace, lambda: StepThresholdDetector(max_step=0.12), tau=3
+        )
+        onset = results[12]
+        assert sorted(onset.flagged) == list(range(8))
+        assert all(
+            onset.verdicts[d].anomaly_type is AnomalyType.MASSIVE for d in range(8)
+        )
+
+    def test_isolated_incident_characterized(self):
+        config = TraceConfig(devices=40, steps=24, seed=5)
+        incident = Incident(start=12, duration=4, devices=(17,), service=1, drop=0.5)
+        trace = generate_trace(config, [incident])
+        results = replay_trace(
+            trace, lambda: StepThresholdDetector(max_step=0.12), tau=3
+        )
+        onset = results[12]
+        assert onset.flagged == [17]
+        assert onset.verdicts[17].anomaly_type is AnomalyType.ISOLATED
+
+    def test_cusum_catches_gradual_incident(self):
+        config = TraceConfig(devices=30, steps=40, noise_sigma=0.002, seed=6,
+                             diurnal_amplitude=0.0)
+        incident = Incident(
+            start=20, duration=15, devices=tuple(range(6)), service=0, drop=0.06
+        )
+        trace = generate_trace(config, [incident])
+        results = replay_trace(
+            trace,
+            lambda: CusumDetector(threshold=0.08, drift=0.004, warmup=6),
+            tau=3,
+        )
+        flagged_any = [r for r in results if r.flagged]
+        assert flagged_any, "CUSUM must accumulate the small persistent drop"
+        assert set(flagged_any[0].flagged) <= set(range(6))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replay_trace([], lambda: StepThresholdDetector(max_step=0.1))

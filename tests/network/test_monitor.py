@@ -1,0 +1,144 @@
+"""Integration tests: the full measure → detect → characterize → report loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import AnomalyType
+from repro.network import (
+    GatewayFault,
+    IspTopology,
+    NetworkFault,
+    NetworkMonitor,
+    ReportingPolicy,
+    TopologyConfig,
+)
+
+
+def make_monitor(policy=ReportingPolicy.ALL, **kwargs) -> NetworkMonitor:
+    topo = IspTopology(
+        TopologyConfig(
+            cores=2,
+            aggregations_per_core=2,
+            access_per_aggregation=2,
+            gateways_per_access=10,
+        )
+    )
+    return NetworkMonitor(topo, policy=policy, tau=3, seed=42, **kwargs)
+
+
+class TestNominalOperation:
+    def test_no_flags_under_nominal_conditions(self):
+        monitor = make_monitor()
+        for result in monitor.run(5):
+            assert result.flagged == []
+            assert result.reports == []
+
+    def test_tick_counter(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        assert monitor.current_tick == 3
+
+
+class TestNetworkEvent:
+    def test_access_fault_classified_massive(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("acc-0-0-0", severity=0.4, duration=3))
+        result = monitor.tick()
+        impacted = {
+            monitor._topology.graph.nodes[g]["device_id"]  # noqa: SLF001 - test introspection
+            for g in monitor._topology.gateways_behind("acc-0-0-0")
+        }
+        assert set(result.flagged) == impacted
+        for device in impacted:
+            assert result.verdicts[device].anomaly_type is AnomalyType.MASSIVE
+
+    def test_core_fault_impacts_larger_footprint(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("core-0", severity=0.3, duration=3))
+        result = monitor.tick()
+        assert len(result.flagged) >= 20
+        massive = [
+            d
+            for d, v in result.verdicts.items()
+            if v.anomaly_type is AnomalyType.MASSIVE
+        ]
+        assert len(massive) == len(result.flagged)
+
+
+class TestLocalEvent:
+    def test_gateway_fault_classified_isolated(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(GatewayFault(device_id=17, severity=0.5, duration=3))
+        result = monitor.tick()
+        assert result.flagged == [17]
+        assert result.verdicts[17].anomaly_type is AnomalyType.ISOLATED
+
+
+class TestMixedEvents:
+    def test_simultaneous_faults_disambiguated(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("acc-1-1-1", severity=0.45, duration=3))
+        monitor.injector.inject(GatewayFault(device_id=3, severity=0.6, duration=3))
+        result = monitor.tick()
+        verdict_types = {
+            d: v.anomaly_type for d, v in result.verdicts.items()
+        }
+        assert verdict_types.pop(3) is AnomalyType.ISOLATED
+        assert verdict_types
+        assert all(t is AnomalyType.MASSIVE for t in verdict_types.values())
+
+
+class TestReportingPolicies:
+    def _mixed_fault_reports(self, policy):
+        monitor = make_monitor(policy=policy)
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("acc-0-1-0", severity=0.4, duration=3))
+        monitor.injector.inject(GatewayFault(device_id=70, severity=0.6, duration=3))
+        return monitor.tick()
+
+    def test_isp_policy_reports_isolated_only(self):
+        result = self._mixed_fault_reports(ReportingPolicy.ISP)
+        assert [r.device_id for r in result.reports] == [70]
+        assert result.reports[0].anomaly_type is AnomalyType.ISOLATED
+
+    def test_ott_policy_reports_massive_only(self):
+        result = self._mixed_fault_reports(ReportingPolicy.OTT)
+        assert result.reports
+        assert all(r.anomaly_type is AnomalyType.MASSIVE for r in result.reports)
+        assert 70 not in {r.device_id for r in result.reports}
+
+    def test_all_policy_reports_everything(self):
+        result = self._mixed_fault_reports(ReportingPolicy.ALL)
+        reported = {r.device_id for r in result.reports}
+        assert 70 in reported
+        assert len(reported) > 1
+
+    def test_isp_policy_suppresses_mass_notification(self):
+        """The paper's motivation: a network event must NOT flood the
+        operator with per-gateway reports under the ISP policy."""
+        monitor = make_monitor(policy=ReportingPolicy.ISP)
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("core-1", severity=0.35, duration=3))
+        result = monitor.tick()
+        assert len(result.flagged) >= 20
+        assert result.reports == []
+
+
+class TestRecovery:
+    def test_fault_expiry_triggers_second_transition(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("acc-0-0-1", severity=0.4, duration=1))
+        during = monitor.tick()
+        assert during.flagged
+        # Fault expires: QoS jumps back up, which is again an abnormal
+        # variation and must be classified massive (same footprint).
+        after = monitor.tick()
+        assert set(after.flagged) == set(during.flagged)
+        for verdict in after.verdicts.values():
+            assert verdict.anomaly_type is AnomalyType.MASSIVE

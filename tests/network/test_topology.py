@@ -1,0 +1,175 @@
+"""Tests for the synthetic ISP topology and fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, UnknownDeviceError
+from repro.network import (
+    FaultInjector,
+    GatewayFault,
+    IspTopology,
+    NetworkFault,
+    NodeKind,
+    TopologyConfig,
+    default_catalog,
+)
+
+
+@pytest.fixture
+def small_topology() -> IspTopology:
+    return IspTopology(
+        TopologyConfig(
+            cores=2,
+            aggregations_per_core=2,
+            access_per_aggregation=2,
+            gateways_per_access=5,
+            servers=2,
+        )
+    )
+
+
+class TestTopologyConstruction:
+    def test_gateway_count(self, small_topology):
+        assert small_topology.n_gateways == 2 * 2 * 2 * 5
+        assert small_topology.config.total_gateways == small_topology.n_gateways
+
+    def test_device_ids_sequential(self, small_topology):
+        for device_id in range(small_topology.n_gateways):
+            name = small_topology.gateway_name(device_id)
+            assert small_topology.graph.nodes[name]["device_id"] == device_id
+
+    def test_unknown_device_rejected(self, small_topology):
+        with pytest.raises(UnknownDeviceError):
+            small_topology.gateway_name(10**6)
+
+    def test_node_kinds(self, small_topology):
+        assert small_topology.kind("core-0") is NodeKind.CORE
+        assert small_topology.kind("agg-0-1") is NodeKind.AGGREGATION
+        assert small_topology.kind("acc-1-0-1") is NodeKind.ACCESS
+        assert small_topology.kind("srv-0") is NodeKind.SERVER
+        assert small_topology.kind(small_topology.gateway_name(0)) is NodeKind.GATEWAY
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(cores=0)
+
+    def test_graph_connected(self, small_topology):
+        import networkx as nx
+
+        assert nx.is_connected(small_topology.graph)
+
+
+class TestRoutingAndHealth:
+    def test_route_endpoints(self, small_topology):
+        gw = small_topology.gateway_name(0)
+        route = small_topology.route(gw, "srv-0")
+        assert route[0] == gw
+        assert route[-1] == "srv-0"
+
+    def test_route_goes_through_access_chain(self, small_topology):
+        route = small_topology.route("gw-0-1-0-2", "srv-0")
+        assert "acc-0-1-0" in route
+        assert "agg-0-1" in route
+
+    def test_nominal_path_health_is_one(self, small_topology):
+        gw = small_topology.gateway_name(3)
+        assert small_topology.path_health(gw, "srv-0") == pytest.approx(1.0)
+
+    def test_degraded_node_reduces_path_health(self, small_topology):
+        small_topology.set_health("core-0", 0.5)
+        gw = "gw-0-0-0-0"
+        assert small_topology.path_health(gw, "srv-0") == pytest.approx(0.5)
+
+    def test_health_clamped(self, small_topology):
+        small_topology.set_health("core-0", -2.0)
+        assert small_topology.health("core-0") == 0.0
+        small_topology.set_health("core-0", 7.0)
+        assert small_topology.health("core-0") == 1.0
+
+    def test_reset_health(self, small_topology):
+        small_topology.set_health("core-0", 0.1)
+        small_topology.reset_health()
+        assert small_topology.health("core-0") == 1.0
+
+    def test_gateways_behind_access_node(self, small_topology):
+        behind = small_topology.gateways_behind("acc-0-0-0")
+        assert len(behind) == 5
+        assert all(name.startswith("gw-0-0-0-") for name in behind)
+
+    def test_gateways_behind_core(self, small_topology):
+        # A core failure touches at least its own subtree.
+        behind = small_topology.gateways_behind("core-0")
+        assert len(behind) >= 2 * 2 * 5
+
+
+class TestFaultInjector:
+    def test_network_fault_applies_and_expires(self, small_topology):
+        injector = FaultInjector(small_topology)
+        injector.inject(NetworkFault("agg-0-0", severity=0.4, duration=2))
+        injector.tick()
+        assert small_topology.health("agg-0-0") == pytest.approx(0.6)
+        injector.tick()
+        assert small_topology.health("agg-0-0") == pytest.approx(0.6)
+        injector.tick()  # expired
+        assert small_topology.health("agg-0-0") == pytest.approx(1.0)
+
+    def test_gateway_fault_targets_leaf(self, small_topology):
+        injector = FaultInjector(small_topology)
+        injector.inject(GatewayFault(device_id=7, severity=0.5))
+        injector.tick()
+        gw = small_topology.gateway_name(7)
+        assert small_topology.health(gw) == pytest.approx(0.5)
+
+    def test_faults_compose_multiplicatively(self, small_topology):
+        injector = FaultInjector(small_topology)
+        injector.inject(NetworkFault("core-0", severity=0.5))
+        injector.inject(NetworkFault("core-0", severity=0.5))
+        injector.tick()
+        assert small_topology.health("core-0") == pytest.approx(0.25)
+
+    def test_clear(self, small_topology):
+        injector = FaultInjector(small_topology)
+        injector.inject(NetworkFault("core-0", severity=0.5))
+        injector.clear("core-0")
+        injector.tick()
+        assert small_topology.health("core-0") == pytest.approx(1.0)
+
+    def test_network_fault_rejects_gateway_target(self, small_topology):
+        injector = FaultInjector(small_topology)
+        with pytest.raises(ConfigurationError):
+            injector.inject(NetworkFault("gw-0-0-0-0", severity=0.5))
+
+    def test_unknown_node_rejected(self, small_topology):
+        injector = FaultInjector(small_topology)
+        with pytest.raises(UnknownDeviceError):
+            injector.inject(NetworkFault("nonexistent", severity=0.5))
+
+    def test_severity_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkFault("core-0", severity=0.0)
+        with pytest.raises(ConfigurationError):
+            GatewayFault(device_id=0, severity=1.5)
+
+
+class TestServiceCatalog:
+    def test_default_catalog_dim(self, small_topology):
+        catalog = default_catalog(small_topology, dim=3)
+        assert catalog.dim == 3
+        assert len(catalog) == 3
+
+    def test_services_spread_over_servers(self, small_topology):
+        catalog = default_catalog(small_topology, dim=2)
+        assert catalog[0].server != catalog[1].server
+
+    def test_qos_vector_nominal(self, small_topology):
+        catalog = default_catalog(small_topology, dim=2)
+        qos = catalog.qos_vector(small_topology, small_topology.gateway_name(0))
+        assert qos == pytest.approx([0.95, 0.95])
+
+    def test_qos_vector_reflects_fault(self, small_topology):
+        catalog = default_catalog(small_topology, dim=2)
+        server = catalog[0].server
+        small_topology.set_health(server, 0.5)
+        qos = catalog.qos_vector(small_topology, small_topology.gateway_name(0))
+        assert qos[0] == pytest.approx(0.95 * 0.5)

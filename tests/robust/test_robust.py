@@ -1,0 +1,171 @@
+"""Tests for the malicious-device attacks and the f-tolerant defense."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError, UnknownDeviceError
+from repro.core.transition import Transition
+from repro.core.types import AnomalyType
+from repro.robust import (
+    AmbiguityAttack,
+    MimicryAttack,
+    RobustCharacterizer,
+    RobustLabel,
+    apply_forgeries,
+)
+
+
+def isolated_victim_transition(n_background: int = 30) -> Transition:
+    """One isolated victim (device 0) plus quiet background devices."""
+    rng = np.random.default_rng(3)
+    prev = np.clip(rng.normal(0.85, 0.03, (n_background + 1, 2)), 0, 1)
+    cur = prev.copy()
+    cur[0] = [0.2, 0.3]  # the victim's own fault
+    return Transition.from_arrays(prev, cur, [0], r=0.03, tau=3)
+
+
+def massive_group_transition(size: int = 8) -> Transition:
+    """A genuine massive group (devices 0..size-1) co-moving."""
+    rng = np.random.default_rng(4)
+    prev = np.clip(rng.normal(0.8, 0.004, (size + 10, 2)), 0, 1)
+    cur = prev.copy()
+    cur[:size] = np.clip(cur[:size] - [0.4, 0.25], 0, 1)
+    return Transition.from_arrays(prev, cur, range(size), r=0.03, tau=3)
+
+
+class TestApplyForgeries:
+    def test_ids_appended_and_flagged(self):
+        t = isolated_victim_transition()
+        outcome = apply_forgeries(
+            t, np.full((2, 2), 0.5), np.full((2, 2), 0.6), victim=0
+        )
+        assert outcome.forged_devices == frozenset({t.n, t.n + 1})
+        assert outcome.forged_devices <= outcome.transition.flagged
+        assert outcome.honest_flagged == t.flagged
+
+    def test_shape_validation(self):
+        t = isolated_victim_transition()
+        with pytest.raises(ConfigurationError):
+            apply_forgeries(t, np.zeros((2, 3)), np.zeros((2, 3)), victim=0)
+        with pytest.raises(ConfigurationError):
+            apply_forgeries(t, np.zeros((2, 2)), np.zeros((3, 2)), victim=0)
+
+
+class TestMimicryAttack:
+    def test_suppresses_isolated_victim_against_naive_characterizer(self):
+        t = isolated_victim_transition()
+        assert Characterizer(t).characterize(0).anomaly_type is AnomalyType.ISOLATED
+        outcome = MimicryAttack(forged_count=3).mount(t, victim=0)
+        naive = Characterizer(outcome.transition).characterize(0)
+        assert naive.anomaly_type is AnomalyType.MASSIVE, (
+            "with tau=3 forged shadows the naive characterizer is fooled"
+        )
+
+    def test_too_few_forgeries_fail(self):
+        t = isolated_victim_transition()
+        outcome = MimicryAttack(forged_count=2).mount(t, victim=0)
+        naive = Characterizer(outcome.transition).characterize(0)
+        assert naive.anomaly_type is AnomalyType.ISOLATED
+
+    def test_victim_must_be_flagged(self):
+        t = isolated_victim_transition()
+        with pytest.raises(UnknownDeviceError):
+            MimicryAttack(forged_count=3).mount(t, victim=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MimicryAttack(forged_count=0)
+        with pytest.raises(ConfigurationError):
+            MimicryAttack(forged_count=1, jitter=2.0)
+
+
+class TestAmbiguityAttack:
+    def test_degrades_massive_to_unresolved(self):
+        t = massive_group_transition(size=5)
+        honest = Characterizer(t).characterize_all()
+        assert all(v.anomaly_type is AnomalyType.MASSIVE for v in honest.values())
+        outcome = AmbiguityAttack(forged_count=4, seed=1).mount(t, victim=0)
+        attacked = Characterizer(outcome.transition).characterize_all()
+        honest_verdicts = [attacked[d].anomaly_type for d in range(5)]
+        assert AnomalyType.UNRESOLVED in honest_verdicts, (
+            "the competing forged motion must create ambiguity"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmbiguityAttack(forged_count=0)
+        with pytest.raises(ConfigurationError):
+            AmbiguityAttack(forged_count=1, offset_factor=0.0)
+
+
+class TestRobustCharacterizer:
+    def test_defeats_mimicry(self):
+        """The headline property: with f >= forged count, the victim's
+        verdict never silently flips to massive — it becomes SUSPECT."""
+        t = isolated_victim_transition()
+        outcome = MimicryAttack(forged_count=3).mount(t, victim=0)
+        robust = RobustCharacterizer(outcome.transition, f=3)
+        verdict = robust.characterize(0)
+        assert verdict.label in (RobustLabel.SUSPECT, RobustLabel.UNRESOLVED)
+        assert verdict.label is not RobustLabel.MASSIVE
+
+    def test_attack_proof_massive_on_big_groups(self):
+        """A genuinely big group stays MASSIVE under the hardened test."""
+        t = massive_group_transition(size=8)  # > tau + f honest members
+        robust = RobustCharacterizer(t, f=3)
+        for device in range(8):
+            assert robust.characterize(device).label is RobustLabel.MASSIVE
+
+    def test_small_massive_groups_degrade_to_suspect(self):
+        """Groups in (tau, tau + f] cannot be certified — inherent loss."""
+        t = massive_group_transition(size=5)
+        robust = RobustCharacterizer(t, f=3)
+        labels = {robust.characterize(d).label for d in range(5)}
+        assert labels == {RobustLabel.SUSPECT}
+
+    def test_isolated_devices_stay_isolated(self):
+        t = isolated_victim_transition()
+        robust = RobustCharacterizer(t, f=3)
+        assert robust.characterize(0).label is RobustLabel.ISOLATED
+
+    def test_f_zero_equals_plain_characterizer(self):
+        t = massive_group_transition(size=5)
+        robust = RobustCharacterizer(t, f=0)
+        plain = Characterizer(t).characterize_all()
+        for device in t.flagged_sorted:
+            verdict = robust.characterize(device)
+            assert verdict.label.value == plain[device].anomaly_type.value
+
+    def test_validation(self):
+        t = massive_group_transition(size=5)
+        with pytest.raises(ConfigurationError):
+            RobustCharacterizer(t, f=-1)
+        with pytest.raises(ConfigurationError):
+            RobustCharacterizer(t, f=10**6)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_soundness_under_any_mimicry(self, seed):
+        """Property: whatever the attacker's jitter/seed, a MASSIVE robust
+        verdict implies more than tau honest co-moving devices."""
+        rng = np.random.default_rng(seed)
+        forged = int(rng.integers(1, 4))
+        t = isolated_victim_transition()
+        attack = MimicryAttack(forged_count=forged, jitter=float(rng.uniform(0, 1)), seed=seed)
+        outcome = attack.mount(t, victim=0)
+        robust = RobustCharacterizer(outcome.transition, f=3)
+        verdict = robust.characterize(0)
+        # Victim has zero honest co-movers; with f = 3 tolerated it can
+        # never be certified massive by <= 3 forgeries.
+        assert verdict.label is not RobustLabel.MASSIVE
+
+    def test_characterize_all_covers_flagged(self):
+        t = massive_group_transition(size=6)
+        robust = RobustCharacterizer(t, f=2)
+        results = robust.characterize_all()
+        assert set(results) == set(t.flagged_sorted)

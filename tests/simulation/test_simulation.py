@@ -1,0 +1,237 @@
+"""Tests for the Section VII-A simulator and ground-truth ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation import (
+    ErrorKind,
+    PAPER_DEFAULTS,
+    SimulationConfig,
+    Simulator,
+)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    base = dict(n=200, errors_per_step=5, isolated_probability=0.5, seed=1)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n", 1),
+            ("dim", 0),
+            ("r", 0.3),
+            ("tau", 0),
+            ("errors_per_step", -1),
+            ("isolated_probability", 1.5),
+            ("isolated_error_rate", -0.1),
+            ("r3_separation_factor", 3.0),
+            ("correlated_error_probability", 2.0),
+            ("massive_superposition_probability", -0.5),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            small_config(**{field: value})
+
+    def test_tau_bounded_by_n(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=3, tau=3)
+
+    def test_paper_defaults_valid(self):
+        assert PAPER_DEFAULTS.n == 1000
+        assert PAPER_DEFAULTS.r == 0.03
+        assert PAPER_DEFAULTS.tau == 3
+
+    def test_with_overrides(self):
+        cfg = small_config().with_overrides(errors_per_step=9)
+        assert cfg.errors_per_step == 9
+        assert cfg.n == 200
+
+    def test_relaxed_variant(self):
+        relaxed = small_config().relaxed_r3(0.25)
+        assert not relaxed.enforce_r3
+        assert relaxed.require_dense_ball  # massive errors stay genuine
+        assert relaxed.correlated_error_probability == 0.25
+
+
+class TestSimulatorBasics:
+    def test_reproducible_under_seed(self):
+        a = Simulator(small_config())
+        b = Simulator(small_config())
+        step_a = a.step()
+        step_b = b.step()
+        assert step_a.transition.flagged == step_b.transition.flagged
+        assert np.allclose(
+            step_a.transition.current.positions, step_b.transition.current.positions
+        )
+
+    def test_positions_stay_in_unit_cube(self):
+        sim = Simulator(small_config())
+        for step in sim.run(5):
+            positions = step.transition.current.positions
+            assert positions.min() >= 0.0
+            assert positions.max() <= 1.0
+
+    def test_flagged_equals_ledger_truth(self):
+        sim = Simulator(small_config())
+        for step in sim.run(3):
+            assert step.transition.flagged == step.truth.flagged
+
+    def test_unimpacted_devices_do_not_move(self):
+        sim = Simulator(small_config())
+        step = sim.step()
+        moved = np.any(
+            step.transition.previous.positions != step.transition.current.positions,
+            axis=1,
+        )
+        movers = set(np.nonzero(moved)[0].tolist())
+        assert movers <= set(step.truth.flagged)
+
+    def test_step_counter(self):
+        sim = Simulator(small_config())
+        sim.run(4)
+        assert sim.current_step == 4
+        assert len(sim.ledger) == 4
+
+
+class TestErrorInjection:
+    def test_r1_disjoint_errors(self):
+        sim = Simulator(small_config(errors_per_step=20))
+        for step in sim.run(3):
+            seen = set()
+            for record in step.truth.records:
+                assert not (record.members & seen), "R1 violated"
+                seen |= record.members
+
+    def test_r2_groups_move_consistently(self):
+        # Every error's member set must be r-consistent at both times.
+        sim = Simulator(small_config(errors_per_step=10))
+        for step in sim.run(3):
+            for record in step.truth.records:
+                assert step.transition.is_consistent_motion(record.members)
+
+    def test_isolated_errors_small(self):
+        cfg = small_config(isolated_probability=1.0)
+        sim = Simulator(cfg)
+        for step in sim.run(3):
+            for record in step.truth.records:
+                assert record.kind is ErrorKind.ISOLATED
+                assert record.size <= cfg.tau
+
+    def test_massive_errors_dense_when_required(self):
+        cfg = small_config(
+            n=1000, isolated_probability=0.0, errors_per_step=10
+        )
+        sim = Simulator(cfg)
+        step = sim.step()
+        for record in step.truth.records:
+            assert record.kind is ErrorKind.MASSIVE
+            assert record.size > cfg.tau
+
+    def test_massive_can_degenerate_when_relaxed(self):
+        cfg = (
+            small_config(n=200, isolated_probability=0.0, errors_per_step=15)
+            .relaxed_r3(0.0)
+            .with_overrides(require_dense_ball=False)
+        )
+        sim = Simulator(cfg)
+        sizes = [
+            record.size for step in sim.run(5) for record in step.truth.records
+        ]
+        assert any(size <= cfg.tau for size in sizes)
+
+    def test_truth_split_is_partition(self):
+        cfg = small_config(errors_per_step=10)
+        sim = Simulator(cfg)
+        for step in sim.run(3):
+            massive = step.truth.truly_massive(cfg.tau)
+            isolated = step.truth.truly_isolated(cfg.tau)
+            assert massive | isolated == step.truth.flagged
+            assert not massive & isolated
+
+    def test_error_of_lookup(self):
+        sim = Simulator(small_config())
+        step = sim.step()
+        for record in step.truth.records:
+            for member in record.members:
+                assert step.truth.error_of(member) is record
+        assert step.truth.error_of(10**6) is None
+
+
+class TestR3Enforcement:
+    def test_enforced_mode_keeps_isolated_sparse(self):
+        """Under R3 enforcement no truly-isolated device may land in a
+        tau-dense motion (the defining property of Restriction R3)."""
+        from repro.core.motions import motion_family
+
+        cfg = small_config(
+            n=600, errors_per_step=15, isolated_probability=0.6, seed=5
+        )
+        sim = Simulator(cfg)
+        for step in sim.run(4):
+            isolated_truth = step.truth.truly_isolated(cfg.tau)
+            for device in isolated_truth:
+                family = motion_family(step.transition, device)
+                assert not family.has_dense_motion, (
+                    f"device {device} in dense motion despite R3 enforcement"
+                )
+
+    def test_relaxed_mode_produces_r3_violations(self):
+        from repro.core.motions import motion_family
+
+        cfg = small_config(
+            n=600, errors_per_step=25, isolated_probability=0.6, seed=5
+        ).relaxed_r3(0.5)
+        sim = Simulator(cfg)
+        violations = 0
+        for step in sim.run(5):
+            isolated_truth = step.truth.truly_isolated(cfg.tau)
+            for device in isolated_truth:
+                if motion_family(step.transition, device).has_dense_motion:
+                    violations += 1
+        assert violations > 0
+
+    def test_superposition_creates_unresolved(self):
+        from repro.core.characterize import characterize_transition, classify_sets
+
+        cfg = SimulationConfig(
+            n=1000,
+            errors_per_step=25,
+            isolated_probability=0.0,
+            massive_superposition_probability=0.05,
+            seed=2,
+        )
+        sim = Simulator(cfg)
+        unresolved_total = 0
+        for step in sim.run(3):
+            _, _, unresolved = classify_sets(
+                characterize_transition(
+                    step.transition,
+                    collection_budget=500_000,
+                    budget_fallback=True,
+                )
+            )
+            unresolved_total += len(unresolved)
+        assert unresolved_total > 0
+
+    def test_no_superposition_no_unresolved(self):
+        from repro.core.characterize import characterize_transition, classify_sets
+
+        cfg = SimulationConfig(
+            n=1000,
+            errors_per_step=15,
+            isolated_probability=0.0,
+            massive_superposition_probability=0.0,
+            seed=2,
+        )
+        sim = Simulator(cfg)
+        for step in sim.run(3):
+            _, _, unresolved = classify_sets(characterize_transition(step.transition))
+            assert not unresolved

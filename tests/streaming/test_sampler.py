@@ -1,0 +1,105 @@
+"""Tests for the adaptive sampling-period controller (Section VII-C)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.streaming import AdaptiveSampler, SamplerConfig
+
+
+class TestSamplerConfig:
+    def test_defaults_valid(self):
+        cfg = SamplerConfig()
+        assert cfg.base_period >= cfg.min_period
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_period=0.0),
+            dict(base_period=0.5, min_period=1.0),
+            dict(speedup_factor=0.0),
+            dict(speedup_factor=1.0),
+            dict(relax_step=0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SamplerConfig(**kwargs)
+
+
+class TestAdaptiveSampler:
+    def test_starts_at_base_period(self):
+        sampler = AdaptiveSampler()
+        assert sampler.period == sampler.config.base_period
+        assert not sampler.in_burst_mode
+
+    def test_anomaly_accelerates(self):
+        sampler = AdaptiveSampler(SamplerConfig(base_period=8, min_period=1))
+        first = sampler.observe(True)
+        second = sampler.observe(True)
+        assert second < first < 8
+        assert sampler.in_burst_mode
+
+    def test_floor_respected(self):
+        sampler = AdaptiveSampler(SamplerConfig(base_period=8, min_period=1))
+        for _ in range(20):
+            sampler.observe(True)
+        assert sampler.period == 1.0
+
+    def test_quiet_spell_relaxes_back(self):
+        sampler = AdaptiveSampler(SamplerConfig(base_period=8, min_period=1, relax_step=1))
+        for _ in range(10):
+            sampler.observe(True)
+        for _ in range(10):
+            sampler.observe(False)
+        assert sampler.period == 8.0
+        assert not sampler.in_burst_mode
+
+    def test_never_exceeds_base(self):
+        sampler = AdaptiveSampler()
+        for _ in range(5):
+            sampler.observe(False)
+        assert sampler.period == sampler.config.base_period
+
+    def test_snapshots_multiplier(self):
+        sampler = AdaptiveSampler(SamplerConfig(base_period=8, min_period=1))
+        assert sampler.snapshots_per_base_period() == pytest.approx(1.0)
+        sampler.observe(True)  # period 4
+        assert sampler.snapshots_per_base_period() == pytest.approx(2.0)
+
+    def test_history_recorded(self):
+        sampler = AdaptiveSampler()
+        sampler.observe(True)
+        sampler.observe(False)
+        assert len(sampler.history) == 2
+
+    def test_reset(self):
+        sampler = AdaptiveSampler()
+        sampler.observe(True)
+        sampler.reset()
+        assert sampler.period == sampler.config.base_period
+        assert sampler.history == []
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_period_always_in_bounds(self, signals):
+        sampler = AdaptiveSampler()
+        cfg = sampler.config
+        for signal in signals:
+            period = sampler.observe(signal)
+            assert cfg.min_period <= period <= cfg.base_period
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_burst_mode_iff_recent_anomalies(self, signals):
+        """After enough quiet observations the sampler must be back at
+        the base period (no permanent burst state)."""
+        sampler = AdaptiveSampler()
+        for signal in signals:
+            sampler.observe(signal)
+        for _ in range(20):
+            sampler.observe(False)
+        assert not sampler.in_burst_mode

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.experiment == "table2"
+        assert args.steps is None
+        assert args.seeds is None
+
+    def test_seed_parsing(self):
+        args = build_parser().parse_args(["run", "figure7", "--seeds", "0,3,5"])
+        assert args.seeds == (0, 3, 5)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure7", "--seeds", "a,b"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "figure6b"]) == 0
+        out = capsys.readouterr().out
+        assert "P{F_r(j) <= tau}" in out
+        assert "containment" in out
+
+    def test_run_simulated_experiment_scaled(self, capsys):
+        assert main(["run", "table2", "--steps", "1", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "I_k (Theorem 5)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "fig6a.json"
+        assert main(["run", "figure6a", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["experiment_id"] == "figure6a"
+        assert payload["rows"]
