@@ -7,12 +7,20 @@ device drifts off on its own), and asks each impacted device to decide —
 from its 4r neighbourhood only — whether its anomaly was massive or
 isolated.
 
+Characterization goes through :class:`repro.CharacterizationEngine`, the
+recommended entry point: it batch-computes every flagged device's
+neighbourhood in one vectorized pass and can fan the per-device work out
+to a process pool (``EngineConfig(backend="process", workers=4)``) for
+large fleets.  One engine instance is meant to be kept for a whole run —
+it shares motion caches across devices and aggregates statistics across
+transitions.
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Characterizer, Transition
+from repro import CharacterizationEngine, EngineConfig, Transition
 
 RNG = np.random.default_rng(7)
 N_DEVICES = 200
@@ -38,7 +46,8 @@ def main() -> None:
     flagged = network_victims + [local_victim]
 
     transition = Transition.from_arrays(previous, current, flagged, r=R, tau=TAU)
-    verdicts = Characterizer(transition).characterize_all()
+    engine = CharacterizationEngine(EngineConfig(backend="serial"))
+    verdicts = engine.characterize(transition)
 
     print(f"{'device':>6}  {'verdict':<10}  {'decided by':<12}")
     for device, verdict in sorted(verdicts.items()):
@@ -55,6 +64,7 @@ def main() -> None:
     assert sorted(massive) == network_victims
     assert isolated == [local_victim]
     print("quickstart OK: verdicts match the injected ground truth")
+    print(f"engine stats: {engine.stats.as_dict()}")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,9 @@ Subpackages
 ``repro.core``
     The paper's contribution: motions, partitions, Theorems 5–7,
     Corollary 8, and the omniscient oracle.
+``repro.engine``
+    Batch-first characterization engine: vectorized neighbourhoods,
+    shared motion cache, pluggable serial / process execution backends.
 ``repro.detection``
     Error detection functions ``a_k(j)`` (threshold, EWMA, CUSUM,
     Holt–Winters, Kalman).
@@ -55,15 +58,18 @@ from repro.core import (
     is_anomaly_partition,
     oracle_classify,
 )
+from repro.engine import CharacterizationEngine, EngineConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnomalyType",
     "Characterization",
+    "CharacterizationEngine",
     "Characterizer",
     "CostCounters",
     "DecisionRule",
+    "EngineConfig",
     "Snapshot",
     "Transition",
     "__version__",

@@ -5,18 +5,25 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run table2
     python -m repro.cli run figure7 --steps 2 --seeds 0,1 --json out.json
+    python -m repro.cli run table2 --backend process --workers 4
     python -m repro.cli run all --steps 2 --seeds 0
 
 ``run`` executes an experiment's ``run()`` with optional scale overrides
 and prints the rendered table (plus an ASCII chart for the figure sweeps);
 ``--json`` additionally writes the raw :class:`ExperimentResult`.
+``--backend`` / ``--workers`` select the characterization engine's
+execution backend for the experiments that simulate (``process`` chunks
+each interval's flagged devices over a worker pool).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.config import BACKENDS
 
 from repro.experiments import (
     ablation_locality,
@@ -90,10 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=_parse_seeds, default=None, help="comma-separated seeds"
     )
     run.add_argument("--json", default=None, help="also write the result JSON here")
+    run.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="characterization engine backend (experiments that simulate)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process",
+    )
     return parser
 
 
-def _run_one(name: str, steps: Optional[int], seeds: Optional[tuple]) -> ExperimentResult:
+def _run_one(
+    name: str,
+    steps: Optional[int],
+    seeds: Optional[tuple],
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
     module, _ = EXPERIMENTS[name]
     kwargs = {}
     if name in _SCALED:
@@ -101,6 +126,11 @@ def _run_one(name: str, steps: Optional[int], seeds: Optional[tuple]) -> Experim
             kwargs["steps"] = steps
         if seeds is not None:
             kwargs["seeds"] = seeds
+    accepted = inspect.signature(module.run).parameters
+    if backend is not None and "backend" in accepted:
+        kwargs["backend"] = backend
+    if workers is not None and "workers" in accepted:
+        kwargs["workers"] = workers
     return module.run(**kwargs)
 
 
@@ -115,7 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = _run_one(name, args.steps, args.seeds)
+        result = _run_one(name, args.steps, args.seeds, args.backend, args.workers)
         print(render_table(result))
         _, chart = EXPERIMENTS[name]
         if chart is not None:

@@ -56,7 +56,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.core.errors import SearchBudgetExceeded, UnknownDeviceError
+from repro.core.errors import (
+    ConfigurationError,
+    SearchBudgetExceeded,
+    UnknownDeviceError,
+)
 from repro.core.motions import enumerate_maximal_motions
 from repro.core.neighborhood import MotionCache, NeighborhoodSplit, split_neighborhood
 from repro.core.transition import Transition
@@ -236,6 +240,12 @@ class Characterizer:
         :class:`SearchBudgetExceeded`.  Sound but incomplete — identical
         in spirit to stopping at the Theorem 6 fast path — and the right
         choice for long unattended sweeps.
+    cache:
+        Optional externally-owned :class:`MotionCache` to use instead of a
+        private one.  The engine layer passes a cache it keeps alive for
+        the whole transition, so several characterizer instances (or
+        repeated subset passes) share motion families.  Must be bound to
+        ``transition``.
     """
 
     def __init__(
@@ -248,6 +258,7 @@ class Characterizer:
         collection_count_cap: Optional[int] = 10_000_000,
         pool_cap: Optional[int] = 1 << 22,
         budget_fallback: bool = False,
+        cache: Optional[MotionCache] = None,
     ) -> None:
         self._transition = transition
         self._full_nsc = full_nsc
@@ -256,7 +267,11 @@ class Characterizer:
         self._count_cap = collection_count_cap
         self._pool_cap = pool_cap
         self._budget_fallback = budget_fallback
-        self._cache = MotionCache(transition)
+        if cache is not None and cache.transition is not transition:
+            raise ConfigurationError(
+                "shared MotionCache is bound to a different transition"
+            )
+        self._cache = cache if cache is not None else MotionCache(transition)
 
     @property
     def transition(self) -> Transition:
@@ -410,12 +425,15 @@ class Characterizer:
         return sorted(pool, key=lambda b: (-len(b), tuple(sorted(b))))
 
     # ------------------------------------------------------------------
+    def characterize_many(
+        self, devices: Sequence[int]
+    ) -> Dict[int, Characterization]:
+        """Classify a subset of ``A_k`` (shared cache across devices)."""
+        return {device: self.characterize(device) for device in devices}
+
     def characterize_all(self) -> Dict[int, Characterization]:
         """Classify every device of ``A_k`` (shared cache across devices)."""
-        return {
-            device: self.characterize(device)
-            for device in self._transition.flagged_sorted
-        }
+        return self.characterize_many(self._transition.flagged_sorted)
 
 
 def characterize_transition(

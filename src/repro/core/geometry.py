@@ -18,7 +18,7 @@ as well as in information.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -166,6 +166,16 @@ class GridIndex:
         keys = np.floor(self._points / self._cell).astype(int)
         for idx, key in enumerate(map(tuple, keys)):
             self._cells.setdefault(key, []).append(idx)
+        # Batch-query structures (built lazily on first query_batch): points
+        # sorted by a linearized cell code so a whole batch of range queries
+        # reduces to searchsorted + fancy indexing, no per-point dict walks.
+        self._keys = keys
+        self._sorted_codes: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+        self._key_lo: Optional[np.ndarray] = None
+        self._key_span: Optional[np.ndarray] = None
+        self._strides: Optional[np.ndarray] = None
+        self._linearizable = True
 
     @property
     def dim(self) -> int:
@@ -202,6 +212,135 @@ class GridIndex:
             out.extend(bucket[i] for i in np.nonzero(mask)[0])
         out.sort()
         return out
+
+    def _ensure_batch_structures(self) -> None:
+        """Build the sorted-cell-code arrays backing :meth:`query_batch`."""
+        if self._sorted_codes is not None:
+            return
+        m = self._points.shape[0]
+        if m == 0:
+            self._key_lo = np.zeros(self._dim, dtype=np.int64)
+            self._key_span = np.ones(self._dim, dtype=np.int64)
+            self._strides = np.ones(self._dim, dtype=np.int64)
+            self._sorted_codes = np.empty(0, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            return
+        keys = self._keys.astype(np.int64)
+        self._key_lo = keys.min(axis=0)
+        self._key_span = keys.max(axis=0) - self._key_lo + 1
+        # Row-major strides over the occupied key box: code is a bijection
+        # from in-box cell keys to [0, prod(span)).  Degenerate cells (r
+        # near 0 in high dimension) can make that range overflow int64;
+        # query_batch then falls back to scalar queries.
+        span_product = 1
+        for span in self._key_span.tolist():
+            span_product *= int(span)
+        self._linearizable = span_product < (1 << 62)
+        strides = np.ones(self._dim, dtype=np.int64)
+        if self._linearizable:
+            for d in range(self._dim - 2, -1, -1):
+                strides[d] = strides[d + 1] * self._key_span[d + 1]
+        self._strides = strides
+        codes = (keys - self._key_lo) @ strides
+        order = np.argsort(codes, kind="stable")
+        self._order = order
+        self._sorted_codes = codes[order]
+
+    def query_batch(
+        self, centers: np.ndarray, rho: float, *, atol: float = 1e-12
+    ) -> List[List[int]]:
+        """Answer many range queries in one vectorized pass.
+
+        Equivalent to ``[self.query(c, rho) for c in centers]`` but executed
+        as a handful of numpy operations: candidate cells of *all* queries
+        are linearized to sorted cell codes, located with ``searchsorted``,
+        gathered with fancy indexing, and distance-filtered in one shot.
+        Each result list is sorted, matching :meth:`query`.
+        """
+        query_of, rows = self.query_batch_flat(centers, rho, atol=atol)
+        q = np.asarray(centers).shape[0]
+        if q == 0:
+            return []
+        splits = np.cumsum(np.bincount(query_of, minlength=q))[:-1]
+        return [chunk.tolist() for chunk in np.split(rows, splits)]
+
+    def query_batch_flat(
+        self, centers: np.ndarray, rho: float, *, atol: float = 1e-12
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized batch range query, flat-array form.
+
+        Returns ``(query_of, rows)``: parallel int64 arrays such that point
+        ``rows[i]`` lies within ``rho`` of ``centers[query_of[i]]``, sorted
+        by ``(query_of, rows)``.  This is the zero-copy interface the batch
+        neighbourhood computation consumes; :meth:`query_batch` is a
+        per-query split of it.
+        """
+        ctrs = np.asarray(centers, dtype=float)
+        if ctrs.ndim != 2 or ctrs.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"centers shape {ctrs.shape} incompatible with dim {self._dim}"
+            )
+        q = ctrs.shape[0]
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        if q == 0 or len(self) == 0:
+            return empty
+        self._ensure_batch_structures()
+        if not self._linearizable:
+            query_of_parts: List[np.ndarray] = []
+            row_parts: List[np.ndarray] = []
+            for i in range(q):
+                hits = np.asarray(self.query(ctrs[i], rho), dtype=np.int64)
+                query_of_parts.append(np.full(hits.shape, i, dtype=np.int64))
+                row_parts.append(hits)
+            return np.concatenate(query_of_parts), np.concatenate(row_parts)
+        assert (
+            self._sorted_codes is not None
+            and self._order is not None
+            and self._key_lo is not None
+            and self._key_span is not None
+            and self._strides is not None
+        )
+        lo = np.floor((ctrs - rho) / self._cell).astype(np.int64)
+        hi = np.floor((ctrs + rho) / self._cell).astype(np.int64)
+        counts = hi - lo + 1                                   # (q, d)
+        width = counts.max(axis=0)                             # (d,)
+        # Offsets enumerate the largest query box; narrower queries and
+        # cells outside the occupied key range are masked out below.
+        offs = np.stack(
+            np.meshgrid(*[np.arange(w) for w in width], indexing="ij"),
+            axis=-1,
+        ).reshape(-1, self._dim)                               # (c, d)
+        cells = lo[:, None, :] + offs[None, :, :]              # (q, c, d)
+        shifted = cells - self._key_lo
+        valid = np.all(
+            (offs[None, :, :] < counts[:, None, :])
+            & (shifted >= 0)
+            & (shifted < self._key_span),
+            axis=2,
+        )                                                      # (q, c)
+        codes = np.where(valid, shifted @ self._strides, 0).ravel()
+        left = np.searchsorted(self._sorted_codes, codes, side="left")
+        right = np.searchsorted(self._sorted_codes, codes, side="right")
+        lens = np.where(valid.ravel(), right - left, 0)
+        cum = np.concatenate(([0], np.cumsum(lens)))
+        total = int(cum[-1])
+        if total == 0:
+            return empty
+        # Expand each [left, right) slice into explicit row positions.
+        pos = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], lens)
+        rows = self._order[np.repeat(left, lens) + pos]
+        per_query = lens.reshape(q, -1).sum(axis=1)
+        query_of = np.repeat(np.arange(q, dtype=np.int64), per_query)
+        keep = np.all(
+            np.abs(self._points[rows] - ctrs[query_of]) <= rho + atol, axis=1
+        )
+        rows = rows[keep]
+        query_of = query_of[keep]
+        order = np.lexsort((rows, query_of))
+        return query_of[order], rows[order]
 
     def query_pairs_within(self, rho: float) -> List[Tuple[int, int]]:
         """Return all index pairs ``(i, j), i < j`` within distance ``rho``.

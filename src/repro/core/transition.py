@@ -118,7 +118,10 @@ class Transition:
         ).astype(float)
         self._index_prev: Optional[GridIndex] = None
         self._index_cur: Optional[GridIndex] = None
-        self._neighborhood_cache: Dict[int, Tuple[int, ...]] = {}
+        # Memo of N(j) keyed by (device, radius_factor): both the 2r
+        # operating neighbourhood and the 4r knowledge ball are cached, so
+        # _candidate_pool / ablation_locality never recompute the 4r query.
+        self._neighborhood_cache: Dict[Tuple[int, float], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Simple accessors
@@ -199,18 +202,69 @@ class Transition:
             raise UnknownDeviceError(
                 f"device {device} is not flagged; N(j) is defined on A_k"
             )
-        cache_key = device if radius_factor == 2.0 else None
-        if cache_key is not None and cache_key in self._neighborhood_cache:
-            return self._neighborhood_cache[cache_key]
+        cache_key = (device, float(radius_factor))
+        cached = self._neighborhood_cache.get(cache_key)
+        if cached is not None:
+            return cached
         rho = radius_factor * self._r
         idx_prev, idx_cur = self._indexes()
         flagged = self._flagged_sorted
         prev_hits = {flagged[i] for i in idx_prev.query(self._previous.positions[device], rho)}
         cur_hits = {flagged[i] for i in idx_cur.query(self._current.positions[device], rho)}
         out = tuple(sorted(prev_hits & cur_hits))
-        if cache_key is not None:
-            self._neighborhood_cache[cache_key] = out
+        self._neighborhood_cache[cache_key] = out
         return out
+
+    def neighborhoods_batch(
+        self,
+        devices: Optional[Sequence[int]] = None,
+        *,
+        radius_factor: float = 2.0,
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Compute ``N(j)`` for many flagged devices in one vectorized pass.
+
+        Semantically identical to calling :meth:`neighborhood` per device,
+        but the range queries of the whole batch run through
+        :meth:`GridIndex.query_batch` (sorted cell codes + ``searchsorted``)
+        instead of one dict-walk per device.  Results land in the same memo
+        :meth:`neighborhood` uses, so a batch pass warms the per-device
+        path for free.  ``devices`` defaults to all of ``A_k``.
+        """
+        devs = (
+            list(self._flagged_sorted)
+            if devices is None
+            else [int(j) for j in devices]
+        )
+        factor = float(radius_factor)
+        for j in devs:
+            if j not in self._flagged:
+                raise UnknownDeviceError(
+                    f"device {j} is not flagged; N(j) is defined on A_k"
+                )
+        missing = [j for j in devs if (j, factor) not in self._neighborhood_cache]
+        if missing:
+            rho = factor * self._r
+            idx_prev, idx_cur = self._indexes()
+            flagged = np.asarray(self._flagged_sorted, dtype=np.int64)
+            prev_q, prev_rows = idx_prev.query_batch_flat(
+                self._previous.positions[missing], rho
+            )
+            cur_q, cur_rows = idx_cur.query_batch_flat(
+                self._current.positions[missing], rho
+            )
+            # Intersect prev/cur hits of all queries at once: encode each
+            # (query, row) pair as one integer; both encodings are unique
+            # and sorted, so the global intersection decomposes per query.
+            m = max(len(idx_prev), 1)
+            both = np.intersect1d(
+                prev_q * m + prev_rows, cur_q * m + cur_rows, assume_unique=True
+            )
+            hit_devices = flagged[both % m]
+            counts = np.bincount(both // m, minlength=len(missing))
+            splits = np.cumsum(counts)[:-1]
+            for j, hits in zip(missing, np.split(hit_devices, splits)):
+                self._neighborhood_cache[(j, factor)] = tuple(map(int, hits))
+        return {j: self._neighborhood_cache[(j, factor)] for j in devs}
 
     def knowledge_ball(self, device: int) -> Tuple[int, ...]:
         """Return the ``4r`` knowledge radius of Section V.

@@ -1,0 +1,29 @@
+"""Batch-first characterization engine with pluggable execution backends.
+
+One :class:`CharacterizationEngine` serves every driver loop in the
+repository (simulator, experiment runner, network monitor, streaming
+pipeline): vectorized batch neighbourhood computation, a motion cache
+shared across devices and across repeated calls on a transition, and a
+choice of ``serial`` or ``process`` execution.  See DESIGN.md, section
+"Engine architecture".
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.engine.config import BACKENDS, EngineConfig
+from repro.engine.core import CharacterizationEngine, EngineStats
+
+__all__ = [
+    "BACKENDS",
+    "CharacterizationEngine",
+    "EngineConfig",
+    "EngineStats",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "make_backend",
+]

@@ -1,0 +1,140 @@
+"""Pluggable execution backends for the characterization engine.
+
+A backend answers one question: given a transition and a list of flagged
+devices, produce the verdict of every device.  The *serial* backend is the
+seed behaviour — one :class:`~repro.core.characterize.Characterizer`, one
+pass.  The *process* backend chunks the device list over a
+``multiprocessing.Pool``; characterization is embarrassingly parallel
+across devices (the paper's locality result is precisely that device
+``j``'s verdict depends only on trajectories within ``4r`` of ``j``), so
+workers need no coordination, and each worker keeps its own
+:class:`~repro.core.neighborhood.MotionCache` shared across the devices of
+its chunks.
+
+Verdicts are deterministic functions of the transition, so every backend
+returns bit-identical results — the engine equivalence tests enforce it.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.characterize import Characterizer
+from repro.core.neighborhood import MotionCache
+from repro.core.transition import Transition
+from repro.core.types import Characterization
+
+from repro.engine.config import EngineConfig
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ProcessBackend", "make_backend"]
+
+
+class ExecutionBackend:
+    """Interface: run per-device characterization for one transition.
+
+    ``last_expansions`` reports the motion-family expansions the previous
+    :meth:`run` performed in caches the caller cannot see (worker-process
+    caches); ``None`` means all expansions happened in the shared cache
+    the caller passed in.
+    """
+
+    name = "abstract"
+    last_expansions: Optional[int] = None
+
+    def run(
+        self,
+        transition: Transition,
+        devices: Sequence[int],
+        config: EngineConfig,
+        cache: Optional[MotionCache] = None,
+    ) -> Dict[int, Characterization]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution (the seed code path, minus rebuild overhead)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        transition: Transition,
+        devices: Sequence[int],
+        config: EngineConfig,
+        cache: Optional[MotionCache] = None,
+    ) -> Dict[int, Characterization]:
+        characterizer = Characterizer(
+            transition, cache=cache, **config.characterizer_kwargs()
+        )
+        return characterizer.characterize_many(devices)
+
+
+# ----------------------------------------------------------------------
+# Process backend.  Workers are initialized once with the (pickled)
+# transition and characterizer kwargs; each then serves many chunks with
+# a private motion cache, so per-chunk traffic is just device ids in and
+# verdicts out.
+# ----------------------------------------------------------------------
+_WORKER_CHARACTERIZER: Optional[Characterizer] = None
+
+
+def _init_worker(transition: Transition, kwargs: Dict[str, object]) -> None:
+    global _WORKER_CHARACTERIZER
+    _WORKER_CHARACTERIZER = Characterizer(transition, **kwargs)
+
+
+def _characterize_chunk(
+    devices: Sequence[int],
+) -> Tuple[List[Characterization], int]:
+    assert _WORKER_CHARACTERIZER is not None, "worker not initialized"
+    before = _WORKER_CHARACTERIZER.cache.expansions
+    verdicts = [_WORKER_CHARACTERIZER.characterize(device) for device in devices]
+    return verdicts, _WORKER_CHARACTERIZER.cache.expansions - before
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan flagged-device chunks out to a ``multiprocessing.Pool``."""
+
+    name = "process"
+
+    def run(
+        self,
+        transition: Transition,
+        devices: Sequence[int],
+        config: EngineConfig,
+        cache: Optional[MotionCache] = None,
+    ) -> Dict[int, Characterization]:
+        devices = list(devices)
+        workers = config.workers or os.cpu_count() or 1
+        workers = min(workers, max(1, len(devices)))
+        if workers <= 1 or len(devices) < config.min_process_devices:
+            self.last_expansions = None
+            return SerialBackend().run(transition, devices, config, cache)
+        chunk = config.chunk_size or max(1, math.ceil(len(devices) / (4 * workers)))
+        chunks = [devices[i : i + chunk] for i in range(0, len(devices), chunk)]
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(transition, config.characterizer_kwargs()),
+        ) as pool:
+            chunk_results = pool.map(_characterize_chunk, chunks)
+        out: Dict[int, Characterization] = {}
+        expansions = 0
+        for verdicts, chunk_expansions in chunk_results:
+            expansions += chunk_expansions
+            for verdict in verdicts:
+                out[verdict.device] = verdict
+        self.last_expansions = expansions
+        return out
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate a backend by :data:`~repro.engine.config.BACKENDS` name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend()
+    raise ValueError(f"unknown backend {name!r}")  # pragma: no cover - guarded

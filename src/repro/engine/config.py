@@ -1,0 +1,102 @@
+"""Execution configuration for the characterization engine.
+
+:class:`EngineConfig` bundles two orthogonal groups of knobs:
+
+* *execution*: which backend runs the per-device characterizations
+  (``serial`` in-process, or ``process`` fanning flagged-device chunks out
+  to a :mod:`multiprocessing` pool), how many workers, and how devices are
+  chunked;
+* *algorithmic*: the :class:`~repro.core.characterize.Characterizer`
+  parameters (Theorem 7 budgets, fallback policy, collection counting),
+  kept here verbatim so every driver that routes through the engine speaks
+  one configuration vocabulary.
+
+The defaults reproduce the seed behaviour exactly: serial execution with
+the characterizer's own defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["EngineConfig", "BACKENDS"]
+
+#: Names of the available execution backends.
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of a :class:`~repro.engine.core.CharacterizationEngine`.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (default) characterizes in-process; ``"process"``
+        chunks the flagged set over a ``multiprocessing.Pool``.
+    workers:
+        Worker-process count for the ``process`` backend; ``None`` lets
+        the pool size itself to the machine (``os.cpu_count()``).
+    chunk_size:
+        Devices per work unit for the ``process`` backend; ``None`` picks
+        ``ceil(|devices| / (4 * workers))`` so the pool load-balances
+        without drowning in pickling overhead.
+    min_process_devices:
+        Below this many devices the ``process`` backend silently degrades
+        to serial execution — worker startup would dominate the work.
+    precompute_neighborhoods:
+        When true (default) the engine batch-computes the ``2r``
+        neighbourhoods *and* the ``4r`` knowledge balls of every device in
+        one vectorized pass before characterizing, warming the
+        transition's memo (and, for the process backend, shipping the
+        warmed memo to the workers instead of letting each recompute it).
+    full_nsc, collection_budget, count_all_collections,
+    collection_count_cap, pool_cap, budget_fallback:
+        Forwarded verbatim to
+        :class:`~repro.core.characterize.Characterizer`; see its docstring.
+    """
+
+    backend: str = "serial"
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    min_process_devices: int = 4
+    precompute_neighborhoods: bool = True
+    full_nsc: bool = True
+    collection_budget: Optional[int] = None
+    count_all_collections: bool = False
+    collection_count_cap: Optional[int] = 10_000_000
+    pool_cap: Optional[int] = 1 << 22
+    budget_fallback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 when given, got {self.workers!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 when given, got {self.chunk_size!r}"
+            )
+        if self.min_process_devices < 1:
+            raise ConfigurationError(
+                "min_process_devices must be >= 1, got "
+                f"{self.min_process_devices!r}"
+            )
+
+    def characterizer_kwargs(self) -> Dict[str, object]:
+        """The :class:`Characterizer` keyword arguments this config encodes."""
+        return {
+            "full_nsc": self.full_nsc,
+            "collection_budget": self.collection_budget,
+            "count_all_collections": self.count_all_collections,
+            "collection_count_cap": self.collection_count_cap,
+            "pool_cap": self.pool_cap,
+            "budget_fallback": self.budget_fallback,
+        }

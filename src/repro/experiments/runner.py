@@ -5,6 +5,13 @@ keyword knobs for scale (steps, seeds) and a ``main()`` that prints the
 rendered table — so ``python -m repro.experiments.table2`` regenerates
 the paper artifact from the command line while the benchmark suite calls
 ``run`` with reduced scale.
+
+All simulated experiments characterize through one shared
+:class:`~repro.engine.CharacterizationEngine` per accumulation run: the
+engine batch-computes neighbourhoods, keeps its motion cache alive across
+the consecutive transitions of the run, and — when the caller selects the
+``process`` backend — fans the flagged devices of each interval out to a
+worker pool.
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import MetricAccumulator
-from repro.core.characterize import Characterizer
+from repro.engine import CharacterizationEngine, EngineConfig
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import SimulationStep, Simulator
 
@@ -29,28 +36,54 @@ def simulate_and_accumulate(
     collection_budget: Optional[int] = 2_000_000,
     pool_cap: Optional[int] = 100_000,
     with_truth: bool = True,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    engine: Optional[CharacterizationEngine] = None,
 ) -> MetricAccumulator:
     """Run ``len(seeds)`` independent simulations and fold their metrics.
 
     Every seed gets a fresh :class:`Simulator` (fresh initial state); each
     contributes ``steps`` characterized intervals to one shared
-    :class:`MetricAccumulator`.  The characterizer runs with a generous
-    search budget and falls back to an explicit "undecided" (counted as
-    unresolved) on pathological devices rather than aborting a sweep.
+    :class:`MetricAccumulator`.  One engine serves the whole call (or the
+    caller's ``engine``, letting several calls of a sweep share it — but
+    then the engine's own config wins, so combining ``engine`` with any
+    other engine knob is rejected rather than silently ignored); it runs
+    with a generous search budget and falls back to an explicit
+    "undecided" (counted as unresolved) on pathological devices rather
+    than aborting a sweep.
     """
-    accumulator = MetricAccumulator()
-    for seed in seeds:
-        simulator = Simulator(config.with_overrides(seed=seed))
-        for step in simulator.run(steps):
-            characterizer = Characterizer(
-                step.transition,
+    if engine is None:
+        engine = CharacterizationEngine(
+            EngineConfig(
+                backend=backend,
+                workers=workers,
                 count_all_collections=count_all_collections,
                 collection_count_cap=collection_count_cap,
                 collection_budget=collection_budget,
                 pool_cap=pool_cap,
                 budget_fallback=True,
             )
-            results = characterizer.characterize_all()
+        )
+    else:
+        overridden = {
+            "backend": backend != "serial",
+            "workers": workers is not None,
+            "count_all_collections": count_all_collections is not False,
+            "collection_count_cap": collection_count_cap != 100_000,
+            "collection_budget": collection_budget != 2_000_000,
+            "pool_cap": pool_cap != 100_000,
+        }
+        conflicts = sorted(name for name, hit in overridden.items() if hit)
+        if conflicts:
+            raise TypeError(
+                "pass either an engine or engine knobs, not both; "
+                f"got engine plus {conflicts}"
+            )
+    accumulator = MetricAccumulator()
+    for seed in seeds:
+        simulator = Simulator(config.with_overrides(seed=seed), engine=engine)
+        for step in simulator.run(steps):
+            results = step.characterize(engine=engine)
             truly_massive = (
                 step.truth.truly_massive(config.tau) if with_truth else None
             )

@@ -17,7 +17,7 @@ fractions plus the mean ``|A_k|``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.runner import simulate_and_accumulate
 from repro.io.records import ExperimentResult
@@ -45,6 +45,8 @@ def run(
     n: int = 1000,
     r: float = 0.03,
     tau: int = 3,
+    backend: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Table II (fractions of ``A_k`` per decision rule)."""
     config = SimulationConfig(
@@ -54,7 +56,9 @@ def run(
         errors_per_step=errors_per_step,
         isolated_probability=isolated_probability,
     )
-    accumulator = simulate_and_accumulate(config, steps=steps, seeds=seeds)
+    accumulator = simulate_and_accumulate(
+        config, steps=steps, seeds=seeds, backend=backend, workers=workers
+    )
     result = ExperimentResult(
         experiment_id="table2",
         title="Average repartition of A_k into I_k, M_k, U_k (Table II)",

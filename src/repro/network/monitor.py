@@ -26,10 +26,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.characterize import Characterizer
 from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import AnomalyType, Characterization
+from repro.engine import CharacterizationEngine, EngineConfig
 from repro.detection.base import Detector
 from repro.detection.composite import DeviceMonitor
 from repro.detection.threshold import StepThresholdDetector
@@ -100,6 +100,15 @@ class NetworkMonitor:
         Gaussian measurement noise on every QoS sample.
     seed:
         RNG seed for measurement noise.
+    engine:
+        Optional shared :class:`~repro.engine.CharacterizationEngine`.
+        Defaults to a serial engine owned by the monitor; the tick loop
+        characterizes through it, so one batch neighbourhood pass and one
+        motion cache serve each interval, and a ``process`` engine fans
+        large flagged sets out to workers.
+    backend, workers:
+        Convenience knobs building the default engine when ``engine`` is
+        not given.
     """
 
     def __init__(
@@ -113,6 +122,9 @@ class NetworkMonitor:
         tau: int = 3,
         noise_sigma: float = 0.002,
         seed: int = 0,
+        engine: Optional[CharacterizationEngine] = None,
+        backend: str = "serial",
+        workers: Optional[int] = None,
     ) -> None:
         if noise_sigma < 0:
             raise ConfigurationError(f"noise_sigma must be >= 0, got {noise_sigma!r}")
@@ -133,6 +145,9 @@ class NetworkMonitor:
         self._rng = np.random.default_rng(seed)
         self._tick = 0
         self._previous_qos: Optional[np.ndarray] = None
+        self._engine = engine or CharacterizationEngine(
+            EngineConfig(backend=backend, workers=workers)
+        )
 
     @property
     def injector(self) -> FaultInjector:
@@ -153,6 +168,11 @@ class NetworkMonitor:
     def current_tick(self) -> int:
         """Number of completed ticks."""
         return self._tick
+
+    @property
+    def engine(self) -> CharacterizationEngine:
+        """The characterization engine the tick loop routes through."""
+        return self._engine
 
     def _measure_all(self) -> np.ndarray:
         """Measure the QoS of every service at every gateway."""
@@ -184,7 +204,7 @@ class NetworkMonitor:
             Snapshot(previous), Snapshot(qos), flagged, self._r, self._tau
         )
         result.transition = transition
-        result.verdicts = Characterizer(transition).characterize_all()
+        result.verdicts = self._engine.characterize(transition)
         for device_id, verdict in result.verdicts.items():
             if self._policy.should_report(verdict.anomaly_type):
                 result.reports.append(

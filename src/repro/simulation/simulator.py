@@ -13,13 +13,13 @@ missed detections honestly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.characterize import Characterizer
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import Characterization
+from repro.engine import CharacterizationEngine, EngineConfig
 from repro.simulation.config import SimulationConfig
 from repro.simulation.generator import inject_errors
 from repro.simulation.ledger import GroundTruthLedger, StepTruth
@@ -35,13 +35,22 @@ class SimulationStep:
     transition: Transition
     truth: StepTruth
 
-    def characterize(self, **kwargs) -> Dict[int, Characterization]:
+    def characterize(
+        self, engine: Optional[CharacterizationEngine] = None, **kwargs
+    ) -> Dict[int, Characterization]:
         """Run the local characterization on this step's flagged devices.
 
-        Keyword arguments are forwarded to
-        :class:`~repro.core.characterize.Characterizer`.
+        Routed through a :class:`~repro.engine.CharacterizationEngine`; a
+        caller holding one for a whole run should pass it so motion
+        caches and batch passes are shared.  Keyword arguments become
+        :class:`~repro.engine.EngineConfig` fields (which include every
+        :class:`~repro.core.characterize.Characterizer` knob).
         """
-        return Characterizer(self.transition, **kwargs).characterize_all()
+        if engine is None:
+            engine = CharacterizationEngine(EngineConfig(**kwargs))
+        elif kwargs:
+            raise TypeError("pass either an engine or keyword overrides, not both")
+        return engine.characterize(self.transition)
 
 
 class Simulator:
@@ -54,23 +63,36 @@ class Simulator:
     rng:
         Optional numpy Generator; defaults to one seeded from
         ``config.seed`` so runs are reproducible by construction.
+    engine:
+        Optional shared :class:`~repro.engine.CharacterizationEngine` used
+        by :meth:`run_characterized` (and available to callers via
+        :attr:`engine`); defaults to a serial engine built lazily.
     """
 
     def __init__(
         self,
         config: SimulationConfig,
         rng: Optional[np.random.Generator] = None,
+        engine: Optional[CharacterizationEngine] = None,
     ) -> None:
         self._config = config
         self._rng = rng if rng is not None else np.random.default_rng(config.seed)
         self._positions = self._rng.random((config.n, config.dim))
         self._ledger = GroundTruthLedger()
         self._step = 0
+        self._engine = engine
 
     @property
     def config(self) -> SimulationConfig:
         """The scenario parameters."""
         return self._config
+
+    @property
+    def engine(self) -> CharacterizationEngine:
+        """The characterization engine shared across this run's steps."""
+        if self._engine is None:
+            self._engine = CharacterizationEngine()
+        return self._engine
 
     @property
     def ledger(self) -> GroundTruthLedger:
@@ -108,6 +130,18 @@ class Simulator:
     def run(self, steps: int) -> List[SimulationStep]:
         """Advance ``steps`` intervals and collect the results."""
         return [self.step() for _ in range(steps)]
+
+    def run_characterized(
+        self, steps: int
+    ) -> List[Tuple[SimulationStep, Dict[int, Characterization]]]:
+        """Advance ``steps`` intervals, characterizing each through the
+        run's shared engine (one batch neighbourhood pass per interval,
+        engine statistics aggregated across the run)."""
+        engine = self.engine
+        return [
+            (step, step.characterize(engine=engine))
+            for step in (self.step() for _ in range(steps))
+        ]
 
     def __iter__(self) -> Iterator[SimulationStep]:
         """Endless iterator of simulation steps (callers break)."""

@@ -2,11 +2,24 @@
 
 :class:`~repro.streaming.sampler.AdaptiveSampler` lets each device speed
 up its own snapshot rate under anomaly bursts with no global
-coordination; ``repro.experiments.ablation_sampling`` measures the
-paper's claimed payoff (fewer concomitant errors per interval, hence
-fewer unresolved configurations).
+coordination; :class:`~repro.streaming.sampler.SampledCharacterizationStream`
+drives a whole fleet of samplers against a shared
+:class:`~repro.engine.CharacterizationEngine` so only due devices are
+characterized each tick.  ``repro.experiments.ablation_sampling``
+measures the paper's claimed payoff (fewer concomitant errors per
+interval, hence fewer unresolved configurations).
 """
 
-from repro.streaming.sampler import AdaptiveSampler, SamplerConfig
+from repro.streaming.sampler import (
+    AdaptiveSampler,
+    SampledCharacterizationStream,
+    SamplerConfig,
+    StreamTick,
+)
 
-__all__ = ["AdaptiveSampler", "SamplerConfig"]
+__all__ = [
+    "AdaptiveSampler",
+    "SampledCharacterizationStream",
+    "SamplerConfig",
+    "StreamTick",
+]

@@ -22,12 +22,22 @@ fall with ``k``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.errors import ConfigurationError
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import Characterization
+from repro.engine import CharacterizationEngine
 
-__all__ = ["SamplerConfig", "AdaptiveSampler"]
+__all__ = [
+    "SamplerConfig",
+    "AdaptiveSampler",
+    "StreamTick",
+    "SampledCharacterizationStream",
+]
 
 
 @dataclass(frozen=True)
@@ -129,3 +139,127 @@ class AdaptiveSampler:
         """Return to the steady state and clear history."""
         self._period = self._config.base_period
         self._history.clear()
+
+
+@dataclass
+class StreamTick:
+    """Everything observable about one tick of the sampled stream."""
+
+    tick: int
+    flagged: Tuple[int, ...]
+    due: Tuple[int, ...]       # flagged devices characterized this tick
+    verdicts: Dict[int, Characterization] = field(default_factory=dict)
+    periods: Tuple[float, ...] = ()
+
+
+class SampledCharacterizationStream:
+    """Locally sampled characterization over a stream of snapshots.
+
+    The streaming counterpart of the batch drivers: each device runs its
+    own :class:`AdaptiveSampler` (burst mode under anomalies, steady state
+    otherwise), and every tick only the flagged devices whose sampler is
+    *due* are characterized — through one shared
+    :class:`~repro.engine.CharacterizationEngine` (one batch
+    neighbourhood pass per tick, backend selection, run-level stats;
+    each tick forms a fresh transition, so motion families are computed
+    per tick for the due subset only).  This realizes the Section VII-C
+    policy end-to-end: anomalies speed a device up, so exactly the
+    devices in trouble get the freshest verdicts, at a fraction of the
+    cost of characterizing everyone every tick.
+
+    Parameters
+    ----------
+    n:
+        Number of monitored devices.
+    r, tau:
+        Characterization parameters.
+    engine:
+        Optional shared engine; defaults to a serial one owned by the
+        stream.
+    sampler_config:
+        Policy knobs for the per-device samplers.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        r: float,
+        tau: int,
+        engine: Optional[CharacterizationEngine] = None,
+        sampler_config: Optional[SamplerConfig] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n!r}")
+        self._n = n
+        self._r = r
+        self._tau = tau
+        self._engine = engine or CharacterizationEngine()
+        self._samplers = [AdaptiveSampler(sampler_config) for _ in range(n)]
+        # Per-device countdown to the next sample, in ticks.
+        self._countdown = [s.period for s in self._samplers]
+        self._previous: Optional[np.ndarray] = None
+        self._tick = 0
+
+    @property
+    def engine(self) -> CharacterizationEngine:
+        """The characterization engine shared across ticks."""
+        return self._engine
+
+    @property
+    def samplers(self) -> List[AdaptiveSampler]:
+        """The per-device sampling controllers (read-only view)."""
+        return list(self._samplers)
+
+    @property
+    def current_tick(self) -> int:
+        """Number of completed ticks."""
+        return self._tick
+
+    def observe(
+        self, positions: np.ndarray, flagged: Sequence[int]
+    ) -> StreamTick:
+        """Feed one snapshot of the fleet and characterize due devices.
+
+        ``positions`` is the ``(n, d)`` QoS state at this tick; ``flagged``
+        the devices whose detector fired.  Flagged devices drive their
+        samplers into burst mode (and are pulled forward so a freshly
+        anomalous device never waits out a stale steady-state period);
+        quiet devices relax.  Only *due* flagged devices are characterized,
+        against the previous snapshot.
+        """
+        pts = np.asarray(positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] != self._n:
+            raise ConfigurationError(
+                f"positions must be ({self._n}, d), got shape {pts.shape}"
+            )
+        self._tick += 1
+        flagged_sorted = tuple(sorted({int(j) for j in flagged}))
+        flagged_set = set(flagged_sorted)
+        due: List[int] = []
+        for j, sampler in enumerate(self._samplers):
+            period = sampler.observe(j in flagged_set)
+            countdown = self._countdown[j] - 1.0
+            if j in flagged_set:
+                countdown = min(countdown, period - 1.0)
+            if countdown <= 0.0:
+                if j in flagged_set:
+                    due.append(j)
+                countdown = period
+            self._countdown[j] = countdown
+        previous = self._previous
+        self._previous = pts.copy()
+        verdicts: Dict[int, Characterization] = {}
+        if previous is not None and due:
+            transition = Transition(
+                Snapshot(previous), Snapshot(pts), flagged_sorted,
+                self._r, self._tau,
+            )
+            verdicts = self._engine.characterize(transition, devices=due)
+        return StreamTick(
+            tick=self._tick,
+            flagged=flagged_sorted,
+            due=tuple(due),
+            verdicts=verdicts,
+            periods=tuple(s.period for s in self._samplers),
+        )

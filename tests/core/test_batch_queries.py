@@ -1,0 +1,169 @@
+"""Batch neighbourhood machinery: query_batch and neighborhoods_batch.
+
+The vectorized paths must be *equivalent* to the scalar ones on every
+input — same hits, same order — and the neighbourhood memo must now cover
+the ``4r`` knowledge ball as well as the ``2r`` operating radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, UnknownDeviceError
+from repro.core.geometry import GridIndex
+from repro.core.transition import Transition
+
+
+def _random_transition(rng, n=300, d=2, r=0.03, tau=3, flagged_fraction=0.5):
+    prev = rng.random((n, d))
+    cur = np.clip(prev + rng.normal(0.0, 0.02, prev.shape), 0.0, 1.0)
+    n_flagged = max(1, int(n * flagged_fraction))
+    flagged = rng.choice(n, size=n_flagged, replace=False)
+    return Transition.from_arrays(prev, cur, flagged, r=r, tau=tau)
+
+
+class TestQueryBatch:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_scalar_query(self, d):
+        rng = np.random.default_rng(d)
+        for trial in range(10):
+            m = int(rng.integers(0, 80))
+            pts = rng.random((m, d))
+            cell = float(rng.uniform(0.02, 0.3))
+            rho = float(rng.uniform(0.0, 0.35))
+            index = GridIndex(pts, cell)
+            centers = rng.random((int(rng.integers(1, 25)), d))
+            batch = index.query_batch(centers, rho)
+            scalar = [index.query(c, rho) for c in centers]
+            assert batch == scalar
+
+    def test_empty_index(self):
+        index = GridIndex(np.zeros((0, 2)), 0.1)
+        assert index.query_batch(np.random.default_rng(0).random((4, 2)), 0.2) == [
+            [],
+            [],
+            [],
+            [],
+        ]
+
+    def test_empty_centers(self):
+        index = GridIndex(np.random.default_rng(0).random((10, 2)), 0.1)
+        assert index.query_batch(np.zeros((0, 2)), 0.2) == []
+
+    def test_centers_outside_occupied_cells(self):
+        # Queries whose cell ring falls entirely outside the occupied key
+        # box must return nothing (and not crash on the code mapping).
+        pts = np.full((5, 2), 0.5)
+        index = GridIndex(pts, 0.01)
+        out = index.query_batch(np.array([[0.0, 0.0], [1.0, 1.0]]), 0.005)
+        assert out == [[], []]
+        hit = index.query_batch(np.array([[0.5, 0.5]]), 0.005)
+        assert hit == [[0, 1, 2, 3, 4]]
+
+    def test_unlinearizable_grid_falls_back_to_scalar(self):
+        # A degenerate cell side in 4-D makes the occupied key box exceed
+        # int64 linearization; the batch path must then agree with the
+        # scalar loop via its fallback rather than overflow silently.
+        # (rho must stay ~cell-sized: the ring enumeration is per-cell.)
+        rng = np.random.default_rng(29)
+        pts = rng.random((40, 4))
+        index = GridIndex(pts, 1e-6)
+        centers = np.vstack([pts[:3], rng.random((3, 4))])
+        rho = 1.5e-6
+        batch = index.query_batch(centers, rho)
+        assert not index._linearizable
+        assert batch == [index.query(c, rho) for c in centers]
+        assert batch[0] == [0]  # each query point finds itself
+
+    def test_dimension_mismatch_rejected(self):
+        index = GridIndex(np.random.default_rng(0).random((10, 2)), 0.1)
+        with pytest.raises(DimensionMismatchError):
+            index.query_batch(np.zeros((3, 3)), 0.1)
+
+    def test_results_sorted(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((200, 2))
+        index = GridIndex(pts, 0.06)
+        for hits in index.query_batch(rng.random((20, 2)), 0.1):
+            assert hits == sorted(hits)
+
+
+class TestNeighborhoodsBatch:
+    def test_matches_scalar_neighborhood(self):
+        rng = np.random.default_rng(11)
+        t = _random_transition(rng)
+        fresh = Transition.from_arrays(
+            t.previous.positions, t.current.positions, t.flagged_sorted,
+            r=t.r, tau=t.tau,
+        )
+        batch = t.neighborhoods_batch()
+        for j in fresh.flagged_sorted:
+            assert batch[j] == fresh.neighborhood(j)
+
+    def test_matches_scalar_knowledge_ball(self):
+        rng = np.random.default_rng(13)
+        t = _random_transition(rng)
+        fresh = Transition.from_arrays(
+            t.previous.positions, t.current.positions, t.flagged_sorted,
+            r=t.r, tau=t.tau,
+        )
+        batch = t.neighborhoods_batch(radius_factor=4.0)
+        for j in fresh.flagged_sorted:
+            assert batch[j] == fresh.knowledge_ball(j)
+
+    def test_subset_and_default_devices(self):
+        rng = np.random.default_rng(17)
+        t = _random_transition(rng, n=100)
+        subset = t.flagged_sorted[:5]
+        out = t.neighborhoods_batch(subset)
+        assert set(out) == set(subset)
+        full = t.neighborhoods_batch()
+        assert set(full) == set(t.flagged_sorted)
+
+    def test_unflagged_device_rejected(self):
+        rng = np.random.default_rng(19)
+        t = _random_transition(rng, n=50, flagged_fraction=0.2)
+        unflagged = next(
+            j for j in range(t.n) if j not in t.flagged
+        )
+        with pytest.raises(UnknownDeviceError):
+            t.neighborhoods_batch([unflagged])
+
+    def test_batch_warms_scalar_memo(self):
+        rng = np.random.default_rng(23)
+        t = _random_transition(rng, n=100)
+        t.neighborhoods_batch()
+        t.neighborhoods_batch(radius_factor=4.0)
+        for j in t.flagged_sorted:
+            assert (j, 2.0) in t._neighborhood_cache
+            assert (j, 4.0) in t._neighborhood_cache
+
+
+class TestKnowledgeBallCaching:
+    """Satellite fix: the 4r query is memoized, not recomputed per call."""
+
+    def test_knowledge_ball_cached(self, figure5_transition):
+        t = figure5_transition
+        first = t.knowledge_ball(0)
+        assert (0, 4.0) in t._neighborhood_cache
+        # A second call must be served from the memo without touching the
+        # spatial indexes at all.
+        calls = {"n": 0}
+        original = t._indexes
+
+        def counting_indexes():
+            calls["n"] += 1
+            return original()
+
+        t._indexes = counting_indexes  # type: ignore[method-assign]
+        assert t.knowledge_ball(0) == first
+        assert calls["n"] == 0
+
+    def test_both_radii_cached_independently(self, figure5_transition):
+        t = figure5_transition
+        n2 = t.neighborhood(0)
+        n4 = t.knowledge_ball(0)
+        assert set(n2) <= set(n4)
+        assert t._neighborhood_cache[(0, 2.0)] == n2
+        assert t._neighborhood_cache[(0, 4.0)] == n4

@@ -1,0 +1,109 @@
+"""Characterizer budget paths: downgrade, pool cap, and propagation.
+
+The Figure 5 configuration is the canonical scenario where Theorem 6 is
+insufficient and every device needs the Theorem 7 search — exactly the
+code path the budgets guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError, SearchBudgetExceeded
+from repro.core.neighborhood import MotionCache
+from repro.core.types import AnomalyType, DecisionRule
+
+
+class TestCollectionBudget:
+    def test_propagates_when_fallback_off(self, figure5_transition):
+        characterizer = Characterizer(figure5_transition, collection_budget=1)
+        with pytest.raises(SearchBudgetExceeded):
+            characterizer.characterize(0)
+
+    def test_fallback_downgrades_to_algorithm_3(self, figure5_transition):
+        characterizer = Characterizer(
+            figure5_transition, collection_budget=1, budget_fallback=True
+        )
+        verdict = characterizer.characterize(0)
+        assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+        assert verdict.rule is DecisionRule.ALGORITHM_3
+
+    def test_generous_budget_reaches_theorem_7(self, figure5_transition):
+        characterizer = Characterizer(
+            figure5_transition, collection_budget=1_000_000
+        )
+        verdict = characterizer.characterize(0)
+        assert verdict.anomaly_type is AnomalyType.MASSIVE
+        assert verdict.rule is DecisionRule.THEOREM_7
+
+    def test_fallback_sweep_covers_all_devices(self, figure5_transition):
+        # budget_fallback must let a whole-transition pass complete even
+        # when every device trips the budget.
+        results = Characterizer(
+            figure5_transition, collection_budget=1, budget_fallback=True
+        ).characterize_all()
+        assert set(results) == set(figure5_transition.flagged_sorted)
+        assert all(
+            v.rule is DecisionRule.ALGORITHM_3 for v in results.values()
+        )
+
+
+class TestPoolCap:
+    def test_pool_cap_trip_raises(self, figure5_transition):
+        # Figure 5 maximal motions have 4 members; a cap of 4 forbids the
+        # 2^4-subset enumeration of a single maximal motion.
+        characterizer = Characterizer(figure5_transition, pool_cap=4)
+        with pytest.raises(SearchBudgetExceeded, match="candidate pool"):
+            characterizer.characterize(0)
+
+    def test_pool_cap_trip_with_fallback(self, figure5_transition):
+        verdict = Characterizer(
+            figure5_transition, pool_cap=4, budget_fallback=True
+        ).characterize(0)
+        assert verdict.anomaly_type is AnomalyType.UNRESOLVED
+        assert verdict.rule is DecisionRule.ALGORITHM_3
+
+
+class TestCheapPathUnaffected:
+    def test_theorem_5_and_6_ignore_budgets(self, single_blob_transition):
+        # Devices settled by the cheap theorems never reach the search, so
+        # even a zero-ish budget cannot disturb them.
+        results = Characterizer(
+            single_blob_transition, collection_budget=1
+        ).characterize_all()
+        assert all(v.is_massive for v in results.values())
+        assert all(
+            v.rule is DecisionRule.THEOREM_6 for v in results.values()
+        )
+
+    def test_scattered_isolated_ignore_budgets(self, scattered_transition):
+        results = Characterizer(
+            scattered_transition, collection_budget=1, pool_cap=1
+        ).characterize_all()
+        assert all(v.is_isolated for v in results.values())
+
+
+class TestSharedCache:
+    def test_external_cache_is_used(self, figure5_transition):
+        cache = MotionCache(figure5_transition)
+        characterizer = Characterizer(figure5_transition, cache=cache)
+        characterizer.characterize(0)
+        assert characterizer.cache is cache
+        assert len(cache) > 0
+
+    def test_cache_shared_across_characterizers(self, figure5_transition):
+        cache = MotionCache(figure5_transition)
+        Characterizer(figure5_transition, cache=cache).characterize(0)
+        expansions = cache.expansions
+        # A second characterizer on the same cache pays nothing for the
+        # families the first one already expanded.
+        Characterizer(figure5_transition, cache=cache).characterize(0)
+        assert cache.expansions == expansions
+
+    def test_cache_transition_mismatch_rejected(
+        self, figure5_transition, single_blob_transition
+    ):
+        cache = MotionCache(single_blob_transition)
+        with pytest.raises(ConfigurationError):
+            Characterizer(figure5_transition, cache=cache)

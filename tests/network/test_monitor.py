@@ -142,3 +142,45 @@ class TestRecovery:
         assert set(after.flagged) == set(during.flagged)
         for verdict in after.verdicts.values():
             assert verdict.anomaly_type is AnomalyType.MASSIVE
+
+
+class TestEngineRouting:
+    """The tick loop routes verdicts through one shared engine."""
+
+    def test_monitor_owns_an_engine(self):
+        monitor = make_monitor()
+        assert monitor.engine.config.backend == "serial"
+
+    def test_engine_stats_accumulate_over_ticks(self):
+        monitor = make_monitor()
+        monitor.run(3)
+        monitor.injector.inject(NetworkFault("core-1", severity=0.35, duration=2))
+        monitor.run(2)
+        assert monitor.engine.stats.transitions >= 1
+        assert monitor.engine.stats.devices_characterized > 0
+
+    def test_process_backend_produces_identical_verdicts(self):
+        def fault_course(monitor):
+            monitor.run(3)
+            monitor.injector.inject(
+                NetworkFault("core-1", severity=0.35, duration=2)
+            )
+            return monitor.tick()
+
+        serial = fault_course(make_monitor())
+        process = fault_course(
+            make_monitor(backend="process", workers=2)
+        )
+        assert set(serial.verdicts) == set(process.verdicts)
+        for device in serial.verdicts:
+            assert (
+                serial.verdicts[device].anomaly_type
+                is process.verdicts[device].anomaly_type
+            )
+
+    def test_shared_engine_across_monitors(self):
+        from repro.engine import CharacterizationEngine
+
+        engine = CharacterizationEngine()
+        monitor = make_monitor(engine=engine)
+        assert monitor.engine is engine

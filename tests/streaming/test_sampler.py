@@ -103,3 +103,94 @@ class TestAdaptiveSampler:
         for _ in range(20):
             sampler.observe(False)
         assert not sampler.in_burst_mode
+
+
+class TestSampledCharacterizationStream:
+    """The streaming driver: samplers gate who gets characterized."""
+
+    def _stream(self, n=40, base_period=4.0):
+        import numpy as np
+
+        from repro.streaming import (
+            SampledCharacterizationStream,
+            SamplerConfig,
+        )
+
+        rng = np.random.default_rng(3)
+        stream = SampledCharacterizationStream(
+            n,
+            r=0.03,
+            tau=3,
+            sampler_config=SamplerConfig(base_period=base_period, min_period=1.0),
+        )
+        return stream, rng.random((n, 2))
+
+    def test_first_tick_never_characterizes(self):
+        stream, pos = self._stream()
+        tick = stream.observe(pos, range(5))
+        assert tick.verdicts == {}
+        assert stream.current_tick == 1
+
+    def test_burst_devices_become_due_and_characterized(self):
+        import numpy as np
+
+        stream, pos = self._stream()
+        stream.observe(pos, [])
+        moved = pos.copy()
+        moved[:6] = [0.5, 0.5]
+        moved = np.clip(moved, 0, 1)
+        # Flagged devices collapse their period toward min_period; within
+        # a couple of ticks they are due and characterized as one motion.
+        stream.observe(moved, range(6))
+        tick = stream.observe(moved, range(6))
+        assert set(tick.due) == set(range(6))
+        assert all(v.is_massive for v in tick.verdicts.values())
+
+    def test_quiet_devices_keep_steady_period(self):
+        stream, pos = self._stream()
+        tick = None
+        for _ in range(3):
+            tick = stream.observe(pos, [0])
+        assert tick is not None
+        assert tick.periods[0] == 1.0          # burst floor
+        assert tick.periods[1] == 4.0          # steady state
+
+    def test_verdicts_match_direct_characterization(self):
+        import numpy as np
+
+        from repro.core.characterize import Characterizer
+        from repro.core.transition import Transition
+
+        stream, pos = self._stream()
+        stream.observe(pos, [])
+        moved = np.clip(pos + 0.0, 0, 1)
+        moved[:5] = [0.2, 0.9]
+        for _ in range(4):
+            tick = stream.observe(moved, range(5))
+        direct = Characterizer(
+            Transition.from_arrays(moved, moved, range(5), r=0.03, tau=3)
+        ).characterize_all()
+        for device, verdict in tick.verdicts.items():
+            assert verdict.anomaly_type is direct[device].anomaly_type
+
+    def test_engine_is_shared_across_ticks(self):
+        import numpy as np
+
+        stream, pos = self._stream()
+        stream.observe(pos, [])
+        moved = pos.copy()
+        moved[:6] = [0.5, 0.5]
+        moved = np.clip(moved, 0, 1)
+        for _ in range(4):
+            stream.observe(moved, range(6))
+        assert stream.engine.stats.transitions >= 2
+
+    def test_bad_shapes_rejected(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.core.errors import ConfigurationError
+
+        stream, pos = self._stream()
+        with _pytest.raises(ConfigurationError):
+            stream.observe(np.zeros((3, 2)), [])

@@ -57,3 +57,35 @@ class TestExecution:
         payload = json.loads(target.read_text())
         assert payload["experiment_id"] == "figure6a"
         assert payload["rows"]
+
+
+class TestBackendFlags:
+    def test_backend_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--backend", "process", "--workers", "2"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 2
+
+    def test_backend_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.backend is None
+        assert args.workers is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--backend", "threads"])
+
+    def test_run_with_serial_backend(self, capsys):
+        assert (
+            main(
+                ["run", "table2", "--steps", "1", "--seeds", "0",
+                 "--backend", "serial"]
+            )
+            == 0
+        )
+        assert "I_k (Theorem 5)" in capsys.readouterr().out
+
+    def test_backend_ignored_by_analytic_experiments(self, capsys):
+        # figure6b runs no simulation; the flag must be silently dropped.
+        assert main(["run", "figure6b", "--backend", "process"]) == 0
