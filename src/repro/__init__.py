@@ -29,6 +29,10 @@ Subpackages
 ``repro.engine``
     Batch-first characterization engine: vectorized neighbourhoods,
     shared motion cache, pluggable serial / process execution backends.
+``repro.online``
+    Event-driven characterization service: sharded device-state store,
+    incremental grid indexes, dirty-region invalidation, and a
+    replayable event pipeline with backpressure.
 ``repro.detection``
     Error detection functions ``a_k(j)`` (threshold, EWMA, CUSUM,
     Holt–Winters, Kalman).

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: regenerate paper artifacts, serve, replay.
 
 Usage::
 
@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run figure7 --steps 2 --seeds 0,1 --json out.json
     python -m repro.cli run table2 --backend process --workers 4
     python -m repro.cli run all --steps 2 --seeds 0
+    python -m repro.cli serve --devices 10000 --ticks 20 --churn 0.01
+    python -m repro.cli replay --trace trace.jsonl --shards 8
 
 ``run`` executes an experiment's ``run()`` with optional scale overrides
 and prints the rendered table (plus an ASCII chart for the figure sweeps);
@@ -14,14 +16,23 @@ and prints the rendered table (plus an ASCII chart for the figure sweeps);
 ``--backend`` / ``--workers`` select the characterization engine's
 execution backend for the experiments that simulate (``process`` chunks
 each interval's flagged devices over a worker pool).
+
+``serve`` pumps a synthetic load (random drift + anomalous jumps +
+optional coordinated bursts) through the online characterization service
+and prints per-tick and aggregate figures; ``replay`` runs a detector
+bank over a recorded JSON-lines QoS trace (or a generated synthetic one)
+and feeds the resulting event stream through the same service.  Both
+accept ``--shards`` / ``--batch`` / ``--backend`` to exercise the
+service's sharding, batching and execution knobs.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.engine.config import BACKENDS
 
@@ -109,7 +120,236 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --backend process",
     )
+
+    def add_service_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--r", type=float, default=0.03, help="impact radius")
+        sub_parser.add_argument("--tau", type=int, default=3, help="density threshold")
+        sub_parser.add_argument("--shards", type=int, default=8, help="store shards")
+        sub_parser.add_argument(
+            "--batch", type=int, default=None, help="updates applied per drain pass"
+        )
+        sub_parser.add_argument(
+            "--queue", type=int, default=65_536, help="ingest queue capacity"
+        )
+        sub_parser.add_argument(
+            "--backend", choices=BACKENDS, default="serial",
+            help="characterization engine backend",
+        )
+        sub_parser.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes for --backend process",
+        )
+        sub_parser.add_argument(
+            "--full", action="store_true",
+            help="disable incremental invalidation (recompute all verdicts)",
+        )
+        sub_parser.add_argument(
+            "--json", default=None, help="also write the summary JSON here"
+        )
+
+    serve = sub.add_parser(
+        "serve", help="pump synthetic load through the online service"
+    )
+    add_service_args(serve)
+    serve.add_argument("--devices", type=int, default=10_000, help="population size")
+    serve.add_argument("--services", type=int, default=2, help="QoS dimensions")
+    serve.add_argument("--ticks", type=int, default=20, help="intervals to run")
+    serve.add_argument(
+        "--churn", type=float, default=0.01, help="fraction of devices reporting per tick"
+    )
+    serve.add_argument(
+        "--flag-rate", type=float, default=0.1,
+        help="fraction of reports that are anomalous",
+    )
+    serve.add_argument(
+        "--burst-every", type=int, default=0,
+        help="coordinated burst period in ticks (0 = off)",
+    )
+    serve.add_argument(
+        "--burst-size", type=int, default=8, help="devices per coordinated burst"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="load generator seed")
+
+    replay = sub.add_parser(
+        "replay", help="replay a QoS trace through the online service"
+    )
+    add_service_args(replay)
+    replay.add_argument(
+        "--trace", default=None,
+        help="JSON-lines trace file (default: generate a synthetic trace)",
+    )
+    replay.add_argument(
+        "--devices", type=int, default=200, help="synthetic trace population"
+    )
+    replay.add_argument(
+        "--services", type=int, default=2, help="synthetic trace QoS dimensions"
+    )
+    replay.add_argument(
+        "--steps", type=int, default=24, help="synthetic trace length"
+    )
+    replay.add_argument("--seed", type=int, default=0, help="synthetic trace seed")
     return parser
+
+
+def _service_config(args: argparse.Namespace):
+    """Build a :class:`ServiceConfig` from the shared service flags."""
+    from repro.online import ServiceConfig
+
+    return ServiceConfig(
+        r=args.r,
+        tau=args.tau,
+        shards=args.shards,
+        queue_capacity=args.queue,
+        max_batch=args.batch,
+        incremental=not args.full,
+        backend=args.backend,
+        workers=args.workers,
+    )
+
+
+def _print_tick_table(ticks) -> None:
+    print(
+        f"{'tick':>5} {'applied':>8} {'flagged':>8} {'recomputed':>11} "
+        f"{'reused':>7} {'dirty':>6}"
+    )
+    for tick in ticks:
+        print(
+            f"{tick.tick:>5} {tick.applied:>8} {len(tick.flagged):>8} "
+            f"{len(tick.recomputed):>11} {len(tick.reused):>7} "
+            f"{tick.dirty_cells:>6}"
+        )
+
+
+def _print_service_summary(result, service) -> None:
+    stats = service.stats
+    total = result.total_updates
+    throughput = total / result.elapsed_seconds if result.elapsed_seconds else 0.0
+    recompute_share = (
+        100.0 * result.total_recomputed
+        / max(1, result.total_recomputed + result.total_reused)
+    )
+    print(
+        f"totals: updates={total} recomputed={result.total_recomputed} "
+        f"reused={result.total_reused} ({recompute_share:.1f}% recomputed) "
+        f"index_reuses={stats.index_reuses}"
+    )
+    print(
+        f"elapsed={result.elapsed_seconds:.3f}s "
+        f"throughput={throughput:,.0f} updates/s"
+    )
+
+
+def _write_service_json(path: str, result, service, extra: Dict) -> None:
+    payload = {
+        "stats": service.stats.as_dict(),
+        "ticks": [
+            {
+                "tick": tick.tick,
+                "applied": tick.applied,
+                "flagged": len(tick.flagged),
+                "recomputed": len(tick.recomputed),
+                "reused": len(tick.reused),
+                "dirty_cells": tick.dirty_cells,
+            }
+            for tick in result.ticks
+        ],
+        "elapsed_seconds": result.elapsed_seconds,
+        **extra,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"(wrote {path})")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.online import (
+        LoadGenerator,
+        LoadProfile,
+        MetricsSink,
+        OnlineCharacterizationService,
+        drive_load,
+    )
+
+    profile = LoadProfile(
+        devices=args.devices,
+        services=args.services,
+        churn=args.churn,
+        flag_rate=args.flag_rate,
+        burst_every=args.burst_every,
+        burst_size=args.burst_size,
+        seed=args.seed,
+    )
+    generator = LoadGenerator(profile)
+    service = OnlineCharacterizationService(
+        generator.initial_positions(), _service_config(args)
+    )
+    metrics = MetricsSink()
+    service.add_sink(metrics)
+    mode = "full-recompute" if args.full else "incremental"
+    print(
+        f"serve: n={args.devices} ticks={args.ticks} churn={args.churn:.2%} "
+        f"shards={args.shards} backend={args.backend} mode={mode}"
+    )
+    result = drive_load(service, generator, args.ticks)
+    _print_tick_table(result.ticks)
+    _print_service_summary(result, service)
+    print(f"verdict counts: {metrics.verdict_counts}")
+    if args.json:
+        _write_service_json(
+            args.json, result, service, {"metrics": metrics.as_dict()}
+        )
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.detection.threshold import StepThresholdDetector
+    from repro.io.synthetic import Incident, TraceConfig, generate_trace
+    from repro.io.traces import read_trace
+    from repro.online import replay_trace_online
+
+    if args.trace:
+        with open(args.trace) as handle:
+            trace = read_trace(handle.read())
+        source = args.trace
+    else:
+        config = TraceConfig(
+            devices=args.devices,
+            services=args.services,
+            steps=args.steps,
+            seed=args.seed,
+        )
+        incidents = []
+        massive = min(args.tau + 2, args.devices)
+        if massive >= 1:
+            incidents.append(
+                Incident(
+                    start=max(1, args.steps // 3),
+                    duration=2,
+                    devices=tuple(range(massive)),
+                    service=0,
+                    drop=0.3,
+                )
+            )
+        incidents.append(
+            Incident(
+                start=max(1, 2 * args.steps // 3),
+                duration=2,
+                devices=(args.devices - 1,),
+                service=0,
+                drop=0.4,
+            )
+        )
+        trace = generate_trace(config, incidents)
+        source = f"synthetic (devices={args.devices}, steps={args.steps})"
+    factory = lambda: StepThresholdDetector(max_step=min(4.0 * args.r, 1.0))  # noqa: E731
+    mode = "full-recompute" if args.full else "incremental"
+    print(f"replay: {source} shards={args.shards} mode={mode}")
+    result = replay_trace_online(trace, factory, _service_config(args))
+    _print_tick_table(result.ticks)
+    _print_service_summary(result, result.service)
+    if args.json:
+        _write_service_json(args.json, result, result.service, {"source": source})
+    return 0
 
 
 def _run_one(
@@ -137,6 +377,10 @@ def _run_one(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             module, _ = EXPERIMENTS[name]

@@ -23,6 +23,7 @@ from repro.core.errors import (
     ConfigurationError,
     DimensionMismatchError,
     PartitionError,
+    QueueFullError,
     ReproError,
     SearchBudgetExceeded,
     TraceFormatError,
@@ -65,6 +66,7 @@ __all__ = [
     "NeighborhoodSplit",
     "OracleVerdict",
     "PartitionError",
+    "QueueFullError",
     "ReproError",
     "SearchBudgetExceeded",
     "Snapshot",

@@ -46,3 +46,13 @@ class SearchBudgetExceeded(ReproError):
 
 class TraceFormatError(ReproError):
     """A serialized trace or result file could not be parsed."""
+
+
+class QueueFullError(ReproError):
+    """A bounded ingest queue refused an event.
+
+    Raised by the online characterization service when its queue is at
+    capacity and the configured backpressure policy is ``"error"`` (the
+    ``"block"`` and ``"drop-oldest"`` policies resolve the overflow
+    themselves).
+    """

@@ -187,6 +187,16 @@ class GridIndex:
         """Side of the grid cells."""
         return self._cell
 
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed ``(m, d)`` point array (do not mutate).
+
+        Exposed so callers holding an index built for one snapshot can
+        verify it matches another use site (:class:`Transition` validates
+        prebuilt indexes against its own flagged positions this way).
+        """
+        return self._points
+
     def __len__(self) -> int:
         return self._points.shape[0]
 

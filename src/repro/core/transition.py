@@ -17,7 +17,7 @@ needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +81,17 @@ class Transition:
     tau:
         Density threshold in ``[1, n - 1]`` separating isolated from
         massive anomalies (Definition 4).
+    index_prev, index_cur:
+        Optional prebuilt :class:`GridIndex` objects over the *flagged*
+        positions (sorted device order, cell side ``max(2r, 1e-6)``),
+        adopted instead of rebuilding.  Consecutive transitions share
+        index work this way: when the flagged set is unchanged from one
+        interval to the next, the previous transition's
+        :attr:`cur_index` indexes exactly the positions the next
+        transition needs for its ``prev`` side.  Adopted indexes are
+        validated (cell side, shape, and point content) so a stale or
+        mismatched index fails fast instead of corrupting neighbourhood
+        queries.
     """
 
     def __init__(
@@ -90,6 +101,9 @@ class Transition:
         flagged: Iterable[int],
         r: float,
         tau: int,
+        *,
+        index_prev: Optional[GridIndex] = None,
+        index_cur: Optional[GridIndex] = None,
     ) -> None:
         if previous.positions.shape != current.positions.shape:
             raise DimensionMismatchError(
@@ -118,6 +132,10 @@ class Transition:
         ).astype(float)
         self._index_prev: Optional[GridIndex] = None
         self._index_cur: Optional[GridIndex] = None
+        if index_prev is not None:
+            self._index_prev = self._adopt_index(index_prev, previous, "index_prev")
+        if index_cur is not None:
+            self._index_cur = self._adopt_index(index_cur, current, "index_cur")
         # Memo of N(j) keyed by (device, radius_factor): both the 2r
         # operating neighbourhood and the 4r knowledge ball are cached, so
         # _candidate_pool / ablation_locality never recompute the 4r query.
@@ -178,17 +196,65 @@ class Transition:
     # ------------------------------------------------------------------
     # Neighbourhood queries
     # ------------------------------------------------------------------
+    @property
+    def index_cell(self) -> float:
+        """Grid-cell side used by this transition's spatial indexes."""
+        return max(2.0 * self._r, 1e-6)
+
+    def _flagged_points(self, snapshot: Snapshot) -> np.ndarray:
+        """Positions of the flagged devices (sorted order) at one time."""
+        if not self._flagged_sorted:
+            return np.zeros((0, self.dim))
+        return snapshot.positions[list(self._flagged_sorted)]
+
+    def _adopt_index(
+        self, index: GridIndex, snapshot: Snapshot, label: str
+    ) -> GridIndex:
+        """Validate a prebuilt index against this transition's flagged set.
+
+        The content check is a vectorized ``array_equal`` — far cheaper
+        than the per-point dict build it saves — so reuse cannot silently
+        serve neighbourhoods of the wrong snapshot or flagged set.
+        """
+        expected = self._flagged_points(snapshot)
+        if abs(index.cell - self.index_cell) > 1e-12:
+            raise ConfigurationError(
+                f"{label} has cell side {index.cell}, expected {self.index_cell}"
+            )
+        if index.points.shape != expected.shape or not np.array_equal(
+            index.points, expected
+        ):
+            raise ConfigurationError(
+                f"{label} does not index this transition's flagged positions "
+                f"(shape {index.points.shape}, expected {expected.shape})"
+            )
+        return index
+
     def _indexes(self) -> Tuple[GridIndex, GridIndex]:
         """Lazily build grid indexes over the *flagged* devices."""
         if self._index_prev is None:
-            flagged = list(self._flagged_sorted)
-            cell = max(2.0 * self._r, 1e-6)
-            prev_pts = self._previous.positions[flagged] if flagged else np.zeros((0, self.dim))
-            cur_pts = self._current.positions[flagged] if flagged else np.zeros((0, self.dim))
-            self._index_prev = GridIndex(prev_pts, cell)
-            self._index_cur = GridIndex(cur_pts, cell)
-        assert self._index_cur is not None
+            self._index_prev = GridIndex(
+                self._flagged_points(self._previous), self.index_cell
+            )
+        if self._index_cur is None:
+            self._index_cur = GridIndex(
+                self._flagged_points(self._current), self.index_cell
+            )
         return self._index_prev, self._index_cur
+
+    @property
+    def prev_index(self) -> GridIndex:
+        """The ``S_{k-1}``-side flagged index (built on first access)."""
+        return self._indexes()[0]
+
+    @property
+    def cur_index(self) -> GridIndex:
+        """The ``S_k``-side flagged index (built on first access).
+
+        When the next interval's flagged set equals this one's, pass this
+        as that transition's ``index_prev`` to skip one index build.
+        """
+        return self._indexes()[1]
 
     def neighborhood(self, device: int, *, radius_factor: float = 2.0) -> Tuple[int, ...]:
         """Return ``N(j)``: flagged devices within ``radius_factor * r`` of

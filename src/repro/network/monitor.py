@@ -26,6 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+import dataclasses
+
 from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import AnomalyType, Characterization
@@ -36,6 +38,7 @@ from repro.detection.threshold import StepThresholdDetector
 from repro.network.faults import FaultInjector
 from repro.network.services import ServiceCatalog, default_catalog
 from repro.network.topology import IspTopology
+from repro.online.service import OnlineCharacterizationService, ServiceConfig
 
 __all__ = ["ReportingPolicy", "Report", "TickResult", "NetworkMonitor"]
 
@@ -109,6 +112,16 @@ class NetworkMonitor:
     backend, workers:
         Convenience knobs building the default engine when ``engine`` is
         not given.
+    incremental:
+        When true, the tick loop routes through an
+        :class:`~repro.online.service.OnlineCharacterizationService`
+        instead of recharacterizing every flagged gateway: per-tick QoS
+        diffs become events, only verdicts whose ``4r`` neighbourhoods
+        changed are recomputed, and index work is shared across
+        consecutive ticks.  Verdicts are identical either way.
+    service_config:
+        Knobs for the incremental service (``r``/``tau`` are overridden
+        with the monitor's own).
     """
 
     def __init__(
@@ -125,6 +138,8 @@ class NetworkMonitor:
         engine: Optional[CharacterizationEngine] = None,
         backend: str = "serial",
         workers: Optional[int] = None,
+        incremental: bool = False,
+        service_config: Optional[ServiceConfig] = None,
     ) -> None:
         if noise_sigma < 0:
             raise ConfigurationError(f"noise_sigma must be >= 0, got {noise_sigma!r}")
@@ -148,6 +163,14 @@ class NetworkMonitor:
         self._engine = engine or CharacterizationEngine(
             EngineConfig(backend=backend, workers=workers)
         )
+        self._incremental = incremental
+        self._service_config = dataclasses.replace(
+            service_config or ServiceConfig(), r=r, tau=tau
+        )
+        self._service: Optional[OnlineCharacterizationService] = None
+        # Batch-mode index sharing: the previous tick's transition, kept
+        # only while its current snapshot is this tick's previous one.
+        self._last_transition: Optional[Transition] = None
 
     @property
     def injector(self) -> FaultInjector:
@@ -174,6 +197,11 @@ class NetworkMonitor:
         """The characterization engine the tick loop routes through."""
         return self._engine
 
+    @property
+    def service(self) -> Optional[OnlineCharacterizationService]:
+        """The online service (incremental mode only; None before tick 1)."""
+        return self._service
+
     def _measure_all(self) -> np.ndarray:
         """Measure the QoS of every service at every gateway."""
         n = self._topology.n_gateways
@@ -198,13 +226,73 @@ class NetworkMonitor:
         result = TickResult(tick=self._tick, qos=qos, flagged=flagged, transition=None)
         previous = self._previous_qos
         self._previous_qos = qos
+        if self._incremental:
+            return self._tick_incremental(result, previous, qos, flagged)
         if previous is None or not flagged:
+            self._last_transition = None
             return result
         transition = Transition(
-            Snapshot(previous), Snapshot(qos), flagged, self._r, self._tau
+            Snapshot(previous),
+            Snapshot(qos),
+            flagged,
+            self._r,
+            self._tau,
+            index_prev=self._reusable_prev_index(flagged),
         )
+        self._last_transition = transition
         result.transition = transition
         result.verdicts = self._engine.characterize(transition)
+        for device_id, verdict in result.verdicts.items():
+            if self._policy.should_report(verdict.anomaly_type):
+                result.reports.append(
+                    Report(
+                        tick=self._tick,
+                        device_id=device_id,
+                        gateway=self._topology.gateway_name(device_id),
+                        anomaly_type=verdict.anomaly_type,
+                        position=tuple(float(x) for x in qos[device_id]),
+                    )
+                )
+        return result
+
+    def _reusable_prev_index(self, flagged: Sequence[int]):
+        """The previous tick's current-side index, when it still applies.
+
+        Valid exactly when the last tick built a transition (so its
+        current snapshot is this tick's previous one) over the same
+        flagged set.
+        """
+        last = self._last_transition
+        if last is not None and tuple(flagged) == last.flagged_sorted:
+            return last.cur_index
+        return None
+
+    def _tick_incremental(
+        self,
+        result: TickResult,
+        previous: Optional[np.ndarray],
+        qos: np.ndarray,
+        flagged: List[int],
+    ) -> TickResult:
+        """Characterize through the online service instead of batch."""
+        if previous is None:
+            # First tick seeds the service state; there is no interval yet.
+            self._service = OnlineCharacterizationService(
+                qos, self._service_config, engine=self._engine
+            )
+            return result
+        assert self._service is not None
+        flagged_set = set(flagged)
+        out = self._service.feed_snapshot(
+            previous,
+            qos,
+            [
+                device_id in flagged_set
+                for device_id in range(self._topology.n_gateways)
+            ],
+        )
+        result.transition = out.transition
+        result.verdicts = dict(out.verdicts)
         for device_id, verdict in result.verdicts.items():
             if self._policy.should_report(verdict.anomaly_type):
                 result.reports.append(

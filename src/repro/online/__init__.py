@@ -1,0 +1,67 @@
+"""Online characterization service: events in, fresh verdicts out.
+
+The batch drivers (:mod:`repro.simulation`, :mod:`repro.experiments`)
+rebuild every spatial index and recompute every verdict each interval.
+This package keeps a live population warm instead:
+
+* :class:`~repro.online.grid.MutableGridIndex` — the incremental twin of
+  :class:`~repro.core.geometry.GridIndex`: insert / remove / move in
+  O(1), query-identical by contract;
+* :class:`~repro.online.store.DeviceStateStore` — last two QoS snapshots
+  and flag state per device, sharded by grid cell;
+* :class:`~repro.online.dirty.DirtyRegionTracker` — maps a tick's
+  updated cells to the flagged devices whose ``4r`` neighbourhoods could
+  have changed (the paper's locality result read as an invalidation
+  rule);
+* :class:`~repro.online.service.OnlineCharacterizationService` — bounded
+  ingest queue, batching and backpressure knobs
+  (:class:`~repro.online.service.ServiceConfig`), pluggable sinks, and a
+  per-tick verdict map equal to full batch recharacterization;
+* :mod:`repro.online.replay` — drivers feeding recorded traces or
+  synthetic load through the service.
+
+See DESIGN.md, section "Online subsystem".
+"""
+
+from repro.online.dirty import DirtyRegionTracker
+from repro.online.grid import MutableGridIndex
+from repro.online.replay import (
+    LoadGenerator,
+    LoadProfile,
+    OnlineReplayResult,
+    diff_updates,
+    drive_load,
+    replay_trace_online,
+)
+from repro.online.service import (
+    BACKPRESSURE_POLICIES,
+    MetricsSink,
+    OnlineCharacterizationService,
+    OnlineTick,
+    QosUpdate,
+    ReportSink,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.online.store import AppliedUpdate, DeviceStateStore
+
+__all__ = [
+    "AppliedUpdate",
+    "BACKPRESSURE_POLICIES",
+    "DeviceStateStore",
+    "DirtyRegionTracker",
+    "LoadGenerator",
+    "LoadProfile",
+    "MetricsSink",
+    "MutableGridIndex",
+    "OnlineCharacterizationService",
+    "OnlineReplayResult",
+    "OnlineTick",
+    "QosUpdate",
+    "ReportSink",
+    "ServiceConfig",
+    "ServiceStats",
+    "diff_updates",
+    "drive_load",
+    "replay_trace_online",
+]

@@ -1,0 +1,119 @@
+"""Dirty-region bookkeeping: which verdicts can a tick's updates change?
+
+The paper's locality result (Section V) says a device's verdict is a
+function of the trajectories and flag bits of flagged devices within
+``4r`` of it, at both interval endpoints.  Turned around, that is an
+*invalidation* rule: verdict ``k``'s inputs for device ``j`` differ from
+verdict ``k-1``'s only if some device ``i`` inside ``j``'s ``4r``
+influence region changed its transition tuple
+``(p_{k-1}(i), p_k(i), a_k(i))`` — i.e. ``i`` moved during this interval,
+moved during the *previous* one (its ``prev`` endpoint shifted under it),
+or toggled its flag.  Moves of devices that are unflagged on both sides
+of the toggle are invisible to every verdict and tracked for free.
+
+:class:`DirtyRegionTracker` accumulates those changes as grid-cell keys:
+
+* a relevant update marks the device's old and new current cells
+  (``old`` doubles as the device's ``prev`` endpoint — the store rolled
+  snapshots at the last tick boundary);
+* a *position* move additionally carries its two cells into the next
+  tick's dirty set, because ``prev_{k+1} = cur_k`` shifts the device's
+  trajectory again one tick later;
+* at tick end, every flagged device within ``rings`` cells (Chebyshev)
+  of a dirty cell is reported as *affected* — a conservative superset of
+  the devices whose verdicts can have changed, with ``rings`` sized so
+  that anything farther is provably more than ``4r`` away.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Set, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.online.grid import CellKey, MutableGridIndex
+from repro.online.store import AppliedUpdate
+
+__all__ = ["DirtyRegionTracker"]
+
+
+class DirtyRegionTracker:
+    """Map a tick's updated cells to the verdicts they can invalidate.
+
+    Parameters
+    ----------
+    cell:
+        Grid-cell side (must match the store's index).
+    influence_radius:
+        How far a change can reach: ``4r``, the paper's knowledge radius.
+    """
+
+    def __init__(self, *, cell: float, influence_radius: float) -> None:
+        if cell <= 0:
+            raise ConfigurationError(f"cell side must be positive, got {cell!r}")
+        if influence_radius < 0:
+            raise ConfigurationError(
+                f"influence_radius must be >= 0, got {influence_radius!r}"
+            )
+        self._cell = float(cell)
+        # Two cells at Chebyshev key-distance D hold points at least
+        # (D - 1) * cell apart, so rings = floor(4r / cell) + 1 guarantees
+        # rings * cell > 4r: anything outside the ring band is strictly
+        # beyond the influence radius even at cell-boundary extremes.
+        self._rings = int(math.floor(influence_radius / self._cell + 1e-9)) + 1
+        self._pending: Set[CellKey] = set()
+        self._carry: Set[CellKey] = set()
+        self._carry_next: Set[CellKey] = set()
+
+    @property
+    def rings(self) -> int:
+        """Cell-ring radius of the influence band."""
+        return self._rings
+
+    @property
+    def pending_cells(self) -> Tuple[CellKey, ...]:
+        """Cells dirtied so far this tick (including last tick's carry)."""
+        return tuple(sorted(self._pending | self._carry))
+
+    def mark(self, applied: AppliedUpdate, *, was_relevant: bool) -> bool:
+        """Record one applied update; returns whether it dirtied anything.
+
+        ``was_relevant`` is true when the device was flagged *before* the
+        update — a move of a device that is unflagged before and after
+        cannot change any verdict and is skipped entirely.
+        """
+        relevant = applied.flag_changed or (
+            applied.moved and (applied.flagged or was_relevant)
+        )
+        if not relevant:
+            return False
+        self._pending.add(applied.old_cell)
+        self._pending.add(applied.new_cell)
+        if applied.moved:
+            # prev_{k+1} = cur_k: this trajectory shifts again next tick.
+            self._carry_next.add(applied.old_cell)
+            self._carry_next.add(applied.new_cell)
+        return True
+
+    def finish_tick(
+        self, index: MutableGridIndex
+    ) -> Tuple[Tuple[CellKey, ...], Set[int]]:
+        """Close the tick: return ``(dirty_cells, affected_devices)``.
+
+        ``affected_devices`` is every indexed device within ``rings``
+        cells of a dirty cell — callers intersect with the flagged set.
+        Resets per-tick state; the carry of this tick's moves seeds the
+        next tick's dirty set.
+        """
+        dirty = self._pending | self._carry
+        affected = index.devices_near_cells(dirty, self._rings) if dirty else set()
+        self._pending = set()
+        self._carry = self._carry_next
+        self._carry_next = set()
+        return tuple(sorted(dirty)), affected
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DirtyRegionTracker(rings={self._rings}, "
+            f"pending={len(self._pending)}, carry={len(self._carry)})"
+        )

@@ -1,0 +1,246 @@
+"""Incrementally maintained uniform-grid spatial index.
+
+:class:`~repro.core.geometry.GridIndex` is batch-built: one pass over an
+immutable point array.  That is the right shape for the experiment
+drivers, which see each snapshot exactly once — and the wrong shape for
+an online service, where a tick that moves ``k`` devices out of ``n``
+would pay an O(n) rebuild for O(k) change.  :class:`MutableGridIndex`
+keeps the same cell decomposition (side ``cell``, keys
+``floor(p / cell)``) in mutable dictionaries so ``insert`` / ``remove`` /
+``move`` cost O(1) dictionary work each, and range queries walk exactly
+the cells :meth:`GridIndex.query` walks.
+
+Equivalence is part of the contract, not an accident: after *any*
+interleaving of mutations, :meth:`query` and :meth:`query_batch` must
+return exactly what a freshly built :class:`GridIndex` over the same
+points returns (the randomized tests in ``tests/online`` enforce it).
+Device identifiers take the place of row indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnknownDeviceError,
+)
+from repro.core.geometry import _iter_cells
+
+__all__ = ["MutableGridIndex"]
+
+CellKey = Tuple[int, ...]
+
+
+class MutableGridIndex:
+    """Uniform-grid index over points in ``[0, 1]^d`` with O(1) updates.
+
+    Parameters
+    ----------
+    cell:
+        Side of the grid cells (``max(2r, 1e-6)`` matches the batch
+        indexes a :class:`~repro.core.transition.Transition` builds).
+    dim:
+        Dimensionality of the indexed points.
+    """
+
+    def __init__(self, cell: float, dim: int) -> None:
+        if cell <= 0:
+            raise ConfigurationError(f"cell side must be positive, got {cell!r}")
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim!r}")
+        self._cell = float(cell)
+        self._dim = int(dim)
+        self._positions: Dict[int, np.ndarray] = {}
+        self._key_of: Dict[int, CellKey] = {}
+        self._cells: Dict[CellKey, Set[int]] = {}
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, cell: float) -> "MutableGridIndex":
+        """Bulk-load devices ``0..n-1`` from an ``(n, d)`` array.
+
+        One vectorized key computation plus plain dictionary fills —
+        the per-insert numpy scalar work would dominate at fleet scale.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise DimensionMismatchError("points must be an (n, d) array")
+        index = cls(cell, pts.shape[1])
+        keys = np.floor(pts / index._cell).astype(int)
+        for device, key in enumerate(map(tuple, keys)):
+            index._positions[device] = pts[device].copy()
+            index._key_of[device] = key
+            index._cells.setdefault(key, set()).add(device)
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cell(self) -> float:
+        """Side of the grid cells."""
+        return self._cell
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, device: int) -> bool:
+        return device in self._positions
+
+    def devices(self) -> Tuple[int, ...]:
+        """All indexed device ids, sorted."""
+        return tuple(sorted(self._positions))
+
+    def position(self, device: int) -> np.ndarray:
+        """Current position of ``device`` (a copy)."""
+        try:
+            return self._positions[device].copy()
+        except KeyError:
+            raise UnknownDeviceError(f"device {device} is not indexed") from None
+
+    def cell_key(self, position: Sequence[float]) -> CellKey:
+        """The grid cell containing ``position``."""
+        pos = self._validate(position)
+        return tuple(int(c) for c in np.floor(pos / self._cell).astype(int))
+
+    def key_of(self, device: int) -> CellKey:
+        """The grid cell currently holding ``device``."""
+        try:
+            return self._key_of[device]
+        except KeyError:
+            raise UnknownDeviceError(f"device {device} is not indexed") from None
+
+    def devices_in_cell(self, key: CellKey) -> FrozenSet[int]:
+        """Devices currently stored in one cell."""
+        return frozenset(self._cells.get(key, ()))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _validate(self, position: Sequence[float]) -> np.ndarray:
+        pos = np.asarray(position, dtype=float)
+        if pos.shape != (self._dim,):
+            raise DimensionMismatchError(
+                f"position shape {pos.shape} incompatible with dim {self._dim}"
+            )
+        return pos
+
+    def insert(self, device: int, position: Sequence[float]) -> CellKey:
+        """Add a device; returns the cell it landed in."""
+        if device in self._positions:
+            raise ConfigurationError(
+                f"device {device} is already indexed; use move()"
+            )
+        pos = self._validate(position)
+        key = self.cell_key(pos)
+        self._positions[device] = pos.copy()
+        self._key_of[device] = key
+        self._cells.setdefault(key, set()).add(device)
+        return key
+
+    def remove(self, device: int) -> CellKey:
+        """Drop a device; returns the cell it vacated."""
+        if device not in self._positions:
+            raise UnknownDeviceError(f"device {device} is not indexed")
+        key = self._key_of.pop(device)
+        del self._positions[device]
+        bucket = self._cells[key]
+        bucket.discard(device)
+        if not bucket:
+            del self._cells[key]
+        return key
+
+    def move(self, device: int, position: Sequence[float]) -> Tuple[CellKey, CellKey]:
+        """Relocate a device; returns ``(old_cell, new_cell)``.
+
+        The common case — a small QoS drift that stays inside the same
+        ``2r`` cell — touches no cell sets at all.
+        """
+        if device not in self._positions:
+            raise UnknownDeviceError(f"device {device} is not indexed")
+        pos = self._validate(position)
+        old_key = self._key_of[device]
+        new_key = self.cell_key(pos)
+        self._positions[device] = pos.copy()
+        if new_key != old_key:
+            bucket = self._cells[old_key]
+            bucket.discard(device)
+            if not bucket:
+                del self._cells[old_key]
+            self._cells.setdefault(new_key, set()).add(device)
+            self._key_of[device] = new_key
+        return old_key, new_key
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, center: Sequence[float], rho: float) -> List[int]:
+        """Device ids within uniform distance ``rho`` of ``center``, sorted.
+
+        Identical semantics (including the ``1e-12`` tolerance) to
+        :meth:`~repro.core.geometry.GridIndex.query`.
+        """
+        ctr = self._validate(center)
+        lo = np.floor((ctr - rho) / self._cell).astype(int)
+        hi = np.floor((ctr + rho) / self._cell).astype(int)
+        candidates: List[int] = []
+        for key in _iter_cells(lo, hi):
+            bucket = self._cells.get(key)
+            if bucket:
+                candidates.extend(bucket)
+        if not candidates:
+            return []
+        pts = np.stack([self._positions[device] for device in candidates])
+        mask = np.all(np.abs(pts - ctr) <= rho + 1e-12, axis=1)
+        hits = [candidates[i] for i in np.nonzero(mask)[0]]
+        hits.sort()
+        return hits
+
+    def query_batch(self, centers: np.ndarray, rho: float) -> List[List[int]]:
+        """Answer many range queries (one sorted id list per center)."""
+        ctrs = np.asarray(centers, dtype=float)
+        if ctrs.ndim != 2 or ctrs.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"centers shape {ctrs.shape} incompatible with dim {self._dim}"
+            )
+        return [self.query(ctr, rho) for ctr in ctrs]
+
+    def devices_near_cells(
+        self, keys: Iterable[CellKey], rings: int
+    ) -> Set[int]:
+        """Devices within ``rings`` cells (Chebyshev) of any listed cell.
+
+        This is the dirty-region fan-out: given the cells touched by a
+        tick's updates, find every device whose neighbourhood could have
+        changed.  Cost is O(|keys| * (2 rings + 1)^d) dictionary lookups —
+        independent of the population size.
+        """
+        if rings < 0:
+            raise ConfigurationError(f"rings must be >= 0, got {rings!r}")
+        out: Set[int] = set()
+        seen: Set[CellKey] = set()
+        for key in keys:
+            lo = np.asarray(key, dtype=int) - rings
+            hi = np.asarray(key, dtype=int) + rings
+            for probe in _iter_cells(lo, hi):
+                if probe in seen:
+                    continue
+                seen.add(probe)
+                bucket = self._cells.get(probe)
+                if bucket:
+                    out.update(bucket)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MutableGridIndex(devices={len(self)}, cells={len(self._cells)}, "
+            f"cell={self._cell})"
+        )

@@ -1,0 +1,208 @@
+"""Sharded per-device state for the online characterization service.
+
+:class:`DeviceStateStore` is the service's system-state mirror: for every
+device it holds the last two QoS snapshots (the ``S_{k-1}`` / ``S_k``
+pair a :class:`~repro.core.transition.Transition` needs), the current
+flag bit ``a_k(j)``, and a spatial home — devices are *sharded by grid
+cell*, so devices that are close in the QoS space land in the same shard
+and a tick's updates can be applied shard by shard with good locality.
+
+The store is deliberately dumb about time: callers apply updates one at
+a time (:meth:`apply`), then :meth:`advance_tick` rolls the current
+snapshot into the previous one.  Devices that did not report keep their
+position — a silent gateway has, as far as anyone can tell, a stationary
+trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnknownDeviceError,
+)
+from repro.core.geometry import validate_unit_cube
+from repro.online.grid import CellKey, MutableGridIndex
+
+__all__ = ["AppliedUpdate", "DeviceStateStore"]
+
+
+@dataclass(frozen=True)
+class AppliedUpdate:
+    """What one :meth:`DeviceStateStore.apply` actually changed.
+
+    The dirty-region tracker consumes exactly these facts: whether the
+    device moved (and between which cells) and whether its flag bit
+    toggled.
+    """
+
+    device: int
+    moved: bool
+    flag_changed: bool
+    flagged: bool
+    old_cell: CellKey
+    new_cell: CellKey
+
+
+class DeviceStateStore:
+    """Last two snapshots + flag state for ``n`` devices, grid-sharded.
+
+    Parameters
+    ----------
+    initial_positions:
+        ``(n, d)`` QoS state at service start; both snapshots begin equal
+        (every trajectory starts stationary).
+    cell:
+        Grid-cell side for the spatial index and shard assignment
+        (``max(2r, 1e-6)`` to match the transition indexes).
+    shards:
+        Number of shards; a device's shard is a stable hash of its
+        current grid cell, so spatial neighbours co-locate.
+    """
+
+    def __init__(
+        self, initial_positions: np.ndarray, *, cell: float, shards: int = 8
+    ) -> None:
+        pts = validate_unit_cube(np.asarray(initial_positions, dtype=float))
+        if pts.ndim != 2 or pts.shape[0] < 1:
+            raise DimensionMismatchError(
+                "initial_positions must be a non-empty (n, d) array"
+            )
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+        self._prev = pts.copy()
+        self._cur = pts.copy()
+        self._flags = np.zeros(pts.shape[0], dtype=bool)
+        self._index = MutableGridIndex.from_points(pts, cell)
+        self._n_shards = int(shards)
+        self._shard_members: List[set] = [set() for _ in range(self._n_shards)]
+        self._shard_of = np.empty(pts.shape[0], dtype=np.int64)
+        # One hash per *occupied cell*, not per device — cells are the
+        # sharding unit, and there are far fewer of them.
+        shard_of_key = {}
+        for device in range(pts.shape[0]):
+            key = self._index.key_of(device)
+            shard = shard_of_key.get(key)
+            if shard is None:
+                shard = shard_of_key[key] = self._shard_for(key)
+            self._shard_of[device] = shard
+            self._shard_members[shard].add(device)
+
+    def _shard_for(self, key: CellKey) -> int:
+        # Tuples of ints hash deterministically across processes, so
+        # shard placement is stable run to run.
+        return hash(key) % self._n_shards
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of devices."""
+        return self._cur.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of services per device."""
+        return self._cur.shape[1]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._n_shards
+
+    @property
+    def index(self) -> MutableGridIndex:
+        """The incrementally maintained index over *current* positions."""
+        return self._index
+
+    def shard_of(self, device: int) -> int:
+        """The shard currently holding ``device``."""
+        self._check_device(device)
+        return int(self._shard_of[device])
+
+    def shard_members(self, shard: int) -> Tuple[int, ...]:
+        """Devices of one shard, sorted."""
+        if not 0 <= shard < self._n_shards:
+            raise ConfigurationError(
+                f"shard {shard} not in [0, {self._n_shards})"
+            )
+        return tuple(sorted(self._shard_members[shard]))
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Device count per shard."""
+        return tuple(len(members) for members in self._shard_members)
+
+    def is_flagged(self, device: int) -> bool:
+        """Current flag bit ``a_k(j)``."""
+        self._check_device(device)
+        return bool(self._flags[device])
+
+    def flagged_devices(self) -> Tuple[int, ...]:
+        """All currently flagged devices, sorted."""
+        return tuple(int(j) for j in np.nonzero(self._flags)[0])
+
+    def snapshot_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(S_{k-1}, S_k)`` safe to freeze into a Transition."""
+        return self._prev.copy(), self._cur.copy()
+
+    def position(self, device: int) -> np.ndarray:
+        """Current position of ``device`` (a copy)."""
+        self._check_device(device)
+        return self._cur[device].copy()
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.n:
+            raise UnknownDeviceError(f"device {device} not in [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(
+        self, device: int, position: Sequence[float], flagged: bool
+    ) -> AppliedUpdate:
+        """Apply one QoS report and describe what changed."""
+        self._check_device(device)
+        pos = validate_unit_cube(np.asarray(position, dtype=float))
+        if pos.shape != (self.dim,):
+            raise DimensionMismatchError(
+                f"position shape {pos.shape} incompatible with dim {self.dim}"
+            )
+        moved = not np.array_equal(pos, self._cur[device])
+        old_cell = self._index.key_of(device)
+        new_cell = old_cell
+        if moved:
+            self._cur[device] = pos
+            old_cell, new_cell = self._index.move(device, pos)
+            if new_cell != old_cell:
+                new_shard = self._shard_for(new_cell)
+                old_shard = int(self._shard_of[device])
+                if new_shard != old_shard:
+                    self._shard_members[old_shard].discard(device)
+                    self._shard_members[new_shard].add(device)
+                    self._shard_of[device] = new_shard
+        flag_changed = bool(flagged) != bool(self._flags[device])
+        self._flags[device] = bool(flagged)
+        return AppliedUpdate(
+            device=device,
+            moved=moved,
+            flag_changed=flag_changed,
+            flagged=bool(flagged),
+            old_cell=old_cell,
+            new_cell=new_cell,
+        )
+
+    def advance_tick(self) -> None:
+        """Roll ``S_k`` into ``S_{k-1}`` (one vectorized copy)."""
+        np.copyto(self._prev, self._cur)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceStateStore(n={self.n}, d={self.dim}, "
+            f"shards={self._n_shards}, flagged={int(self._flags.sum())})"
+        )

@@ -22,6 +22,7 @@ fall with ``k``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import Characterization
 from repro.engine import CharacterizationEngine
+from repro.online.service import OnlineCharacterizationService, ServiceConfig
 
 __all__ = [
     "SamplerConfig",
@@ -178,6 +180,16 @@ class SampledCharacterizationStream:
         stream.
     sampler_config:
         Policy knobs for the per-device samplers.
+    incremental:
+        When true, verdicts come from an
+        :class:`~repro.online.service.OnlineCharacterizationService` fed
+        with per-tick diffs: the service keeps *every* flagged device's
+        verdict fresh (recomputing only where ``4r`` neighbourhoods
+        changed), and the due-filter selects which verdicts this tick
+        *emits*.  Emitted verdicts are identical to the batch path.
+    service_config:
+        Knobs for the incremental service (``r``/``tau`` are overridden
+        with the stream's own).
     """
 
     def __init__(
@@ -188,6 +200,8 @@ class SampledCharacterizationStream:
         tau: int,
         engine: Optional[CharacterizationEngine] = None,
         sampler_config: Optional[SamplerConfig] = None,
+        incremental: bool = False,
+        service_config: Optional[ServiceConfig] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n!r}")
@@ -200,6 +214,11 @@ class SampledCharacterizationStream:
         self._countdown = [s.period for s in self._samplers]
         self._previous: Optional[np.ndarray] = None
         self._tick = 0
+        self._incremental = incremental
+        self._service_config = dataclasses.replace(
+            service_config or ServiceConfig(), r=r, tau=tau
+        )
+        self._service: Optional[OnlineCharacterizationService] = None
 
     @property
     def engine(self) -> CharacterizationEngine:
@@ -215,6 +234,11 @@ class SampledCharacterizationStream:
     def current_tick(self) -> int:
         """Number of completed ticks."""
         return self._tick
+
+    @property
+    def service(self) -> Optional[OnlineCharacterizationService]:
+        """The online service (incremental mode only; None before tick 1)."""
+        return self._service
 
     def observe(
         self, positions: np.ndarray, flagged: Sequence[int]
@@ -250,7 +274,9 @@ class SampledCharacterizationStream:
         previous = self._previous
         self._previous = pts.copy()
         verdicts: Dict[int, Characterization] = {}
-        if previous is not None and due:
+        if self._incremental:
+            verdicts = self._observe_incremental(previous, pts, flagged_sorted, due)
+        elif previous is not None and due:
             transition = Transition(
                 Snapshot(previous), Snapshot(pts), flagged_sorted,
                 self._r, self._tau,
@@ -263,3 +289,23 @@ class SampledCharacterizationStream:
             verdicts=verdicts,
             periods=tuple(s.period for s in self._samplers),
         )
+
+    def _observe_incremental(
+        self,
+        previous: Optional[np.ndarray],
+        pts: np.ndarray,
+        flagged_sorted: Tuple[int, ...],
+        due: List[int],
+    ) -> Dict[int, Characterization]:
+        """Feed the tick to the online service; emit verdicts of due devices."""
+        if previous is None:
+            self._service = OnlineCharacterizationService(
+                pts, self._service_config, engine=self._engine
+            )
+            return {}
+        assert self._service is not None
+        flagged_set = set(flagged_sorted)
+        out = self._service.feed_snapshot(
+            previous, pts, [device in flagged_set for device in range(self._n)]
+        )
+        return {device: out.verdicts[device] for device in due}

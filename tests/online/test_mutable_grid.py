@@ -1,0 +1,189 @@
+"""MutableGridIndex: mutation semantics and batch-index equivalence.
+
+The load-bearing property is the contract with
+:class:`~repro.core.geometry.GridIndex`: after *any* interleaving of
+insert / move / remove, queries answer exactly what a freshly built
+batch index over the same points answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnknownDeviceError,
+)
+from repro.core.geometry import GridIndex
+from repro.online import MutableGridIndex
+
+
+class TestConstruction:
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ConfigurationError):
+            MutableGridIndex(0.0, 2)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ConfigurationError):
+            MutableGridIndex(0.1, 0)
+
+    def test_from_points_indexes_rows(self):
+        pts = np.random.default_rng(0).random((30, 2))
+        index = MutableGridIndex.from_points(pts, 0.06)
+        assert len(index) == 30
+        assert index.devices() == tuple(range(30))
+        assert np.allclose(index.position(7), pts[7])
+
+    def test_from_points_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            MutableGridIndex.from_points(np.zeros(5), 0.1)
+
+
+class TestMutation:
+    def test_insert_remove_roundtrip(self):
+        index = MutableGridIndex(0.1, 2)
+        key = index.insert(3, [0.55, 0.25])
+        assert 3 in index
+        assert index.key_of(3) == key
+        assert index.devices_in_cell(key) == frozenset({3})
+        assert index.remove(3) == key
+        assert 3 not in index
+        assert len(index) == 0
+
+    def test_double_insert_rejected(self):
+        index = MutableGridIndex(0.1, 2)
+        index.insert(1, [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            index.insert(1, [0.2, 0.2])
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(UnknownDeviceError):
+            MutableGridIndex(0.1, 2).remove(9)
+
+    def test_move_unknown_rejected(self):
+        with pytest.raises(UnknownDeviceError):
+            MutableGridIndex(0.1, 2).move(9, [0.1, 0.1])
+
+    def test_move_within_cell_keeps_key(self):
+        index = MutableGridIndex(0.1, 2)
+        index.insert(0, [0.51, 0.51])
+        old, new = index.move(0, [0.52, 0.52])
+        assert old == new == index.key_of(0)
+
+    def test_move_across_cells_updates_buckets(self):
+        index = MutableGridIndex(0.1, 2)
+        index.insert(0, [0.05, 0.05])
+        old, new = index.move(0, [0.95, 0.95])
+        assert old != new
+        assert index.devices_in_cell(old) == frozenset()
+        assert index.devices_in_cell(new) == frozenset({0})
+
+    def test_wrong_dim_rejected(self):
+        index = MutableGridIndex(0.1, 2)
+        with pytest.raises(DimensionMismatchError):
+            index.insert(0, [0.1, 0.2, 0.3])
+
+
+class TestQueryEquivalence:
+    """query / query_batch must match a freshly built GridIndex exactly."""
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_static_population_matches(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((120, dim))
+        cell = 0.06
+        mutable = MutableGridIndex.from_points(pts, cell)
+        batch = GridIndex(pts, cell)
+        for rho in (0.0, 0.03, 0.06, 0.13):
+            centers = rng.random((25, dim))
+            assert mutable.query_batch(centers, rho) == batch.query_batch(
+                centers, rho
+            )
+
+    @pytest.mark.parametrize("seed", list(range(6)))
+    def test_random_interleaving_matches_fresh_rebuild(self, seed):
+        """Insert/move/remove in random order; compare against rebuilds.
+
+        Device ids are kept dense (0..m-1) by swapping the removed id
+        with the largest one, so the surviving population maps onto the
+        rows of a freshly built GridIndex.
+        """
+        rng = np.random.default_rng(100 + seed)
+        cell = 0.08
+        positions = {}
+        mutable = MutableGridIndex(cell, 2)
+        next_id = 0
+        for op in range(200):
+            roll = rng.random()
+            if roll < 0.45 or not positions:
+                pos = rng.random(2)
+                mutable.insert(next_id, pos)
+                positions[next_id] = pos
+                next_id += 1
+            elif roll < 0.80:
+                device = int(rng.choice(sorted(positions)))
+                # Mix of local drifts and long jumps.
+                if rng.random() < 0.5:
+                    pos = np.clip(
+                        positions[device] + rng.normal(0, 0.02, 2), 0, 1
+                    )
+                else:
+                    pos = rng.random(2)
+                mutable.move(device, pos)
+                positions[device] = pos
+            else:
+                device = int(rng.choice(sorted(positions)))
+                last = next_id - 1
+                if device != last:
+                    # Relabel `last` as `device` to keep ids dense.
+                    pos_last = positions.pop(last)
+                    mutable.remove(device)
+                    mutable.remove(last)
+                    mutable.insert(device, pos_last)
+                    positions[device] = pos_last
+                else:
+                    mutable.remove(device)
+                    del positions[device]
+                next_id -= 1
+            if op % 25 == 24 and positions:
+                pts = np.stack([positions[j] for j in range(next_id)])
+                fresh = GridIndex(pts, cell)
+                centers = rng.random((10, 2))
+                for rho in (0.04, 0.09):
+                    assert mutable.query_batch(centers, rho) == fresh.query_batch(
+                        centers, rho
+                    )
+                    probe = pts[int(rng.integers(len(pts)))]
+                    assert mutable.query(probe, rho) == fresh.query(probe, rho)
+
+    def test_boundary_tolerance_matches(self):
+        # Points engineered exactly rho apart must classify identically
+        # in both indexes (same 1e-12 tolerance).
+        pts = np.array([[0.2, 0.2], [0.26, 0.2], [0.2601, 0.2]])
+        cell = 0.06
+        mutable = MutableGridIndex.from_points(pts, cell)
+        batch = GridIndex(pts, cell)
+        assert mutable.query(pts[0], 0.06) == batch.query(pts[0], 0.06) == [0, 1]
+
+
+class TestNeighborhoodFanout:
+    def test_devices_near_cells_covers_ring(self):
+        pts = np.array([[0.05, 0.05], [0.15, 0.05], [0.45, 0.45], [0.95, 0.95]])
+        index = MutableGridIndex.from_points(pts, 0.1)
+        home = index.key_of(0)
+        assert index.devices_near_cells([home], 0) == {0}
+        assert index.devices_near_cells([home], 1) == {0, 1}
+        assert index.devices_near_cells([home], 10) == {0, 1, 2, 3}
+
+    def test_devices_near_cells_rejects_negative_rings(self):
+        index = MutableGridIndex(0.1, 2)
+        with pytest.raises(ConfigurationError):
+            index.devices_near_cells([(0, 0)], -1)
+
+    def test_empty_keys_yield_empty_set(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        index = MutableGridIndex.from_points(pts, 0.1)
+        assert index.devices_near_cells([], 2) == set()

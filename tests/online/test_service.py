@@ -1,0 +1,314 @@
+"""OnlineCharacterizationService: the verdict-identity contract.
+
+The service may cache, invalidate lazily, shard, batch and reuse
+indexes — but after every ``end_tick`` its verdict map must equal a
+fresh batch characterization of the same transition (type, rule,
+witness).  The randomized drive below checks that on every tick of
+adversarially mixed update streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError, QueueFullError
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import AnomalyType
+from repro.engine import CharacterizationEngine
+from repro.online import (
+    MetricsSink,
+    OnlineCharacterizationService,
+    QosUpdate,
+    ReportSink,
+    ServiceConfig,
+)
+
+
+def assert_verdicts_match_batch(out, reference_transition):
+    """Service verdicts == fresh batch pass (type / rule / witness)."""
+    batch = Characterizer(reference_transition).characterize_all()
+    assert set(out.verdicts) == set(batch)
+    for device, got in out.verdicts.items():
+        want = batch[device]
+        assert got.anomaly_type == want.anomaly_type, device
+        assert got.rule == want.rule, device
+        assert got.witness == want.witness, device
+
+
+def random_drive(service, rng, n, d, ticks, *, churn, flag_p, jump_p):
+    """Feed a random walk with random flag toggles; verify every tick.
+
+    Maintains its *own* mirror of positions and flags, so the reference
+    transition is built independently of the service internals.
+    """
+    positions = service.store.snapshot_arrays()[1]
+    flags = np.zeros(n, dtype=bool)
+    for _ in range(ticks):
+        k = max(1, int(round(churn * n)))
+        movers = rng.choice(n, size=k, replace=False)
+        for j in movers:
+            j = int(j)
+            sigma = 0.12 if rng.random() < jump_p else 0.01
+            positions[j] = np.clip(
+                positions[j] + rng.normal(0, sigma, d), 0, 1
+            )
+            flags[j] = rng.random() < flag_p
+            service.ingest(
+                QosUpdate(j, tuple(positions[j]), bool(flags[j]))
+            )
+        previous = service.store.snapshot_arrays()[0]
+        out = service.end_tick()
+        flagged = [int(x) for x in np.nonzero(flags)[0]]
+        assert list(out.flagged) == flagged
+        if flagged:
+            reference = Transition(
+                Snapshot(previous),
+                Snapshot(positions.copy()),
+                flagged,
+                service.config.r,
+                service.config.tau,
+            )
+            assert_verdicts_match_batch(out, reference)
+        else:
+            assert out.verdicts == {}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"queue_capacity": 0},
+            {"max_batch": 0},
+            {"backpressure": "spill"},
+            {"backend": "threads"},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+    def test_cell_matches_transition_indexes(self):
+        config = ServiceConfig(r=0.03)
+        assert config.cell == pytest.approx(0.06)
+        assert ServiceConfig(r=0.0).cell == pytest.approx(1e-6)
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_streams_match_batch_every_tick(self, seed):
+        rng = np.random.default_rng(seed)
+        n, d = 150, 2
+        service = OnlineCharacterizationService(
+            rng.random((n, d)), ServiceConfig(r=0.05, tau=2, shards=4)
+        )
+        random_drive(
+            service, rng, n, d, ticks=10, churn=0.12, flag_p=0.5, jump_p=0.3
+        )
+        assert service.stats.verdicts_recomputed > 0
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_low_churn_streams_match_batch_and_reuse(self, seed):
+        # Localized churn: dirty bands cover a sliver of the cube, so
+        # most verdicts must come from cache — and still match batch.
+        rng = np.random.default_rng(seed)
+        n, d = 150, 2
+        service = OnlineCharacterizationService(
+            rng.random((n, d)), ServiceConfig(r=0.02, tau=2, shards=4)
+        )
+        random_drive(
+            service, rng, n, d, ticks=12, churn=0.03, flag_p=0.5, jump_p=0.1
+        )
+        assert service.stats.verdicts_reused > 0
+        assert service.stats.verdicts_recomputed > 0
+
+    def test_quiet_ticks_reuse_everything(self):
+        rng = np.random.default_rng(7)
+        n = 80
+        service = OnlineCharacterizationService(
+            rng.random((n, 2)), ServiceConfig(r=0.04, tau=2)
+        )
+        # One busy tick: a cluster jumps together and gets flagged.
+        cluster = list(range(10, 16))
+        offset = np.array([0.2, 0.2])
+        for j in cluster:
+            pos = np.clip(service.store.position(j) + offset, 0, 1)
+            service.ingest(QosUpdate(j, tuple(pos), True))
+        busy = service.end_tick()
+        assert busy.recomputed == tuple(cluster)
+        # Next tick the trajectories settle (prev catches up): the carry
+        # forces one more recomputation round ...
+        settle = service.end_tick()
+        assert settle.recomputed == tuple(cluster)
+        # ... after which nothing changes and the cache serves everyone.
+        for _ in range(3):
+            quiet = service.end_tick()
+            assert quiet.recomputed == ()
+            assert quiet.reused == tuple(cluster)
+            assert quiet.verdicts.keys() == set(cluster)
+        # Stationary flagged cluster: still a valid batch answer.
+        reference = Transition(
+            Snapshot(service.store.snapshot_arrays()[0]),
+            Snapshot(service.store.snapshot_arrays()[1]),
+            cluster,
+            service.config.r,
+            service.config.tau,
+        )
+        assert_verdicts_match_batch(quiet, reference)
+
+    def test_unflagged_churn_costs_no_recomputation(self):
+        rng = np.random.default_rng(11)
+        n = 100
+        service = OnlineCharacterizationService(
+            rng.random((n, 2)), ServiceConfig(r=0.03, tau=2)
+        )
+        for j in (0, 1, 2):
+            service.ingest(QosUpdate(j, (0.5 + 0.01 * j, 0.5), True))
+        service.end_tick()
+        service.end_tick()  # consume the move carry
+        # Healthy devices far away drift; no flagged verdict can change.
+        for _ in range(3):
+            for j in rng.choice(range(50, 100), size=10, replace=False):
+                j = int(j)
+                pos = np.clip(
+                    service.store.position(j) + rng.normal(0, 0.005, 2), 0, 1
+                )
+                service.ingest(QosUpdate(j, tuple(pos), False))
+            out = service.end_tick()
+            assert out.recomputed == ()
+            assert set(out.reused) == {0, 1, 2}
+
+    def test_incremental_false_recomputes_all(self):
+        rng = np.random.default_rng(5)
+        service = OnlineCharacterizationService(
+            rng.random((40, 2)),
+            ServiceConfig(r=0.05, tau=2, incremental=False),
+        )
+        for j in range(4):
+            service.ingest(QosUpdate(j, (0.5, 0.5 + 0.01 * j), True))
+        service.end_tick()
+        out = service.end_tick()  # no updates at all
+        assert out.recomputed == tuple(range(4))
+        assert out.reused == ()
+
+
+class TestIndexReuse:
+    def test_stable_flagged_set_shares_index_work(self):
+        rng = np.random.default_rng(2)
+        service = OnlineCharacterizationService(
+            rng.random((60, 2)), ServiceConfig(r=0.04, tau=2)
+        )
+        for j in range(5):
+            service.ingest(QosUpdate(j, (0.4 + 0.01 * j, 0.4), True))
+        service.end_tick()
+        assert service.stats.index_reuses == 0
+        for _ in range(3):
+            service.end_tick()
+        assert service.stats.index_reuses == 3
+
+    def test_changed_flagged_set_rebuilds(self):
+        rng = np.random.default_rng(2)
+        service = OnlineCharacterizationService(
+            rng.random((60, 2)), ServiceConfig(r=0.04, tau=2)
+        )
+        service.ingest(QosUpdate(0, (0.4, 0.4), True))
+        service.end_tick()
+        service.ingest(QosUpdate(1, (0.6, 0.6), True))
+        service.end_tick()
+        assert service.stats.index_reuses == 0
+
+    def test_reuse_can_be_disabled(self):
+        rng = np.random.default_rng(2)
+        service = OnlineCharacterizationService(
+            rng.random((60, 2)),
+            ServiceConfig(r=0.04, tau=2, reuse_indexes=False),
+        )
+        service.ingest(QosUpdate(0, (0.4, 0.4), True))
+        service.end_tick()
+        service.end_tick()
+        assert service.stats.index_reuses == 0
+
+
+class TestBackpressure:
+    def config(self, policy, capacity=4):
+        return ServiceConfig(
+            r=0.03, tau=2, queue_capacity=capacity, backpressure=policy
+        )
+
+    def updates(self, count):
+        return [
+            QosUpdate(j, (0.1 + 0.001 * j, 0.1), False) for j in range(count)
+        ]
+
+    def test_error_policy_raises(self):
+        service = OnlineCharacterizationService(
+            np.full((10, 2), 0.5), self.config("error")
+        )
+        for update in self.updates(4):
+            service.ingest(update)
+        with pytest.raises(QueueFullError):
+            service.ingest(QosUpdate(9, (0.9, 0.9), False))
+
+    def test_drop_oldest_policy_sheds_load(self):
+        service = OnlineCharacterizationService(
+            np.full((10, 2), 0.5), self.config("drop-oldest")
+        )
+        accepted = service.ingest_many(self.updates(7))
+        assert accepted == 4
+        assert service.stats.updates_dropped == 3
+        assert service.queued == 4
+
+    def test_block_policy_applies_inline(self):
+        service = OnlineCharacterizationService(
+            np.full((10, 2), 0.5), self.config("block")
+        )
+        accepted = service.ingest_many(self.updates(7))
+        assert accepted == 7
+        assert service.stats.updates_dropped == 0
+        assert service.stats.inline_drains >= 1
+        # Inline-drained events still belong to this tick's accounting.
+        out = service.end_tick()
+        assert service.queued == 0
+        assert out.applied == 7
+        assert service.stats.updates_applied == 7
+
+    def test_max_batch_drains_in_chunks(self):
+        service = OnlineCharacterizationService(
+            np.full((10, 2), 0.5),
+            ServiceConfig(r=0.03, tau=2, max_batch=2, queue_capacity=100),
+        )
+        service.ingest_many(self.updates(5))
+        out = service.end_tick()
+        assert out.applied == 5
+        assert service.queued == 0
+
+
+class TestSinks:
+    def test_sinks_see_every_tick(self):
+        rng = np.random.default_rng(0)
+        metrics = MetricsSink()
+        reports = ReportSink(kinds=(AnomalyType.ISOLATED,))
+        service = OnlineCharacterizationService(
+            rng.random((30, 2)),
+            ServiceConfig(r=0.03, tau=2),
+            sinks=(metrics,),
+        )
+        service.add_sink(reports)
+        service.ingest(QosUpdate(3, (0.9, 0.9), True))
+        service.end_tick()
+        service.end_tick()
+        assert metrics.ticks == 2
+        assert metrics.verdict_counts["isolated"] >= 1
+        assert all(row[2] is AnomalyType.ISOLATED for row in reports.rows)
+        assert {row[1] for row in reports.rows} == {3}
+
+    def test_shared_engine_accumulates_stats(self):
+        engine = CharacterizationEngine()
+        service = OnlineCharacterizationService(
+            np.full((10, 2), 0.5), ServiceConfig(r=0.03, tau=2), engine=engine
+        )
+        service.ingest(QosUpdate(0, (0.7, 0.7), True))
+        service.end_tick()
+        assert engine.stats.transitions == 1

@@ -89,3 +89,85 @@ class TestBackendFlags:
     def test_backend_ignored_by_analytic_experiments(self, capsys):
         # figure6b runs no simulation; the flag must be silently dropped.
         assert main(["run", "figure6b", "--backend", "process"]) == 0
+
+
+class TestOnlineCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.devices == 10_000
+        assert args.shards == 8
+        assert args.batch is None
+        assert not args.full
+
+    def test_replay_parser_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.command == "replay"
+        assert args.trace is None
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "threads"])
+
+    def test_serve_runs_and_reports(self, capsys):
+        assert (
+            main(
+                ["serve", "--devices", "120", "--ticks", "3", "--churn",
+                 "0.05", "--burst-every", "2", "--burst-size", "5",
+                 "--shards", "4", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serve: n=120" in out
+        assert "recomputed" in out
+        assert "throughput" in out
+
+    def test_serve_full_mode_flag(self, capsys):
+        assert (
+            main(["serve", "--devices", "60", "--ticks", "2", "--full"]) == 0
+        )
+        assert "mode=full-recompute" in capsys.readouterr().out
+
+    def test_serve_json_output(self, tmp_path, capsys):
+        target = tmp_path / "serve.json"
+        assert (
+            main(
+                ["serve", "--devices", "60", "--ticks", "2", "--json",
+                 str(target)]
+            )
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        assert payload["stats"]["ticks"] == 2
+        assert len(payload["ticks"]) == 2
+        assert "metrics" in payload
+
+    def test_replay_synthetic_runs(self, capsys):
+        assert (
+            main(
+                ["replay", "--devices", "40", "--steps", "8", "--shards", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replay: synthetic" in out
+        assert "totals:" in out
+
+    def test_replay_trace_file(self, tmp_path, capsys):
+        from repro.io.synthetic import TraceConfig, generate_trace
+        from repro.io.traces import write_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text(
+            write_trace(generate_trace(TraceConfig(devices=20, steps=6)))
+        )
+        target = tmp_path / "replay.json"
+        assert (
+            main(["replay", "--trace", str(trace_path), "--json", str(target)])
+            == 0
+        )
+        assert str(trace_path) in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["source"] == str(trace_path)
+        assert len(payload["ticks"]) == 5
