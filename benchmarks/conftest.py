@@ -9,7 +9,6 @@ the published *shape* on the produced rows.  Run with::
 
 from __future__ import annotations
 
-import pytest
 
 
 def pytest_configure(config):

@@ -1,0 +1,232 @@
+"""Verdict-kernel benchmarks: bitmask set algebra beats frozensets.
+
+Two asserted claims:
+
+* ``Characterizer.characterize_many`` on the bitset kernel is ≥ 3x
+  faster than the frozenset baseline at ``n ∈ {1k, 10k}`` with ~5% of
+  devices flagged (radii chosen to keep neighbourhood density — and
+  hence per-device verdict work — comparable across scales), while
+  returning identical verdicts, witnesses and cost counters;
+* the online service with cross-tick motion-family reuse recomputes
+  *strictly fewer* families than without, on identical 1%-churn update
+  streams, while remaining verdict-identical tick by tick.
+
+Every run appends rows to a ``BENCH_verdict.json`` summary written at
+module teardown (path overridable via the ``BENCH_VERDICT_JSON`` env
+var); CI uploads it as a workflow artifact and feeds it to
+``tools/bench_merge.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.transition import Snapshot, Transition
+from repro.online import OnlineCharacterizationService, QosUpdate, ServiceConfig
+
+#: (n, r) grid for the kernel claim; r keeps ~comparable flagged density
+#: inside the 2r ball at both scales (flagged fraction is 5% of n).
+SCALES = [(1_000, 0.1), (10_000, 0.03)]
+
+_SUMMARY_ROWS: list = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_summary_artifact():
+    """Collect per-test rows; write the JSON summary after the module."""
+    yield
+    if not _SUMMARY_ROWS:
+        return
+    path = os.environ.get("BENCH_VERDICT_JSON", "BENCH_verdict.json")
+    with open(path, "w") as handle:
+        json.dump({"benchmark": "verdict", "rows": _SUMMARY_ROWS}, handle, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Claim 1: mask kernel beats the frozenset baseline on characterize_many
+# ----------------------------------------------------------------------
+def _verdict_scenario(n, r, *, frac=0.05, tau=3, seed=0):
+    """~5% flagged: coherent clusters of tau+2 (massive-style) plus
+    stragglers, so all of Theorems 5/6/7 fire."""
+    rng = np.random.default_rng(seed)
+    prev = rng.random((n, 2))
+    flagged = sorted(
+        int(j) for j in rng.choice(n, size=max(8, int(n * frac)), replace=False)
+    )
+    cur = prev.copy()
+    i = 0
+    while i < len(flagged):
+        group = flagged[i : i + tau + 2]
+        center = rng.random(2) * 0.8 + 0.1
+        prev[group] = center + rng.normal(0, r / 2, (len(group), 2))
+        cur[group] = np.clip(
+            prev[group] + rng.normal(0, r / 3, (len(group), 2))
+            + rng.normal(0, 0.05, 2),
+            0,
+            1,
+        )
+        i += tau + 2 + int(rng.integers(0, 2))
+    prev = np.clip(prev, 0, 1)
+    return prev, cur, flagged
+
+
+def _time_kernel(prev, cur, flagged, r, tau, kernel, repeats):
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        transition = Transition(Snapshot(prev), Snapshot(cur), flagged, r, tau)
+        # Warm the vectorized neighbourhood memo outside the timed
+        # region, exactly as the engine does for every kernel.
+        transition.neighborhoods_batch(flagged)
+        transition.neighborhoods_batch(flagged, radius_factor=4.0)
+        characterizer = Characterizer(transition, kernel=kernel)
+        start = time.perf_counter()
+        results = characterizer.characterize_many(flagged)
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+@pytest.mark.parametrize("n,r", SCALES)
+def test_bitset_kernel_beats_frozenset_baseline(n, r):
+    tau = 3
+    prev, cur, flagged = _verdict_scenario(n, r, tau=tau)
+    repeats = 3 if n <= 1_000 else 2
+    mask_time, mask_results = _time_kernel(
+        prev, cur, flagged, r, tau, "bitset", repeats
+    )
+    set_time, set_results = _time_kernel(
+        prev, cur, flagged, r, tau, "frozenset", repeats
+    )
+
+    # Equivalence first: the speed means nothing if the answers drift.
+    assert mask_results.keys() == set_results.keys()
+    for j in mask_results:
+        got, want = mask_results[j], set_results[j]
+        assert got.anomaly_type == want.anomaly_type, j
+        assert got.rule == want.rule, j
+        assert got.witness == want.witness, j
+        assert got.cost.as_dict() == want.cost.as_dict(), j
+
+    # The acceptance assertion: ≥ 3x on the verdict hot path (measured
+    # ~4.5x; the margin absorbs noisy CI boxes).
+    assert mask_time * 3 < set_time, (
+        f"bitset {mask_time * 1e3:.1f}ms not 3x faster than frozenset "
+        f"{set_time * 1e3:.1f}ms at n={n}"
+    )
+    _SUMMARY_ROWS.append(
+        {
+            "claim": "characterize_many",
+            "n": n,
+            "r": r,
+            "flagged": len(flagged),
+            "bitset_seconds": mask_time,
+            "frozenset_seconds": set_time,
+            "speedup": set_time / mask_time,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim 2: cross-tick motion-family reuse recomputes fewer families
+# ----------------------------------------------------------------------
+def _service_stream(n, churn, *, ticks, tau, seed=0):
+    """Setup batch flagging ~2% + per-tick 1%-churn batches."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, 2))
+    flagged = sorted(
+        int(j) for j in rng.choice(n, size=max(8, n // 50), replace=False)
+    )
+    positions = base.copy()
+    setup = []
+    for device in flagged:
+        positions[device] = np.clip(positions[device] + 0.05, 0.0, 1.0)
+        setup.append(QosUpdate(device, tuple(positions[device]), True))
+    healthy = np.array(sorted(set(range(n)) - set(flagged)))
+    per_tick = []
+    for _ in range(ticks):
+        batch = []
+        movers = rng.choice(healthy, size=max(1, int(round(churn * n))), replace=False)
+        for device in movers:
+            device = int(device)
+            positions[device] = np.clip(
+                positions[device] + rng.normal(0.0, 0.005, 2), 0.0, 1.0
+            )
+            batch.append(QosUpdate(device, tuple(positions[device]), False))
+        for device in flagged[:3]:
+            positions[device] = np.clip(
+                positions[device] + rng.normal(0.0, 0.002, 2), 0.0, 1.0
+            )
+            batch.append(QosUpdate(device, tuple(positions[device]), True))
+        per_tick.append(batch)
+    return base, setup, per_tick
+
+
+def _run_reuse(base, setup, per_tick, *, reuse, r, tau):
+    service = OnlineCharacterizationService(
+        base, ServiceConfig(r=r, tau=tau, reuse_motions=reuse)
+    )
+    service.ingest_many(setup)
+    service.end_tick()
+    service.end_tick()  # consume the setup move carry before counting
+    families_before = service.stats.families_recomputed
+    start = time.perf_counter()
+    ticks = []
+    for batch in per_tick:
+        service.ingest_many(batch)
+        ticks.append(service.end_tick())
+    elapsed = time.perf_counter() - start
+    recomputed = service.stats.families_recomputed - families_before
+    return elapsed, recomputed, service, ticks
+
+
+@pytest.mark.parametrize("n,churn", [(1_000, 0.01), (10_000, 0.01)])
+def test_motion_reuse_recomputes_fewer_families(n, churn):
+    r = 0.03 if n <= 1_000 else 0.01
+    tau = 3
+    base, setup, per_tick = _service_stream(n, churn, ticks=4, tau=tau)
+    _, reuse_families, reuse_service, reuse_ticks = _run_reuse(
+        base, setup, per_tick, reuse=True, r=r, tau=tau
+    )
+    _, full_families, _, full_ticks = _run_reuse(
+        base, setup, per_tick, reuse=False, r=r, tau=tau
+    )
+
+    # Verdict identity on the same stream, tick by tick.
+    for ta, tb in zip(reuse_ticks, full_ticks):
+        assert ta.verdicts.keys() == tb.verdicts.keys()
+        for j in ta.verdicts:
+            a, b = ta.verdicts[j], tb.verdicts[j]
+            assert a.anomaly_type == b.anomaly_type, (ta.tick, j)
+            assert a.rule == b.rule, (ta.tick, j)
+            assert a.witness == b.witness, (ta.tick, j)
+
+    # The acceptance assertion: strictly fewer families recomputed.
+    assert reuse_families < full_families, (
+        f"reuse recomputed {reuse_families} >= no-reuse {full_families} "
+        f"at n={n}"
+    )
+    assert reuse_service.stats.families_reused > 0
+    _SUMMARY_ROWS.append(
+        {
+            "claim": "motion_reuse",
+            "n": n,
+            "churn": churn,
+            "reuse_families_recomputed": reuse_families,
+            "full_families_recomputed": full_families,
+            "families_reused": reuse_service.stats.families_reused,
+            "speedup": full_families / max(1, reuse_families),
+        }
+    )
+
+
+def test_summary_rows_schema():
+    """Rows carry what the CI artifact consumers expect."""
+    for row in _SUMMARY_ROWS:
+        assert {"claim", "n", "speedup"} <= set(row)
+        assert row["speedup"] > 1.0

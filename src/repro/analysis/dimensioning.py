@@ -30,9 +30,8 @@ the paper's curves match) or averaged over a uniform position
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 from scipy import stats

@@ -16,7 +16,7 @@ comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Mapping, Optional
 
 from repro.core.types import AnomalyType, Characterization, DecisionRule
 

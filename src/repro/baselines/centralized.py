@@ -22,9 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from repro.baselines.kmeans import KMeansResult, kmeans
 from repro.core.errors import ConfigurationError

@@ -19,7 +19,7 @@ groups devices that were close at both times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 

@@ -144,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable incremental invalidation (recompute all verdicts)",
         )
         sub_parser.add_argument(
+            "--reuse-motions",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="carry motion families of clean devices across ticks",
+        )
+        sub_parser.add_argument(
             "--json", default=None, help="also write the summary JSON here"
         )
 
@@ -202,6 +208,7 @@ def _service_config(args: argparse.Namespace):
         queue_capacity=args.queue,
         max_batch=args.batch,
         incremental=not args.full,
+        reuse_motions=args.reuse_motions,
         backend=args.backend,
         workers=args.workers,
     )
@@ -232,6 +239,10 @@ def _print_service_summary(result, service) -> None:
         f"totals: updates={total} recomputed={result.total_recomputed} "
         f"reused={result.total_reused} ({recompute_share:.1f}% recomputed) "
         f"index_reuses={stats.index_reuses}"
+    )
+    print(
+        f"motion families: recomputed={stats.families_recomputed} "
+        f"reused={stats.families_reused}"
     )
     print(
         f"elapsed={result.elapsed_seconds:.3f}s "

@@ -56,13 +56,21 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.bitset import LocalUniverse, iter_bits, popcount, resolve_kernel
 from repro.core.errors import (
     ConfigurationError,
     SearchBudgetExceeded,
     UnknownDeviceError,
 )
 from repro.core.motions import enumerate_maximal_motions
-from repro.core.neighborhood import MotionCache, NeighborhoodSplit, split_neighborhood
+from repro.core.neighborhood import (
+    MotionCache,
+    NeighborhoodSplit,
+    split_masks,
+    split_neighborhood,
+)
 from repro.core.transition import Transition
 from repro.core.types import (
     AnomalyType,
@@ -165,6 +173,80 @@ class _CollectionSearch:
         return None
 
 
+class _MaskCollectionSearch:
+    """Bitmask kernel of :class:`_CollectionSearch`.
+
+    Same DFS, same prunings, same budget accounting — but states are
+    ``int`` masks over the device's :class:`LocalUniverse`: disjointness
+    is one AND, starvation remainders are ``motion & ~union`` popcounts,
+    and the visited-union memo keys are the union ints themselves.
+    Candidate iteration order matches the set kernel (both receive the
+    canonically sorted pool and use stable sorts), so ``tested`` /
+    ``work`` counters and the returned counterexample are identical.
+    """
+
+    def __init__(
+        self,
+        dense_of_j: Sequence[int],
+        candidates: Sequence[int],
+        tau: int,
+        budget: Optional[int],
+    ) -> None:
+        self._dense_of_j = list(dense_of_j)
+        self._candidates = list(candidates)
+        self._tau = tau
+        self._budget = budget
+        self._visited: Set[int] = set()
+        self.tested = 0
+        self.work = 0
+
+    def find_counterexample(self) -> Optional[Tuple[int, ...]]:
+        """Return a counterexample collection (masks), or None."""
+        return self._dfs((), 0)
+
+    def _charge(self) -> None:
+        self.tested += 1
+        self.work += max(1, len(self._candidates))
+        if self._budget is not None and self.work > self._budget:
+            raise SearchBudgetExceeded(
+                f"Theorem 7 search exceeded its budget of {self._budget} "
+                "candidate inspections"
+            )
+
+    def _dfs(
+        self, chosen: Tuple[int, ...], union: int
+    ) -> Optional[Tuple[int, ...]]:
+        if union in self._visited:
+            return None
+        self._visited.add(union)
+        self._charge()
+        not_union = ~union
+        usable = [cand for cand in self._candidates if not cand & union]
+        best_helpers: Optional[List[int]] = None
+        best_remainder = 0
+        for motion in self._dense_of_j:
+            remainder = motion & not_union
+            if popcount(remainder) <= self._tau:
+                continue
+            helpers = [cand for cand in usable if cand & remainder]
+            coverable = 0
+            for cand in helpers:
+                coverable |= cand & remainder
+            if popcount(remainder & ~coverable) > self._tau:
+                return None  # this motion can never be starved from here
+            if best_helpers is None or len(helpers) < len(best_helpers):
+                best_helpers = helpers
+                best_remainder = remainder
+        if best_helpers is None:
+            return chosen  # Relations 4 and 5 both fail: counterexample.
+        best_helpers.sort(key=lambda cand: -popcount(cand & best_remainder))
+        for cand in best_helpers:
+            hit = self._dfs(chosen + (cand,), union | cand)
+            if hit is not None:
+                return hit
+        return None
+
+
 def _count_collections(candidates: Sequence[Motion], cap: Optional[int] = None) -> int:
     """Count all pairwise-disjoint sub-collections of ``candidates``.
 
@@ -202,6 +284,93 @@ def _count_collections(candidates: Sequence[Motion], cap: Optional[int] = None) 
 
     rec(0, 0)
     return total
+
+
+#: Largest maximal-motion size whose subset enumeration runs vectorized;
+#: above it (rare, adversarial — the default ``pool_cap`` allows up to
+#: 2^22 subsets) a per-subset loop bounds memory at the cost of speed.
+_VEC_SUBSET_LIMIT = 17
+
+#: Per-size cache of (all local masks, their popcounts); keyed by member
+#: count so repeated motions of the same size pay the setup once.
+_SUBSET_TABLES: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _subset_tables(m: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``2^m`` local masks with popcounts (portable across NumPy)."""
+    cached = _SUBSET_TABLES.get(m)
+    if cached is None:
+        masks_idx = np.arange(1 << m, dtype=np.int64)
+        counts = np.zeros(1 << m, dtype=np.uint8)
+        for bit in range(m):
+            counts[(masks_idx >> bit) & 1 == 1] += 1
+        cached = _SUBSET_TABLES[m] = (masks_idx, counts)
+    return cached
+
+
+def _qualifying_subsets_vectorized(
+    transition: Transition,
+    device: int,
+    members: Sequence[int],
+    member_bits: Sequence[int],
+    d_mask: int,
+) -> List[int]:
+    """All Theorem 7 candidate subsets of one maximal motion, as masks.
+
+    Every subset ``B`` enumerated here sits inside one maximal motion,
+    whose combined bounding box already fits a ``2r`` window (up to the
+    enumerator's ``atol``).  Under that premise, ``B ∪ {j}``'s box
+    exceeds ``2r`` iff some *single member* of ``B`` is more than ``2r``
+    away from ``j`` in some combined dimension — the box of ``B`` alone
+    can never blow the budget.  Consistency-with-``j`` therefore
+    collapses from a per-subset bounding box to a per-*member* flag, and
+    the three pool filters become three vectorized mask tests over all
+    ``2^m`` local subset masks at once: popcount ``> tau`` (16-bit
+    lookup table), ``mask & D_local != 0`` and ``mask & bad_local != 0``.
+    """
+    tau = transition.tau
+    m = len(members)
+    masks_idx, counts = _subset_tables(m)
+    # Local image of D_k(j): which member indices lie in the dense
+    # neighbourhood (subset ∩ D ≠ ∅ is then a single AND).
+    d_local = 0
+    for i, bit in enumerate(member_bits):
+        if bit & d_mask:
+            d_local |= 1 << i
+    if not d_local:
+        return []
+    # Members whose combined Chebyshev distance to j exceeds the 2r
+    # window (with the same atol as ``is_consistent_motion``): any
+    # subset containing one is inconsistent with j, and only those.
+    pts = transition.combined_of(list(members))
+    jpt = transition.combined_of([device])[0]
+    bad = np.abs(pts - jpt).max(axis=1) > 2.0 * transition.r + 1e-12
+    bad_local = 0
+    for i in np.flatnonzero(bad):
+        bad_local |= 1 << int(i)
+    if not bad_local:
+        return []
+    keep = (counts > tau) & ((masks_idx & d_local) != 0)
+    keep &= (masks_idx & bad_local) != 0
+    survivors = np.flatnonzero(keep)
+    if len(survivors) == 0:
+        return []
+    if max(member_bits) <= 1 << 62:
+        # Universe bits fit a machine word: decode every survivor's
+        # universe mask in one matmul against the member-bit vector.
+        bits_arr = np.asarray(member_bits, dtype=np.int64)
+        sel = (survivors[:, None] >> np.arange(m, dtype=np.int64)) & 1
+        return (sel @ bits_arr).tolist()
+    out: List[int] = []
+    for local in survivors:
+        um = 0
+        rest = int(local)
+        while rest:
+            low = rest & -rest
+            um |= member_bits[low.bit_length() - 1]
+            rest ^= low
+        out.append(um)
+    return out
 
 
 class Characterizer:
@@ -246,6 +415,14 @@ class Characterizer:
         the whole transition, so several characterizer instances (or
         repeated subset passes) share motion families.  Must be bound to
         ``transition``.
+    kernel:
+        Set-algebra representation of the verdict hot path:
+        ``"bitset"`` (default) runs window enumeration, the neighbourhood
+        split, the candidate pool and the Theorem 7 DFS on integer
+        bitmasks over a per-device :class:`LocalUniverse`;
+        ``"frozenset"`` is the original representation, kept as the
+        equivalence and benchmark baseline.  Verdicts, witnesses and
+        cost counters are identical either way.
     """
 
     def __init__(
@@ -259,6 +436,7 @@ class Characterizer:
         pool_cap: Optional[int] = 1 << 22,
         budget_fallback: bool = False,
         cache: Optional[MotionCache] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self._transition = transition
         self._full_nsc = full_nsc
@@ -267,11 +445,16 @@ class Characterizer:
         self._count_cap = collection_count_cap
         self._pool_cap = pool_cap
         self._budget_fallback = budget_fallback
+        self._kernel = resolve_kernel(kernel)
         if cache is not None and cache.transition is not transition:
             raise ConfigurationError(
                 "shared MotionCache is bound to a different transition"
             )
-        self._cache = cache if cache is not None else MotionCache(transition)
+        self._cache = (
+            cache
+            if cache is not None
+            else MotionCache(transition, kernel=self._kernel)
+        )
 
     @property
     def transition(self) -> Transition:
@@ -282,6 +465,11 @@ class Characterizer:
     def cache(self) -> MotionCache:
         """The shared motion-family cache (exposed for instrumentation)."""
         return self._cache
+
+    @property
+    def kernel(self) -> str:
+        """The set-algebra kernel the verdict hot path runs on."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     def characterize(self, device: int) -> Characterization:
@@ -305,6 +493,27 @@ class Characterizer:
             )
 
         cost.dense_motions = len(family.dense)
+        if self._kernel == "bitset":
+            return self._characterize_dense_masks(device, family, cost)
+        return self._characterize_dense_sets(device, family, cost)
+
+    def _fallback_or_raise(
+        self, device: int, cost: CostCounters, error: SearchBudgetExceeded
+    ) -> Characterization:
+        """Apply the ``budget_fallback`` policy to a blown search budget."""
+        if not self._budget_fallback:
+            raise error
+        return Characterization(
+            device=device,
+            anomaly_type=AnomalyType.UNRESOLVED,
+            rule=DecisionRule.ALGORITHM_3,
+            cost=cost,
+        )
+
+    def _characterize_dense_sets(
+        self, device: int, family, cost: CostCounters
+    ) -> Characterization:
+        """Theorems 6/7 on the frozenset baseline representation."""
         before = self._cache.expansions
         split = split_neighborhood(self._cache, device)
         cost.neighbor_expansions = self._cache.expansions - before
@@ -331,15 +540,49 @@ class Characterizer:
 
         try:
             return self._characterize_full(device, family.dense, split, cost)
-        except SearchBudgetExceeded:
-            if not self._budget_fallback:
-                raise
+        except SearchBudgetExceeded as exc:
+            return self._fallback_or_raise(device, cost, exc)
+
+    def _characterize_dense_masks(
+        self, device: int, family, cost: CostCounters
+    ) -> Characterization:
+        """Theorems 6/7 on bitmasks over the device's local universe."""
+        # Seed the universe with the sorted 4r knowledge ball: every set
+        # the verdict touches (D_k(j), neighbour families, pool motions)
+        # lives inside it, so bit rank order == device id order and
+        # canonical sort keys read straight off the bits.
+        universe = LocalUniverse(self._transition.knowledge_ball(device))
+        before = self._cache.expansions
+        d_mask, j_mask, _ = split_masks(self._cache, device, universe)
+        cost.neighbor_expansions = self._cache.expansions - before
+
+        # --- Theorem 6: a dense motion inside J_k(j) => massive. ---
+        tau = self._transition.tau
+        dense_masks = [universe.mask_of(motion) for motion in family.dense]
+        for motion, mask in zip(family.dense, dense_masks):
+            if popcount(mask & j_mask) > tau:
+                return Characterization(
+                    device=device,
+                    anomaly_type=AnomalyType.MASSIVE,
+                    rule=DecisionRule.THEOREM_6,
+                    cost=cost,
+                    witness=(motion,),
+                )
+
+        if not self._full_nsc:
             return Characterization(
                 device=device,
                 anomaly_type=AnomalyType.UNRESOLVED,
                 rule=DecisionRule.ALGORITHM_3,
                 cost=cost,
             )
+
+        try:
+            return self._characterize_full_masks(
+                device, dense_masks, d_mask, universe, cost
+            )
+        except SearchBudgetExceeded as exc:
+            return self._fallback_or_raise(device, cost, exc)
 
     # ------------------------------------------------------------------
     def _characterize_full(
@@ -374,6 +617,142 @@ class Characterizer:
             witness=counterexample,
         )
 
+    def _characterize_full_masks(
+        self,
+        device: int,
+        dense_masks: Sequence[int],
+        d_mask: int,
+        universe: LocalUniverse,
+        cost: CostCounters,
+    ) -> Characterization:
+        """Theorem 7 / Corollary 8 exact decision on bitmasks."""
+        candidates = self._candidate_pool_masks(device, d_mask, universe)
+        if self._count_all:
+            cost.total_collections = _count_collections(
+                [universe.devices_of(c) for c in candidates], cap=self._count_cap
+            )
+        search = _MaskCollectionSearch(
+            dense_masks, candidates, self._transition.tau, self._budget
+        )
+        counterexample = search.find_counterexample()
+        cost.tested_collections = search.tested
+        if counterexample is None:
+            return Characterization(
+                device=device,
+                anomaly_type=AnomalyType.MASSIVE,
+                rule=DecisionRule.THEOREM_7,
+                cost=cost,
+            )
+        return Characterization(
+            device=device,
+            anomaly_type=AnomalyType.UNRESOLVED,
+            rule=DecisionRule.COROLLARY_8,
+            cost=cost,
+            witness=tuple(universe.devices_of(c) for c in counterexample),
+        )
+
+    def _candidate_pool_masks(
+        self, device: int, d_mask: int, universe: LocalUniverse
+    ) -> List[int]:
+        """Mask twin of :meth:`_candidate_pool`: same sets, same order.
+
+        Subsets of each maximal motion are enumerated as *local* masks
+        over the motion's member list; for motions of ≤ 17 members the
+        density, ``D_k(j)``-intersection and box-consistency filters run
+        vectorized over all ``2^m`` local masks at once (the consistency
+        of every ``B ∪ {j}`` via a subset min/max DP), and only the
+        survivors are converted to universe masks.
+        """
+        transition = self._transition
+        tau = transition.tau
+        region = [x for x in transition.knowledge_ball(device) if x != device]
+        if not region:
+            return []
+        maximal, _ = enumerate_maximal_motions(
+            transition, region, kernel=self._kernel
+        )
+        pool: Set[int] = set()
+        for motion in maximal:
+            members = sorted(motion)
+            m = len(members)
+            if m <= tau:
+                continue
+            if self._pool_cap is not None and (1 << m) > self._pool_cap:
+                raise SearchBudgetExceeded(
+                    f"candidate pool for device {device} requires enumerating "
+                    f"2^{m} subsets of one maximal motion (cap {self._pool_cap})"
+                )
+            member_bits = [universe.bit(x) for x in members]
+            if m <= _VEC_SUBSET_LIMIT:
+                survivors = _qualifying_subsets_vectorized(
+                    transition, device, members, member_bits, d_mask
+                )
+            else:  # pragma: no cover - adversarial sizes; guarded by pool_cap
+                survivors = self._qualifying_subsets_loop(
+                    device, members, member_bits, d_mask, universe
+                )
+            pool.update(survivors)
+            if self._pool_cap is not None and len(pool) > self._pool_cap:
+                raise SearchBudgetExceeded(
+                    f"candidate pool for device {device} exceeded {self._pool_cap}"
+                )
+        # Deterministic order matching the frozenset kernel: larger
+        # candidates first, ties broken lexicographically on members.
+        devs = universe.devices
+        if all(devs[i] < devs[i + 1] for i in range(len(devs) - 1)):
+            # Bit rank order == device id order (the seeded-ball common
+            # case), so lexicographic member order is exactly descending
+            # bit-reversed mask order: among equal-popcount masks the
+            # lowest differing bit decides, and fixed-width reversal
+            # turns that into plain integer comparison.
+            width = max(len(devs), 1)
+            return sorted(
+                pool,
+                key=lambda um: (
+                    -popcount(um),
+                    -int(f"{um:0{width}b}"[::-1], 2),
+                ),
+            )
+        return sorted(  # widened universe: fall back to explicit tuples
+            pool,
+            key=lambda um: (
+                -popcount(um),
+                tuple(sorted(devs[i] for i in iter_bits(um))),
+            ),
+        )
+
+    def _qualifying_subsets_loop(
+        self,
+        device: int,
+        members: Sequence[int],
+        member_bits: Sequence[int],
+        d_mask: int,
+        universe: LocalUniverse,
+    ) -> List[int]:
+        """Per-subset fallback for motions too large to vectorize."""
+        transition = self._transition
+        tau = transition.tau
+        m = len(members)
+        out: List[int] = []
+        for local in range(1, 1 << m):
+            if popcount(local) <= tau:
+                continue
+            um = 0
+            subset = [device]
+            rest = local
+            while rest:
+                low = rest & -rest
+                i = low.bit_length() - 1
+                um |= member_bits[i]
+                subset.append(members[i])
+                rest ^= low
+            if not um & d_mask:
+                continue
+            if transition.is_consistent_motion(subset):
+                continue
+            out.append(um)
+        return out
+
     def _candidate_pool(self, device: int, split: NeighborhoodSplit) -> List[Motion]:
         """Enumerate every Theorem 7 collection candidate for ``device``.
 
@@ -390,7 +769,9 @@ class Characterizer:
         region = [x for x in transition.knowledge_ball(device) if x != device]
         if not region:
             return []
-        maximal, _ = enumerate_maximal_motions(transition, region)
+        maximal, _ = enumerate_maximal_motions(
+            transition, region, kernel=self._kernel
+        )
         neighborhood = split.dense_neighborhood
         pool: Set[Motion] = set()
         for motion in maximal:

@@ -20,6 +20,16 @@ the current window placement.  We implement the same scheme:
   windows do not multiply work;
 * results are reduced to inclusion-maximal sets at the end.
 
+Two *kernels* implement the scheme (selected per call, default
+``"bitset"``): the original ``frozenset`` recursion, kept as the
+equivalence/benchmark baseline, and a bitmask kernel whose recursion
+states are ``int`` masks over the candidate rows and whose per-dimension
+sweep replaces per-row NumPy scalar reads with one NumPy argsort per
+dimension at the root, C-sorted column lists plus binary-searched window
+edges inside the recursion, and O(1) prefix-sum window masks.  Both
+kernels examine the same window placements, report identical ``steps``
+and return identical motion lists — the equivalence tests enforce it.
+
 Correctness is cross-checked in the test-suite against a brute-force
 enumerator over all subsets (``tests/core/test_motions.py``) and, at the
 characterization level, against the exhaustive partition oracle.
@@ -27,10 +37,13 @@ characterization level, against the exhaustive partition oracle.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from bisect import bisect_right
+from itertools import accumulate
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.bitset import iter_bits, popcount, resolve_kernel
 from repro.core.errors import UnknownDeviceError
 from repro.core.transition import Transition
 from repro.core.types import MotionFamily
@@ -50,9 +63,10 @@ Motion = FrozenSet[int]
 class _WindowEnumerator:
     """Recursive sliding-window sweep over the combined coordinates.
 
-    One instance handles one (transition, candidate set, anchor) query.
-    ``steps`` counts window placements; it is surfaced as the
-    machine-independent cost proxy reported in Table III benchmarks.
+    The ``frozenset`` baseline kernel.  One instance handles one
+    (transition, candidate set, anchor) query.  ``steps`` counts window
+    placements; it is surfaced as the machine-independent cost proxy
+    reported in Table III benchmarks.
     """
 
     def __init__(
@@ -117,12 +131,158 @@ class _WindowEnumerator:
             self._recurse(covered, dim + 1)
 
 
+class _MaskWindowEnumerator:
+    """Bitmask kernel of the sliding-window sweep.
+
+    Recursion states are ``int`` masks over the candidate *rows*
+    (always a local universe by construction).  The root node of every
+    dimension is ordered by one NumPy argsort over the full coordinate
+    column; interior nodes re-sort their (already small) row lists with
+    C-speed list keys and find every window's right edge with
+    ``bisect_right`` on the sorted value list.  Each window's covered
+    mask is then a prefix-sum difference — row bits are disjoint, so OR
+    over a sorted slice equals subtraction of prefix sums — making a
+    placement O(1) big-int work.  Placement order, memoization,
+    dominance pruning and the ``steps`` counter match
+    :class:`_WindowEnumerator` placement for placement.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        width: float,
+        anchor_row: Optional[int],
+        atol: float = 1e-12,
+    ) -> None:
+        m = coords.shape[0]
+        self._m = m
+        rows = coords.tolist()
+        self._columns: List[List[float]] = [list(col) for col in zip(*rows)]
+        # Root ordering (the recursion enters dimension 0 exactly once,
+        # with all rows): NumPy argsort pays off on large candidate
+        # sets; tiny neighbourhood queries (the common per-device case)
+        # sort faster with a C list key.
+        if m >= 64:
+            self._root_order: List[int] = np.argsort(
+                coords[:, 0], kind="stable"
+            ).tolist()
+        elif m:
+            self._root_order = sorted(
+                range(m), key=self._columns[0].__getitem__
+            )
+        else:
+            self._root_order = []
+        self._width = width
+        self._anchor = anchor_row
+        self._atol = atol
+        self._dims = coords.shape[1]
+        self._memo: List[Set[int]] = [set() for _ in range(self._dims + 1)]
+        self._results: Set[int] = set()
+        self.steps = 0
+
+    def run(self) -> List[int]:
+        """Enumerate and return inclusion-maximal covered row masks."""
+        if self._m == 0:
+            return []
+        self._recurse(None, (1 << self._m) - 1, 0)
+        return _maximal_only_masks(self._results)
+
+    def _recurse(self, rows: Optional[List[int]], mask: int, dim: int) -> None:
+        memo = self._memo[dim]
+        if mask in memo:
+            return
+        memo.add(mask)
+        if dim == self._dims:
+            self._results.add(mask)
+            return
+        column = self._columns[dim]
+        if rows is None:  # root node: all rows at dim 0, pre-sorted
+            rows_sorted = self._root_order
+        else:
+            rows_sorted = sorted(rows, key=column.__getitem__)
+        values = [column[i] for i in rows_sorted]
+        anchor_value = column[self._anchor] if self._anchor is not None else None
+        reach = self._width + self._atol
+        # Fast path: the whole node fits one window along this dimension.
+        # The first admissible placement covers every row and strictly
+        # dominates all later ones, so only it recurses; the remaining
+        # placements are still counted to keep ``steps`` parity with the
+        # one-by-one sweep.
+        if values[-1] <= values[0] + reach:
+            count = 0
+            previous: Optional[float] = None
+            limit = None if anchor_value is None else anchor_value + self._atol
+            for value in values:
+                if limit is not None and value > limit:
+                    break
+                if value != previous:
+                    count += 1
+                    previous = value
+            self.steps += count
+            self._recurse(rows_sorted, mask, dim + 1)
+            return
+        # Disjoint row bits: the mask of a sorted slice is a prefix-sum
+        # difference, so each window placement costs O(1) big-int work.
+        prefix = list(accumulate((1 << i for i in rows_sorted), initial=0))
+        seen_here: List[int] = []
+        previous_left: Optional[float] = None
+        for start, left in enumerate(values):
+            if left == previous_left:
+                continue  # identical window
+            previous_left = left
+            if anchor_value is not None:
+                # The window [left, left + width] must cover the anchor.
+                if left > anchor_value + self._atol:
+                    break
+                if anchor_value > left + reach:
+                    continue
+            end = bisect_right(values, left + reach, start)
+            self.steps += 1
+            covered = prefix[end] - prefix[start]
+            dominated = False
+            for other in seen_here:
+                if covered & ~other == 0:  # equal or strictly dominated
+                    dominated = True
+                    break
+            if dominated:
+                continue
+            seen_here.append(covered)
+            self._recurse(rows_sorted[start:end], covered, dim + 1)
+
+
 def _maximal_only(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
-    """Filter a family of sets down to its inclusion-maximal members."""
+    """Filter a family of sets down to its inclusion-maximal members.
+
+    Candidates are processed in decreasing-size order and dominance is
+    only checked against kept sets of *strictly larger* size — a
+    same-size set can never strictly contain another — so the common
+    case of many equal-size windows skips the quadratic scan entirely.
+    """
     ordered = sorted(set(sets), key=len, reverse=True)
     out: List[FrozenSet[int]] = []
+    larger_end = 0  # kept sets in out[:larger_end] are strictly larger
+    current_size = -1
     for cand in ordered:
-        if not any(cand < kept for kept in out):
+        if len(cand) != current_size:
+            current_size = len(cand)
+            larger_end = len(out)
+        if not any(cand < out[i] for i in range(larger_end)):
+            out.append(cand)
+    return out
+
+
+def _maximal_only_masks(masks: Iterable[int]) -> List[int]:
+    """Mask twin of :func:`_maximal_only` (dominance = ``a & ~b == 0``)."""
+    ordered = sorted(set(masks), key=popcount, reverse=True)
+    out: List[int] = []
+    larger_end = 0
+    current_size = -1
+    for cand in ordered:
+        size = popcount(cand)
+        if size != current_size:
+            current_size = size
+            larger_end = len(out)
+        if not any(cand & ~out[i] == 0 for i in range(larger_end)):
             out.append(cand)
     return out
 
@@ -131,6 +291,8 @@ def enumerate_maximal_motions(
     transition: Transition,
     candidates: Sequence[int],
     anchor: Optional[int] = None,
+    *,
+    kernel: Optional[str] = None,
 ) -> Tuple[List[Motion], int]:
     """Enumerate maximal r-consistent motions within ``candidates``.
 
@@ -146,14 +308,20 @@ def enumerate_maximal_motions(
         maximality is relative to motions containing it — which coincides
         with global maximality because any motion containing the anchor
         extends to a maximal one that still contains it (Remark 1).
+    kernel:
+        ``"bitset"`` (default) runs the vectorized mask sweep,
+        ``"frozenset"`` the original set recursion; results and ``steps``
+        are identical either way.
 
     Returns
     -------
     (motions, steps):
-        ``motions`` is a list of frozensets of device ids, each an
+        ``motions`` is a list of frozensets of device ids in canonical
+        order (decreasing size, then lexicographic members), each an
         inclusion-maximal r-consistent motion; ``steps`` counts window
         placements examined (cost proxy).
     """
+    kernel = resolve_kernel(kernel)
     ids = sorted(set(int(c) for c in candidates))
     if anchor is not None and anchor not in ids:
         raise UnknownDeviceError(f"anchor {anchor} not among candidates")
@@ -161,17 +329,32 @@ def enumerate_maximal_motions(
         return [], 0
     coords = transition.combined_of(ids)
     anchor_row = ids.index(anchor) if anchor is not None else None
-    enum = _WindowEnumerator(coords, 2.0 * transition.r, anchor_row)
-    raw = enum.run()
-    motions = [frozenset(ids[i] for i in rows) for rows in raw]
-    if anchor is not None:
-        motions = [m for m in motions if anchor in m]
-        motions = _maximal_only(frozenset(m) for m in motions)
-    return motions, enum.steps
+    if kernel == "bitset":
+        mask_enum = _MaskWindowEnumerator(coords, 2.0 * transition.r, anchor_row)
+        raw_masks = mask_enum.run()
+        if anchor_row is not None:
+            anchor_bit = 1 << anchor_row
+            raw_masks = _maximal_only_masks(
+                m for m in raw_masks if m & anchor_bit
+            )
+        motions = [
+            frozenset(ids[i] for i in iter_bits(mask)) for mask in raw_masks
+        ]
+        steps = mask_enum.steps
+    else:
+        enum = _WindowEnumerator(coords, 2.0 * transition.r, anchor_row)
+        raw = enum.run()
+        motions = [frozenset(ids[i] for i in rows) for rows in raw]
+        if anchor is not None:
+            motions = [m for m in motions if anchor in m]
+            motions = _maximal_only(frozenset(m) for m in motions)
+        steps = enum.steps
+    motions.sort(key=lambda m: (-len(m), tuple(sorted(m))))
+    return motions, steps
 
 
 def maximal_motions_containing(
-    transition: Transition, device: int
+    transition: Transition, device: int, *, kernel: Optional[str] = None
 ) -> Tuple[List[Motion], int]:
     """Return all maximal r-consistent motions (within ``A_k``) containing
     ``device``.
@@ -181,16 +364,20 @@ def maximal_motions_containing(
     containing ``device`` lies within ``2r`` of it at both times.
     """
     neighborhood = transition.neighborhood(device)
-    return enumerate_maximal_motions(transition, neighborhood, anchor=device)
+    return enumerate_maximal_motions(
+        transition, neighborhood, anchor=device, kernel=kernel
+    )
 
 
-def motion_family(transition: Transition, device: int) -> MotionFamily:
+def motion_family(
+    transition: Transition, device: int, *, kernel: Optional[str] = None
+) -> MotionFamily:
     """Build the :class:`MotionFamily` of a device.
 
     Packages ``M(j)`` (all maximal motions through ``j``) together with the
     dense subfamily ``Wbar_k(j)`` (those with more than ``tau`` members).
     """
-    motions, steps = maximal_motions_containing(transition, device)
+    motions, steps = maximal_motions_containing(transition, device, kernel=kernel)
     dense = tuple(m for m in motions if len(m) > transition.tau)
     return MotionFamily(
         device=device,

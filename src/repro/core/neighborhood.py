@@ -16,13 +16,20 @@ the motion families of ``j``'s neighbours — i.e. trajectories within
 
 :class:`MotionCache` memoizes per-device motion families for one
 transition so a full characterization pass computes each family once.
+It can also be *carried* across consecutive transitions
+(:meth:`MotionCache.carry_from`): a device whose ``4r`` surroundings did
+not change between two transitions has, a fortiori, unchanged ``2r``
+family inputs, so its family can be reused verbatim — the online
+service uses the dirty-region tracker's affected set as the (sound,
+conservative) invalidation set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
+from repro.core.bitset import LocalUniverse, resolve_kernel
 from repro.core.motions import motion_family
 from repro.core.transition import Transition
 from repro.core.types import MotionFamily
@@ -40,25 +47,82 @@ class MotionCache:
     turns a quadratic-ish pass into a linear one.  The cache also counts
     how many families were computed (``expansions``), which feeds the
     ``neighbor_expansions`` cost column.
+
+    Parameters
+    ----------
+    transition:
+        The transition families are computed against.
+    kernel:
+        Enumeration kernel (``"bitset"`` default / ``"frozenset"``)
+        forwarded to :func:`motion_family`; both produce identical
+        families.
+
+    Cross-tick reuse counters: ``carried`` is how many families were
+    pre-seeded by :meth:`carry_from`; ``carried_used`` counts the
+    distinct carried devices whose family was actually served, i.e.
+    recomputations genuinely avoided.
     """
 
-    def __init__(self, transition: Transition) -> None:
+    def __init__(
+        self, transition: Transition, *, kernel: Optional[str] = None
+    ) -> None:
         self._transition = transition
+        self._kernel = resolve_kernel(kernel)
         self._families: Dict[int, MotionFamily] = {}
+        self._carried_pending: Set[int] = set()
         self.expansions = 0
+        self.carried = 0
+        self.carried_used = 0
 
     @property
     def transition(self) -> Transition:
         """The transition this cache is bound to."""
         return self._transition
 
+    @property
+    def kernel(self) -> str:
+        """The enumeration kernel families are computed with."""
+        return self._kernel
+
+    @classmethod
+    def carry_from(
+        cls,
+        previous: "MotionCache",
+        transition: Transition,
+        devices: Iterable[int],
+        *,
+        kernel: Optional[str] = None,
+    ) -> "MotionCache":
+        """Build a cache for ``transition`` pre-seeded from ``previous``.
+
+        Only the families of ``devices`` (the *clean* set — devices whose
+        ``4r`` surroundings are unchanged between the two transitions)
+        are carried over; everyone else recomputes on demand.  Sound
+        because a :class:`~repro.core.types.MotionFamily` is a pure value
+        determined by the trajectories of flagged devices within ``2r``
+        of its owner, all of which lie inside the unchanged ``4r`` ball.
+        """
+        cache = cls(transition, kernel=kernel or previous.kernel)
+        families = previous._families
+        for device in devices:
+            family = families.get(device)
+            if family is not None:
+                cache._families[device] = family
+                cache._carried_pending.add(device)
+        cache.carried = len(cache._families)
+        return cache
+
     def family(self, device: int) -> MotionFamily:
         """Return (and memoize) the motion family of ``device``."""
         fam = self._families.get(device)
         if fam is None:
-            fam = motion_family(self._transition, device)
+            fam = motion_family(self._transition, device, kernel=self._kernel)
             self._families[device] = fam
             self.expansions += 1
+        elif self._carried_pending:
+            if device in self._carried_pending:
+                self._carried_pending.discard(device)
+                self.carried_used += 1
         return fam
 
     def dense_family(self, device: int) -> Tuple[Motion, ...]:
@@ -87,6 +151,39 @@ class NeighborhoodSplit:
         assert not (self.always_with_j & self.sometimes_without_j)
 
 
+def split_masks(
+    cache: MotionCache, device: int, universe: LocalUniverse
+) -> Tuple[int, int, int]:
+    """Mask form of the split: ``(D_mask, J_mask, L_mask)`` over ``universe``.
+
+    The verdict hot path keeps the decomposition as bitmasks — Theorem 6
+    becomes a popcount of ``motion_mask & J_mask`` and the Theorem 7
+    pool filter a single AND against ``D_mask`` — while
+    :func:`split_neighborhood` decodes the same masks back to frozensets
+    at the public boundary.  The per-member test stays on the family's
+    frozensets (a handful of O(1) membership probes beats converting
+    every neighbour family to masks).
+    """
+    dense = cache.dense_family(device)
+    d_mask = 0
+    for motion in dense:
+        d_mask |= universe.mask_of(motion)
+    j_mask = 0
+    l_mask = 0
+    for member in sorted(universe.devices_of(d_mask)):
+        if member == device:
+            j_mask |= universe.bit(member)
+            continue
+        member_dense = cache.dense_family(member)
+        # ``member`` is in D_k(j) so it shares at least one maximal dense
+        # motion with j; its own dense family is therefore non-empty.
+        if all(device in motion for motion in member_dense):
+            j_mask |= universe.bit(member)
+        else:
+            l_mask |= universe.bit(member)
+    return d_mask, j_mask, l_mask
+
+
 def split_neighborhood(cache: MotionCache, device: int) -> NeighborhoodSplit:
     """Compute ``D_k(j)``, ``J_k(j)`` and ``L_k(j)`` for ``device``.
 
@@ -94,26 +191,11 @@ def split_neighborhood(cache: MotionCache, device: int) -> NeighborhoodSplit:
     already classified the device as isolated and the split is moot); an
     empty family yields the trivial split ``D = J = {}``, ``L = {}``.
     """
-    dense = cache.dense_family(device)
-    neighborhood: set = set()
-    for motion in dense:
-        neighborhood.update(motion)
-    j_set: set = set()
-    l_set: set = set()
-    for member in neighborhood:
-        if member == device:
-            j_set.add(member)
-            continue
-        member_dense = cache.dense_family(member)
-        # ``member`` is in D_k(j) so it shares at least one maximal dense
-        # motion with j; its own dense family is therefore non-empty.
-        if all(device in motion for motion in member_dense):
-            j_set.add(member)
-        else:
-            l_set.add(member)
+    universe = LocalUniverse()
+    d_mask, j_mask, l_mask = split_masks(cache, device, universe)
     return NeighborhoodSplit(
         device=device,
-        dense_neighborhood=frozenset(neighborhood),
-        always_with_j=frozenset(j_set),
-        sometimes_without_j=frozenset(l_set),
+        dense_neighborhood=universe.devices_of(d_mask),
+        always_with_j=universe.devices_of(j_mask),
+        sometimes_without_j=universe.devices_of(l_mask),
     )

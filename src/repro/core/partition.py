@@ -27,7 +27,7 @@ This module provides:
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import PartitionError, SearchBudgetExceeded
 from repro.core.motions import enumerate_maximal_motions, largest_motion_size

@@ -155,6 +155,12 @@ class MotionFamily:
     This is ``M(j)`` from Algorithm 2 plus the derived dense family
     ``Wbar_k(j)`` (maximal tau-dense motions) and the neighbourhood
     ``D_k(j)`` (union of the dense family, Section V-B).
+
+    A family is a pure *value*: it holds no reference to the transition
+    it was computed on, which is what lets the online service carry
+    families of undisturbed devices across consecutive transitions
+    (:meth:`~repro.core.neighborhood.MotionCache.carry_from`) instead of
+    re-enumerating them.
     """
 
     device: DeviceId
@@ -165,10 +171,7 @@ class MotionFamily:
     @property
     def neighborhood(self) -> Motion:
         """``D_k(j)``: every device sharing a maximal dense motion with j."""
-        out: FrozenSet[DeviceId] = frozenset()
-        for motion in self.dense:
-            out = out | motion
-        return out
+        return frozenset().union(*self.dense) if self.dense else frozenset()
 
     @property
     def has_dense_motion(self) -> bool:

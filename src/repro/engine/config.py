@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.bitset import KERNELS
 from repro.core.errors import ConfigurationError
 
 __all__ = ["EngineConfig", "BACKENDS"]
@@ -53,6 +54,10 @@ class EngineConfig:
         one vectorized pass before characterizing, warming the
         transition's memo (and, for the process backend, shipping the
         warmed memo to the workers instead of letting each recompute it).
+    kernel:
+        Set-algebra representation of the verdict hot path: ``"bitset"``
+        (default, integer masks over per-device local universes) or
+        ``"frozenset"`` (the original baseline).  Verdict-identical.
     full_nsc, collection_budget, count_all_collections,
     collection_count_cap, pool_cap, budget_fallback:
         Forwarded verbatim to
@@ -64,6 +69,7 @@ class EngineConfig:
     chunk_size: Optional[int] = None
     min_process_devices: int = 4
     precompute_neighborhoods: bool = True
+    kernel: str = "bitset"
     full_nsc: bool = True
     collection_budget: Optional[int] = None
     count_all_collections: bool = False
@@ -75,6 +81,10 @@ class EngineConfig:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
@@ -93,6 +103,7 @@ class EngineConfig:
     def characterizer_kwargs(self) -> Dict[str, object]:
         """The :class:`Characterizer` keyword arguments this config encodes."""
         return {
+            "kernel": self.kernel,
             "full_nsc": self.full_nsc,
             "collection_budget": self.collection_budget,
             "count_all_collections": self.count_all_collections,

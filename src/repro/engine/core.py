@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.characterize import classify_sets
+from repro.core.errors import ConfigurationError
 from repro.core.neighborhood import MotionCache
 from repro.core.transition import Transition
 from repro.core.types import Characterization
@@ -100,7 +101,26 @@ class CharacterizationEngine:
         """The execution backend in use."""
         return self._backend
 
+    @property
+    def motion_cache(self) -> Optional[MotionCache]:
+        """The motion cache of the most recent transition (if any).
+
+        The online service reads this after a tick to seed the next
+        transition's cache via :meth:`MotionCache.carry_from`.
+        """
+        return self._cache
+
     # ------------------------------------------------------------------
+    def adopt_cache(self, cache: MotionCache) -> None:
+        """Install an externally built cache (e.g. a cross-tick carry).
+
+        The previous cache's counters are folded into :attr:`stats`
+        exactly as when a new transition arrives.
+        """
+        if self._cache is not None and self._cache is not cache:
+            self._folded_expansions += self._cache.expansions
+        self._cache = cache
+
     def _cache_for(self, transition: Transition) -> MotionCache:
         """Return the motion cache bound to ``transition``.
 
@@ -113,7 +133,7 @@ class CharacterizationEngine:
         if self._cache is None or self._cache.transition is not transition:
             if self._cache is not None:
                 self._folded_expansions += self._cache.expansions
-            self._cache = MotionCache(transition)
+            self._cache = MotionCache(transition, kernel=self._config.kernel)
         return self._cache
 
     def _warm_neighborhoods(
@@ -129,17 +149,29 @@ class CharacterizationEngine:
         self,
         transition: Transition,
         devices: Optional[Sequence[int]] = None,
+        *,
+        cache: Optional[MotionCache] = None,
     ) -> Dict[int, Characterization]:
         """Classify ``devices`` (default: all of ``A_k``) of ``transition``.
 
         Returns the same ``device -> Characterization`` mapping as the
         per-device :meth:`Characterizer.characterize_all` seed path.
+        ``cache`` optionally installs a pre-seeded motion cache (the
+        online service passes a cross-tick carry built with
+        :meth:`MotionCache.carry_from`); it must be bound to
+        ``transition``.
         """
         devs = (
             list(transition.flagged_sorted)
             if devices is None
             else [int(j) for j in devices]
         )
+        if cache is not None:
+            if cache.transition is not transition:
+                raise ConfigurationError(
+                    "adopted MotionCache is bound to a different transition"
+                )
+            self.adopt_cache(cache)
         if devs and self._config.precompute_neighborhoods:
             self._warm_neighborhoods(transition, devs)
         cache = self._cache_for(transition)

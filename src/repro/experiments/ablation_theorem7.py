@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.characterize import Characterizer
-from repro.core.types import AnomalyType, DecisionRule
+from repro.core.types import AnomalyType
 from repro.io.records import ExperimentResult
 from repro.io.render import render_table
 from repro.simulation.config import SimulationConfig

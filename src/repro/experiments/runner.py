@@ -16,12 +16,12 @@ worker pool.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import MetricAccumulator
 from repro.engine import CharacterizationEngine, EngineConfig
 from repro.simulation.config import SimulationConfig
-from repro.simulation.simulator import SimulationStep, Simulator
+from repro.simulation.simulator import Simulator
 
 __all__ = ["simulate_and_accumulate", "sweep"]
 

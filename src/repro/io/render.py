@@ -8,7 +8,7 @@ terminal or EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 from repro.io.records import ExperimentResult
 

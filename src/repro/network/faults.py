@@ -13,8 +13,8 @@ at the start of each tick and expires faults after their duration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from repro.core.errors import ConfigurationError, UnknownDeviceError
 from repro.network.topology import IspTopology, NodeKind

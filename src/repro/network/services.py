@@ -10,7 +10,7 @@ providers of consumed services to the monitored devices" of Section III-A.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.network.topology import IspTopology

@@ -23,12 +23,25 @@ of the toggle are invisible to every verdict and tracked for free.
   of a dirty cell is reported as *affected* — a conservative superset of
   the devices whose verdicts can have changed, with ``rings`` sized so
   that anything farther is provably more than ``4r`` away.
+
+The complement of the affected set is sound for more than verdict-cache
+reuse: a device's *motion family* (``M(j)`` / ``Wbar_k(j)``) is a
+function of the trajectories and flag bits of flagged devices within
+``2r`` of it — a strict subset of the ``4r`` inputs of its verdict — so
+any unaffected device's family from the previous transition is still
+exact, and the online service carries those families across ticks via
+:meth:`~repro.core.neighborhood.MotionCache.carry_from` using this same
+affected set as the invalidation region.  The one-tick move carry is
+what makes this valid for trajectories, not just positions: a device
+that moved in tick ``k`` re-dirties its cells in tick ``k+1`` (its
+``prev`` endpoint shifts under it), so no family survives a change to
+*either* endpoint of a nearby trajectory.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.online.grid import CellKey, MutableGridIndex
@@ -46,14 +59,34 @@ class DirtyRegionTracker:
         Grid-cell side (must match the store's index).
     influence_radius:
         How far a change can reach: ``4r``, the paper's knowledge radius.
+    family_radius:
+        How far a change can reach into *motion families*: ``2r``, the
+        neighbourhood radius of Algorithm 2 (defaults to half the
+        influence radius).  Devices beyond this tighter band keep their
+        families across the tick even when their verdicts must be
+        recomputed — the set the service's cross-tick motion carry is
+        allowed to reuse.
     """
 
-    def __init__(self, *, cell: float, influence_radius: float) -> None:
+    def __init__(
+        self,
+        *,
+        cell: float,
+        influence_radius: float,
+        family_radius: Optional[float] = None,
+    ) -> None:
         if cell <= 0:
             raise ConfigurationError(f"cell side must be positive, got {cell!r}")
         if influence_radius < 0:
             raise ConfigurationError(
                 f"influence_radius must be >= 0, got {influence_radius!r}"
+            )
+        if family_radius is None:
+            family_radius = influence_radius / 2.0
+        if not 0 <= family_radius <= influence_radius:
+            raise ConfigurationError(
+                "family_radius must lie in [0, influence_radius], got "
+                f"{family_radius!r}"
             )
         self._cell = float(cell)
         # Two cells at Chebyshev key-distance D hold points at least
@@ -61,6 +94,9 @@ class DirtyRegionTracker:
         # rings * cell > 4r: anything outside the ring band is strictly
         # beyond the influence radius even at cell-boundary extremes.
         self._rings = int(math.floor(influence_radius / self._cell + 1e-9)) + 1
+        self._family_rings = int(
+            math.floor(family_radius / self._cell + 1e-9)
+        ) + 1
         self._pending: Set[CellKey] = set()
         self._carry: Set[CellKey] = set()
         self._carry_next: Set[CellKey] = set()
@@ -69,6 +105,11 @@ class DirtyRegionTracker:
     def rings(self) -> int:
         """Cell-ring radius of the influence band."""
         return self._rings
+
+    @property
+    def family_rings(self) -> int:
+        """Cell-ring radius of the (tighter) motion-family band."""
+        return self._family_rings
 
     @property
     def pending_cells(self) -> Tuple[CellKey, ...]:
@@ -103,7 +144,10 @@ class DirtyRegionTracker:
         ``affected_devices`` is every indexed device within ``rings``
         cells of a dirty cell — callers intersect with the flagged set.
         Resets per-tick state; the carry of this tick's moves seeds the
-        next tick's dirty set.
+        next tick's dirty set.  The devices whose motion *families* are
+        invalidated (the tighter ``family_rings`` band) can be recovered
+        from the returned cells via
+        ``index.devices_near_cells(dirty_cells, tracker.family_rings)``.
         """
         dirty = self._pending | self._carry
         affected = index.devices_near_cells(dirty, self._rings) if dirty else set()

@@ -45,6 +45,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import ConfigurationError, QueueFullError
+from repro.core.neighborhood import MotionCache
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import AnomalyType, Characterization
 from repro.engine import CharacterizationEngine, EngineConfig
@@ -111,6 +112,18 @@ class ServiceConfig:
     reuse_indexes:
         Adopt the previous transition's current-side grid index when the
         flagged set is unchanged.
+    reuse_motions:
+        Carry motion families of devices outside the dirty cell-rings
+        from the previous tick's cache into the next tick's
+        (:meth:`~repro.core.neighborhood.MotionCache.carry_from`), so
+        recomputed verdicts near a dirty region do not re-enumerate the
+        families of their unaffected neighbours.  Sound for the same
+        reason verdict reuse is: a family depends only on trajectories
+        within ``2r`` of its owner, a subset of the ``4r`` influence
+        band the tracker invalidates.  Only effective in incremental
+        mode with the ``serial`` backend — process-backend workers keep
+        private caches the service cannot seed, so the carry is
+        disabled there instead of silently ineffective.
     backend, workers:
         Engine execution knobs (ignored when a shared engine is passed
         to the service directly).
@@ -124,6 +137,7 @@ class ServiceConfig:
     backpressure: str = "block"
     incremental: bool = True
     reuse_indexes: bool = True
+    reuse_motions: bool = True
     backend: str = "serial"
     workers: Optional[int] = None
 
@@ -165,6 +179,8 @@ class ServiceStats:
     verdicts_recomputed: int = 0
     verdicts_reused: int = 0
     index_reuses: int = 0
+    families_recomputed: int = 0
+    families_reused: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for logging and result serialization."""
@@ -176,6 +192,8 @@ class ServiceStats:
             "verdicts_recomputed": self.verdicts_recomputed,
             "verdicts_reused": self.verdicts_reused,
             "index_reuses": self.index_reuses,
+            "families_recomputed": self.families_recomputed,
+            "families_reused": self.families_reused,
         }
 
 
@@ -191,6 +209,8 @@ class OnlineTick:
     dirty_cells: int
     verdicts: Dict[int, Characterization] = field(default_factory=dict)
     transition: Optional[Transition] = None
+    families_recomputed: int = 0
+    families_reused: int = 0
 
 
 class MetricsSink:
@@ -201,6 +221,8 @@ class MetricsSink:
         self.applied = 0
         self.recomputed = 0
         self.reused = 0
+        self.families_recomputed = 0
+        self.families_reused = 0
         self.verdict_counts: Dict[str, int] = {
             kind.value: 0 for kind in AnomalyType
         }
@@ -210,6 +232,8 @@ class MetricsSink:
         self.applied += tick.applied
         self.recomputed += len(tick.recomputed)
         self.reused += len(tick.reused)
+        self.families_recomputed += tick.families_recomputed
+        self.families_reused += tick.families_reused
         for verdict in tick.verdicts.values():
             self.verdict_counts[verdict.anomaly_type.value] += 1
 
@@ -220,6 +244,8 @@ class MetricsSink:
             "applied": self.applied,
             "recomputed": self.recomputed,
             "reused": self.reused,
+            "families_recomputed": self.families_recomputed,
+            "families_reused": self.families_reused,
             "verdict_counts": dict(self.verdict_counts),
         }
 
@@ -273,7 +299,9 @@ class OnlineCharacterizationService:
             initial_positions, cell=cfg.cell, shards=cfg.shards
         )
         self._tracker = DirtyRegionTracker(
-            cell=cfg.cell, influence_radius=4.0 * cfg.r
+            cell=cfg.cell,
+            influence_radius=4.0 * cfg.r,
+            family_radius=2.0 * cfg.r,
         )
         self._engine = engine or CharacterizationEngine(
             EngineConfig(backend=cfg.backend, workers=cfg.workers)
@@ -286,6 +314,7 @@ class OnlineCharacterizationService:
         self._verdicts: Dict[int, Characterization] = {}
         self._last_transition: Optional[Transition] = None
         self._last_flagged: Optional[Tuple[int, ...]] = None
+        self._last_cache: Optional[MotionCache] = None
         self._sinks: List[Callable[[OnlineTick], None]] = list(sinks)
         self._tick = 0
         self.stats = ServiceStats()
@@ -432,6 +461,8 @@ class OnlineCharacterizationService:
         recompute: List[int] = []
         reused: List[int] = []
         verdicts: Dict[int, Characterization] = {}
+        families_recomputed = 0
+        families_reused = 0
         if flagged:
             prev_arr, cur_arr = self._store.snapshot_arrays()
             index_prev = None
@@ -460,13 +491,61 @@ class OnlineCharacterizationService:
                 reused = [j for j in flagged if j not in recompute_set]
             else:
                 recompute = list(flagged)
-            fresh = (
-                self._engine.characterize(transition, devices=recompute)
-                if recompute
-                else {}
+            # Cross-tick motion-family carry: families see only the 2r
+            # ball, half the verdicts' 4r reach, so the family-clean set
+            # (outside the tighter family_rings band) is strictly larger
+            # than the verdict-clean set — devices whose verdicts must
+            # be recomputed still reuse their own and their neighbours'
+            # families.  The carry lives in the engine's shared cache,
+            # which only the serial backend consults — process-backend
+            # workers keep private caches the service cannot seed, so
+            # reuse is (honestly) off there rather than silently broken.
+            reuse_effective = (
+                cfg.incremental
+                and cfg.reuse_motions
+                and self._engine.backend.name == "serial"
             )
+            carry: Optional[MotionCache] = None
+            if (
+                reuse_effective
+                and self._last_cache is not None
+                and self._last_transition is not None
+            ):
+                family_dirty = (
+                    self._store.index.devices_near_cells(
+                        dirty_cells, self._tracker.family_rings
+                    )
+                    if dirty_cells
+                    else set()
+                )
+                carry = MotionCache.carry_from(
+                    self._last_cache,
+                    transition,
+                    (j for j in flagged if j not in family_dirty),
+                )
+            if recompute:
+                # Counting via the engine's running expansion total stays
+                # truthful for every backend: it folds worker-process
+                # cache expansions in, where the shared cache alone would
+                # report zero work under the process backend.
+                expansions_before = self._engine.stats.cache_expansions
+                fresh = self._engine.characterize(
+                    transition, devices=recompute, cache=carry
+                )
+                families_recomputed = (
+                    self._engine.stats.cache_expansions - expansions_before
+                )
+                cache = self._engine.motion_cache
+                if cache is not None:
+                    families_reused = cache.carried_used
+                self._last_cache = cache if reuse_effective else None
+            else:
+                fresh = {}
+                self._last_cache = carry
             for j in flagged:
                 verdicts[j] = fresh[j] if j in fresh else self._verdicts[j]
+        else:
+            self._last_cache = None
         self._verdicts = verdicts
         self._store.advance_tick()
         self._last_transition = transition
@@ -474,6 +553,8 @@ class OnlineCharacterizationService:
         self.stats.ticks += 1
         self.stats.verdicts_recomputed += len(recompute)
         self.stats.verdicts_reused += len(reused)
+        self.stats.families_recomputed += families_recomputed
+        self.stats.families_reused += families_reused
         result = OnlineTick(
             tick=self._tick,
             applied=applied,
@@ -483,6 +564,8 @@ class OnlineCharacterizationService:
             dirty_cells=len(dirty_cells),
             verdicts=verdicts,
             transition=transition,
+            families_recomputed=families_recomputed,
+            families_reused=families_reused,
         )
         for sink in self._sinks:
             sink(result)

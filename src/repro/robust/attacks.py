@@ -29,7 +29,7 @@ yields two natural attack goals:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet
 
 import numpy as np
 

@@ -36,12 +36,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict
 
 from repro.core.characterize import Characterizer
 from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
-from repro.core.types import AnomalyType, Characterization, DecisionRule
+from repro.core.types import AnomalyType, Characterization
 
 __all__ = ["RobustVerdict", "RobustLabel", "RobustCharacterizer"]
 

@@ -25,5 +25,6 @@ __all__ = [
     "SimulationConfig",
     "SimulationStep",
     "Simulator",
+    "StepTruth",
     "inject_errors",
 ]

@@ -10,8 +10,7 @@ switches (R3 enforcement, seeding).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.core.errors import ConfigurationError
 from repro.core.geometry import validate_radius

@@ -11,10 +11,9 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
 import pytest
 
-from repro.core.transition import Snapshot, Transition
+from repro.core.transition import Transition
 
 
 def make_transition_1d(

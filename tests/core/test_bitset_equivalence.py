@@ -1,0 +1,274 @@
+"""Mask-kernel ↔ frozenset-kernel equivalence (randomized + property-based).
+
+The bitset verdict kernel must be *observationally identical* to the
+frozenset baseline: same verdicts, same decision rules, same witnesses,
+same cost counters (window steps, tested collections, neighbour
+expansions), same motion families and the same ``NeighborhoodSplit`` —
+including the Theorem 7 budget path, where both kernels must blow the
+same budget.  These tests enforce that on seeded randomized transitions
+and, when Hypothesis is available, on property-generated ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitset import LocalUniverse, iter_bits, popcount, resolve_kernel
+from repro.core.characterize import Characterizer
+from repro.core.errors import SearchBudgetExceeded
+from repro.core.motions import (
+    brute_force_maximal_motions,
+    enumerate_maximal_motions,
+    motion_family,
+)
+from repro.core.neighborhood import MotionCache, split_neighborhood
+from repro.core.transition import Snapshot, Transition
+from repro.core.types import AnomalyType, DecisionRule
+
+
+def random_transition(rng, *, max_n=16, cluster=True):
+    """A seeded random transition with an optional coherent cluster."""
+    n = int(rng.integers(4, max_n + 1))
+    d = int(rng.integers(1, 3))
+    r = float(rng.uniform(0.02, 0.15))
+    tau = int(rng.integers(1, max(2, n // 2)))
+    prev = np.clip(rng.random((n, d)) * 0.5 + 0.2, 0.0, 1.0)
+    k = int(rng.integers(0, n // 2 + 1)) if cluster else 0
+    if k:
+        center = rng.random(d) * 0.5 + 0.2
+        prev[:k] = np.clip(center + rng.normal(0, r / 3, (k, d)), 0.0, 1.0)
+    cur = np.clip(prev + rng.normal(0, r / 2, (n, d)), 0.0, 1.0)
+    return Transition(Snapshot(prev), Snapshot(cur), range(n), r, tau)
+
+
+def rebuild(transition):
+    """A fresh, cache-free copy of the same transition."""
+    return Transition(
+        Snapshot(transition.previous.positions.copy()),
+        Snapshot(transition.current.positions.copy()),
+        transition.flagged,
+        transition.r,
+        transition.tau,
+    )
+
+
+class TestLocalUniverse:
+    def test_roundtrip_and_determinism(self):
+        uni = LocalUniverse([3, 7, 11])
+        mask = uni.mask_of({11, 3})
+        assert uni.devices_of(mask) == frozenset({3, 11})
+        assert popcount(mask) == 2
+        # Unseen ids register in sorted order regardless of input order.
+        a = LocalUniverse()
+        b = LocalUniverse()
+        assert a.mask_of([9, 2, 5]) == b.mask_of([5, 9, 2])
+        assert a.devices == b.devices == (2, 5, 9)
+
+    def test_widens_past_64_devices(self):
+        uni = LocalUniverse(range(0, 200, 2))
+        assert len(uni) == 100
+        mask = uni.mask_of(range(0, 200, 2))
+        assert popcount(mask) == 100
+        assert mask.bit_length() == 100  # multi-word int, all identities hold
+        assert uni.devices_of(mask) == frozenset(range(0, 200, 2))
+        # Masks minted before a widening stay valid after it.
+        early = uni.mask_of([0, 2])
+        uni.bit(999)
+        assert uni.devices_of(early) == frozenset({0, 2})
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_bits(0)) == []
+
+    def test_resolve_kernel(self):
+        assert resolve_kernel(None) == "bitset"
+        assert resolve_kernel("frozenset") == "frozenset"
+        with pytest.raises(ValueError):
+            resolve_kernel("roaring")
+
+
+class TestEnumeratorEquivalence:
+    def test_randomized_motions_and_steps(self):
+        rng = np.random.default_rng(11)
+        for _ in range(120):
+            t = random_transition(rng, max_n=12)
+            n = t.n
+            anchor = int(rng.integers(0, n)) if rng.random() < 0.5 else None
+            fast, steps_fast = enumerate_maximal_motions(
+                t, range(n), anchor, kernel="bitset"
+            )
+            slow, steps_slow = enumerate_maximal_motions(
+                t, range(n), anchor, kernel="frozenset"
+            )
+            assert fast == slow
+            assert steps_fast == steps_slow
+            brute = brute_force_maximal_motions(t, range(n), anchor)
+            assert sorted(map(sorted, fast)) == sorted(map(sorted, brute))
+
+    def test_families_identical(self):
+        rng = np.random.default_rng(23)
+        for _ in range(40):
+            t = random_transition(rng)
+            for j in t.flagged_sorted:
+                fam_a = motion_family(t, j, kernel="bitset")
+                fam_b = motion_family(t, j, kernel="frozenset")
+                assert fam_a == fam_b
+
+
+class TestCharacterizerEquivalence:
+    def _assert_identical(self, got, want):
+        assert got.anomaly_type == want.anomaly_type
+        assert got.rule == want.rule
+        assert got.witness == want.witness
+        assert got.cost.as_dict() == want.cost.as_dict()
+
+    def test_randomized_verdicts_costs_witnesses(self):
+        rng = np.random.default_rng(42)
+        rules_seen = set()
+        for _ in range(120):
+            t = random_transition(rng)
+            t2 = rebuild(t)
+            fast = Characterizer(t, kernel="bitset").characterize_all()
+            slow = Characterizer(t2, kernel="frozenset").characterize_all()
+            assert fast.keys() == slow.keys()
+            for j in fast:
+                self._assert_identical(fast[j], slow[j])
+                rules_seen.add(fast[j].rule)
+        # The sweep must actually exercise the interesting paths.
+        assert DecisionRule.THEOREM_5 in rules_seen
+        assert DecisionRule.THEOREM_6 in rules_seen
+        assert COROLLARY_OR_T7 & rules_seen
+
+    def test_split_neighborhood_identical(self):
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            t = random_transition(rng)
+            t2 = rebuild(t)
+            cache_a = MotionCache(t, kernel="bitset")
+            cache_b = MotionCache(t2, kernel="frozenset")
+            for j in t.flagged_sorted:
+                dense_a = cache_a.family(j).has_dense_motion
+                dense_b = cache_b.family(j).has_dense_motion
+                assert dense_a == dense_b
+                if not dense_a:
+                    continue
+                sa = split_neighborhood(cache_a, j)
+                sb = split_neighborhood(cache_b, j)
+                assert sa == sb
+            assert cache_a.expansions == cache_b.expansions
+
+    def test_budget_path_identical(self):
+        """Both kernels blow the same Theorem 7 budget, then both fall back."""
+        rng = np.random.default_rng(9)
+        blob_prev = np.clip(0.5 + rng.normal(0, 0.005, (12, 2)), 0, 1)
+        blob_cur = np.clip(blob_prev + rng.normal(0, 0.005, (12, 2)), 0, 1)
+        # A second blob overlapping the first at 2r keeps Theorem 6
+        # inconclusive, forcing the expensive search.
+        blob_prev[6:] += 0.04
+        blob_cur[6:] += 0.045
+        kwargs = dict(collection_budget=3, pool_cap=None)
+        errors = {}
+        for kernel in ("bitset", "frozenset"):
+            t = Transition(
+                Snapshot(blob_prev), Snapshot(blob_cur), range(12), 0.03, 2
+            )
+            blown = []
+            chars = Characterizer(t, kernel=kernel, **kwargs)
+            for j in t.flagged_sorted:
+                try:
+                    chars.characterize(j)
+                except SearchBudgetExceeded:
+                    blown.append(j)
+            errors[kernel] = blown
+        assert errors["bitset"] == errors["frozenset"]
+        assert errors["bitset"], "scenario must actually exceed the budget"
+        # budget_fallback resolves the same devices to ALGORITHM_3.
+        for kernel in ("bitset", "frozenset"):
+            t = Transition(
+                Snapshot(blob_prev), Snapshot(blob_cur), range(12), 0.03, 2
+            )
+            chars = Characterizer(
+                t, kernel=kernel, budget_fallback=True, **kwargs
+            )
+            results = chars.characterize_all()
+            for j in errors["bitset"]:
+                assert results[j].anomaly_type is AnomalyType.UNRESOLVED
+                assert results[j].rule is DecisionRule.ALGORITHM_3
+
+    def test_pool_cap_identical(self):
+        """The per-motion 2^m pool guard fires identically on both kernels."""
+        rng = np.random.default_rng(13)
+        prev = np.clip(0.5 + rng.normal(0, 0.005, (12, 2)), 0, 1)
+        cur = np.clip(prev + rng.normal(0, 0.005, (12, 2)), 0, 1)
+        prev[6:] += 0.04  # overlapping second blob: Theorem 6 inconclusive
+        cur[6:] += 0.045
+        blown = {}
+        for kernel in ("bitset", "frozenset"):
+            t = Transition(Snapshot(prev), Snapshot(cur), range(12), 0.03, 2)
+            chars = Characterizer(t, kernel=kernel, pool_cap=8)
+            devices = []
+            for j in t.flagged_sorted:
+                try:
+                    chars.characterize(j)
+                except SearchBudgetExceeded:
+                    devices.append(j)
+            blown[kernel] = devices
+        assert blown["bitset"] == blown["frozenset"]
+        assert blown["bitset"], "scenario must actually exceed the pool cap"
+
+
+COROLLARY_OR_T7 = {DecisionRule.THEOREM_7, DecisionRule.COROLLARY_8}
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property tests (skipped when the library is unavailable).
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def transitions(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    d = draw(st.integers(min_value=1, max_value=2))
+    coords = draw(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, width=32),
+                min_size=2 * d,
+                max_size=2 * d,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.asarray(coords, dtype=float)
+    r = draw(st.sampled_from([0.02, 0.05, 0.1, 0.2]))
+    tau = draw(st.integers(min_value=1, max_value=max(1, n - 1)))
+    return Transition(
+        Snapshot(arr[:, :d]), Snapshot(arr[:, d:]), range(n), r, tau
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(transitions())
+def test_property_kernels_agree(t):
+    t2 = rebuild(t)
+    fast = Characterizer(t, kernel="bitset").characterize_all()
+    slow = Characterizer(t2, kernel="frozenset").characterize_all()
+    assert fast.keys() == slow.keys()
+    for j in fast:
+        assert fast[j].anomaly_type == slow[j].anomaly_type
+        assert fast[j].rule == slow[j].rule
+        assert fast[j].witness == slow[j].witness
+        assert fast[j].cost.as_dict() == slow[j].cost.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(transitions())
+def test_property_enumerator_matches_brute_force(t):
+    n = t.n
+    fast, _ = enumerate_maximal_motions(t, range(n), kernel="bitset")
+    brute = brute_force_maximal_motions(t, range(n))
+    assert sorted(map(sorted, fast)) == sorted(map(sorted, brute))

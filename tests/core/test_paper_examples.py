@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core.characterize import Characterizer, classify_sets
+from repro.core.characterize import Characterizer
 from repro.core.motions import all_maximal_motions, maximal_motions_containing
 from repro.core.oracle import oracle_classify
 from repro.core.partition import (

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from math import factorial
 
 import pytest
 

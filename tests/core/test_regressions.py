@@ -7,7 +7,6 @@ answer, so the fix can never silently regress.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.characterize import Characterizer
 from repro.core.motions import all_maximal_motions

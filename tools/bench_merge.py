@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Merge every ``BENCH_*.json`` summary into one ``BENCH_summary.json``.
+
+Each benchmark module (``benchmarks/test_bench_online.py``,
+``benchmarks/test_bench_verdict.py``, ...) writes a per-run summary of
+the shape ``{"benchmark": <name>, "rows": [{"claim": ..., "speedup":
+...}, ...]}``.  This tool collects them into a single artifact keyed by
+benchmark and claim, with min/median/max speedups per claim, so the
+perf trajectory across PRs is visible at a glance (CI uploads the
+merged file; diffing two of them shows exactly which claim regressed).
+
+Usage::
+
+    python tools/bench_merge.py [--dir .] [--out BENCH_summary.json]
+
+Exits non-zero when a summary file is unreadable; an empty directory
+(no ``BENCH_*.json`` at all) produces an empty-but-valid summary so the
+CI step never fails on partial benchmark runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+
+def _git_revision(directory: str) -> Optional[str]:
+    """Best-effort commit id, recorded so artifacts are comparable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=directory,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def merge_summaries(directory: str) -> Dict[str, object]:
+    """Read every ``BENCH_*.json`` under ``directory`` and merge them."""
+    pattern = os.path.join(directory, "BENCH_*.json")
+    merged: Dict[str, Dict[str, Dict[str, object]]] = {}
+    sources: List[str] = []
+    for path in sorted(glob.glob(pattern)):
+        name = os.path.basename(path)
+        if name == "BENCH_summary.json":
+            continue  # never merge a previous merge
+        with open(path) as handle:
+            payload = json.load(handle)
+        benchmark = str(payload.get("benchmark") or name)
+        rows = payload.get("rows") or []
+        if not isinstance(rows, list):
+            raise ValueError(f"{path}: 'rows' must be a list")
+        sources.append(name)
+        claims = merged.setdefault(benchmark, {})
+        for row in rows:
+            claim = str(row.get("claim", "unlabelled"))
+            entry = claims.setdefault(claim, {"rows": []})
+            entry["rows"].append(row)
+    for claims in merged.values():
+        for entry in claims.values():
+            speedups = [
+                float(row["speedup"])
+                for row in entry["rows"]
+                if isinstance(row.get("speedup"), (int, float))
+            ]
+            if speedups:
+                entry["min_speedup"] = min(speedups)
+                entry["median_speedup"] = statistics.median(speedups)
+                entry["max_speedup"] = max(speedups)
+    return {
+        "revision": _git_revision(directory),
+        "sources": sources,
+        "benchmarks": merged,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge BENCH_*.json files into BENCH_summary.json"
+    )
+    parser.add_argument(
+        "--dir", default=".", help="directory holding the BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_summary.json", help="merged output path"
+    )
+    args = parser.parse_args(argv)
+    summary = merge_summaries(args.dir)
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    n_claims = sum(len(c) for c in summary["benchmarks"].values())
+    print(
+        f"merged {len(summary['sources'])} file(s), "
+        f"{len(summary['benchmarks'])} benchmark(s), {n_claims} claim(s) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
