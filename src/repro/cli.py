@@ -140,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for --backend process",
         )
         sub_parser.add_argument(
+            "--max-worker-tasks", type=int, default=None,
+            help="retire a persistent-pool worker after this many tasks",
+        )
+        sub_parser.add_argument(
             "--full", action="store_true",
             help="disable incremental invalidation (recompute all verdicts)",
         )
@@ -211,6 +215,7 @@ def _service_config(args: argparse.Namespace):
         reuse_motions=args.reuse_motions,
         backend=args.backend,
         workers=args.workers,
+        max_worker_tasks=args.max_worker_tasks,
     )
 
 
@@ -291,24 +296,27 @@ def _run_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     generator = LoadGenerator(profile)
-    service = OnlineCharacterizationService(
+    # The service is a context manager: leaving the block shuts down the
+    # persistent worker pool (no-op for the serial backend).
+    with OnlineCharacterizationService(
         generator.initial_positions(), _service_config(args)
-    )
-    metrics = MetricsSink()
-    service.add_sink(metrics)
-    mode = "full-recompute" if args.full else "incremental"
-    print(
-        f"serve: n={args.devices} ticks={args.ticks} churn={args.churn:.2%} "
-        f"shards={args.shards} backend={args.backend} mode={mode}"
-    )
-    result = drive_load(service, generator, args.ticks)
-    _print_tick_table(result.ticks)
-    _print_service_summary(result, service)
-    print(f"verdict counts: {metrics.verdict_counts}")
-    if args.json:
-        _write_service_json(
-            args.json, result, service, {"metrics": metrics.as_dict()}
+    ) as service:
+        metrics = MetricsSink()
+        service.add_sink(metrics)
+        mode = "full-recompute" if args.full else "incremental"
+        print(
+            f"serve: n={args.devices} ticks={args.ticks} churn={args.churn:.2%} "
+            f"shards={args.shards} backend={args.backend} mode={mode}"
         )
+        result = drive_load(service, generator, args.ticks)
+        _print_tick_table(result.ticks)
+        _print_service_summary(result, service)
+        print(f"verdict events: {metrics.verdict_counts}")
+        print(f"verdict device-ticks: {metrics.verdict_tick_counts}")
+        if args.json:
+            _write_service_json(
+                args.json, result, service, {"metrics": metrics.as_dict()}
+            )
     return 0
 
 
@@ -356,10 +364,15 @@ def _run_replay(args: argparse.Namespace) -> int:
     mode = "full-recompute" if args.full else "incremental"
     print(f"replay: {source} shards={args.shards} mode={mode}")
     result = replay_trace_online(trace, factory, _service_config(args))
-    _print_tick_table(result.ticks)
-    _print_service_summary(result, result.service)
-    if args.json:
-        _write_service_json(args.json, result, result.service, {"source": source})
+    try:
+        _print_tick_table(result.ticks)
+        _print_service_summary(result, result.service)
+        if args.json:
+            _write_service_json(
+                args.json, result, result.service, {"source": source}
+            )
+    finally:
+        result.service.close()
     return 0
 
 

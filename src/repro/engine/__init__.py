@@ -4,26 +4,32 @@ One :class:`CharacterizationEngine` serves every driver loop in the
 repository (simulator, experiment runner, network monitor, streaming
 pipeline): vectorized batch neighbourhood computation, a motion cache
 shared across devices and across repeated calls on a transition, and a
-choice of ``serial`` or ``process`` execution.  See DESIGN.md, section
-"Engine architecture".
+choice of ``serial``, persistent-pool ``process`` or per-call
+``process-spawn`` execution.  See DESIGN.md, sections "Engine
+architecture" and "Persistent worker pool".
 """
 
 from repro.engine.backends import (
+    BackendRun,
     ExecutionBackend,
-    ProcessBackend,
     SerialBackend,
+    SpawnProcessBackend,
+    WorkerPoolBackend,
     make_backend,
 )
 from repro.engine.config import BACKENDS, EngineConfig
-from repro.engine.core import CharacterizationEngine, EngineStats
+from repro.engine.core import CharacterizationEngine, EngineRun, EngineStats
 
 __all__ = [
     "BACKENDS",
+    "BackendRun",
     "CharacterizationEngine",
     "EngineConfig",
+    "EngineRun",
     "EngineStats",
     "ExecutionBackend",
-    "ProcessBackend",
     "SerialBackend",
+    "SpawnProcessBackend",
+    "WorkerPoolBackend",
     "make_backend",
 ]

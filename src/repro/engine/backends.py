@@ -3,16 +3,32 @@
 A backend answers one question: given a transition and a list of flagged
 devices, produce the verdict of every device.  The *serial* backend is the
 seed behaviour — one :class:`~repro.core.characterize.Characterizer`, one
-pass.  The *process* backend chunks the device list over a
-``multiprocessing.Pool``; characterization is embarrassingly parallel
-across devices (the paper's locality result is precisely that device
-``j``'s verdict depends only on trajectories within ``4r`` of ``j``), so
-workers need no coordination, and each worker keeps its own
-:class:`~repro.core.neighborhood.MotionCache` shared across the devices of
-its chunks.
+pass.  Characterization is embarrassingly parallel across devices (the
+paper's locality result is precisely that device ``j``'s verdict depends
+only on trajectories within ``4r`` of ``j``), so the parallel backends
+need no worker coordination:
+
+* ``process`` (:class:`WorkerPoolBackend`) keeps a **persistent** pool of
+  worker processes alive across :meth:`~ExecutionBackend.run` calls.
+  Snapshot arrays are published through
+  :mod:`multiprocessing.shared_memory`, so a tick ships only device ids,
+  the flagged set and the carry-clean set down the pipes — never a
+  pickled :class:`~repro.core.transition.Transition`.  Each worker keeps
+  a private :class:`~repro.core.neighborhood.MotionCache` across ticks,
+  re-seeded per tick via :meth:`MotionCache.carry_from` with the caller's
+  clean set (devices outside the dirty cell-rings), which extends the
+  online service's cross-tick motion-family reuse to multi-core runs.
+* ``process-spawn`` (:class:`SpawnProcessBackend`) is the old
+  spawn-a-``multiprocessing.Pool``-per-call strategy, kept as the
+  benchmark baseline the persistent pool is measured against.
 
 Verdicts are deterministic functions of the transition, so every backend
 returns bit-identical results — the engine equivalence tests enforce it.
+
+Run results (verdicts plus the motion-family work counters of caches the
+caller cannot see) travel in a :class:`BackendRun` value, never through
+mutable backend attributes: a run that raises mid-pool or two engines
+sharing a backend instance can never observe another run's counters.
 """
 
 from __future__ import annotations
@@ -20,29 +36,67 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import sys
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.characterize import Characterizer
 from repro.core.neighborhood import MotionCache
-from repro.core.transition import Transition
+from repro.core.transition import Snapshot, Transition
 from repro.core.types import Characterization
 
 from repro.engine.config import EngineConfig
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ProcessBackend", "make_backend"]
+__all__ = [
+    "BackendRun",
+    "ExecutionBackend",
+    "SerialBackend",
+    "SpawnProcessBackend",
+    "WorkerPoolBackend",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class BackendRun:
+    """Everything one :meth:`ExecutionBackend.run` call produced.
+
+    Attributes
+    ----------
+    verdicts:
+        ``device -> Characterization`` for every requested device.
+    expansions:
+        Motion-family expansions performed in caches the caller cannot
+        see (worker-process caches); ``None`` means every expansion
+        happened in the shared cache the caller passed in, whose own
+        counters already reflect the work.
+    families_reused:
+        Worker-side carried families actually served during this run
+        (cross-tick reuse the shared cache cannot observe).
+    """
+
+    verdicts: Dict[int, Characterization]
+    expansions: Optional[int] = None
+    families_reused: int = 0
 
 
 class ExecutionBackend:
     """Interface: run per-device characterization for one transition.
 
-    ``last_expansions`` reports the motion-family expansions the previous
-    :meth:`run` performed in caches the caller cannot see (worker-process
-    caches); ``None`` means all expansions happened in the shared cache
-    the caller passed in.
+    ``carry_clean`` names the devices whose motion families provably did
+    not change since the *immediately previous* :meth:`run` call on this
+    backend (the online service's dirty-cell complement); backends with
+    private per-worker caches may reuse those families verbatim.  Callers
+    must only pass it when that single-step invariant holds — backends
+    that cannot honour it safely ignore it.
     """
 
     name = "abstract"
-    last_expansions: Optional[int] = None
 
     def run(
         self,
@@ -50,8 +104,30 @@ class ExecutionBackend:
         devices: Sequence[int],
         config: EngineConfig,
         cache: Optional[MotionCache] = None,
-    ) -> Dict[int, Characterization]:
+        *,
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> BackendRun:
         raise NotImplementedError
+
+    def plans_fanout(
+        self, devices: Sequence[int], config: EngineConfig
+    ) -> bool:
+        """Whether :meth:`run` would dispatch to out-of-process workers.
+
+        The engine skips its parent-side neighbourhood warm-up when the
+        work is about to leave the process anyway (workers warm their own
+        device subsets against their own transition rebuilds).
+        """
+        return False
+
+    def close(self) -> None:
+        """Release any long-lived resources (idempotent; default no-op)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SerialBackend(ExecutionBackend):
@@ -65,18 +141,20 @@ class SerialBackend(ExecutionBackend):
         devices: Sequence[int],
         config: EngineConfig,
         cache: Optional[MotionCache] = None,
-    ) -> Dict[int, Characterization]:
+        *,
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> BackendRun:
         characterizer = Characterizer(
             transition, cache=cache, **config.characterizer_kwargs()
         )
-        return characterizer.characterize_many(devices)
+        return BackendRun(verdicts=characterizer.characterize_many(devices))
 
 
 # ----------------------------------------------------------------------
-# Process backend.  Workers are initialized once with the (pickled)
-# transition and characterizer kwargs; each then serves many chunks with
-# a private motion cache, so per-chunk traffic is just device ids in and
-# verdicts out.
+# Spawn-per-call process backend (benchmark baseline).  Workers are
+# initialized once per *call* with the (pickled) transition and
+# characterizer kwargs; each then serves chunks with a private motion
+# cache that dies with the pool at the end of the call.
 # ----------------------------------------------------------------------
 _WORKER_CHARACTERIZER: Optional[Characterizer] = None
 
@@ -95,10 +173,17 @@ def _characterize_chunk(
     return verdicts, _WORKER_CHARACTERIZER.cache.expansions - before
 
 
-class ProcessBackend(ExecutionBackend):
-    """Fan flagged-device chunks out to a ``multiprocessing.Pool``."""
+class SpawnProcessBackend(ExecutionBackend):
+    """Fan chunks out to a *fresh* ``multiprocessing.Pool`` per call.
 
-    name = "process"
+    This is the pre-pool strategy, kept selectable (``process-spawn``) as
+    the baseline ``benchmarks/test_bench_pool.py`` measures the
+    persistent :class:`WorkerPoolBackend` against: every call pays pool
+    startup plus a pickle of the full transition, and worker motion
+    caches never survive the call, so cross-tick reuse is impossible.
+    """
+
+    name = "process-spawn"
 
     def run(
         self,
@@ -106,12 +191,13 @@ class ProcessBackend(ExecutionBackend):
         devices: Sequence[int],
         config: EngineConfig,
         cache: Optional[MotionCache] = None,
-    ) -> Dict[int, Characterization]:
+        *,
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> BackendRun:
         devices = list(devices)
         workers = config.workers or os.cpu_count() or 1
         workers = min(workers, max(1, len(devices)))
         if workers <= 1 or len(devices) < config.min_process_devices:
-            self.last_expansions = None
             return SerialBackend().run(transition, devices, config, cache)
         chunk = config.chunk_size or max(1, math.ceil(len(devices) / (4 * workers)))
         chunks = [devices[i : i + chunk] for i in range(0, len(devices), chunk)]
@@ -127,8 +213,567 @@ class ProcessBackend(ExecutionBackend):
             expansions += chunk_expansions
             for verdict in verdicts:
                 out[verdict.device] = verdict
-        self.last_expansions = expansions
-        return out
+        return BackendRun(verdicts=out, expansions=expansions)
+
+    def plans_fanout(
+        self, devices: Sequence[int], config: EngineConfig
+    ) -> bool:
+        # The spawn backend ships the parent transition (with its warmed
+        # neighbourhood memo) to the workers, so the parent-side warm-up
+        # still pays off; never skip it.
+        return False
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool.
+# ----------------------------------------------------------------------
+def _shm_unregister(name: str) -> None:
+    """Detach a shared-memory attachment from the resource tracker.
+
+    Only needed for *spawn*-context workers, which run their own resource
+    tracker: attaching registers the parent-owned segment there, and the
+    tracker would "clean up" (unlink!) the segment when the worker exits.
+    Fork-context workers share the parent's tracker, where registration
+    is a set and the parent's own entry must stay.  Best-effort: tracker
+    internals vary across Python versions.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
+    """Long-lived worker loop: tasks in, verdicts + cache counters out.
+
+    The worker owns a private :class:`MotionCache` that survives tasks.
+    Each task rebuilds the transition from the shared-memory snapshots
+    and re-seeds the cache from the previous one via ``carry_from`` with
+    the task's clean set — families of devices outside the dirty
+    cell-rings are reused, everything else recomputes.
+    """
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    cache: Optional[MotionCache] = None
+    last_transition: Optional[Transition] = None
+    kernel = kwargs.get("kernel")
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            try:
+                n, d = task["shape"]
+                # Evict superseded segments: the parent regrows capacity
+                # under new names and unlinks the old ones, which stay
+                # pinned in the kernel as long as any worker keeps them
+                # mapped.
+                live = {task["prev"], task["cur"]}
+                for name in [k for k in segments if k not in live]:
+                    try:
+                        segments.pop(name).close()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+
+                def _attach(name: str) -> np.ndarray:
+                    seg = segments.get(name)
+                    if seg is None:
+                        seg = shared_memory.SharedMemory(name=name)
+                        if unregister_shm:
+                            _shm_unregister(name)
+                        segments[name] = seg
+                    arr = np.frombuffer(
+                        seg.buf, dtype=np.float64, count=n * d
+                    )
+                    # Copy out of the segment: the parent reuses it for
+                    # the next tick and the worker's transition must not
+                    # shift underneath its own caches.
+                    return arr.reshape(n, d).copy()
+
+                def _build(index_prev) -> Transition:
+                    return Transition(
+                        Snapshot(_attach(task["prev"])),
+                        Snapshot(_attach(task["cur"])),
+                        task["flagged"],
+                        task["r"],
+                        task["tau"],
+                        index_prev=index_prev,
+                    )
+
+                # The store rolls cur into prev at every tick boundary,
+                # so this tick's prev-side flagged index is last tick's
+                # cur-side one whenever the flagged set held steady; the
+                # adoption is content-validated, so a mismatch (stream
+                # jump, changed r) falls back to a fresh build.
+                index_prev = None
+                if (
+                    last_transition is not None
+                    and last_transition.flagged_sorted == task["flagged"]
+                    and last_transition.r == task["r"]
+                ):
+                    index_prev = last_transition.cur_index
+                try:
+                    transition = _build(index_prev)
+                except Exception:
+                    if index_prev is None:
+                        raise
+                    transition = _build(None)
+                last_transition = transition
+                clean = task["clean"]
+                if cache is not None and clean is not None:
+                    cache = MotionCache.carry_from(cache, transition, clean)
+                else:
+                    cache = MotionCache(transition, kernel=kernel)
+                characterizer = Characterizer(
+                    transition, cache=cache, **kwargs
+                )
+                devices = task["devices"]
+                if task["precompute"] and devices:
+                    transition.neighborhoods_batch(devices)
+                    transition.neighborhoods_batch(devices, radius_factor=4.0)
+                expansions_before = cache.expansions
+                reused_before = cache.carried_used
+                verdicts = [characterizer.characterize(j) for j in devices]
+                conn.send(
+                    (
+                        "ok",
+                        verdicts,
+                        cache.expansions - expansions_before,
+                        cache.carried_used - reused_before,
+                    )
+                )
+            except Exception:
+                # Reset carry state: a half-built cache or transition
+                # must not seed the next tick.
+                cache = None
+                last_transition = None
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
+        pass
+    finally:
+        for seg in segments.values():
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        conn.close()
+
+
+@dataclass
+class _PoolWorker:
+    """One persistent worker process and its duplex pipe.
+
+    ``last_seq`` is the backend run-sequence number of the last task this
+    worker completed; a worker whose last task is not the *immediately
+    previous* run holds a cache too old for the caller's one-step clean
+    set, so the carry is withheld from it.
+    """
+
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    tasks_done: int = 0
+    last_seq: Optional[int] = None
+
+
+def _signal_worker_shutdown(worker: _PoolWorker) -> None:
+    """Send the shutdown sentinel (half of :func:`_shutdown_worker`)."""
+    try:
+        worker.conn.send(None)
+    except (OSError, ValueError, BrokenPipeError):
+        pass
+
+
+def _reap_worker(worker: _PoolWorker) -> None:
+    """Join (terminating if stuck) and drop the pipe."""
+    worker.process.join(timeout=2.0)
+    if worker.process.is_alive():  # pragma: no cover - stuck worker
+        worker.process.terminate()
+        worker.process.join(timeout=2.0)
+    try:
+        worker.conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+
+
+def _shutdown_worker(worker: _PoolWorker) -> None:
+    """The one worker-shutdown protocol: sentinel, join, close pipe."""
+    _signal_worker_shutdown(worker)
+    _reap_worker(worker)
+
+
+def _shutdown_workers(workers: List[_PoolWorker]) -> None:
+    """Two-phase sweep: broadcast sentinels first so workers wind down
+    concurrently, then join/terminate each."""
+    for worker in workers:
+        _signal_worker_shutdown(worker)
+    for worker in workers:
+        _reap_worker(worker)
+
+
+@dataclass
+class _PoolState:
+    """Everything :class:`WorkerPoolBackend` must tear down at close.
+
+    Kept in a separate object so a ``weakref.finalize`` / atexit hook can
+    clean up without keeping the backend itself alive.
+    """
+
+    workers: List[_PoolWorker] = field(default_factory=list)
+    shm_prev: Optional[shared_memory.SharedMemory] = None
+    shm_cur: Optional[shared_memory.SharedMemory] = None
+    capacity: int = 0
+
+    def close(self) -> None:
+        _shutdown_workers(self.workers)
+        self.workers = []
+        for attr in ("shm_prev", "shm_cur"):
+            seg = getattr(self, attr)
+            if seg is not None:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+                setattr(self, attr, None)
+        self.capacity = 0
+
+
+class WorkerPoolBackend(ExecutionBackend):
+    """Persistent shared-memory worker pool (the ``process`` backend).
+
+    Lifecycle
+    ---------
+    Workers start lazily on the first :meth:`run` that clears
+    ``min_process_devices`` and live until :meth:`close` (the backend is
+    a context manager, engines and services forward their own ``close``
+    here, and an atexit hook sweeps up anything left).  A worker that
+    dies mid-run is respawned automatically (``worker_respawn``) and its
+    task re-sent — the fresh worker simply recomputes without a carry.
+    ``max_worker_tasks`` bounds worker lifetime: after that many tasks a
+    worker is retired and replaced, bounding any slow leak in long
+    always-on services.
+
+    Per-run protocol
+    ----------------
+    The parent copies the two snapshot arrays into shared memory (no
+    pickling; the segments are reused and grown geometrically), then
+    sends each worker only ``(flagged set, clean set, its device ids)``.
+    A run engages ``ceil(|devices| / chunk_size)`` workers (capped at
+    the pool size) and routes by ``device % engaged``: under a steady
+    engagement level a device keeps landing on the same worker, which
+    is what makes the worker-private cache carry effective.  When the
+    engagement level shifts between ticks the mapping reshuffles and
+    carry hits drop for that tick (verdicts stay exact — the per-worker
+    sequence gate already withholds invalid carries); the trade is
+    deliberate, since every engaged worker pays a per-tick transition
+    rebuild.
+
+    Cache-invalidation invariant
+    ----------------------------
+    The caller's clean set compares tick ``k`` against tick ``k-1``, so
+    a worker may only carry its cache if that cache is exactly one run
+    old.  Two gates enforce it: the *pool* gate (the previous
+    :meth:`run` on this backend took the pool path for a same-shaped
+    transition — a serial fallback or stream change voids every carry)
+    and the *per-worker* gate (the worker served the immediately
+    previous run; one idled by partial engagement, respawn or
+    ``max_worker_tasks`` retirement recomputes instead).  A run that
+    fails mid-flight restarts the pool wholesale, so no later run can
+    consume a stranded reply or a half-updated cache.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._state = _PoolState()
+        self._started_config: Optional[Tuple] = None
+        self._last_pool_meta: Optional[Tuple] = None
+        self._run_seq = 0
+        # Prefer fork only on Linux, where it is both safe and an order
+        # of magnitude faster to start; macOS abandoned fork as the
+        # default for good reasons (Objective-C / Accelerate threads in
+        # the parent), so everywhere else the platform default rules.
+        if sys.platform == "linux":
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - platform-dependent
+            self._ctx = multiprocessing.get_context()
+        # Fires when the backend is garbage-collected *or* at interpreter
+        # exit, whichever comes first — workers and shared-memory
+        # segments never outlive their backend even when a driver forgot
+        # close() (e.g. an engine created inside an experiment run).
+        self._state_finalizer = weakref.finalize(
+            self, _PoolState.close, self._state
+        )
+
+    # -- introspection -------------------------------------------------
+    @property
+    def workers_alive(self) -> int:
+        """Currently running worker processes (0 before the first run)."""
+        return sum(1 for w in self._state.workers if w.process.is_alive())
+
+    # -- lifecycle -----------------------------------------------------
+    def _pool_size(self, config: EngineConfig) -> int:
+        # The pool always holds the *configured* worker count — sizing it
+        # to the batch would restart workers (and lose their caches)
+        # every time the per-tick recompute count fluctuates.
+        return config.workers or os.cpu_count() or 1
+
+    def plans_fanout(
+        self, devices: Sequence[int], config: EngineConfig
+    ) -> bool:
+        return (
+            self._pool_size(config) > 1
+            and len(devices) >= config.min_process_devices
+        )
+
+    def _config_key(self, workers: int, config: EngineConfig) -> Tuple:
+        return (workers, tuple(sorted(config.characterizer_kwargs().items())))
+
+    def _spawn_worker(self, config: EngineConfig) -> _PoolWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker,
+            args=(
+                child_conn,
+                config.characterizer_kwargs(),
+                self._ctx.get_start_method() != "fork",
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process=process, conn=parent_conn)
+
+    def _retire_worker(self, worker: _PoolWorker) -> None:
+        _shutdown_worker(worker)
+
+    def _ensure_workers(self, workers: int, config: EngineConfig) -> None:
+        key = self._config_key(workers, config)
+        if self._started_config != key:
+            # Config changed (or first run): restart the pool wholesale.
+            _shutdown_workers(self._state.workers)
+            self._state.workers = []
+            self._started_config = key
+            self._last_pool_meta = None
+        while len(self._state.workers) < workers:
+            self._state.workers.append(self._spawn_worker(config))
+        for i, worker in enumerate(self._state.workers):
+            dead = not worker.process.is_alive()
+            if dead and not config.worker_respawn:
+                raise RuntimeError(
+                    f"pool worker {i} died and worker_respawn is off"
+                )
+            expired = (
+                config.max_worker_tasks is not None
+                and worker.tasks_done >= config.max_worker_tasks
+            )
+            if dead or expired:
+                self._retire_worker(worker)
+                self._state.workers[i] = self._spawn_worker(config)
+
+    def _publish(self, transition: Transition) -> Tuple[str, str]:
+        """Copy both snapshots into shared memory; return segment names."""
+        needed = transition.n * transition.dim * 8
+        state = self._state
+        if state.shm_prev is None or state.capacity < needed:
+            for attr in ("shm_prev", "shm_cur"):
+                seg = getattr(state, attr)
+                if seg is not None:
+                    seg.close()
+                    seg.unlink()
+            # Geometric growth: a regrow renames both segments and makes
+            # every worker re-attach, so a monotonically growing
+            # population must not pay that on every run.
+            capacity = max(needed, 2 * state.capacity, 1)
+            state.shm_prev = shared_memory.SharedMemory(
+                create=True, size=capacity
+            )
+            state.shm_cur = shared_memory.SharedMemory(
+                create=True, size=capacity
+            )
+            state.capacity = capacity
+        count = transition.n * transition.dim
+        for seg, snapshot in (
+            (state.shm_prev, transition.previous),
+            (state.shm_cur, transition.current),
+        ):
+            view = np.frombuffer(seg.buf, dtype=np.float64, count=count)
+            np.copyto(view, snapshot.positions.ravel())
+        return state.shm_prev.name, state.shm_cur.name
+
+    def close(self) -> None:
+        """Shut workers down and release the shared-memory segments."""
+        self._state.close()
+        self._started_config = None
+        self._last_pool_meta = None
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        transition: Transition,
+        devices: Sequence[int],
+        config: EngineConfig,
+        cache: Optional[MotionCache] = None,
+        *,
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> BackendRun:
+        devices = [int(j) for j in devices]
+        workers = self._pool_size(config)
+        if workers <= 1 or len(devices) < config.min_process_devices:
+            # Serial fallback consults the caller's shared cache (and its
+            # carry); worker caches go stale, so void the next pool carry.
+            self._last_pool_meta = None
+            return SerialBackend().run(transition, devices, config, cache)
+        # Publish before (possibly) forking workers: creating the first
+        # shared-memory segment starts the resource-tracker process, and
+        # fork-context workers must inherit that tracker — a worker that
+        # boots its own tracker would try to "clean up" (unlink) the
+        # parent's live segments when it exits.
+        prev_name, cur_name = self._publish(transition)
+        self._ensure_workers(workers, config)
+        meta = (transition.n, transition.dim, transition.r, transition.tau)
+        carry_ok = self._last_pool_meta == meta
+        self._last_pool_meta = meta
+        clean = (
+            tuple(sorted(int(j) for j in carry_clean))
+            if (carry_clean is not None and carry_ok)
+            else None
+        )
+        # Engage only as many workers as the batch warrants: every
+        # engaged worker pays a per-tick transition rebuild, so a
+        # 12-device tick should wake 2 workers, not 8.  Large batches
+        # engage the whole pool with stable device%N routing, which
+        # keeps each device's family in the same worker's cache.
+        target = config.chunk_size or 8
+        engaged = max(1, min(workers, math.ceil(len(devices) / target)))
+        assignments: List[List[int]] = [[] for _ in range(engaged)]
+        for device in devices:
+            assignments[device % engaged].append(device)
+        self._run_seq += 1
+        seq = self._run_seq
+        task_base = {
+            "prev": prev_name,
+            "cur": cur_name,
+            "shape": (transition.n, transition.dim),
+            "r": transition.r,
+            "tau": transition.tau,
+            "flagged": transition.flagged_sorted,
+            "precompute": config.precompute_neighborhoods,
+        }
+        tasks = []
+        for index in range(len(assignments)):
+            if not assignments[index]:
+                continue
+            # Per-worker carry gate: the clean set compares this run to
+            # the immediately previous one, so only a worker that served
+            # that exact run holds a cache the set is valid for — a
+            # worker idled by partial engagement (or freshly spawned)
+            # must recompute instead of carrying a multi-run-old cache.
+            fresh = self._state.workers[index].last_seq == seq - 1
+            tasks.append(
+                (
+                    index,
+                    {
+                        **task_base,
+                        "clean": clean if fresh else None,
+                        "devices": assignments[index],
+                    },
+                )
+            )
+        try:
+            # Scatter first, then gather: workers compute concurrently.
+            for index, task in tasks:
+                self._send_task(index, task, config)
+            out: Dict[int, Characterization] = {}
+            expansions = 0
+            families_reused = 0
+            for index, task in tasks:
+                verdicts, worker_expansions, worker_reused = self._collect(
+                    index, task, config, seq
+                )
+                expansions += worker_expansions
+                families_reused += worker_reused
+                for verdict in verdicts:
+                    out[verdict.device] = verdict
+        except BaseException:
+            # A failed run strands unread replies in sibling pipes and
+            # half-updated caches in workers; restart the pool wholesale
+            # so the next run cannot consume another run's stale state.
+            # BaseException on purpose: a KeyboardInterrupt mid-gather
+            # strands replies exactly the same way.
+            self._reset_pool()
+            raise
+        return BackendRun(
+            verdicts=out,
+            expansions=expansions,
+            families_reused=families_reused,
+        )
+
+    def _respawn(
+        self, index: int, config: EngineConfig, reason: str
+    ) -> _PoolWorker:
+        if not config.worker_respawn:
+            raise RuntimeError(
+                f"pool worker {index} {reason} and worker_respawn is off"
+            )
+        self._retire_worker(self._state.workers[index])
+        worker = self._state.workers[index] = self._spawn_worker(config)
+        return worker
+
+    def _send_task(
+        self, index: int, task: Dict[str, object], config: EngineConfig
+    ) -> None:
+        """Send one task, respawning a dead worker once.
+
+        A respawned worker has no cache, so its task is sent without a
+        clean set — it recomputes everything it was assigned (correct,
+        just slower for one tick).
+        """
+        worker = self._state.workers[index]
+        if not worker.process.is_alive():
+            worker = self._respawn(index, config, "died")
+            task = {**task, "clean": None}
+        try:
+            worker.conn.send(task)
+        except (OSError, ValueError, BrokenPipeError):
+            worker = self._respawn(index, config, "lost its pipe")
+            worker.conn.send({**task, "clean": None})
+
+    def _collect(
+        self,
+        index: int,
+        task: Dict[str, object],
+        config: EngineConfig,
+        seq: int,
+    ) -> Tuple[List[Characterization], int, int]:
+        """Await one worker's reply; respawn and retry once on death."""
+        worker = self._state.workers[index]
+        try:
+            reply = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            # The worker died mid-task: respawn, re-run its slice fresh.
+            worker = self._respawn(index, config, "died mid-task")
+            try:
+                worker.conn.send({**task, "clean": None})
+                reply = worker.conn.recv()
+            except (EOFError, OSError) as retry_exc:  # pragma: no cover
+                raise RuntimeError(
+                    f"pool worker {index} died twice while processing a task"
+                ) from retry_exc
+            del exc
+        worker.tasks_done += 1
+        if reply[0] == "err":
+            raise RuntimeError(f"pool worker {index} failed:\n{reply[1]}")
+        worker.last_seq = seq
+        return reply[1], reply[2], reply[3]
+
+    def _reset_pool(self) -> None:
+        """Retire every worker; the next run rebuilds from scratch."""
+        _shutdown_workers(self._state.workers)
+        self._state.workers = []
+        self._started_config = None
+        self._last_pool_meta = None
 
 
 def make_backend(name: str) -> ExecutionBackend:
@@ -136,5 +781,7 @@ def make_backend(name: str) -> ExecutionBackend:
     if name == "serial":
         return SerialBackend()
     if name == "process":
-        return ProcessBackend()
+        return WorkerPoolBackend()
+    if name == "process-spawn":
+        return SpawnProcessBackend()
     raise ValueError(f"unknown backend {name!r}")  # pragma: no cover - guarded

@@ -25,8 +25,10 @@ from repro.core.errors import ConfigurationError
 
 __all__ = ["EngineConfig", "BACKENDS"]
 
-#: Names of the available execution backends.
-BACKENDS = ("serial", "process")
+#: Names of the available execution backends.  ``process`` is the
+#: persistent shared-memory worker pool; ``process-spawn`` is the old
+#: spawn-a-pool-per-call strategy, kept as the benchmark baseline.
+BACKENDS = ("serial", "process", "process-spawn")
 
 
 @dataclass(frozen=True)
@@ -37,17 +39,38 @@ class EngineConfig:
     ----------
     backend:
         ``"serial"`` (default) characterizes in-process; ``"process"``
-        chunks the flagged set over a ``multiprocessing.Pool``.
+        routes devices to a *persistent* shared-memory worker pool
+        (:class:`~repro.engine.backends.WorkerPoolBackend`) that lives
+        until the engine is closed; ``"process-spawn"`` spawns a fresh
+        ``multiprocessing.Pool`` per call (the pre-pool baseline the
+        benchmarks compare against).
     workers:
-        Worker-process count for the ``process`` backend; ``None`` lets
+        Worker-process count for the process backends; ``None`` lets
         the pool size itself to the machine (``os.cpu_count()``).
     chunk_size:
-        Devices per work unit for the ``process`` backend; ``None`` picks
+        Devices per work unit.  For ``process-spawn``, ``None`` picks
         ``ceil(|devices| / (4 * workers))`` so the pool load-balances
-        without drowning in pickling overhead.
+        without drowning in pickling overhead.  For the persistent
+        ``process`` pool this is the *target devices per engaged worker*
+        (default 8): small ticks wake only as many workers as they can
+        feed (each engaged worker pays a per-tick transition rebuild),
+        while large batches engage the whole pool with stable
+        ``device % workers`` routing so each device keeps hitting the
+        same worker's motion cache.
     min_process_devices:
-        Below this many devices the ``process`` backend silently degrades
-        to serial execution — worker startup would dominate the work.
+        Below this many devices the process backends silently degrade
+        to serial execution — dispatch overhead would dominate the work.
+        The serial fallback still consults the engine's shared motion
+        cache, so cross-tick family reuse keeps working on small ticks.
+    max_worker_tasks:
+        Retire and respawn a persistent-pool worker after this many
+        tasks (``None`` = unlimited) — the lifetime bound for always-on
+        services.  A fresh worker starts without a motion cache and
+        recomputes its first tick.
+    worker_respawn:
+        When true (default) a persistent-pool worker that dies mid-run
+        is respawned and its task re-sent (without a cache carry); when
+        false a dead worker raises instead.
     precompute_neighborhoods:
         When true (default) the engine batch-computes the ``2r``
         neighbourhoods *and* the ``4r`` knowledge balls of every device in
@@ -68,6 +91,8 @@ class EngineConfig:
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
     min_process_devices: int = 4
+    max_worker_tasks: Optional[int] = None
+    worker_respawn: bool = True
     precompute_neighborhoods: bool = True
     kernel: str = "bitset"
     full_nsc: bool = True
@@ -98,6 +123,11 @@ class EngineConfig:
             raise ConfigurationError(
                 "min_process_devices must be >= 1, got "
                 f"{self.min_process_devices!r}"
+            )
+        if self.max_worker_tasks is not None and self.max_worker_tasks < 1:
+            raise ConfigurationError(
+                "max_worker_tasks must be >= 1 when given, got "
+                f"{self.max_worker_tasks!r}"
             )
 
     def characterizer_kwargs(self) -> Dict[str, object]:

@@ -43,7 +43,22 @@ from repro.core.types import Characterization
 from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.config import EngineConfig
 
-__all__ = ["CharacterizationEngine", "EngineStats"]
+__all__ = ["CharacterizationEngine", "EngineRun", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """What one :meth:`CharacterizationEngine.characterize_run` produced.
+
+    ``families_recomputed`` / ``families_reused`` aggregate the motion
+    cache work of this call across *every* cache involved — the engine's
+    shared cache and any worker-process caches — so callers account work
+    identically under every backend.
+    """
+
+    verdicts: Dict[int, Characterization]
+    families_recomputed: int = 0
+    families_reused: int = 0
 
 
 @dataclass
@@ -145,21 +160,24 @@ class CharacterizationEngine:
         self.stats.batch_neighborhood_passes += 1
 
     # ------------------------------------------------------------------
-    def characterize(
+    def characterize_run(
         self,
         transition: Transition,
         devices: Optional[Sequence[int]] = None,
         *,
         cache: Optional[MotionCache] = None,
-    ) -> Dict[int, Characterization]:
-        """Classify ``devices`` (default: all of ``A_k``) of ``transition``.
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> EngineRun:
+        """Classify ``devices`` and report the run's cache work.
 
-        Returns the same ``device -> Characterization`` mapping as the
-        per-device :meth:`Characterizer.characterize_all` seed path.
         ``cache`` optionally installs a pre-seeded motion cache (the
         online service passes a cross-tick carry built with
         :meth:`MotionCache.carry_from`); it must be bound to
-        ``transition``.
+        ``transition``.  ``carry_clean`` names the devices whose motion
+        families provably did not change since the previous call on this
+        engine — backends with private worker caches reuse those
+        families; only pass it when that invariant holds (the online
+        service derives it from the dirty-region tracker).
         """
         devs = (
             list(transition.flagged_sorted)
@@ -172,24 +190,76 @@ class CharacterizationEngine:
                     "adopted MotionCache is bound to a different transition"
                 )
             self.adopt_cache(cache)
-        if devs and self._config.precompute_neighborhoods:
+        if (
+            devs
+            and self._config.precompute_neighborhoods
+            and not self._backend.plans_fanout(devs, self._config)
+        ):
+            # Fanned-out work leaves the process; workers warm their own
+            # subsets, so a parent-side pass would be pure overhead.
             self._warm_neighborhoods(transition, devs)
-        cache = self._cache_for(transition)
-        results = self._backend.run(transition, devs, self._config, cache)
-        if self._backend.last_expansions is not None:
-            # Worker-process caches are invisible to `cache`; fold their
+        shared = self._cache_for(transition)
+        expansions_before = shared.expansions
+        reused_before = shared.carried_used
+        run = self._backend.run(
+            transition, devs, self._config, shared, carry_clean=carry_clean
+        )
+        if run.expansions is not None:
+            # Worker-process caches are invisible to `shared`; fold their
             # expansion counts in so stats stay truthful per backend.
-            self._folded_expansions += self._backend.last_expansions
+            self._folded_expansions += run.expansions
         self.stats.transitions += 1
-        self.stats.devices_characterized += len(results)
-        self.stats.cache_expansions = self._folded_expansions + cache.expansions
-        return results
+        self.stats.devices_characterized += len(run.verdicts)
+        self.stats.cache_expansions = self._folded_expansions + shared.expansions
+        return EngineRun(
+            verdicts=run.verdicts,
+            families_recomputed=(shared.expansions - expansions_before)
+            + (run.expansions or 0),
+            families_reused=(shared.carried_used - reused_before)
+            + run.families_reused,
+        )
+
+    def characterize(
+        self,
+        transition: Transition,
+        devices: Optional[Sequence[int]] = None,
+        *,
+        cache: Optional[MotionCache] = None,
+        carry_clean: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Characterization]:
+        """Classify ``devices`` (default: all of ``A_k``) of ``transition``.
+
+        Returns the same ``device -> Characterization`` mapping as the
+        per-device :meth:`Characterizer.characterize_all` seed path; see
+        :meth:`characterize_run` for the variant that also reports the
+        run's motion-family work.
+        """
+        return self.characterize_run(
+            transition, devices, cache=cache, carry_clean=carry_clean
+        ).verdicts
 
     def classify(
         self, transition: Transition, devices: Optional[Sequence[int]] = None
     ) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
         """Characterize and split into the sets ``(I_k, M_k, U_k)``."""
         return classify_sets(self.characterize(transition, devices))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (persistent worker pools, shm).
+
+        Idempotent; a closed engine's pool restarts lazily if the engine
+        is used again.  Engines are context managers, and every driver
+        that owns one (service, monitor, stream, CLI) forwards its own
+        close here.
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "CharacterizationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -108,7 +108,10 @@ class NetworkMonitor:
         Defaults to a serial engine owned by the monitor; the tick loop
         characterizes through it, so one batch neighbourhood pass and one
         motion cache serve each interval, and a ``process`` engine fans
-        large flagged sets out to workers.
+        large flagged sets out to a persistent worker pool.  The monitor
+        closes an engine it built itself (:meth:`close`, or use the
+        monitor as a context manager); a caller-provided engine stays
+        the caller's to close.
     backend, workers:
         Convenience knobs building the default engine when ``engine`` is
         not given.
@@ -160,6 +163,7 @@ class NetworkMonitor:
         self._rng = np.random.default_rng(seed)
         self._tick = 0
         self._previous_qos: Optional[np.ndarray] = None
+        self._owns_engine = engine is None
         self._engine = engine or CharacterizationEngine(
             EngineConfig(backend=backend, workers=workers)
         )
@@ -201,6 +205,21 @@ class NetworkMonitor:
     def service(self) -> Optional[OnlineCharacterizationService]:
         """The online service (incremental mode only; None before tick 1)."""
         return self._service
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if the monitor owns it.
+
+        The incremental service shares the monitor's engine, so closing
+        the monitor covers it too.  Idempotent.
+        """
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "NetworkMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _measure_all(self) -> np.ndarray:
         """Measure the QoS of every service at every gateway."""
@@ -284,7 +303,6 @@ class NetworkMonitor:
         assert self._service is not None
         flagged_set = set(flagged)
         out = self._service.feed_snapshot(
-            previous,
             qos,
             [
                 device_id in flagged_set

@@ -120,13 +120,20 @@ class ServiceConfig:
         families of their unaffected neighbours.  Sound for the same
         reason verdict reuse is: a family depends only on trajectories
         within ``2r`` of its owner, a subset of the ``4r`` influence
-        band the tracker invalidates.  Only effective in incremental
-        mode with the ``serial`` backend — process-backend workers keep
-        private caches the service cannot seed, so the carry is
-        disabled there instead of silently ineffective.
-    backend, workers:
+        band the tracker invalidates.  Effective in incremental mode
+        under the ``serial`` backend (shared-cache carry) and the
+        persistent ``process`` pool (workers receive the clean set each
+        tick and carry their private caches).  The decision is per
+        *run*, not per backend name — any tick that degrades to the
+        serial path (fewer devices than ``min_process_devices``) still
+        reuses through the shared cache, including under
+        ``process-spawn``, whose per-call workers are otherwise
+        unreachable by the carry (it is the benchmark baseline for
+        exactly that reason).
+    backend, workers, max_worker_tasks:
         Engine execution knobs (ignored when a shared engine is passed
-        to the service directly).
+        to the service directly); ``max_worker_tasks`` bounds a
+        persistent-pool worker's lifetime before it is respawned.
     """
 
     r: float = 0.03
@@ -140,6 +147,7 @@ class ServiceConfig:
     reuse_motions: bool = True
     backend: str = "serial"
     workers: Optional[int] = None
+    max_worker_tasks: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -214,7 +222,17 @@ class OnlineTick:
 
 
 class MetricsSink:
-    """Aggregating sink: counts ticks, verdict types and recompute load."""
+    """Aggregating sink: counts ticks, verdict types and recompute load.
+
+    ``verdict_counts`` counts verdict *transitions*: a device is counted
+    when it first appears with a verdict type, or when its type changes
+    (including re-flagging after a quiet spell).  A device that stays
+    flagged massive for 100 quiet ticks is one massive event, not 100 —
+    ``tick.verdicts`` holds every flagged device each tick, cached ones
+    included, so naive per-tick counting inflates by verdict lifetime.
+    The per-tick view is still available as ``verdict_tick_counts``
+    (device-ticks spent in each verdict type).
+    """
 
     def __init__(self) -> None:
         self.ticks = 0
@@ -226,6 +244,10 @@ class MetricsSink:
         self.verdict_counts: Dict[str, int] = {
             kind.value: 0 for kind in AnomalyType
         }
+        self.verdict_tick_counts: Dict[str, int] = {
+            kind.value: 0 for kind in AnomalyType
+        }
+        self._current_kinds: Dict[int, str] = {}
 
     def __call__(self, tick: OnlineTick) -> None:
         self.ticks += 1
@@ -234,8 +256,17 @@ class MetricsSink:
         self.reused += len(tick.reused)
         self.families_recomputed += tick.families_recomputed
         self.families_reused += tick.families_reused
-        for verdict in tick.verdicts.values():
-            self.verdict_counts[verdict.anomaly_type.value] += 1
+        kinds = {
+            device: verdict.anomaly_type.value
+            for device, verdict in tick.verdicts.items()
+        }
+        for device, kind in kinds.items():
+            self.verdict_tick_counts[kind] += 1
+            if self._current_kinds.get(device) != kind:
+                self.verdict_counts[kind] += 1
+        # Devices absent from this tick's verdicts are no longer flagged;
+        # forgetting them means a later re-flag counts as a new event.
+        self._current_kinds = kinds
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view for logging and result serialization."""
@@ -247,6 +278,7 @@ class MetricsSink:
             "families_recomputed": self.families_recomputed,
             "families_reused": self.families_reused,
             "verdict_counts": dict(self.verdict_counts),
+            "verdict_tick_counts": dict(self.verdict_tick_counts),
         }
 
 
@@ -303,8 +335,13 @@ class OnlineCharacterizationService:
             influence_radius=4.0 * cfg.r,
             family_radius=2.0 * cfg.r,
         )
+        self._owns_engine = engine is None
         self._engine = engine or CharacterizationEngine(
-            EngineConfig(backend=cfg.backend, workers=cfg.workers)
+            EngineConfig(
+                backend=cfg.backend,
+                workers=cfg.workers,
+                max_worker_tasks=cfg.max_worker_tasks,
+            )
         )
         self._queue: Deque[QosUpdate] = deque()
         # Updates applied since the last end_tick — includes inline
@@ -359,6 +396,25 @@ class OnlineCharacterizationService:
     def add_sink(self, sink: Callable[[OnlineTick], None]) -> None:
         """Attach a sink called with every finished :class:`OnlineTick`."""
         self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine's worker pool, if the service owns it.
+
+        A shared engine (passed at construction) belongs to its owner —
+        e.g. a :class:`~repro.network.monitor.NetworkMonitor` — which is
+        responsible for closing it.  Idempotent.
+        """
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "OnlineCharacterizationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Ingest
@@ -417,24 +473,36 @@ class OnlineCharacterizationService:
         return len(batch)
 
     def feed_snapshot(
-        self, previous: np.ndarray, current: np.ndarray, flags: Iterable[bool]
+        self, current: np.ndarray, flags: Iterable[bool]
     ) -> OnlineTick:
-        """Adapt one snapshot pair + flag vector into events and tick.
+        """Adapt one snapshot + flag vector into events and a tick.
 
         The bridge the snapshot-shaped drivers (network monitor, sampled
-        stream, trace replay) share: devices whose position changed
-        between the snapshots or whose flag bit differs from the
-        service's current state emit a :class:`QosUpdate`, then the tick
-        is closed.  ``flags`` is the full current flag vector (index =
-        device id).
+        stream, trace replay) share: devices whose position or flag bit
+        differs from the service's *own* current state emit a
+        :class:`QosUpdate`, then the tick is closed.  The diff runs
+        against the store — not a caller-remembered previous snapshot,
+        which can disagree after mid-tick ingests — so the service
+        always converges to ``current``.  ``flags`` is the full current
+        flag vector (index = device id).
         """
         from repro.online.replay import diff_updates
 
-        service_flags = [False] * self._store.n
+        # Apply any events queued mid-tick first, so the diff below sees
+        # the true store state (and emits corrections back to `current`
+        # where a mid-tick ingest diverged from the fed snapshot).
+        while self._queue:
+            self._apply_batch(self._config.max_batch or len(self._queue))
+        service_flags = np.zeros(self._store.n, dtype=bool)
         for device in self._store.flagged_devices():
             service_flags[device] = True
         self.ingest_many(
-            diff_updates(previous, current, service_flags, list(flags))
+            diff_updates(
+                self._store.current_positions(),
+                current,
+                service_flags,
+                list(flags),
+            )
         )
         return self.end_tick()
 
@@ -496,21 +564,14 @@ class OnlineCharacterizationService:
             # (outside the tighter family_rings band) is strictly larger
             # than the verdict-clean set — devices whose verdicts must
             # be recomputed still reuse their own and their neighbours'
-            # families.  The carry lives in the engine's shared cache,
-            # which only the serial backend consults — process-backend
-            # workers keep private caches the service cannot seed, so
-            # reuse is (honestly) off there rather than silently broken.
-            reuse_effective = (
-                cfg.incremental
-                and cfg.reuse_motions
-                and self._engine.backend.name == "serial"
-            )
+            # families.  The decision is per *run*: the serial path (and
+            # any pool tick that degrades to it) carries the engine's
+            # shared cache, while the persistent pool receives the clean
+            # set so its workers carry their private caches.
+            reuse_effective = cfg.incremental and cfg.reuse_motions
             carry: Optional[MotionCache] = None
-            if (
-                reuse_effective
-                and self._last_cache is not None
-                and self._last_transition is not None
-            ):
+            carry_clean: Optional[List[int]] = None
+            if reuse_effective and self._last_transition is not None:
                 family_dirty = (
                     self._store.index.devices_near_cells(
                         dirty_cells, self._tracker.family_rings
@@ -518,27 +579,27 @@ class OnlineCharacterizationService:
                     if dirty_cells
                     else set()
                 )
-                carry = MotionCache.carry_from(
-                    self._last_cache,
-                    transition,
-                    (j for j in flagged if j not in family_dirty),
-                )
+                carry_clean = [j for j in flagged if j not in family_dirty]
+                if self._last_cache is not None:
+                    carry = MotionCache.carry_from(
+                        self._last_cache, transition, carry_clean
+                    )
             if recompute:
-                # Counting via the engine's running expansion total stays
-                # truthful for every backend: it folds worker-process
-                # cache expansions in, where the shared cache alone would
-                # report zero work under the process backend.
-                expansions_before = self._engine.stats.cache_expansions
-                fresh = self._engine.characterize(
-                    transition, devices=recompute, cache=carry
+                # The engine aggregates motion-family work across every
+                # cache the run touched — shared and worker-process — so
+                # the counters stay truthful under every backend.
+                run = self._engine.characterize_run(
+                    transition,
+                    devices=recompute,
+                    cache=carry,
+                    carry_clean=carry_clean,
                 )
-                families_recomputed = (
-                    self._engine.stats.cache_expansions - expansions_before
+                fresh = run.verdicts
+                families_recomputed = run.families_recomputed
+                families_reused = run.families_reused
+                self._last_cache = (
+                    self._engine.motion_cache if reuse_effective else None
                 )
-                cache = self._engine.motion_cache
-                if cache is not None:
-                    families_reused = cache.carried_used
-                self._last_cache = cache if reuse_effective else None
             else:
                 fresh = {}
                 self._last_cache = carry

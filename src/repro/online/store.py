@@ -151,6 +151,18 @@ class DeviceStateStore:
         """Copies of ``(S_{k-1}, S_k)`` safe to freeze into a Transition."""
         return self._prev.copy(), self._cur.copy()
 
+    def current_positions(self) -> np.ndarray:
+        """Read-only view of the current ``(n, d)`` positions.
+
+        The service diffs incoming snapshots against this instead of the
+        caller's remembered ``previous`` array, so mid-tick ingests can
+        never desynchronize the store from the fed stream.  A view (not
+        a copy) because the diff is read-only and runs every tick.
+        """
+        view = self._cur.view()
+        view.flags.writeable = False
+        return view
+
     def position(self, device: int) -> np.ndarray:
         """Current position of ``device`` (a copy)."""
         self._check_device(device)

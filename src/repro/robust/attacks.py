@@ -84,9 +84,15 @@ def apply_forgeries(
         )
     n = transition.n
     count = forged_prev.shape[0]
+    # No silent clipping here: the attacks sample inside the unit cube by
+    # construction (see _sample_box_in_cube), and Snapshot validation
+    # rejects out-of-cube forgeries eagerly.  Clipping after placement
+    # used to collapse shadows onto a cube face whenever the victim sat
+    # within the jitter radius of one, weakening exactly the attacks the
+    # robustness experiments measure.
     observed = Transition(
-        Snapshot(np.vstack([prev, np.clip(forged_prev, 0, 1)])),
-        Snapshot(np.vstack([cur, np.clip(forged_cur, 0, 1)])),
+        Snapshot(np.vstack([prev, forged_prev])),
+        Snapshot(np.vstack([cur, forged_cur])),
         set(transition.flagged) | set(range(n, n + count)),
         transition.r,
         transition.tau,
@@ -96,6 +102,27 @@ def apply_forgeries(
         forged_devices=frozenset(range(n, n + count)),
         victim=victim,
     )
+
+
+def _sample_box_in_cube(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    half_side: float,
+    count: int,
+) -> np.ndarray:
+    """Sample ``count`` points uniformly in ``box(center, half_side) ∩ cube``.
+
+    The forged positions must be valid QoS reports (the monitoring
+    application rejects out-of-range data), so the attacker samples
+    within the *intersection* of its jitter box and the unit cube — for
+    a victim near a cube face that intersection is one-sided, never a
+    clipped pile-up on the boundary.  A box lying entirely outside the
+    cube degenerates to its nearest face point (the closest the attacker
+    can legally get).
+    """
+    lo = np.clip(center - half_side, 0.0, 1.0)
+    hi = np.clip(center + half_side, 0.0, 1.0)
+    return rng.uniform(lo, hi, (count, center.shape[0]))
 
 
 class MimicryAttack:
@@ -126,13 +153,11 @@ class MimicryAttack:
                 f"victim {victim} is not flagged; nothing to suppress"
             )
         scale = self._jitter * transition.r
-        prev_center = transition.previous.positions[victim]
-        cur_center = transition.current.positions[victim]
-        forged_prev = prev_center + self._rng.uniform(
-            -scale, scale, (self._count, transition.dim)
+        forged_prev = _sample_box_in_cube(
+            self._rng, transition.previous.positions[victim], scale, self._count
         )
-        forged_cur = cur_center + self._rng.uniform(
-            -scale, scale, (self._count, transition.dim)
+        forged_cur = _sample_box_in_cube(
+            self._rng, transition.current.positions[victim], scale, self._count
         )
         return apply_forgeries(transition, forged_prev, forged_cur, victim=victim)
 
@@ -175,12 +200,16 @@ class AmbiguityAttack:
         direction[0] = 1.0
         shift = self._offset * r * direction
         jitter = 0.2 * r
-        prev_center = transition.previous.positions[victim] + shift
-        cur_center = transition.current.positions[victim] + shift
-        forged_prev = prev_center + self._rng.uniform(
-            -jitter, jitter, (self._count, transition.dim)
+        forged_prev = _sample_box_in_cube(
+            self._rng,
+            transition.previous.positions[victim] + shift,
+            jitter,
+            self._count,
         )
-        forged_cur = cur_center + self._rng.uniform(
-            -jitter, jitter, (self._count, transition.dim)
+        forged_cur = _sample_box_in_cube(
+            self._rng,
+            transition.current.positions[victim] + shift,
+            jitter,
+            self._count,
         )
         return apply_forgeries(transition, forged_prev, forged_cur, victim=victim)

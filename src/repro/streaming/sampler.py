@@ -208,6 +208,7 @@ class SampledCharacterizationStream:
         self._n = n
         self._r = r
         self._tau = tau
+        self._owns_engine = engine is None
         self._engine = engine or CharacterizationEngine()
         self._samplers = [AdaptiveSampler(sampler_config) for _ in range(n)]
         # Per-device countdown to the next sample, in ticks.
@@ -224,6 +225,17 @@ class SampledCharacterizationStream:
     def engine(self) -> CharacterizationEngine:
         """The characterization engine shared across ticks."""
         return self._engine
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if the stream owns it."""
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "SampledCharacterizationStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def samplers(self) -> List[AdaptiveSampler]:
@@ -306,6 +318,6 @@ class SampledCharacterizationStream:
         assert self._service is not None
         flagged_set = set(flagged_sorted)
         out = self._service.feed_snapshot(
-            previous, pts, [device in flagged_set for device in range(self._n)]
+            pts, [device in flagged_set for device in range(self._n)]
         )
         return {device: out.verdicts[device] for device in due}

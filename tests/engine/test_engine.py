@@ -15,8 +15,9 @@ from repro.engine import (
     BACKENDS,
     CharacterizationEngine,
     EngineConfig,
-    ProcessBackend,
     SerialBackend,
+    SpawnProcessBackend,
+    WorkerPoolBackend,
     make_backend,
 )
 from repro.simulation import SimulationConfig, Simulator
@@ -70,8 +71,9 @@ class TestEngineConfig:
 
     def test_make_backend_names(self):
         assert isinstance(make_backend("serial"), SerialBackend)
-        assert isinstance(make_backend("process"), ProcessBackend)
-        assert set(BACKENDS) == {"serial", "process"}
+        assert isinstance(make_backend("process"), WorkerPoolBackend)
+        assert isinstance(make_backend("process-spawn"), SpawnProcessBackend)
+        assert set(BACKENDS) == {"serial", "process", "process-spawn"}
 
     def test_engine_rejects_config_plus_overrides(self):
         with pytest.raises(TypeError):

@@ -1,0 +1,184 @@
+"""Online service over the persistent worker pool.
+
+Acceptance contract of the pool PR: on randomized online streams with
+``reuse_motions`` on, the pooled backend is verdict-identical (type /
+rule / witness) to the serial backend, tick by tick — and the per-run
+reuse decision means small ticks that degrade to the serial path still
+reuse motion families through the engine's shared cache (regression for
+the per-config-name bug that disabled reuse whenever the backend was
+*named* ``process``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CharacterizationEngine, EngineConfig
+from repro.online import OnlineCharacterizationService, QosUpdate, ServiceConfig
+
+
+def _drive_stream(service, rng, positions, flags, ticks, *, churn=0.05):
+    """Random walk with flag toggles; returns the per-tick OnlineTicks."""
+    n, d = positions.shape
+    out = []
+    for _ in range(ticks):
+        k = max(1, int(round(churn * n)))
+        movers = rng.choice(n, size=k, replace=False)
+        for j in movers:
+            j = int(j)
+            sigma = 0.1 if rng.random() < 0.3 else 0.01
+            positions[j] = np.clip(positions[j] + rng.normal(0, sigma, d), 0, 1)
+            flags[j] = rng.random() < 0.5
+            service.ingest(QosUpdate(j, tuple(positions[j]), bool(flags[j])))
+        out.append(service.end_tick())
+    return out
+
+
+def _make_service(base, *, backend, min_process_devices=1, workers=2):
+    engine = CharacterizationEngine(
+        EngineConfig(
+            backend=backend,
+            workers=workers,
+            min_process_devices=min_process_devices,
+        )
+    )
+    service = OnlineCharacterizationService(
+        base.copy(),
+        ServiceConfig(r=0.05, tau=2, reuse_motions=True),
+        engine=engine,
+    )
+    return service, engine
+
+
+class TestPoolServiceEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_streams_pool_matches_serial(self, seed):
+        rng_base = np.random.default_rng(seed)
+        n, d = 150, 2
+        base = rng_base.random((n, d))
+
+        def run(backend):
+            service, engine = _make_service(base, backend=backend)
+            with engine:
+                rng = np.random.default_rng(100 + seed)
+                ticks = _drive_stream(
+                    service, rng, base.copy(), np.zeros(n, dtype=bool), 8
+                )
+                if backend == "process":
+                    # The comparison is only meaningful if the stream
+                    # actually exercised the worker pool.
+                    assert engine.backend.workers_alive > 0
+                return ticks
+
+        serial_ticks = run("serial")
+        pool_ticks = run("process")
+        assert len(serial_ticks) == len(pool_ticks)
+        for ts, tp in zip(serial_ticks, pool_ticks):
+            assert ts.flagged == tp.flagged
+            assert ts.verdicts.keys() == tp.verdicts.keys()
+            for j in ts.verdicts:
+                a, b = ts.verdicts[j], tp.verdicts[j]
+                assert a.anomaly_type == b.anomaly_type, (ts.tick, j)
+                assert a.rule == b.rule, (ts.tick, j)
+                assert a.witness == b.witness, (ts.tick, j)
+
+    def test_pool_reuses_worker_families_across_ticks(self):
+        rng = np.random.default_rng(3)
+        n = 200
+        base = rng.random((n, 2))
+
+        def totals(reuse):
+            engine = CharacterizationEngine(
+                EngineConfig(backend="process", workers=2, min_process_devices=1)
+            )
+            service = OnlineCharacterizationService(
+                base.copy(),
+                ServiceConfig(r=0.05, tau=2, reuse_motions=reuse),
+                engine=engine,
+            )
+            with engine:
+                pos = base.copy()
+                flagged = sorted(int(j) for j in rng.choice(n, 24, replace=False))
+                for dev in flagged:
+                    pos[dev] = np.clip(pos[dev] + 0.04, 0, 1)
+                    service.ingest(QosUpdate(dev, tuple(pos[dev]), True))
+                service.end_tick()
+                service.end_tick()  # absorb the setup move carry
+                move_rng = np.random.default_rng(7)
+                for _ in range(6):
+                    for dev in [int(x) for x in move_rng.choice(flagged, 3, replace=False)]:
+                        pos[dev] = np.clip(
+                            pos[dev] + move_rng.normal(0, 0.01, 2), 0, 1
+                        )
+                        service.ingest(QosUpdate(dev, tuple(pos[dev]), True))
+                    service.end_tick()
+                return service.stats
+
+        with_reuse = totals(True)
+        without = totals(False)
+        assert with_reuse.families_reused > 0
+        assert without.families_reused == 0
+        assert with_reuse.families_recomputed < without.families_recomputed
+
+    def test_small_ticks_under_process_backend_still_reuse(self):
+        # Regression: reuse used to be disabled per *config name* — any
+        # service with backend == "process" lost motion-family reuse even
+        # on ticks that fell back to the serial path and did consult the
+        # shared cache.  Batches stay below min_process_devices here, so
+        # every tick runs the serial fallback; reuse must engage.
+        rng = np.random.default_rng(4)
+        n = 150
+        base = rng.random((n, 2))
+        service, engine = _make_service(
+            base, backend="process", min_process_devices=1_000
+        )
+        with engine:
+            pos = base.copy()
+            flagged = sorted(int(j) for j in rng.choice(n, 20, replace=False))
+            for dev in flagged:
+                pos[dev] = np.clip(pos[dev] + 0.04, 0, 1)
+                service.ingest(QosUpdate(dev, tuple(pos[dev]), True))
+            service.end_tick()
+            service.end_tick()
+            for _ in range(4):
+                # Two movers per tick: far below min_process_devices.
+                for dev in [int(x) for x in rng.choice(flagged, 2, replace=False)]:
+                    pos[dev] = np.clip(pos[dev] + rng.normal(0, 0.01, 2), 0, 1)
+                    service.ingest(QosUpdate(dev, tuple(pos[dev]), True))
+                service.end_tick()
+            assert engine.backend.workers_alive == 0  # never left serial
+            assert service.stats.families_reused > 0
+
+    def test_service_owns_and_closes_its_engine(self):
+        rng = np.random.default_rng(5)
+        base = rng.random((40, 2))
+        with OnlineCharacterizationService(
+            base,
+            ServiceConfig(
+                r=0.05, tau=2, backend="process", workers=2
+            ),
+        ) as service:
+            for dev in range(8):
+                service.ingest(QosUpdate(dev, (0.5, 0.5), True))
+            service.end_tick()
+        assert service.engine.backend.workers_alive == 0
+
+    def test_shared_engine_left_open_by_service_close(self):
+        rng = np.random.default_rng(6)
+        base = rng.random((40, 2))
+        engine = CharacterizationEngine(
+            EngineConfig(backend="process", workers=2, min_process_devices=1)
+        )
+        try:
+            service = OnlineCharacterizationService(
+                base, ServiceConfig(r=0.05, tau=2), engine=engine
+            )
+            for dev in range(8):
+                service.ingest(QosUpdate(dev, (0.5, 0.5), True))
+            service.end_tick()
+            alive_before = engine.backend.workers_alive
+            service.close()  # not the engine's owner: must not close it
+            assert engine.backend.workers_alive == alive_before
+        finally:
+            engine.close()

@@ -69,6 +69,35 @@ class TestDiffUpdates:
         with pytest.raises(ConfigurationError):
             diff_updates(np.zeros((3, 2)), np.zeros((4, 2)), [0] * 3, [0] * 4)
 
+    def test_flag_vector_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_updates(np.zeros((3, 2)), np.zeros((3, 2)), [0] * 2, [0] * 3)
+        with pytest.raises(ConfigurationError):
+            diff_updates(np.zeros((3, 2)), np.zeros((3, 2)), [0] * 3, [0] * 4)
+
+    def test_vectorized_diff_matches_per_device_loop(self):
+        # The changed-device selection is one np.nonzero over the moved /
+        # flag-diff masks; it must agree with the naive per-device scan.
+        rng = np.random.default_rng(11)
+        n, d = 300, 3
+        prev = rng.random((n, d))
+        cur = prev.copy()
+        movers = rng.choice(n, size=40, replace=False)
+        cur[movers] = np.clip(cur[movers] + 0.01, 0, 1)
+        prev_flags = rng.random(n) < 0.2
+        cur_flags = prev_flags.copy()
+        toggles = rng.choice(n, size=25, replace=False)
+        cur_flags[toggles] = ~cur_flags[toggles]
+        updates = diff_updates(prev, cur, prev_flags, cur_flags)
+        expected = [
+            (j, tuple(cur[j]), bool(cur_flags[j]))
+            for j in range(n)
+            if np.any(prev[j] != cur[j]) or bool(prev_flags[j]) != bool(cur_flags[j])
+        ]
+        assert [(u.device, u.position, u.flagged) for u in updates] == expected
+        # Devices are emitted in ascending order (np.nonzero contract).
+        assert [u.device for u in updates] == sorted(u.device for u in updates)
+
 
 class TestTraceReplayEquivalence:
     def test_flagged_and_verdicts_match_batch_replay(self, incident_trace):

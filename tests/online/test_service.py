@@ -312,3 +312,120 @@ class TestSinks:
         service.ingest(QosUpdate(0, (0.7, 0.7), True))
         service.end_tick()
         assert engine.stats.transitions == 1
+
+
+class TestMetricsSinkTransitionCounting:
+    """Regression: cached verdicts must not be re-counted every tick.
+
+    ``tick.verdicts`` carries every flagged device (cached ones too), so
+    the old sink reported a device flagged isolated for 100 quiet ticks
+    as 100 isolated verdicts.  ``verdict_counts`` now counts verdict
+    *transitions*; the per-tick view lives in ``verdict_tick_counts``.
+    """
+
+    def _service(self, metrics, n=30):
+        rng = np.random.default_rng(1)
+        return OnlineCharacterizationService(
+            rng.random((n, 2)), ServiceConfig(r=0.03, tau=2), sinks=(metrics,)
+        )
+
+    def test_quiet_ticks_count_one_event_many_device_ticks(self):
+        metrics = MetricsSink()
+        service = self._service(metrics)
+        service.ingest(QosUpdate(3, (0.9, 0.9), True))
+        service.end_tick()
+        for _ in range(9):
+            service.end_tick()  # device 3 stays flagged, verdict cached
+        assert metrics.verdict_counts["isolated"] == 1
+        assert metrics.verdict_tick_counts["isolated"] == 10
+
+    def test_unflag_then_reflag_counts_a_new_event(self):
+        metrics = MetricsSink()
+        service = self._service(metrics)
+        service.ingest(QosUpdate(3, (0.9, 0.9), True))
+        service.end_tick()
+        service.ingest(QosUpdate(3, (0.9, 0.9), False))
+        service.end_tick()
+        service.ingest(QosUpdate(3, (0.88, 0.88), True))
+        service.end_tick()
+        assert metrics.verdict_counts["isolated"] == 2
+
+    def test_changed_verdict_type_counts_as_new_event(self):
+        metrics = MetricsSink()
+        rng = np.random.default_rng(2)
+        base = rng.random((30, 2)) * 0.2 + 0.75  # everyone far from 0.5
+        service = OnlineCharacterizationService(
+            base, ServiceConfig(r=0.05, tau=2), sinks=(metrics,)
+        )
+        # Tick 1: lone flagged device at (0.5, 0.5) — isolated.
+        service.ingest(QosUpdate(0, (0.5, 0.5), True))
+        service.end_tick()
+        assert metrics.verdict_counts["isolated"] == 1
+        # Tick 2: two companions jump there from far away.  Their arrival
+        # trajectories are inconsistent with 0's stationary one, so all
+        # three are isolated this tick (+2 isolated events, 0 unchanged).
+        for device in (1, 2):
+            service.ingest(QosUpdate(device, (0.5, 0.5), True))
+        service.end_tick()
+        assert metrics.verdict_counts["isolated"] == 3
+        assert metrics.verdict_counts["massive"] == 0
+        # Tick 3: everyone sits still — three stationary trajectories in
+        # one 2r-box form a tau-dense motion and all three verdicts flip
+        # to massive: three new massive events, no new isolated ones.
+        service.end_tick()
+        assert metrics.verdict_counts["isolated"] == 3
+        assert metrics.verdict_counts["massive"] == 3
+        total_events = sum(metrics.verdict_counts.values())
+        total_device_ticks = sum(metrics.verdict_tick_counts.values())
+        assert total_device_ticks > total_events
+        payload = metrics.as_dict()
+        assert payload["verdict_counts"] == metrics.verdict_counts
+        assert payload["verdict_tick_counts"] == metrics.verdict_tick_counts
+
+
+class TestFeedSnapshotStoreDiff:
+    def test_feed_snapshot_converges_after_mid_tick_ingest(self):
+        """The diff runs against the store, not the caller's `previous`.
+
+        A mid-tick ingest moves a device inside the store; the caller's
+        remembered ``previous`` snapshot no longer matches.  If the diff
+        used the caller's array, a device whose caller-previous equals
+        caller-current would emit no update and the store would keep the
+        mid-tick position forever.
+        """
+        rng = np.random.default_rng(3)
+        n = 20
+        base = rng.random((n, 2))
+        service = OnlineCharacterizationService(
+            base.copy(), ServiceConfig(r=0.05, tau=2)
+        )
+        # Mid-tick ingest: device 0 wanders off and gets flagged.
+        service.ingest(QosUpdate(0, (0.25, 0.25), True))
+        # The snapshot driver, unaware of the wander, feeds a snapshot
+        # where device 0 sits at its base position with a False flag.
+        current = base.copy()
+        current[5] = np.clip(current[5] + 0.03, 0, 1)
+        flags = [False] * n
+        flags[5] = True
+        out = service.feed_snapshot(current, flags)
+        # The store converged to the fed snapshot: device 0 back at its
+        # base position and unflagged, device 5 moved and flagged.
+        np.testing.assert_allclose(
+            service.store.current_positions(), current
+        )
+        assert service.flagged_devices() == (5,)
+        assert set(out.verdicts) == {5}
+        assert_verdicts_match_batch(out, out.transition)
+
+    def test_feed_snapshot_unchanged_when_store_agrees(self):
+        rng = np.random.default_rng(4)
+        n = 15
+        base = rng.random((n, 2))
+        service = OnlineCharacterizationService(
+            base.copy(), ServiceConfig(r=0.05, tau=2)
+        )
+        current = base.copy()
+        current[2] = np.clip(current[2] + 0.04, 0, 1)
+        out = service.feed_snapshot(current, [j == 2 for j in range(n)])
+        assert out.applied == 1  # only the genuinely changed device
+        assert service.flagged_devices() == (2,)

@@ -83,6 +83,51 @@ class TestMimicryAttack:
         with pytest.raises(ConfigurationError):
             MimicryAttack(forged_count=1, jitter=2.0)
 
+    def test_boundary_victim_shadows_not_collapsed_onto_face(self):
+        """Regression: forgeries were placed then clipped into the cube.
+
+        For a victim within ``jitter * r`` of a cube face, clipping
+        collapsed roughly half the shadow coordinates onto the boundary
+        value exactly.  Sampling inside the jitter-box ∩ cube keeps the
+        shadows spread (and in range) instead.
+        """
+        rng = np.random.default_rng(8)
+        n = 20
+        prev = np.clip(rng.normal(0.85, 0.03, (n + 1, 2)), 0, 1)
+        cur = prev.copy()
+        prev[0] = [0.9, 0.9]
+        cur[0] = [0.0, 1.0]  # victim lands ON two cube faces
+        t = Transition.from_arrays(prev, cur, [0], r=0.03, tau=3)
+        outcome = MimicryAttack(forged_count=6, jitter=0.5, seed=2).mount(
+            t, victim=0
+        )
+        forged = sorted(outcome.forged_devices)
+        shadows = outcome.transition.current.positions[forged]
+        scale = 0.5 * t.r
+        # In range, inside the jitter box of the victim...
+        assert np.all(shadows >= 0.0) and np.all(shadows <= 1.0)
+        assert np.all(np.abs(shadows - cur[0]) <= scale + 1e-12)
+        # ...and NOT piled up on the faces: every shadow coordinate is
+        # distinct (clipping made them exactly 0.0 / 1.0 en masse).
+        for axis in range(2):
+            assert len(set(shadows[:, axis])) == len(forged)
+        # The attack itself still works from the boundary.
+        naive = Characterizer(outcome.transition).characterize(0)
+        assert naive.anomaly_type is AnomalyType.MASSIVE
+
+    def test_boundary_victim_attack_strength_matches_interior(self):
+        # The sampled shadows stay tau-dense-consistent with the victim
+        # whether it sits mid-cube or on a face.
+        for victim_cur in ([0.5, 0.5], [1.0, 0.0]):
+            rng = np.random.default_rng(9)
+            prev = np.clip(rng.normal(0.8, 0.02, (15, 2)), 0, 1)
+            cur = prev.copy()
+            cur[0] = victim_cur
+            t = Transition.from_arrays(prev, cur, [0], r=0.03, tau=3)
+            outcome = MimicryAttack(forged_count=3, seed=4).mount(t, victim=0)
+            motion = {0} | set(outcome.forged_devices)
+            assert outcome.transition.is_dense_motion(motion)
+
 
 class TestAmbiguityAttack:
     def test_degrades_massive_to_unresolved(self):
