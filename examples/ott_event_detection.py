@@ -15,7 +15,7 @@ step-threshold detector misses.
 Run:  python examples/ott_event_detection.py
 """
 
-from repro.detection import CusumDetector
+from repro.detection import DetectorSpec
 from repro.network import (
     GatewayFault,
     IspTopology,
@@ -38,8 +38,8 @@ def main() -> None:
     monitor = NetworkMonitor(
         topology,
         policy=ReportingPolicy.OTT,
-        detector_factory=lambda: CusumDetector(
-            threshold=0.08, drift=0.004, warmup=4
+        detector_spec=DetectorSpec(
+            "cusum", {"threshold": 0.08, "drift": 0.004, "warmup": 4}
         ),
         noise_sigma=0.001,
         seed=11,

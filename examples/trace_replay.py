@@ -15,7 +15,7 @@ Run:  python examples/trace_replay.py
 
 from collections import Counter
 
-from repro.detection import StepThresholdDetector
+from repro.detection import DetectorSpec
 from repro.io import (
     Incident,
     TraceConfig,
@@ -50,8 +50,10 @@ def main() -> None:
           f"{len(serialized) / 1024:.0f} KiB serialized")
     trace = read_trace(serialized)
 
+    # Detection runs as one vectorized bank over the whole fleet; the
+    # spec would build the scalar reference loop with plane="scalar".
     results = replay_trace(
-        trace, lambda: StepThresholdDetector(max_step=0.12), r=0.03, tau=3
+        trace, detector=DetectorSpec("step", {"max_step": 0.12}), r=0.03, tau=3
     )
 
     print(f"\n{'step':>4} {'flagged':>8}  verdicts")

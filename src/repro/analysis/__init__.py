@@ -19,20 +19,24 @@ from repro.analysis.dimensioning import (
 )
 from repro.analysis.metrics import (
     ConfusionCounts,
+    DetectionAccuracy,
     MetricAccumulator,
     StepMetrics,
     compute_step_metrics,
     confusion_against_truth,
+    detection_accuracy,
 )
 
 __all__ = [
     "ConfusionCounts",
+    "DetectionAccuracy",
     "DimensioningPoint",
     "MetricAccumulator",
     "StepMetrics",
     "SummaryStat",
     "compute_step_metrics",
     "confusion_against_truth",
+    "detection_accuracy",
     "expected_vicinity_size",
     "isolated_containment_probability",
     "isolated_overflow_probability",

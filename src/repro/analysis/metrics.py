@@ -10,21 +10,37 @@ Implements exactly the quantities the paper's evaluation reports:
   error was isolated (Figure 8);
 
 plus the standard precision/recall bookkeeping used by the baseline
-comparisons.
+comparisons, and *detection-plane* accuracy
+(:func:`detection_accuracy`): precision / recall / detection latency of
+the flags ``a_k(j)`` themselves against injected incident ground truth
+(:class:`~repro.io.synthetic.Incident` windows), the per-family scores
+``examples/detector_comparison.py`` sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.core.errors import ConfigurationError
 from repro.core.types import AnomalyType, Characterization, DecisionRule
 
 __all__ = [
     "StepMetrics",
     "ConfusionCounts",
+    "DetectionAccuracy",
     "compute_step_metrics",
     "confusion_against_truth",
+    "detection_accuracy",
     "MetricAccumulator",
 ]
 
@@ -156,6 +172,137 @@ def confusion_against_truth(
         false_isolated=fi,
         abstained=ab,
         abstained_massive=abm,
+    )
+
+
+@dataclass(frozen=True)
+class DetectionAccuracy:
+    """Flag quality against injected incident ground truth.
+
+    Device-*step* counts score the flag stream sample by sample: a
+    ``(device, step)`` pair is *positive* when some incident degrades
+    that device at that step.  Incident-level counts score event
+    coverage: an incident is *detected* when at least one of its
+    impacted devices is flagged inside its window, and its *latency* is
+    the gap (in steps) between the incident's start and the first such
+    flag.
+    """
+
+    true_positives: int      # flagged device-steps inside incident windows
+    false_positives: int     # flagged device-steps with no active incident
+    false_negatives: int     # degraded device-steps that went unflagged
+    detected_incidents: int
+    total_incidents: int
+    latencies: Tuple[int, ...]  # per detected incident, in steps
+
+    @property
+    def precision(self) -> float:
+        """Fraction of raised flags that pointed at a real degradation."""
+        claimed = self.true_positives + self.false_positives
+        return self.true_positives / claimed if claimed else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of degraded device-steps that were flagged."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def incident_recall(self) -> float:
+        """Fraction of incidents detected at all."""
+        return (
+            self.detected_incidents / self.total_incidents
+            if self.total_incidents
+            else 1.0
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        """Average detection latency over the detected incidents."""
+        return (
+            sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and serialization."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "incident_recall": self.incident_recall,
+            "mean_latency": self.mean_latency,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "detected_incidents": self.detected_incidents,
+            "total_incidents": self.total_incidents,
+        }
+
+
+def detection_accuracy(
+    flags: Sequence[Iterable[int]],
+    incidents: Sequence,
+    *,
+    warmup_steps: int = 0,
+) -> DetectionAccuracy:
+    """Score a flag stream against scheduled incident ground truth.
+
+    Parameters
+    ----------
+    flags:
+        Per trace step, the iterable of flagged device ids — e.g.
+        ``[r.flagged for r in replay_trace(...)]`` or the service ticks'
+        flagged tuples.
+    incidents:
+        The :class:`~repro.io.synthetic.Incident` schedule the trace was
+        generated with (anything exposing ``start`` / ``duration`` /
+        ``devices`` / ``active_at`` works).
+    warmup_steps:
+        Leading steps excluded from device-step scoring (detectors are
+        still warming up and are expected silent); incidents starting
+        inside the warm-up still count toward incident recall.
+    """
+    if warmup_steps < 0:
+        raise ConfigurationError(
+            f"warmup_steps must be >= 0, got {warmup_steps!r}"
+        )
+    steps = len(flags)
+    flagged_sets = [frozenset(int(j) for j in step_flags) for step_flags in flags]
+    tp = fp = fn = 0
+    for k in range(warmup_steps, steps):
+        positives: Set[int] = set()
+        for incident in incidents:
+            if incident.active_at(k):
+                positives.update(incident.devices)
+        flagged = flagged_sets[k]
+        tp += len(flagged & positives)
+        fp += len(flagged - positives)
+        fn += len(positives - flagged)
+    detected = 0
+    latencies = []
+    for incident in incidents:
+        window = range(
+            incident.start, min(incident.start + incident.duration, steps)
+        )
+        impacted = frozenset(incident.devices)
+        for k in window:
+            if flagged_sets[k] & impacted:
+                detected += 1
+                latencies.append(k - incident.start)
+                break
+    return DetectionAccuracy(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        detected_incidents=detected,
+        total_incidents=len(incidents),
+        latencies=tuple(latencies),
     )
 
 

@@ -23,7 +23,12 @@ and prints per-tick and aggregate figures; ``replay`` runs a detector
 bank over a recorded JSON-lines QoS trace (or a generated synthetic one)
 and feeds the resulting event stream through the same service.  Both
 accept ``--shards`` / ``--batch`` / ``--backend`` to exercise the
-service's sharding, batching and execution knobs.
+service's sharding, batching and execution knobs, plus ``--detector`` /
+``--detection`` and per-family knobs selecting the error detection
+function ``a_k(j)`` (step, band, ewma, shewhart, cusum, holt-winters,
+kalman) and its plane (vectorized array bank — the default — or the
+scalar reference loop).  ``serve --raw`` ships raw QoS snapshots and
+lets the service's own in-service bank decide the flags.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import json
 import sys
 from typing import Dict, Optional, Sequence
 
+from repro.detection.banks import FAMILIES, PLANES
 from repro.engine.config import BACKENDS
 
 from repro.experiments import (
@@ -156,6 +162,69 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--json", default=None, help="also write the summary JSON here"
         )
+        detect = sub_parser.add_argument_group(
+            "detection", "error-detection function a_k(j) and its knobs"
+        )
+        detect.add_argument(
+            "--detector", choices=FAMILIES, default="step",
+            help="detector family flagging abnormal QoS variations",
+        )
+        detect.add_argument(
+            "--detection", choices=PLANES, default="bank",
+            help="detection plane: vectorized bank or scalar reference loop",
+        )
+        detect.add_argument(
+            "--max-step", type=float, default=None,
+            help="step: largest normal jump (default min(4r, 1))",
+        )
+        detect.add_argument(
+            "--band-low", type=float, default=0.8,
+            help="band: lower edge of the acceptable band",
+        )
+        detect.add_argument(
+            "--band-high", type=float, default=1.0,
+            help="band: upper edge of the acceptable band",
+        )
+        detect.add_argument(
+            "--alpha", type=float, default=None,
+            help="ewma / holt-winters: level smoothing factor",
+        )
+        detect.add_argument(
+            "--nsigma", type=float, default=None,
+            help="ewma / shewhart / kalman: control band width in sigmas",
+        )
+        detect.add_argument(
+            "--window", type=int, default=None,
+            help="shewhart: samples per control window",
+        )
+        detect.add_argument(
+            "--cusum-threshold", type=float, default=None,
+            help="cusum: decision interval h",
+        )
+        detect.add_argument(
+            "--cusum-drift", type=float, default=None,
+            help="cusum: allowance nu per deviation",
+        )
+        detect.add_argument(
+            "--hw-beta", type=float, default=None,
+            help="holt-winters: trend smoothing factor",
+        )
+        detect.add_argument(
+            "--hw-band", type=float, default=None,
+            help="holt-winters: tolerated smoothed deviations",
+        )
+        detect.add_argument(
+            "--kalman-q", type=float, default=None,
+            help="kalman: process noise variance",
+        )
+        detect.add_argument(
+            "--kalman-rho", type=float, default=None,
+            help="kalman: measurement noise variance",
+        )
+        detect.add_argument(
+            "--det-warmup", type=int, default=None,
+            help="samples before a detector may raise (family default)",
+        )
 
     serve = sub.add_parser(
         "serve", help="pump synthetic load through the online service"
@@ -179,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--burst-size", type=int, default=8, help="devices per coordinated burst"
     )
     serve.add_argument("--seed", type=int, default=0, help="load generator seed")
+    serve.add_argument(
+        "--raw", action="store_true",
+        help="ship raw QoS snapshots; the service's own detector bank "
+        "(--detector/--detection) decides the flags",
+    )
 
     replay = sub.add_parser(
         "replay", help="replay a QoS trace through the online service"
@@ -199,6 +273,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--seed", type=int, default=0, help="synthetic trace seed")
     return parser
+
+
+def _detector_spec(args: argparse.Namespace):
+    """Build a :class:`DetectorSpec` from ``--detector`` and its knobs."""
+    from repro.detection.banks import DetectorSpec
+
+    family = args.detector
+    params = {}
+
+    def put(key, value):
+        if value is not None:
+            params[key] = value
+
+    if family == "step":
+        params["max_step"] = (
+            args.max_step if args.max_step is not None else min(4.0 * args.r, 1.0)
+        )
+    elif family == "band":
+        put("low", args.band_low)
+        put("high", args.band_high)
+    elif family == "ewma":
+        put("alpha", args.alpha)
+        put("nsigma", args.nsigma)
+    elif family == "shewhart":
+        put("window", args.window)
+        put("nsigma", args.nsigma)
+    elif family == "cusum":
+        put("threshold", args.cusum_threshold)
+        put("drift", args.cusum_drift)
+    elif family == "holt-winters":
+        put("alpha", args.alpha)
+        put("beta", args.hw_beta)
+        put("band", args.hw_band)
+    elif family == "kalman":
+        put("process_var", args.kalman_q)
+        put("measurement_var", args.kalman_rho)
+        put("nsigma", args.nsigma)
+    put("warmup", args.det_warmup)
+    return DetectorSpec(family, params)
 
 
 def _service_config(args: argparse.Namespace):
@@ -284,6 +397,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         MetricsSink,
         OnlineCharacterizationService,
         drive_load,
+        drive_load_measurements,
     )
 
     profile = LoadProfile(
@@ -296,32 +410,56 @@ def _run_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     generator = LoadGenerator(profile)
+    if not args.raw and (args.detector != "step" or args.detection != "bank"):
+        print(
+            "note: --detector/--detection only apply with --raw; "
+            "without it the load generator's own flags drive the service",
+            file=sys.stderr,
+        )
     # The service is a context manager: leaving the block shuts down the
     # persistent worker pool (no-op for the serial backend).
     with OnlineCharacterizationService(
-        generator.initial_positions(), _service_config(args)
+        generator.initial_positions(),
+        _service_config(args),
+        detector=_detector_spec(args) if args.raw else None,
+        detection=args.detection if args.raw else None,
     ) as service:
         metrics = MetricsSink()
         service.add_sink(metrics)
         mode = "full-recompute" if args.full else "incremental"
+        flag_source = (
+            f"in-service {args.detector}/{args.detection} bank"
+            if args.raw
+            else "precomputed"
+        )
         print(
             f"serve: n={args.devices} ticks={args.ticks} churn={args.churn:.2%} "
-            f"shards={args.shards} backend={args.backend} mode={mode}"
+            f"shards={args.shards} backend={args.backend} mode={mode} "
+            f"flags={flag_source}"
         )
-        result = drive_load(service, generator, args.ticks)
+        if args.raw:
+            result = drive_load_measurements(service, generator, args.ticks)
+        else:
+            result = drive_load(service, generator, args.ticks)
         _print_tick_table(result.ticks)
         _print_service_summary(result, service)
         print(f"verdict events: {metrics.verdict_counts}")
         print(f"verdict device-ticks: {metrics.verdict_tick_counts}")
         if args.json:
             _write_service_json(
-                args.json, result, service, {"metrics": metrics.as_dict()}
+                args.json,
+                result,
+                service,
+                {
+                    "metrics": metrics.as_dict(),
+                    "detector": args.detector if args.raw else None,
+                    "detection": args.detection if args.raw else None,
+                },
             )
     return 0
 
 
 def _run_replay(args: argparse.Namespace) -> int:
-    from repro.detection.threshold import StepThresholdDetector
     from repro.io.synthetic import Incident, TraceConfig, generate_trace
     from repro.io.traces import read_trace
     from repro.online import replay_trace_online
@@ -360,16 +498,30 @@ def _run_replay(args: argparse.Namespace) -> int:
         )
         trace = generate_trace(config, incidents)
         source = f"synthetic (devices={args.devices}, steps={args.steps})"
-    factory = lambda: StepThresholdDetector(max_step=min(4.0 * args.r, 1.0))  # noqa: E731
     mode = "full-recompute" if args.full else "incremental"
-    print(f"replay: {source} shards={args.shards} mode={mode}")
-    result = replay_trace_online(trace, factory, _service_config(args))
+    print(
+        f"replay: {source} shards={args.shards} mode={mode} "
+        f"detector={args.detector}/{args.detection}"
+    )
+    result = replay_trace_online(
+        trace,
+        config=_service_config(args),
+        detector=_detector_spec(args),
+        detection=args.detection,
+    )
     try:
         _print_tick_table(result.ticks)
         _print_service_summary(result, result.service)
         if args.json:
             _write_service_json(
-                args.json, result, result.service, {"source": source}
+                args.json,
+                result,
+                result.service,
+                {
+                    "source": source,
+                    "detector": args.detector,
+                    "detection": args.detection,
+                },
             )
     finally:
         result.service.close()

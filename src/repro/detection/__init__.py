@@ -8,6 +8,25 @@ interface, plus :class:`~repro.detection.composite.DeviceMonitor`, which
 ORs per-service verdicts into the device-level flag of Definition 5.
 """
 
+from repro.detection.banks import (
+    BandThresholdBank,
+    BankDetection,
+    CusumBank,
+    DEFAULT_PLANE,
+    DetectorBank,
+    DetectorSpec,
+    EwmaBank,
+    FAMILIES,
+    HoltWintersBank,
+    KalmanBank,
+    PLANES,
+    ScalarDetectorBank,
+    ShewhartBank,
+    StepThresholdBank,
+    default_detector_spec,
+    resolve_family,
+    resolve_plane,
+)
 from repro.detection.base import Detection, Detector, detect_series
 from repro.detection.composite import (
     DeviceDetection,
@@ -25,18 +44,35 @@ from repro.detection.shewhart import ShewhartDetector
 from repro.detection.threshold import BandThresholdDetector, StepThresholdDetector
 
 __all__ = [
+    "BandThresholdBank",
     "BandThresholdDetector",
+    "BankDetection",
+    "CusumBank",
     "CusumDetector",
+    "DEFAULT_PLANE",
     "Detection",
     "Detector",
+    "DetectorBank",
+    "DetectorSpec",
     "DeviceDetection",
     "DeviceMonitor",
+    "EwmaBank",
     "EwmaDetector",
+    "FAMILIES",
+    "HoltWintersBank",
     "HoltWintersDetector",
+    "KalmanBank",
     "KalmanDetector",
+    "PLANES",
+    "ScalarDetectorBank",
     "SeasonalHoltWintersDetector",
+    "ShewhartBank",
     "ShewhartDetector",
+    "StepThresholdBank",
     "StepThresholdDetector",
+    "default_detector_spec",
     "detect_series",
     "make_detector_bank",
+    "resolve_family",
+    "resolve_plane",
 ]

@@ -12,8 +12,9 @@ device's position in the QoS space alongside the flag — exactly the
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +61,11 @@ class DeviceMonitor:
         How many services must raise simultaneously for the device flag
         (1 reproduces Definition 5; larger values trade latency for
         robustness against single-service noise).
+    history:
+        How many recent :class:`DeviceDetection` steps to retain
+        (default 1 — just :attr:`last`).  Long-running monitors must not
+        grow one record per tick forever; opt into a larger bound only
+        when :meth:`trajectory` actually needs the depth.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class DeviceMonitor:
         services: int,
         *,
         min_abnormal_services: int = 1,
+        history: int = 1,
     ) -> None:
         if services < 1:
             raise ConfigurationError(f"services must be >= 1, got {services!r}")
@@ -76,9 +83,11 @@ class DeviceMonitor:
                 "min_abnormal_services must lie in [1, services], got "
                 f"{min_abnormal_services!r}"
             )
+        if history < 1:
+            raise ConfigurationError(f"history must be >= 1, got {history!r}")
         self._detectors: List[Detector] = [factory() for _ in range(services)]
         self._min_raise = min_abnormal_services
-        self._history: List[DeviceDetection] = []
+        self._history: Deque[DeviceDetection] = collections.deque(maxlen=history)
 
     @property
     def services(self) -> int:
@@ -115,8 +124,17 @@ class DeviceMonitor:
         self._history.append(detection)
         return detection
 
+    @property
+    def history_bound(self) -> int:
+        """Maximum retained :class:`DeviceDetection` steps."""
+        return self._history.maxlen or 1
+
     def trajectory(self) -> np.ndarray:
-        """Return the full observed trajectory as an ``(steps, d)`` array."""
+        """Return the *retained* trajectory as a ``(steps, d)`` array.
+
+        Bounded by the ``history`` constructor knob (default 1): the
+        monitor is a streaming component, not a trace recorder.
+        """
         return np.array([d.position for d in self._history], dtype=float)
 
     def reset(self) -> None:

@@ -53,7 +53,10 @@ class ShewhartDetector(Detector):
             self._window.append(value)
             return Detection(abnormal=False)
         mean = sum(self._window) / len(self._window)
-        var = sum((x - mean) ** 2 for x in self._window) / len(self._window)
+        # Square by multiplication, not ``** 2``: libm pow(x, 2.0) is not
+        # correctly rounded on every platform, and the vectorized bank
+        # (detection/banks.py) must be bit-exact with this recurrence.
+        var = sum((x - mean) * (x - mean) for x in self._window) / len(self._window)
         std = max(math.sqrt(var), self._min_std)
         residual = value - mean
         score = abs(residual) / std

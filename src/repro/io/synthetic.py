@@ -20,11 +20,17 @@ from repro.core.characterize import Characterizer
 from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import Characterization
+from repro.detection.banks import DetectorSpec, resolve_bank
 from repro.detection.base import Detector
-from repro.detection.composite import DeviceMonitor
 from repro.io.traces import TraceStep
 
-__all__ = ["Incident", "TraceConfig", "generate_trace", "ReplayResult", "replay_trace"]
+__all__ = [
+    "Incident",
+    "TraceConfig",
+    "generate_trace",
+    "ReplayResult",
+    "replay_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -133,32 +139,41 @@ class ReplayResult:
 
 def replay_trace(
     trace: Sequence[TraceStep],
-    detector_factory: Callable[[], Detector],
+    detector_factory: Optional[Callable[[], Detector]] = None,
     *,
+    detector: Optional[DetectorSpec] = None,
+    detection: Optional[str] = None,
     r: float = 0.03,
     tau: int = 3,
     min_abnormal_services: int = 1,
 ) -> List[ReplayResult]:
-    """Run detectors over a trace and characterize each interval.
+    """Run a detector bank over a trace and characterize each interval.
 
-    One :class:`DeviceMonitor` per device consumes the trace step by
+    One :class:`~repro.detection.banks.DetectorBank` consumes the trace
+    step by step — all devices in a handful of vectorized operations per
     step; whenever an interval has flagged devices, the corresponding
-    :class:`Transition` is characterized locally.
+    :class:`Transition` is characterized locally.  ``detector`` /
+    ``detection`` select the family and plane; passing a legacy
+    ``detector_factory`` instead runs the scalar reference plane with
+    identical flags.
     """
     if not trace:
         raise ConfigurationError("cannot replay an empty trace")
     n, d = trace[0].qos.shape
-    monitors = [
-        DeviceMonitor(detector_factory, d, min_abnormal_services=min_abnormal_services)
-        for _ in range(n)
-    ]
+    bank = resolve_bank(
+        n,
+        d,
+        detector_factory=detector_factory,
+        detector=detector,
+        detection=detection,
+        r=r,
+        min_abnormal_services=min_abnormal_services,
+    )
     results: List[ReplayResult] = []
     previous: Optional[np.ndarray] = None
     for step in trace:
         qos = step.qos
-        flagged = [
-            j for j, monitor in enumerate(monitors) if monitor.observe(qos[j]).abnormal
-        ]
+        flagged = bank.observe_batch(qos).flagged_devices()
         outcome = ReplayResult(step=step.step, flagged=flagged)
         if previous is not None and flagged:
             transition = Transition(

@@ -32,9 +32,13 @@ from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import AnomalyType, Characterization
 from repro.engine import CharacterizationEngine, EngineConfig
+from repro.detection.banks import (
+    BankDetection,
+    DetectorBank,
+    DetectorSpec,
+    resolve_bank,
+)
 from repro.detection.base import Detector
-from repro.detection.composite import DeviceMonitor
-from repro.detection.threshold import StepThresholdDetector
 from repro.network.faults import FaultInjector
 from repro.network.services import ServiceCatalog, default_catalog
 from repro.network.topology import IspTopology
@@ -80,6 +84,13 @@ class TickResult:
     transition: Optional[Transition]      # None on the first tick
     verdicts: Dict[int, Characterization] = field(default_factory=dict)
     reports: List[Report] = field(default_factory=list)
+    # The bank's full per-service verdicts (scores, forecasts, residuals
+    # — four fleet-sized arrays).  Attached only under
+    # ``NetworkMonitor(keep_detections=True)``: callers commonly retain
+    # every TickResult, and pinning 4x (n, d) arrays per tick would
+    # reintroduce the per-tick memory growth this layer avoids.  The
+    # latest one is always available as ``monitor.last_detection``.
+    detection: Optional[BankDetection] = None
 
 
 class NetworkMonitor:
@@ -91,10 +102,25 @@ class NetworkMonitor:
         The access network.
     catalog:
         Services to monitor; defaults to a two-service catalog.
+    detector_spec:
+        Detector configuration for the whole fleet; defaults to the
+        step-threshold spec with ``max_step = 4 r`` (a relocation in the
+        QoS space is macroscopic by construction).  The tick loop runs
+        it as one array-backed
+        :class:`~repro.detection.banks.DetectorBank` — ``n x d``
+        detector states updated in a few vectorized operations.
+    detection:
+        Detection plane (``"bank"`` — vectorized, default — or
+        ``"scalar"``, the per-device reference loop; flags are
+        identical by the banks' equivalence contract).
+    keep_detections:
+        Attach each tick's full :class:`BankDetection` to its
+        :class:`TickResult` (off by default — see
+        :attr:`TickResult.detection`).
     detector_factory:
-        Builds the per-service scalar detector each gateway runs;
-        defaults to a step-threshold detector with ``max_step = 4 r``
-        (a relocation in the QoS space is macroscopic by construction).
+        Legacy escape hatch: a zero-argument scalar-detector factory.
+        Opaque factories cannot be vectorized, so this forces the
+        scalar plane; prefer ``detector_spec``.
     policy:
         Reporting policy (ISP / OTT / ALL).
     r, tau:
@@ -132,6 +158,9 @@ class NetworkMonitor:
         topology: IspTopology,
         catalog: Optional[ServiceCatalog] = None,
         *,
+        detector_spec: Optional[DetectorSpec] = None,
+        detection: Optional[str] = None,
+        keep_detections: bool = False,
         detector_factory: Optional[Callable[[], Detector]] = None,
         policy: ReportingPolicy = ReportingPolicy.ISP,
         r: float = 0.03,
@@ -149,13 +178,16 @@ class NetworkMonitor:
         self._topology = topology
         self._catalog = catalog or default_catalog(topology)
         self._injector = FaultInjector(topology)
-        factory = detector_factory or (
-            lambda: StepThresholdDetector(max_step=min(4.0 * r, 1.0))
+        self._bank: DetectorBank = resolve_bank(
+            topology.n_gateways,
+            self._catalog.dim,
+            detector_factory=detector_factory,
+            detector=detector_spec,
+            detection=detection,
+            r=r,
         )
-        self._monitors: Dict[int, DeviceMonitor] = {
-            device_id: DeviceMonitor(factory, self._catalog.dim)
-            for device_id in range(topology.n_gateways)
-        }
+        self._keep_detections = keep_detections
+        self._last_detection: Optional[BankDetection] = None
         self._policy = policy
         self._r = r
         self._tau = tau
@@ -202,6 +234,16 @@ class NetworkMonitor:
         return self._engine
 
     @property
+    def bank(self) -> DetectorBank:
+        """The detector bank flagging ``a_k(j)`` fleet-wide each tick."""
+        return self._bank
+
+    @property
+    def last_detection(self) -> Optional[BankDetection]:
+        """The bank's most recent batch detection (None before tick 1)."""
+        return self._last_detection
+
+    @property
     def service(self) -> Optional[OnlineCharacterizationService]:
         """The online service (incremental mode only; None before tick 1)."""
         return self._service
@@ -222,12 +264,13 @@ class NetworkMonitor:
         self.close()
 
     def _measure_all(self) -> np.ndarray:
-        """Measure the QoS of every service at every gateway."""
-        n = self._topology.n_gateways
-        qos = np.empty((n, self._catalog.dim), dtype=float)
-        for device_id in range(n):
-            gateway = self._topology.gateway_name(device_id)
-            qos[device_id] = self._catalog.qos_vector(self._topology, gateway)
+        """Measure the QoS of every service at every gateway.
+
+        One vectorized pass: :meth:`~repro.network.services.ServiceCatalog.qos_matrix`
+        reduces cached route tables against the current health vector,
+        then measurement noise is added fleet-wide.
+        """
+        qos = self._catalog.qos_matrix(self._topology)
         if self._noise:
             qos += self._rng.normal(0.0, self._noise, qos.shape)
         return np.clip(qos, 0.0, 1.0)
@@ -237,12 +280,16 @@ class NetworkMonitor:
         self._tick += 1
         self._injector.tick()
         qos = self._measure_all()
-        flagged: List[int] = []
-        for device_id, monitor in self._monitors.items():
-            detection = monitor.observe(qos[device_id])
-            if detection.abnormal:
-                flagged.append(device_id)
-        result = TickResult(tick=self._tick, qos=qos, flagged=flagged, transition=None)
+        detection = self._bank.observe_batch(qos)
+        self._last_detection = detection
+        flagged = detection.flagged_devices()
+        result = TickResult(
+            tick=self._tick,
+            qos=qos,
+            flagged=flagged,
+            transition=None,
+            detection=detection if self._keep_detections else None,
+        )
         previous = self._previous_qos
         self._previous_qos = qos
         if self._incremental:

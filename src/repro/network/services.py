@@ -9,8 +9,11 @@ providers of consumed services to the monitored devices" of Section III-A.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.network.topology import IspTopology
@@ -47,6 +50,14 @@ class ServiceCatalog:
                     f"expected {i} (catalog order defines QoS dimensions)"
                 )
         self._services = list(services)
+        # Per-topology routing tables for the vectorized measurement
+        # path: (node order, (n, d, max_route) health-index tensor,
+        # per-service base QoS).  Weakly keyed by the topology object so
+        # a freed topology cannot alias a recycled id() into a stale
+        # table, and dead entries are evicted automatically.
+        self._route_tables: "weakref.WeakKeyDictionary[IspTopology, Tuple[List[str], np.ndarray, np.ndarray]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     @property
     def dim(self) -> int:
@@ -68,6 +79,59 @@ class ServiceCatalog:
             service.base_qos * topology.path_health(gateway, service.server)
             for service in self._services
         ]
+
+    def _route_table(
+        self, topology: IspTopology
+    ) -> Tuple[List[str], np.ndarray, np.ndarray]:
+        """Build (and cache) the index tensor behind :meth:`qos_matrix`."""
+        table = self._route_tables.get(topology)
+        if table is None:
+            nodes = list(topology.graph.nodes)
+            node_index = {name: k for k, name in enumerate(nodes)}
+            n = topology.n_gateways
+            routes = [
+                [
+                    topology.route(topology.gateway_name(device), service.server)
+                    for service in self._services
+                ]
+                for device in range(n)
+            ]
+            max_len = max(len(route) for row in routes for route in row)
+            # Sentinel slot past the real nodes carries health 1.0, so
+            # padded hops multiply exactly by 1 (no-op on IEEE doubles).
+            pad = len(nodes)
+            index = np.full((n, self.dim, max_len), pad, dtype=np.intp)
+            for device, row in enumerate(routes):
+                for s, route in enumerate(row):
+                    index[device, s, : len(route)] = [
+                        node_index[name] for name in route
+                    ]
+            base = np.array([service.base_qos for service in self._services])
+            table = (nodes, index, base)
+            self._route_tables[topology] = table
+        return table
+
+    def qos_matrix(self, topology: IspTopology) -> np.ndarray:
+        """Noise-free QoS of every service at every gateway, ``(n, d)``.
+
+        The vectorized twin of looping :meth:`qos_vector` over the
+        fleet: routes are resolved once into an index tensor, so a tick
+        reads one health vector and reduces products along the route
+        axis.  The product runs hop by hop in route order (not via
+        ``np.prod``), so each entry is bit-exact with the scalar
+        ``path_health`` accumulation.
+        """
+        nodes, index, base = self._route_table(topology)
+        graph_nodes = topology.graph.nodes
+        health = np.empty(len(nodes) + 1)
+        for k, name in enumerate(nodes):
+            health[k] = graph_nodes[name]["health"]
+        health[-1] = 1.0
+        hops = health[index]
+        path = hops[..., 0]
+        for k in range(1, hops.shape[2]):
+            path = path * hops[..., k]
+        return base[None, :] * path
 
 
 def default_catalog(topology: IspTopology, dim: int = 2) -> ServiceCatalog:

@@ -31,6 +31,7 @@ from repro.online.replay import (
     OnlineReplayResult,
     diff_updates,
     drive_load,
+    drive_load_measurements,
     replay_trace_online,
 )
 from repro.online.service import (
@@ -63,5 +64,6 @@ __all__ = [
     "ServiceStats",
     "diff_updates",
     "drive_load",
+    "drive_load_measurements",
     "replay_trace_online",
 ]

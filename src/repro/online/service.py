@@ -48,6 +48,7 @@ from repro.core.errors import ConfigurationError, QueueFullError
 from repro.core.neighborhood import MotionCache
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import AnomalyType, Characterization
+from repro.detection.banks import BankDetection, DetectorBank, DetectorLike, as_bank
 from repro.engine import CharacterizationEngine, EngineConfig
 from repro.engine.config import BACKENDS
 from repro.online.dirty import DirtyRegionTracker
@@ -315,6 +316,18 @@ class OnlineCharacterizationService:
         defaults to one built from the config's backend knobs.
     sinks:
         Initial sink callables; more can be added with :meth:`add_sink`.
+    detector:
+        Optional in-service detection: a
+        :class:`~repro.detection.banks.DetectorSpec` (or prebuilt
+        :class:`~repro.detection.banks.DetectorBank`) enabling
+        :meth:`feed_measurements` — callers ship raw ``(n, d)`` QoS
+        snapshots and the service runs the bank itself, its flag diffs
+        feeding the same dirty-region invalidation path as precomputed
+        flags.  The bank consumes the initial snapshot at construction
+        (warm-up step 0), mirroring the trace replayers.
+    detection:
+        Plane the bank is built on when ``detector`` is a spec
+        (``"bank"`` — vectorized, default — or ``"scalar"``).
     """
 
     def __init__(
@@ -324,6 +337,8 @@ class OnlineCharacterizationService:
         *,
         engine: Optional[CharacterizationEngine] = None,
         sinks: Iterable[Callable[[OnlineTick], None]] = (),
+        detector: Optional[DetectorLike] = None,
+        detection: Optional[str] = None,
     ) -> None:
         self._config = config or ServiceConfig()
         cfg = self._config
@@ -343,6 +358,21 @@ class OnlineCharacterizationService:
                 max_worker_tasks=cfg.max_worker_tasks,
             )
         )
+        self._bank: Optional[DetectorBank] = None
+        self._last_detection: Optional[BankDetection] = None
+        if detector is not None:
+            self._bank = as_bank(
+                detector, self._store.n, self._store.dim, plane=detection
+            )
+            # Warm-up step 0: the initial snapshot is the bank's first
+            # observation, exactly like the trace replayers' step 0.
+            self._last_detection = self._bank.observe_batch(
+                np.asarray(initial_positions, dtype=float)
+            )
+        elif detection is not None:
+            raise ConfigurationError(
+                "detection plane given without a detector spec or bank"
+            )
         self._queue: Deque[QosUpdate] = deque()
         # Updates applied since the last end_tick — includes inline
         # drains forced by "block" backpressure, so per-tick accounting
@@ -378,6 +408,16 @@ class OnlineCharacterizationService:
     def current_tick(self) -> int:
         """Number of completed ticks."""
         return self._tick
+
+    @property
+    def bank(self) -> Optional[DetectorBank]:
+        """The in-service detector bank (None without a ``detector``)."""
+        return self._bank
+
+    @property
+    def last_detection(self) -> Optional[BankDetection]:
+        """The bank's most recent batch detection, if any."""
+        return self._last_detection
 
     @property
     def queued(self) -> int:
@@ -485,6 +525,13 @@ class OnlineCharacterizationService:
         which can disagree after mid-tick ingests — so the service
         always converges to ``current``.  ``flags`` is the full current
         flag vector (index = device id).
+
+        The self-produced diff batch is applied *directly* (in
+        ``max_batch`` passes), not routed through the bounded ingest
+        queue: the snapshot is already materialized, and an "error"
+        backpressure policy firing mid-batch would leave the tick
+        half-applied — and a detector bank one observation ahead of the
+        store (:meth:`feed_measurements` relies on this atomicity).
         """
         from repro.online.replay import diff_updates
 
@@ -496,7 +543,7 @@ class OnlineCharacterizationService:
         service_flags = np.zeros(self._store.n, dtype=bool)
         for device in self._store.flagged_devices():
             service_flags[device] = True
-        self.ingest_many(
+        self._queue.extend(
             diff_updates(
                 self._store.current_positions(),
                 current,
@@ -504,7 +551,27 @@ class OnlineCharacterizationService:
                 list(flags),
             )
         )
+        # end_tick's own drain applies the batch.
         return self.end_tick()
+
+    def feed_measurements(self, values: np.ndarray) -> OnlineTick:
+        """One tick from raw QoS vectors: the service detects, then flags.
+
+        Requires a ``detector`` at construction.  The bank observes the
+        ``(n, d)`` snapshot (one vectorized update for the whole fleet),
+        its flag vector joins the positions in :meth:`feed_snapshot`,
+        and the resulting flag *diffs* drive the usual dirty-region
+        invalidation — callers ship measurements, not verdicts.
+        """
+        if self._bank is None:
+            raise ConfigurationError(
+                "feed_measurements needs a detector; construct the service "
+                "with detector=DetectorSpec(...)"
+            )
+        arr = np.asarray(values, dtype=float)
+        detection = self._bank.observe_batch(arr)
+        self._last_detection = detection
+        return self.feed_snapshot(arr, detection.flags)
 
     # ------------------------------------------------------------------
     # Tick processing

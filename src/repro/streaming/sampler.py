@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.core.transition import Snapshot, Transition
 from repro.core.types import Characterization
+from repro.detection.banks import BankDetection, DetectorBank, DetectorSpec, as_bank
 from repro.engine import CharacterizationEngine
 from repro.online.service import OnlineCharacterizationService, ServiceConfig
 
@@ -190,6 +191,14 @@ class SampledCharacterizationStream:
     service_config:
         Knobs for the incremental service (``r``/``tau`` are overridden
         with the stream's own).
+    detector:
+        Optional :class:`~repro.detection.banks.DetectorSpec` (or
+        prebuilt bank) enabling :meth:`observe_measurements`: the stream
+        runs the array-backed bank over raw QoS snapshots itself instead
+        of being handed precomputed flags.
+    detection:
+        Plane the bank is built on (``"bank"`` default, ``"scalar"``
+        reference).
     """
 
     def __init__(
@@ -202,12 +211,24 @@ class SampledCharacterizationStream:
         sampler_config: Optional[SamplerConfig] = None,
         incremental: bool = False,
         service_config: Optional[ServiceConfig] = None,
+        detector: Optional[Union[DetectorSpec, DetectorBank]] = None,
+        detection: Optional[str] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n!r}")
         self._n = n
         self._r = r
         self._tau = tau
+        self._detector = detector
+        self._detection_plane = detection
+        if detector is None and detection is not None:
+            raise ConfigurationError(
+                "detection plane given without a detector spec or bank"
+            )
+        # Built lazily on the first observe_measurements call — the QoS
+        # dimension d is not known until a snapshot arrives.
+        self._bank: Optional[DetectorBank] = None
+        self._last_detection: Optional[BankDetection] = None
         self._owns_engine = engine is None
         self._engine = engine or CharacterizationEngine()
         self._samplers = [AdaptiveSampler(sampler_config) for _ in range(n)]
@@ -251,6 +272,46 @@ class SampledCharacterizationStream:
     def service(self) -> Optional[OnlineCharacterizationService]:
         """The online service (incremental mode only; None before tick 1)."""
         return self._service
+
+    @property
+    def bank(self) -> Optional[DetectorBank]:
+        """The stream's detector bank (None until the first
+        :meth:`observe_measurements` call, or without a ``detector``)."""
+        return self._bank
+
+    @property
+    def last_detection(self) -> Optional[BankDetection]:
+        """The bank's most recent batch detection, if any."""
+        return self._last_detection
+
+    def observe_measurements(self, positions: np.ndarray) -> StreamTick:
+        """Feed raw QoS measurements; the stream detects, then samples.
+
+        Runs the configured detector bank over the ``(n, d)`` snapshot
+        (one vectorized update fleet-wide) and delegates to
+        :meth:`observe` with the resulting flagged set — the
+        measurement-driven twin of the precomputed-flags path.
+        """
+        if self._detector is None:
+            raise ConfigurationError(
+                "observe_measurements needs a detector; construct the "
+                "stream with detector=DetectorSpec(...)"
+            )
+        pts = np.asarray(positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] != self._n:
+            raise ConfigurationError(
+                f"positions must be ({self._n}, d), got shape {pts.shape}"
+            )
+        if self._bank is None:
+            self._bank = as_bank(
+                self._detector,
+                self._n,
+                pts.shape[1],
+                plane=self._detection_plane,
+            )
+        detection = self._bank.observe_batch(pts)
+        self._last_detection = detection
+        return self.observe(pts, detection.flagged_devices())
 
     def observe(
         self, positions: np.ndarray, flagged: Sequence[int]

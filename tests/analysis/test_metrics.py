@@ -10,7 +10,9 @@ from repro.analysis.metrics import (
     MetricAccumulator,
     compute_step_metrics,
     confusion_against_truth,
+    detection_accuracy,
 )
+from repro.io.synthetic import Incident
 from repro.core.errors import ConfigurationError
 from repro.core.types import (
     AnomalyType,
@@ -170,3 +172,80 @@ class TestSummarize:
         rows = series_table(cells)
         assert [(x, g) for x, g, _ in rows] == [(1.0, 0.0), (1.0, 1.0), (2.0, 1.0)]
         assert isinstance(rows[0][2], SummaryStat)
+
+
+class TestDetectionAccuracy:
+    """Flag-stream scoring against injected incident ground truth."""
+
+    def test_perfect_detection(self):
+        incidents = [Incident(start=2, duration=2, devices=(0, 1), service=0, drop=0.3)]
+        flags = [[], [], [0, 1], [0, 1], []]
+        acc = detection_accuracy(flags, incidents)
+        assert acc.precision == 1.0
+        assert acc.recall == 1.0
+        assert acc.f1 == 1.0
+        assert acc.incident_recall == 1.0
+        assert acc.mean_latency == 0.0
+        assert acc.true_positives == 4
+
+    def test_late_partial_detection(self):
+        incidents = [Incident(start=1, duration=3, devices=(0, 1), service=0, drop=0.3)]
+        # Nothing at onset; only device 0 flagged from step 2 on.
+        flags = [[], [], [0], [0], []]
+        acc = detection_accuracy(flags, incidents)
+        assert acc.true_positives == 2
+        assert acc.false_negatives == 4  # (0,1)@1, 1@2, 1@3
+        assert acc.false_positives == 0
+        assert acc.precision == 1.0
+        assert acc.recall == pytest.approx(2 / 6)
+        assert acc.detected_incidents == 1
+        assert acc.latencies == (1,)
+        assert acc.mean_latency == 1.0
+
+    def test_false_positives_counted(self):
+        incidents = [Incident(start=1, duration=1, devices=(3,), service=0, drop=0.3)]
+        flags = [[], [3, 5], [7]]
+        acc = detection_accuracy(flags, incidents)
+        assert acc.true_positives == 1
+        assert acc.false_positives == 2  # 5@1 and 7@2
+        assert acc.precision == pytest.approx(1 / 3)
+
+    def test_undetected_incident(self):
+        incidents = [
+            Incident(start=0, duration=2, devices=(0,), service=0, drop=0.3),
+            Incident(start=3, duration=1, devices=(1,), service=0, drop=0.3),
+        ]
+        flags = [[0], [0], [], []]
+        acc = detection_accuracy(flags, incidents)
+        assert acc.detected_incidents == 1
+        assert acc.total_incidents == 2
+        assert acc.incident_recall == 0.5
+        assert acc.latencies == (0,)
+
+    def test_warmup_excluded_from_device_steps(self):
+        incidents = [Incident(start=0, duration=2, devices=(0,), service=0, drop=0.3)]
+        # A warm-up false positive at step 0 must not be charged, but the
+        # incident (detected at step 1) still counts.
+        flags = [[4], [0], []]
+        acc = detection_accuracy(flags, incidents, warmup_steps=1)
+        assert acc.false_positives == 0
+        assert acc.true_positives == 1
+        assert acc.false_negatives == 0  # step 0 excluded
+        assert acc.detected_incidents == 1
+        assert acc.latencies == (1,)
+
+    def test_empty_cases(self):
+        acc = detection_accuracy([[], []], [])
+        assert acc.precision == 1.0
+        assert acc.recall == 1.0
+        assert acc.incident_recall == 1.0
+        assert acc.mean_latency == 0.0
+        with pytest.raises(ConfigurationError):
+            detection_accuracy([[]], [], warmup_steps=-1)
+
+    def test_as_dict_round_trip(self):
+        incidents = [Incident(start=0, duration=1, devices=(0,), service=0, drop=0.3)]
+        payload = detection_accuracy([[0]], incidents).as_dict()
+        assert payload["precision"] == 1.0
+        assert payload["detected_incidents"] == 1
+        assert payload["total_incidents"] == 1

@@ -39,12 +39,32 @@ class TestDeviceMonitor:
             monitor.observe([0.9])
 
     def test_trajectory_accumulates(self):
-        monitor = DeviceMonitor(factory, services=2)
+        monitor = DeviceMonitor(factory, services=2, history=2)
         monitor.observe([0.9, 0.8])
         monitor.observe([0.85, 0.75])
         trajectory = monitor.trajectory()
         assert trajectory.shape == (2, 2)
         assert trajectory[0].tolist() == [0.9, 0.8]
+
+    def test_history_bounded_by_default(self):
+        # Long-running monitors must not leak one record per tick: the
+        # default retains only the last detection.
+        monitor = DeviceMonitor(factory, services=1)
+        for k in range(50):
+            monitor.observe([0.5 + 0.001 * (k % 3)])
+        assert monitor.history_bound == 1
+        assert monitor.trajectory().shape == (1, 1)
+        assert monitor.last is not None
+
+    def test_history_opt_in_larger_stays_bounded(self):
+        monitor = DeviceMonitor(factory, services=1, history=4)
+        for k in range(50):
+            monitor.observe([0.5])
+        assert monitor.trajectory().shape == (4, 1)
+
+    def test_history_validated(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMonitor(factory, services=1, history=0)
 
     def test_last_property(self):
         monitor = DeviceMonitor(factory, services=1)

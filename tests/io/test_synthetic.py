@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.core.types import AnomalyType
-from repro.detection import CusumDetector, StepThresholdDetector
+from repro.detection import CusumDetector, DetectorSpec, StepThresholdDetector
 from repro.io import Incident, TraceConfig, generate_trace, replay_trace
 from repro.io.traces import read_trace, write_trace
 
@@ -141,3 +141,59 @@ class TestReplay:
     def test_empty_trace_rejected(self):
         with pytest.raises(ConfigurationError):
             replay_trace([], lambda: StepThresholdDetector(max_step=0.1))
+
+
+class TestDetectionPlanes:
+    """replay_trace routes detection through banks; planes agree."""
+
+    def _trace(self):
+        config = TraceConfig(devices=30, steps=20, seed=8)
+        incidents = [
+            Incident(start=8, duration=3, devices=tuple(range(6)), service=0, drop=0.35),
+            Incident(start=14, duration=2, devices=(22,), service=1, drop=0.5),
+        ]
+        return generate_trace(config, incidents)
+
+    def test_bank_and_scalar_planes_identical(self):
+        trace = self._trace()
+        spec = DetectorSpec("step", {"max_step": 0.12})
+        bank = replay_trace(trace, detector=spec, tau=3)
+        scalar = replay_trace(trace, detector=spec, detection="scalar", tau=3)
+        for got, want in zip(bank, scalar):
+            assert got.flagged == want.flagged
+            assert {
+                d: v.anomaly_type for d, v in got.verdicts.items()
+            } == {d: v.anomaly_type for d, v in want.verdicts.items()}
+
+    def test_legacy_factory_matches_spec(self):
+        trace = self._trace()
+        legacy = replay_trace(
+            trace, lambda: StepThresholdDetector(max_step=0.12), tau=3
+        )
+        spec = replay_trace(
+            trace, detector=DetectorSpec("step", {"max_step": 0.12}), tau=3
+        )
+        assert [r.flagged for r in legacy] == [r.flagged for r in spec]
+
+    def test_default_detector_is_step_4r(self):
+        trace = self._trace()
+        default = replay_trace(trace, r=0.03, tau=3)
+        explicit = replay_trace(
+            trace, detector=DetectorSpec("step", {"max_step": 0.12}), tau=3
+        )
+        assert [r.flagged for r in default] == [r.flagged for r in explicit]
+
+    def test_factory_and_spec_conflict_rejected(self):
+        trace = self._trace()
+        with pytest.raises(ConfigurationError):
+            replay_trace(
+                trace,
+                lambda: StepThresholdDetector(max_step=0.1),
+                detector=DetectorSpec("step", {"max_step": 0.1}),
+            )
+        with pytest.raises(ConfigurationError):
+            replay_trace(
+                trace,
+                lambda: StepThresholdDetector(max_step=0.1),
+                detection="bank",
+            )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
 
 from repro.core.types import AnomalyType
 from repro.network import (
@@ -183,3 +185,87 @@ class TestEngineRouting:
         engine = CharacterizationEngine()
         monitor = make_monitor(engine=engine)
         assert monitor.engine is engine
+
+
+class TestDetectionPlane:
+    """The tick loop detects through an array bank; planes agree."""
+
+    def _fault_course(self, monitor):
+        results = monitor.run(3)
+        monitor.injector.inject(NetworkFault("acc-0-0-0", severity=0.4, duration=2))
+        results.append(monitor.tick())
+        monitor.injector.inject(GatewayFault(device_id=5, severity=0.6, duration=1))
+        results.append(monitor.tick())
+        results.append(monitor.tick())
+        return results
+
+    def test_bank_and_scalar_planes_identical(self):
+        bank = self._fault_course(make_monitor())
+        scalar = self._fault_course(make_monitor(detection="scalar"))
+        for got, want in zip(bank, scalar):
+            assert got.flagged == want.flagged
+            assert np.array_equal(got.qos, want.qos)
+            assert {d: v.anomaly_type for d, v in got.verdicts.items()} == {
+                d: v.anomaly_type for d, v in want.verdicts.items()
+            }
+
+    def test_detector_spec_selects_family(self):
+        from repro.detection import DetectorSpec, EwmaBank
+
+        monitor = make_monitor(
+            detector_spec=DetectorSpec(
+                "ewma", {"alpha": 0.3, "nsigma": 5.0, "warmup": 3, "min_std": 5e-3}
+            ),
+            keep_detections=True,
+        )
+        assert isinstance(monitor.bank, EwmaBank)
+        monitor.run(5)
+        monitor.injector.inject(NetworkFault("acc-0-0-0", severity=0.5, duration=2))
+        result = monitor.tick()
+        assert len(result.flagged) == 10
+        assert result.detection is not None
+        assert result.detection.flagged_devices() == result.flagged
+        assert monitor.last_detection is result.detection
+
+    def test_detection_retention_opt_in(self):
+        monitor = make_monitor()
+        result = monitor.tick()
+        # Off by default: TickResult stays lean, the latest detection is
+        # still reachable on the monitor itself.
+        assert result.detection is None
+        assert monitor.last_detection is not None
+        assert monitor.last_detection.flagged_devices() == result.flagged
+
+    def test_legacy_factory_runs_scalar_plane(self):
+        from repro.detection import ScalarDetectorBank, StepThresholdDetector
+
+        monitor = make_monitor(
+            detector_factory=lambda: StepThresholdDetector(max_step=0.12)
+        )
+        assert isinstance(monitor.bank, ScalarDetectorBank)
+
+    def test_factory_and_spec_conflict_rejected(self):
+        from repro.core.errors import ConfigurationError
+        from repro.detection import DetectorSpec, StepThresholdDetector
+
+        with pytest.raises(ConfigurationError):
+            make_monitor(
+                detector_factory=lambda: StepThresholdDetector(max_step=0.1),
+                detector_spec=DetectorSpec("step", {"max_step": 0.1}),
+            )
+        with pytest.raises(ConfigurationError):
+            make_monitor(
+                detector_factory=lambda: StepThresholdDetector(max_step=0.1),
+                detection="bank",
+            )
+
+    def test_vectorized_measurement_matches_scalar_loop(self):
+        """qos_matrix is bit-exact with per-gateway qos_vector calls."""
+        monitor = make_monitor()
+        monitor.injector.inject(NetworkFault("core-0", severity=0.3, duration=3))
+        monitor.injector.tick()
+        topo, catalog = monitor._topology, monitor.catalog  # noqa: SLF001
+        matrix = catalog.qos_matrix(topo)
+        for device in range(topo.n_gateways):
+            vector = catalog.qos_vector(topo, topo.gateway_name(device))
+            assert matrix[device].tolist() == vector

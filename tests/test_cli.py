@@ -171,3 +171,94 @@ class TestOnlineCommands:
         payload = json.loads(target.read_text())
         assert payload["source"] == str(trace_path)
         assert len(payload["ticks"]) == 5
+
+
+class TestDetectorFlags:
+    """The --detector family knob on serve/replay."""
+
+    def test_defaults(self):
+        for command in ("serve", "replay"):
+            args = build_parser().parse_args([command])
+            assert args.detector == "step"
+            assert args.detection == "bank"
+
+    def test_unknown_detector_rejected_cleanly(self):
+        for command in ("serve", "replay"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--detector", "arima"])
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--detection", "gpu"])
+
+    def _replay_ticks(self, tmp_path, capsys, family, plane, extra=()):
+        target = tmp_path / f"replay-{family}-{plane}.json"
+        assert (
+            main(
+                [
+                    "replay", "--devices", "40", "--steps", "10",
+                    "--detector", family, "--detection", plane,
+                    *extra, "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["detector"] == family
+        assert payload["detection"] == plane
+        return payload["ticks"]
+
+    @pytest.mark.parametrize(
+        "family,extra",
+        [
+            ("step", ()),
+            ("band", ("--band-low", "0.5")),
+            ("ewma", ("--alpha", "0.3", "--nsigma", "5", "--det-warmup", "3")),
+            ("shewhart", ("--window", "6", "--nsigma", "5")),
+            ("cusum", ("--cusum-threshold", "0.2", "--cusum-drift", "0.01")),
+            ("holt-winters", ("--hw-band", "6",)),
+            ("kalman", ("--nsigma", "7",)),
+        ],
+    )
+    def test_each_choice_matches_scalar_reference(
+        self, tmp_path, capsys, family, extra
+    ):
+        bank = self._replay_ticks(tmp_path, capsys, family, "bank", extra)
+        scalar = self._replay_ticks(tmp_path, capsys, family, "scalar", extra)
+        assert bank == scalar  # identical per-tick flagged/recompute rows
+
+    def test_serve_raw_runs_in_service_bank(self, tmp_path, capsys):
+        target = tmp_path / "serve-raw.json"
+        assert (
+            main(
+                [
+                    "serve", "--devices", "150", "--ticks", "4", "--churn",
+                    "0.1", "--flag-rate", "0.5", "--raw",
+                    "--detector", "step", "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "flags=in-service step/bank bank" in out
+        payload = json.loads(target.read_text())
+        assert payload["detector"] == "step"
+        assert payload["detection"] == "bank"
+
+    def test_serve_raw_planes_agree(self, tmp_path, capsys):
+        rows = {}
+        for plane in ("bank", "scalar"):
+            target = tmp_path / f"serve-{plane}.json"
+            assert (
+                main(
+                    [
+                        "serve", "--devices", "120", "--ticks", "4",
+                        "--churn", "0.1", "--flag-rate", "0.5", "--raw",
+                        "--detector", "ewma", "--detection", plane,
+                        "--json", str(target),
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+            rows[plane] = json.loads(target.read_text())["ticks"]
+        assert rows["bank"] == rows["scalar"]
