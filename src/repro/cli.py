@@ -362,6 +362,12 @@ def _print_service_summary(result, service) -> None:
         f"motion families: recomputed={stats.families_recomputed} "
         f"reused={stats.families_reused}"
     )
+    store = service.store
+    print(
+        f"store memory: {store.nbytes:,} bytes "
+        f"({store.bytes_per_device:.0f} bytes/device, n={store.n}, "
+        f"d={store.dim})"
+    )
     print(
         f"elapsed={result.elapsed_seconds:.3f}s "
         f"throughput={throughput:,.0f} updates/s"
@@ -371,6 +377,12 @@ def _print_service_summary(result, service) -> None:
 def _write_service_json(path: str, result, service, extra: Dict) -> None:
     payload = {
         "stats": service.stats.as_dict(),
+        "store": {
+            "n": service.store.n,
+            "dim": service.store.dim,
+            "nbytes": service.store.nbytes,
+            "bytes_per_device": service.store.bytes_per_device,
+        },
         "ticks": [
             {
                 "tick": tick.tick,

@@ -64,6 +64,22 @@ class Snapshot:
             raise UnknownDeviceError(f"device {device} not in [0, {self.n})")
         return self.positions[device]
 
+    @classmethod
+    def trusted(cls, positions: np.ndarray) -> "Snapshot":
+        """Wrap an already-validated ``(n, d)`` float array without copying.
+
+        Skips ``__post_init__`` — no dtype conversion, no unit-cube scan.
+        For hot paths (the online store's snapshot views, shared-memory
+        attaches in pool workers) where the producer has already enforced
+        the invariants and an O(n·d) revalidation per tick is pure waste.
+        The caller promises: float dtype, 2-d shape, values in the unit
+        cube, and no writes through ``positions`` for the snapshot's
+        lifetime (pass a read-only view).
+        """
+        snap = object.__new__(cls)
+        object.__setattr__(snap, "positions", positions)
+        return snap
+
 
 class Transition:
     """One monitored interval ``[k-1, k]``: states, flags and parameters.
@@ -127,9 +143,9 @@ class Transition:
         self._flagged_sorted: Tuple[int, ...] = tuple(sorted(flagged_set))
         # Combined 2d-dimensional embedding: prev coords ++ cur coords.  A
         # subset has an r-consistent *motion* iff it fits a 2r-box here.
-        self._combined = np.hstack(
-            [previous.positions, current.positions]
-        ).astype(float)
+        # Built lazily: online ticks that only touch a few flagged devices
+        # never pay the (n, 2d) allocation.
+        self._combined: Optional[np.ndarray] = None
         self._index_prev: Optional[GridIndex] = None
         self._index_cur: Optional[GridIndex] = None
         if index_prev is not None:
@@ -187,11 +203,15 @@ class Transition:
     @property
     def combined(self) -> np.ndarray:
         """The ``(n, 2d)`` combined coordinates (prev ++ cur)."""
+        if self._combined is None:
+            self._combined = np.hstack(
+                [self._previous.positions, self._current.positions]
+            ).astype(float)
         return self._combined
 
     def combined_of(self, devices: Sequence[int]) -> np.ndarray:
         """Return combined coordinates for a subset of devices."""
-        return self._combined[list(devices)]
+        return self.combined[list(devices)]
 
     # ------------------------------------------------------------------
     # Neighbourhood queries
@@ -353,7 +373,7 @@ class Transition:
         idx = list(devices)
         if len(idx) <= 1:
             return True
-        pts = self._combined[idx]
+        pts = self.combined[idx]
         side = float(np.max(pts.max(axis=0) - pts.min(axis=0)))
         return side <= 2.0 * self._r + atol
 
@@ -380,6 +400,38 @@ class Transition:
     ) -> "Transition":
         """Build a transition straight from two ``(n, d)`` arrays."""
         return cls(Snapshot(previous), Snapshot(current), flagged, r, tau)
+
+    @classmethod
+    def from_views(
+        cls,
+        previous: np.ndarray,
+        current: np.ndarray,
+        flagged: Iterable[int],
+        r: float,
+        tau: int,
+        *,
+        index_prev: Optional[GridIndex] = None,
+        index_cur: Optional[GridIndex] = None,
+    ) -> "Transition":
+        """Build a transition over *pre-validated* array views, zero-copy.
+
+        The columnar hot path: the online store (or a pool worker
+        attaching a shared-memory segment) already guarantees float
+        ``(n, d)`` unit-cube arrays, so the snapshots adopt the views via
+        :meth:`Snapshot.trusted` — no copy, no revalidation scan.  The
+        views should be read-only for the transition's lifetime; the
+        flagged-subset indexes fancy-index *copies* of the flagged rows,
+        so neighbourhood state never dangles into the caller's buffers.
+        """
+        return cls(
+            Snapshot.trusted(previous),
+            Snapshot.trusted(current),
+            flagged,
+            r,
+            tau,
+            index_prev=index_prev,
+            index_cur=index_cur,
+        )
 
     @classmethod
     def from_trajectories_1d(

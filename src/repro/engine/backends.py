@@ -10,11 +10,21 @@ need no worker coordination:
 
 * ``process`` (:class:`WorkerPoolBackend`) keeps a **persistent** pool of
   worker processes alive across :meth:`~ExecutionBackend.run` calls.
-  Snapshot arrays are published through
-  :mod:`multiprocessing.shared_memory`, so a tick ships only device ids,
-  the flagged set and the carry-clean set down the pipes — never a
-  pickled :class:`~repro.core.transition.Transition`.  Each worker keeps
-  a private :class:`~repro.core.neighborhood.MotionCache` across ticks,
+  Snapshot arrays are published through a double-buffered
+  :mod:`multiprocessing.shared_memory` ring (:class:`_SnapshotRing`): two
+  *current*-snapshot slots written alternately plus a *previous*-snapshot
+  fallback, so a steady-state tick — whose ``prev`` side is, by object
+  identity, the array published as ``cur`` one run earlier — writes
+  exactly one ``(n, d)`` copy into shared memory.  A tick then ships only
+  row indices (device ids, the flagged set, the carry-clean set) down the
+  pipes — never a pickled :class:`~repro.core.transition.Transition` and
+  never a second snapshot copy.  Workers attach the segments *zero-copy*
+  (read-only views, :meth:`Transition.from_views`); a sequence gate makes
+  that safe: cross-task state (the carried cache, the adoptable cur-side
+  index) is only reused when the task is the immediate successor of the
+  one that produced it, because one run later the ring overwrites the
+  slot that task's ``prev`` views point into.  Each worker keeps a
+  private :class:`~repro.core.neighborhood.MotionCache` across ticks,
   re-seeded per tick via :meth:`MotionCache.carry_from` with the caller's
   clean set (devices outside the dirty cell-rings), which extends the
   online service's cross-tick motion-family reuse to multi-core runs.
@@ -47,7 +57,7 @@ import numpy as np
 
 from repro.core.characterize import Characterizer
 from repro.core.neighborhood import MotionCache
-from repro.core.transition import Snapshot, Transition
+from repro.core.transition import Transition
 from repro.core.types import Characterization
 
 from repro.engine.config import EngineConfig
@@ -249,14 +259,30 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
     """Long-lived worker loop: tasks in, verdicts + cache counters out.
 
     The worker owns a private :class:`MotionCache` that survives tasks.
-    Each task rebuilds the transition from the shared-memory snapshots
-    and re-seeds the cache from the previous one via ``carry_from`` with
-    the task's clean set — families of devices outside the dirty
-    cell-rings are reused, everything else recomputes.
+    Each task builds its transition over *zero-copy read-only views* of
+    the shared-memory ring slots (:meth:`Transition.from_views` — no
+    per-task snapshot copies) and re-seeds the cache from the previous
+    one via ``carry_from`` with the task's clean set — families of
+    devices outside the dirty cell-rings are reused, everything else
+    recomputes.
+
+    Zero-copy makes sequencing load-bearing: the parent's ring keeps a
+    task's ``cur`` slot intact for exactly one more run (it becomes the
+    next run's ``prev``), and overwrites the task's ``prev`` slot at the
+    next publish.  So everything that survives across tasks — the cache
+    and the adoptable cur-side index — is only reused when this task's
+    ``seq`` is the immediate successor of the one that produced it;
+    otherwise the stale state (whose views may now show a different
+    tick's data) is dropped wholesale and the task recomputes.
     """
     segments: Dict[str, shared_memory.SharedMemory] = {}
+    # Segments that could not close because live views still pinned their
+    # buffers; retried once the views are garbage.
+    zombies: List[shared_memory.SharedMemory] = []
     cache: Optional[MotionCache] = None
     last_transition: Optional[Transition] = None
+    last_names: set = set()
+    last_seq: Optional[int] = None
     kernel = kwargs.get("kernel")
     try:
         while True:
@@ -265,16 +291,46 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                 break
             try:
                 n, d = task["shape"]
+                seq = task["seq"]
+                consecutive = last_seq is not None and seq == last_seq + 1
+                if not consecutive:
+                    # The ring may have recycled the slots this state's
+                    # views point into; nothing carried is trustworthy.
+                    cache = None
+                    last_transition = None
+                    last_names = set()
                 # Evict superseded segments: the parent regrows capacity
                 # under new names and unlinks the old ones, which stay
                 # pinned in the kernel as long as any worker keeps them
-                # mapped.
-                live = {task["prev"], task["cur"]}
-                for name in [k for k in segments if k not in live]:
-                    try:
-                        segments.pop(name).close()
-                    except OSError:  # pragma: no cover - already gone
-                        pass
+                # mapped.  Views pin mappings, so any carried state
+                # referencing a stale segment is dropped first; a close
+                # still blocked by an exported buffer parks the segment
+                # on the zombie list for a later retry.
+                keep = set(task["ring"])
+                stale = [name for name in segments if name not in keep]
+                if stale:
+                    if last_names & set(stale):
+                        cache = None
+                        last_transition = None
+                        last_names = set()
+                    for name in stale:
+                        seg = segments.pop(name)
+                        try:
+                            seg.close()
+                        except BufferError:  # pragma: no cover - view alive
+                            zombies.append(seg)
+                        except OSError:  # pragma: no cover - already gone
+                            pass
+                if zombies:
+                    remaining = []
+                    for seg in zombies:
+                        try:
+                            seg.close()
+                        except BufferError:  # pragma: no cover
+                            remaining.append(seg)
+                        except OSError:  # pragma: no cover
+                            pass
+                    zombies = remaining
 
                 def _attach(name: str) -> np.ndarray:
                     seg = segments.get(name)
@@ -283,18 +339,21 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                         if unregister_shm:
                             _shm_unregister(name)
                         segments[name] = seg
+                    # Zero-copy, read-only: the transition reads the ring
+                    # slot in place.  The flagged-subset indexes and every
+                    # family are built from fancy-indexed *copies*, so
+                    # nothing retained beyond this task dereferences the
+                    # slot once the ring moves on.
                     arr = np.frombuffer(
                         seg.buf, dtype=np.float64, count=n * d
-                    )
-                    # Copy out of the segment: the parent reuses it for
-                    # the next tick and the worker's transition must not
-                    # shift underneath its own caches.
-                    return arr.reshape(n, d).copy()
+                    ).reshape(n, d)
+                    arr.flags.writeable = False
+                    return arr
 
                 def _build(index_prev) -> Transition:
-                    return Transition(
-                        Snapshot(_attach(task["prev"])),
-                        Snapshot(_attach(task["cur"])),
+                    return Transition.from_views(
+                        _attach(task["prev"]),
+                        _attach(task["cur"]),
                         task["flagged"],
                         task["r"],
                         task["tau"],
@@ -305,7 +364,9 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                 # so this tick's prev-side flagged index is last tick's
                 # cur-side one whenever the flagged set held steady; the
                 # adoption is content-validated, so a mismatch (stream
-                # jump, changed r) falls back to a fresh build.
+                # jump, changed r) falls back to a fresh build.  Only a
+                # consecutive task may adopt: a lazy index build on an
+                # older transition would read a recycled ring slot.
                 index_prev = None
                 if (
                     last_transition is not None
@@ -320,6 +381,7 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                         raise
                     transition = _build(None)
                 last_transition = transition
+                last_names = {task["prev"], task["cur"]}
                 clean = task["clean"]
                 if cache is not None and clean is not None:
                     cache = MotionCache.carry_from(cache, transition, clean)
@@ -335,6 +397,7 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                 expansions_before = cache.expansions
                 reused_before = cache.carried_used
                 verdicts = [characterizer.characterize(j) for j in devices]
+                last_seq = seq
                 conn.send(
                     (
                         "ok",
@@ -348,14 +411,18 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                 # must not seed the next tick.
                 cache = None
                 last_transition = None
+                last_names = set()
+                last_seq = None
                 conn.send(("err", traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
         pass
     finally:
+        cache = None
+        last_transition = None
         for seg in segments.values():
             try:
                 seg.close()
-            except OSError:  # pragma: no cover - already gone
+            except (OSError, BufferError):  # pragma: no cover - already gone
                 pass
         conn.close()
 
@@ -412,6 +479,105 @@ def _shutdown_workers(workers: List[_PoolWorker]) -> None:
 
 
 @dataclass
+class _SnapshotRing:
+    """Double-buffered shared-memory ring for snapshot publication.
+
+    Three segments: two *cur* slots written alternately plus one *prev*
+    fallback.  The protocol exploits the online service's transition
+    chaining — tick ``k+1``'s ``prev`` array is, by object identity, the
+    exact array published as tick ``k``'s ``cur``:
+
+    * **hot publish** (identity holds and the array is frozen read-only):
+      the ``prev`` side is already resident in the slot written last run,
+      so only ``cur`` is copied, into the *other* slot.  One ``(n, d)``
+      copy per steady-state tick.
+    * **cold publish** (first run, chain broken, or a mutable prev): both
+      endpoints are copied — ``prev`` into the fallback segment, ``cur``
+      into the next slot — and the chain restarts.
+
+    The alternation guarantees the previous run's ``cur`` slot survives
+    exactly one more run; workers' sequence gates are calibrated to that
+    lifetime.  ``last_cur`` is compared by ``is`` only, never
+    dereferenced — holding the reference also keeps the object from
+    being recycled at the same address.
+    """
+
+    slots: List[Optional[shared_memory.SharedMemory]] = field(
+        default_factory=lambda: [None, None]
+    )
+    prev_seg: Optional[shared_memory.SharedMemory] = None
+    capacity: int = 0
+    last_cur: Optional[np.ndarray] = None
+    last_slot: int = 0
+
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of every live segment (shipped so workers evict strays)."""
+        return tuple(
+            seg.name
+            for seg in (*self.slots, self.prev_seg)
+            if seg is not None
+        )
+
+    def reallocate(self, capacity: int) -> None:
+        """Recreate all segments at ``capacity`` bytes; breaks the chain."""
+        self.drop_segments()
+        self.slots = [
+            shared_memory.SharedMemory(create=True, size=capacity),
+            shared_memory.SharedMemory(create=True, size=capacity),
+        ]
+        self.prev_seg = shared_memory.SharedMemory(create=True, size=capacity)
+        self.capacity = capacity
+        self.last_cur = None
+        self.last_slot = 0
+
+    def publish(self, transition: Transition) -> Tuple[str, str]:
+        """Write one transition's snapshots; return ``(prev, cur)`` names."""
+        needed = transition.n * transition.dim * 8
+        if self.prev_seg is None or self.capacity < needed:
+            # Geometric growth: a regrow renames every segment and makes
+            # each worker re-attach, so a monotonically growing
+            # population must not pay that on every run.
+            self.reallocate(max(needed, 2 * self.capacity, 1))
+        count = transition.n * transition.dim
+        prev_pos = transition.previous.positions
+        cur_pos = transition.current.positions
+        hot = self.last_cur is prev_pos and not prev_pos.flags.writeable
+        if hot:
+            prev_seg = self.slots[self.last_slot]
+            cur_slot = 1 - self.last_slot
+        else:
+            prev_seg = self.prev_seg
+            np.copyto(
+                np.frombuffer(prev_seg.buf, dtype=np.float64, count=count),
+                prev_pos.ravel(),
+            )
+            cur_slot = 1 - self.last_slot
+        cur_seg = self.slots[cur_slot]
+        np.copyto(
+            np.frombuffer(cur_seg.buf, dtype=np.float64, count=count),
+            cur_pos.ravel(),
+        )
+        self.last_cur = cur_pos
+        self.last_slot = cur_slot
+        return prev_seg.name, cur_seg.name
+
+    def drop_segments(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for seg in (*self.slots, self.prev_seg):
+            if seg is not None:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+        self.slots = [None, None]
+        self.prev_seg = None
+        self.capacity = 0
+        self.last_cur = None
+        self.last_slot = 0
+
+
+@dataclass
 class _PoolState:
     """Everything :class:`WorkerPoolBackend` must tear down at close.
 
@@ -420,23 +586,12 @@ class _PoolState:
     """
 
     workers: List[_PoolWorker] = field(default_factory=list)
-    shm_prev: Optional[shared_memory.SharedMemory] = None
-    shm_cur: Optional[shared_memory.SharedMemory] = None
-    capacity: int = 0
+    ring: _SnapshotRing = field(default_factory=_SnapshotRing)
 
     def close(self) -> None:
         _shutdown_workers(self.workers)
         self.workers = []
-        for attr in ("shm_prev", "shm_cur"):
-            seg = getattr(self, attr)
-            if seg is not None:
-                try:
-                    seg.close()
-                    seg.unlink()
-                except (OSError, FileNotFoundError):  # pragma: no cover
-                    pass
-                setattr(self, attr, None)
-        self.capacity = 0
+        self.ring.drop_segments()
 
 
 class WorkerPoolBackend(ExecutionBackend):
@@ -573,34 +728,8 @@ class WorkerPoolBackend(ExecutionBackend):
                 self._state.workers[i] = self._spawn_worker(config)
 
     def _publish(self, transition: Transition) -> Tuple[str, str]:
-        """Copy both snapshots into shared memory; return segment names."""
-        needed = transition.n * transition.dim * 8
-        state = self._state
-        if state.shm_prev is None or state.capacity < needed:
-            for attr in ("shm_prev", "shm_cur"):
-                seg = getattr(state, attr)
-                if seg is not None:
-                    seg.close()
-                    seg.unlink()
-            # Geometric growth: a regrow renames both segments and makes
-            # every worker re-attach, so a monotonically growing
-            # population must not pay that on every run.
-            capacity = max(needed, 2 * state.capacity, 1)
-            state.shm_prev = shared_memory.SharedMemory(
-                create=True, size=capacity
-            )
-            state.shm_cur = shared_memory.SharedMemory(
-                create=True, size=capacity
-            )
-            state.capacity = capacity
-        count = transition.n * transition.dim
-        for seg, snapshot in (
-            (state.shm_prev, transition.previous),
-            (state.shm_cur, transition.current),
-        ):
-            view = np.frombuffer(seg.buf, dtype=np.float64, count=count)
-            np.copyto(view, snapshot.positions.ravel())
-        return state.shm_prev.name, state.shm_cur.name
+        """Publish the snapshots through the ring; return segment names."""
+        return self._state.ring.publish(transition)
 
     def close(self) -> None:
         """Shut workers down and release the shared-memory segments."""
@@ -655,6 +784,8 @@ class WorkerPoolBackend(ExecutionBackend):
         task_base = {
             "prev": prev_name,
             "cur": cur_name,
+            "ring": self._state.ring.segment_names(),
+            "seq": seq,
             "shape": (transition.n, transition.dim),
             "r": transition.r,
             "tau": transition.tau,

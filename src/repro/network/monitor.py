@@ -348,14 +348,10 @@ class NetworkMonitor:
             )
             return result
         assert self._service is not None
-        flagged_set = set(flagged)
-        out = self._service.feed_snapshot(
-            qos,
-            [
-                device_id in flagged_set
-                for device_id in range(self._topology.n_gateways)
-            ],
-        )
+        # The bank's flag vector goes to the service as-is — the columnar
+        # snapshot path diffs arrays, no per-gateway list needed.
+        assert self._last_detection is not None
+        out = self._service.feed_snapshot(qos, self._last_detection.flags)
         result.transition = out.transition
         result.verdicts = dict(out.verdicts)
         for device_id, verdict in result.verdicts.items():

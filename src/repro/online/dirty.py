@@ -43,9 +43,11 @@ from __future__ import annotations
 import math
 from typing import Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.errors import ConfigurationError
 from repro.online.grid import CellKey, MutableGridIndex
-from repro.online.store import AppliedUpdate
+from repro.online.store import AppliedBatch, AppliedUpdate
 
 __all__ = ["DirtyRegionTracker"]
 
@@ -135,6 +137,35 @@ class DirtyRegionTracker:
             self._carry_next.add(applied.old_cell)
             self._carry_next.add(applied.new_cell)
         return True
+
+    def mark_batch(
+        self, batch: AppliedBatch, *, was_relevant: np.ndarray
+    ) -> int:
+        """Vectorized :meth:`mark` over one applied row batch.
+
+        Computes the relevance mask in one pass and materializes cell
+        tuples *only* for the relevant rows — the irrelevant bulk of a
+        steady-state tick allocates nothing per device.  Returns the
+        number of relevant updates.
+        """
+        relevant = batch.flag_changed | (
+            batch.moved & (batch.flagged | np.asarray(was_relevant, dtype=bool))
+        )
+        count = int(np.count_nonzero(relevant))
+        if not count:
+            return 0
+        idx = np.nonzero(relevant)[0]
+        old_cells = [tuple(key) for key in batch.old_keys[idx].tolist()]
+        new_cells = [tuple(key) for key in batch.new_keys[idx].tolist()]
+        self._pending.update(old_cells)
+        self._pending.update(new_cells)
+        moved = batch.moved[idx]
+        if moved.any():
+            # prev_{k+1} = cur_k: these trajectories shift again next tick.
+            for i in np.nonzero(moved)[0]:
+                self._carry_next.add(old_cells[i])
+                self._carry_next.add(new_cells[i])
+        return count
 
     def finish_tick(
         self, index: MutableGridIndex

@@ -1,4 +1,4 @@
-"""Incrementally maintained uniform-grid spatial index.
+"""Incrementally maintained uniform-grid spatial index, array-backed.
 
 :class:`~repro.core.geometry.GridIndex` is batch-built: one pass over an
 immutable point array.  That is the right shape for the experiment
@@ -6,9 +6,17 @@ drivers, which see each snapshot exactly once — and the wrong shape for
 an online service, where a tick that moves ``k`` devices out of ``n``
 would pay an O(n) rebuild for O(k) change.  :class:`MutableGridIndex`
 keeps the same cell decomposition (side ``cell``, keys
-``floor(p / cell)``) in mutable dictionaries so ``insert`` / ``remove`` /
-``move`` cost O(1) dictionary work each, and range queries walk exactly
-the cells :meth:`GridIndex.query` walks.
+``floor(p / cell)``) with O(1) ``insert`` / ``remove`` / ``move``
+dictionary work per mutation, and range queries walk exactly the cells
+:meth:`GridIndex.query` walks.
+
+Since the structure-of-arrays refactor the index is *columnar*: device
+positions live in one ``(capacity, d)`` array and cell keys in one
+``(capacity, d)`` int array — there is no per-device numpy object, and
+the position plane can be *adopted zero-copy* from a
+:class:`~repro.online.store.DeviceStateStore` via :meth:`from_array`, in
+which case the store writes positions and the index only maintains cell
+membership (:meth:`move_rows` is the vectorized tick path).
 
 Equivalence is part of the contract, not an accident: after *any*
 interleaving of mutations, :meth:`query` and :meth:`query_batch` must
@@ -54,27 +62,92 @@ class MutableGridIndex:
             raise ConfigurationError(f"dim must be >= 1, got {dim!r}")
         self._cell = float(cell)
         self._dim = int(dim)
-        self._positions: Dict[int, np.ndarray] = {}
-        self._key_of: Dict[int, CellKey] = {}
+        # Columnar state: one positions plane, one key plane, one alive
+        # mask — rows are device ids.  ``_external`` marks an adopted
+        # positions plane (the store writes it; the index must not).
+        self._pts = np.empty((0, self._dim), dtype=float)
+        self._keys = np.empty((0, self._dim), dtype=np.int64)
+        self._alive = np.empty(0, dtype=bool)
+        self._count = 0
+        self._external = False
         self._cells: Dict[CellKey, Set[int]] = {}
 
     @classmethod
     def from_points(cls, points: np.ndarray, cell: float) -> "MutableGridIndex":
         """Bulk-load devices ``0..n-1`` from an ``(n, d)`` array.
 
-        One vectorized key computation plus plain dictionary fills —
-        the per-insert numpy scalar work would dominate at fleet scale.
+        One bulk array copy plus a vectorized key computation — the
+        per-insert numpy scalar work would dominate at fleet scale.
         """
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2:
             raise DimensionMismatchError("points must be an (n, d) array")
         index = cls(cell, pts.shape[1])
-        keys = np.floor(pts / index._cell).astype(int)
-        for device, key in enumerate(map(tuple, keys)):
-            index._positions[device] = pts[device].copy()
-            index._key_of[device] = key
-            index._cells.setdefault(key, set()).add(device)
+        index._adopt(pts.copy(), external=False)
         return index
+
+    @classmethod
+    def from_array(
+        cls, points: np.ndarray, cell: float
+    ) -> "MutableGridIndex":
+        """Adopt an ``(n, d)`` positions plane *zero-copy*.
+
+        The caller (a :class:`~repro.online.store.DeviceStateStore`)
+        owns position writes; the index reads them in place and only
+        maintains cell membership.  After the owner rewrites rows it
+        must call :meth:`move_rows` with those rows so the cell sets
+        catch up.  Growing the owner's plane requires :meth:`rebind`.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise DimensionMismatchError("points must be an (n, d) array")
+        index = cls(cell, pts.shape[1])
+        index._adopt(pts, external=True)
+        return index
+
+    def _adopt(self, pts: np.ndarray, *, external: bool) -> None:
+        n = pts.shape[0]
+        self._pts = pts
+        self._external = external
+        self._keys = np.floor(pts / self._cell).astype(np.int64)
+        self._alive = np.ones(n, dtype=bool)
+        self._count = n
+        cells: Dict[CellKey, Set[int]] = {}
+        for device, key in enumerate(map(tuple, self._keys.tolist())):
+            cells.setdefault(key, set()).add(device)
+        self._cells = cells
+
+    def rebind(self, points: np.ndarray) -> None:
+        """Swap the adopted positions plane for a grown replacement.
+
+        Rows already indexed must be byte-identical in the new plane
+        (the store grows by copying); only valid in adopted mode.
+        """
+        if not self._external:
+            raise ConfigurationError("rebind is only valid for adopted planes")
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != self._dim:
+            raise DimensionMismatchError("points must be an (n, d) array")
+        if pts.shape[0] < self._pts.shape[0]:
+            raise ConfigurationError("rebind cannot shrink the plane")
+        self._pts = pts
+        self._grow_rows(pts.shape[0])
+
+    def _grow_rows(self, capacity: int) -> None:
+        """Extend the key/alive columns to ``capacity`` rows."""
+        have = self._keys.shape[0]
+        if capacity <= have:
+            return
+        keys = np.zeros((capacity, self._dim), dtype=np.int64)
+        keys[:have] = self._keys
+        alive = np.zeros(capacity, dtype=bool)
+        alive[:have] = self._alive
+        self._keys = keys
+        self._alive = alive
+        if not self._external:
+            pts = np.zeros((capacity, self._dim), dtype=float)
+            pts[: self._pts.shape[0]] = self._pts
+            self._pts = pts
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,21 +163,20 @@ class MutableGridIndex:
         return self._dim
 
     def __len__(self) -> int:
-        return len(self._positions)
+        return self._count
 
     def __contains__(self, device: int) -> bool:
-        return device in self._positions
+        return 0 <= device < self._alive.shape[0] and bool(self._alive[device])
 
     def devices(self) -> Tuple[int, ...]:
         """All indexed device ids, sorted."""
-        return tuple(sorted(self._positions))
+        return tuple(int(j) for j in np.nonzero(self._alive)[0])
 
     def position(self, device: int) -> np.ndarray:
         """Current position of ``device`` (a copy)."""
-        try:
-            return self._positions[device].copy()
-        except KeyError:
-            raise UnknownDeviceError(f"device {device} is not indexed") from None
+        if device not in self:
+            raise UnknownDeviceError(f"device {device} is not indexed")
+        return self._pts[device].copy()
 
     def cell_key(self, position: Sequence[float]) -> CellKey:
         """The grid cell containing ``position``."""
@@ -113,10 +185,13 @@ class MutableGridIndex:
 
     def key_of(self, device: int) -> CellKey:
         """The grid cell currently holding ``device``."""
-        try:
-            return self._key_of[device]
-        except KeyError:
-            raise UnknownDeviceError(f"device {device} is not indexed") from None
+        if device not in self:
+            raise UnknownDeviceError(f"device {device} is not indexed")
+        return tuple(self._keys[device].tolist())
+
+    def keys_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Current ``(k, d)`` cell keys of ``rows`` (a gathered copy)."""
+        return self._keys[rows].copy()
 
     def devices_in_cell(self, key: CellKey) -> FrozenSet[int]:
         """Devices currently stored in one cell."""
@@ -135,23 +210,36 @@ class MutableGridIndex:
 
     def insert(self, device: int, position: Sequence[float]) -> CellKey:
         """Add a device; returns the cell it landed in."""
-        if device in self._positions:
+        if device in self:
             raise ConfigurationError(
                 f"device {device} is already indexed; use move()"
             )
+        if device < 0:
+            raise ConfigurationError(f"device id must be >= 0, got {device!r}")
         pos = self._validate(position)
-        key = self.cell_key(pos)
-        self._positions[device] = pos.copy()
-        self._key_of[device] = key
+        if device >= self._alive.shape[0]:
+            if self._external:
+                raise ConfigurationError(
+                    f"row {device} is beyond the adopted plane; rebind first"
+                )
+            self._grow_rows(max(device + 1, 2 * self._alive.shape[0], 4))
+        if not self._external:
+            self._pts[device] = pos
+        key_arr = np.floor(self._pts[device] / self._cell).astype(np.int64)
+        self._keys[device] = key_arr
+        key = tuple(key_arr.tolist())
+        self._alive[device] = True
+        self._count += 1
         self._cells.setdefault(key, set()).add(device)
         return key
 
     def remove(self, device: int) -> CellKey:
         """Drop a device; returns the cell it vacated."""
-        if device not in self._positions:
+        if device not in self:
             raise UnknownDeviceError(f"device {device} is not indexed")
-        key = self._key_of.pop(device)
-        del self._positions[device]
+        key = tuple(self._keys[device].tolist())
+        self._alive[device] = False
+        self._count -= 1
         bucket = self._cells[key]
         bucket.discard(device)
         if not bucket:
@@ -162,22 +250,58 @@ class MutableGridIndex:
         """Relocate a device; returns ``(old_cell, new_cell)``.
 
         The common case — a small QoS drift that stays inside the same
-        ``2r`` cell — touches no cell sets at all.
+        ``2r`` cell — touches no cell sets at all.  In adopted mode the
+        owner has already written the position; ``position`` must match
+        the plane's row (the store guarantees it by writing first).
         """
-        if device not in self._positions:
+        if device not in self:
             raise UnknownDeviceError(f"device {device} is not indexed")
         pos = self._validate(position)
-        old_key = self._key_of[device]
-        new_key = self.cell_key(pos)
-        self._positions[device] = pos.copy()
+        if not self._external:
+            self._pts[device] = pos
+        old_key = tuple(self._keys[device].tolist())
+        new_arr = np.floor(pos / self._cell).astype(np.int64)
+        new_key = tuple(new_arr.tolist())
         if new_key != old_key:
             bucket = self._cells[old_key]
             bucket.discard(device)
             if not bucket:
                 del self._cells[old_key]
             self._cells.setdefault(new_key, set()).add(device)
-            self._key_of[device] = new_key
+            self._keys[device] = new_arr
         return old_key, new_key
+
+    def move_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`move` for rows whose positions were rewritten.
+
+        Reads the (already updated) positions plane for ``rows``,
+        recomputes their keys in one pass and touches cell sets only for
+        the rows that actually crossed a cell boundary.  Returns
+        ``(old_keys, new_keys, cell_changed)`` — two ``(k, d)`` int
+        arrays plus a boolean mask — the row-vector form the
+        dirty-region tracker consumes.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        old_keys = self._keys[rows].copy()
+        new_keys = np.floor(self._pts[rows] / self._cell).astype(np.int64)
+        cell_changed = np.any(new_keys != old_keys, axis=1)
+        if cell_changed.any():
+            changed_idx = np.nonzero(cell_changed)[0]
+            old_list = old_keys[changed_idx].tolist()
+            new_list = new_keys[changed_idx].tolist()
+            for i, pos in enumerate(changed_idx):
+                device = int(rows[pos])
+                old_key = tuple(old_list[i])
+                new_key = tuple(new_list[i])
+                bucket = self._cells[old_key]
+                bucket.discard(device)
+                if not bucket:
+                    del self._cells[old_key]
+                self._cells.setdefault(new_key, set()).add(device)
+            self._keys[rows[changed_idx]] = new_keys[changed_idx]
+        return old_keys, new_keys, cell_changed
 
     # ------------------------------------------------------------------
     # Queries
@@ -198,7 +322,7 @@ class MutableGridIndex:
                 candidates.extend(bucket)
         if not candidates:
             return []
-        pts = np.stack([self._positions[device] for device in candidates])
+        pts = self._pts[candidates]
         mask = np.all(np.abs(pts - ctr) <= rho + 1e-12, axis=1)
         hits = [candidates[i] for i in np.nonzero(mask)[0]]
         hits.sort()

@@ -10,9 +10,10 @@ keeps it warm:
   ``"drop-oldest"`` sheds load, ``"error"`` raises
   :class:`~repro.core.errors.QueueFullError`;
 * :meth:`OnlineCharacterizationService.end_tick` drains the queue in
-  batches of ``max_batch``, applies them to the sharded
-  :class:`~repro.online.store.DeviceStateStore` (updates grouped by
-  shard for locality), and lets the
+  batches of ``max_batch``, applies them to the columnar
+  :class:`~repro.online.store.DeviceStateStore` as vectorized row
+  batches (order-preserving segments, so a device reporting twice keeps
+  last-write-wins semantics), and lets the
   :class:`~repro.online.dirty.DirtyRegionTracker` accumulate the touched
   grid cells;
 * only the *affected* flagged devices — those within the dirty cells'
@@ -46,7 +47,7 @@ import numpy as np
 
 from repro.core.errors import ConfigurationError, QueueFullError
 from repro.core.neighborhood import MotionCache
-from repro.core.transition import Snapshot, Transition
+from repro.core.transition import Transition
 from repro.core.types import AnomalyType, Characterization
 from repro.detection.banks import BankDetection, DetectorBank, DetectorLike, as_bank
 from repro.engine import CharacterizationEngine, EngineConfig
@@ -67,6 +68,9 @@ __all__ = [
 
 #: Accepted ``ServiceConfig.backpressure`` values.
 BACKPRESSURE_POLICIES = ("block", "drop-oldest", "error")
+
+#: Stable int8 encoding of verdict types for the store's verdict column.
+_VERDICT_CODE = {kind: np.int8(i) for i, kind in enumerate(AnomalyType)}
 
 
 @dataclass(frozen=True)
@@ -382,6 +386,15 @@ class OnlineCharacterizationService:
         self._last_transition: Optional[Transition] = None
         self._last_flagged: Optional[Tuple[int, ...]] = None
         self._last_cache: Optional[MotionCache] = None
+        # Published-transition chaining: a tick's transition freezes one
+        # read-only copy of the store's current positions; the next tick
+        # adopts it as its *prev* side iff the store rolled exactly once
+        # in between (tick_serial check), so steady-state ticks pay one
+        # (n, d) copy, not two.
+        self._chain_cur: Optional[np.ndarray] = None
+        self._chain_serial = -1
+        # Rows whose verdict-code column entries are currently set.
+        self._verdict_rows: Optional[np.ndarray] = None
         self._sinks: List[Callable[[OnlineTick], None]] = list(sinks)
         self._tick = 0
         self.stats = ServiceStats()
@@ -488,29 +501,48 @@ class OnlineCharacterizationService:
         return sum(1 for update in updates if self.ingest(update))
 
     def _apply_batch(self, limit: int) -> int:
-        """Pop up to ``limit`` events, apply them shard-grouped, mark dirt."""
+        """Pop up to ``limit`` events, apply them as vectorized row batches.
+
+        :meth:`DeviceStateStore.apply_rows` needs unique rows, so the
+        batch is split into order-preserving segments at each repeated
+        device: within and across segments arrival order is preserved,
+        so last-write-wins semantics hold and every intermediate state
+        still marks the dirty tracker (a device hopping A→B→C dirties
+        all three cells, exactly as the per-update path did).
+        """
         batch: List[QosUpdate] = []
         while self._queue and len(batch) < limit:
             batch.append(self._queue.popleft())
         if not batch:
             return 0
-        # Group by shard so one pass touches one spatial region at a time;
-        # within a shard (and for a device reporting twice) arrival order
-        # is preserved, so last-write-wins semantics hold.
-        by_shard: Dict[int, List[QosUpdate]] = {}
-        for update in batch:
-            shard = self._store.shard_of(update.device)
-            by_shard.setdefault(shard, []).append(update)
-        for shard in sorted(by_shard):
-            for update in by_shard[shard]:
-                was_flagged = self._store.is_flagged(update.device)
-                applied = self._store.apply(
-                    update.device, update.position, update.flagged
-                )
-                self._tracker.mark(applied, was_relevant=was_flagged)
+        start = 0
+        seen = set()
+        for i, update in enumerate(batch):
+            if update.device in seen:
+                self._apply_segment(batch[start:i])
+                start = i
+                seen = set()
+            seen.add(update.device)
+        self._apply_segment(batch[start:])
         self.stats.updates_applied += len(batch)
         self._applied_since_tick += len(batch)
         return len(batch)
+
+    def _apply_segment(self, segment: List[QosUpdate]) -> None:
+        """Apply one duplicate-free event run as a single row batch."""
+        store = self._store
+        count = len(segment)
+        rows = np.fromiter(
+            (store.row_of(update.device) for update in segment),
+            dtype=np.int64,
+            count=count,
+        )
+        positions = np.array([update.position for update in segment], dtype=float)
+        flags = np.fromiter(
+            (update.flagged for update in segment), dtype=bool, count=count
+        )
+        applied = store.apply_rows(rows, positions, flags)
+        self._tracker.mark_batch(applied, was_relevant=applied.was_flagged)
 
     def feed_snapshot(
         self, current: np.ndarray, flags: Iterable[bool]
@@ -526,32 +558,36 @@ class OnlineCharacterizationService:
         always converges to ``current``.  ``flags`` is the full current
         flag vector (index = device id).
 
-        The self-produced diff batch is applied *directly* (in
-        ``max_batch`` passes), not routed through the bounded ingest
+        The self-produced diff batch is applied *directly* as one
+        vectorized row batch, not routed through the bounded ingest
         queue: the snapshot is already materialized, and an "error"
         backpressure policy firing mid-batch would leave the tick
         half-applied — and a detector bank one observation ahead of the
         store (:meth:`feed_measurements` relies on this atomicity).
+        This is the columnar hot path: the diff runs against the
+        store's read-only views, the changed rows go straight to
+        :meth:`DeviceStateStore.apply_rows`, and no per-device Python
+        objects are created at any point (the steady-state allocation
+        test pins this down).
         """
-        from repro.online.replay import diff_updates
+        from repro.online.replay import diff_rows
 
         # Apply any events queued mid-tick first, so the diff below sees
         # the true store state (and emits corrections back to `current`
         # where a mid-tick ingest diverged from the fed snapshot).
         while self._queue:
             self._apply_batch(self._config.max_batch or len(self._queue))
-        service_flags = np.zeros(self._store.n, dtype=bool)
-        for device in self._store.flagged_devices():
-            service_flags[device] = True
-        self._queue.extend(
-            diff_updates(
-                self._store.current_positions(),
-                current,
-                service_flags,
-                list(flags),
-            )
+        rows, positions, new_flags = diff_rows(
+            self._store.current_positions(),
+            current,
+            self._store.flag_vector(),
+            flags,
         )
-        # end_tick's own drain applies the batch.
+        if rows.size:
+            applied = self._store.apply_rows(rows, positions, new_flags)
+            self._tracker.mark_batch(applied, was_relevant=applied.was_flagged)
+            self.stats.updates_applied += int(rows.size)
+            self._applied_since_tick += int(rows.size)
         return self.end_tick()
 
     def feed_measurements(self, values: np.ndarray) -> OnlineTick:
@@ -598,8 +634,27 @@ class OnlineCharacterizationService:
         verdicts: Dict[int, Characterization] = {}
         families_recomputed = 0
         families_reused = 0
+        chain_next: Optional[np.ndarray] = None
         if flagged:
-            prev_arr, cur_arr = self._store.snapshot_arrays()
+            prev_view, cur_view = self._store.snapshot_arrays()
+            # One read-only copy freezes the current positions for the
+            # published transition (ticks retain them; live views would
+            # be corrupted by the next update).  The prev side chains
+            # the previous tick's frozen cur — same content as the
+            # store's prev plane, zero extra copy — unless the store
+            # rolled an unexpected number of times in between.
+            cur_arr = cur_view.copy()
+            cur_arr.flags.writeable = False
+            if (
+                self._chain_cur is not None
+                and self._store.tick_serial == self._chain_serial
+                and self._chain_cur.shape == prev_view.shape
+            ):
+                prev_arr = self._chain_cur
+            else:
+                prev_arr = prev_view.copy()
+                prev_arr.flags.writeable = False
+            chain_next = cur_arr
             index_prev = None
             if (
                 cfg.reuse_indexes
@@ -608,9 +663,9 @@ class OnlineCharacterizationService:
             ):
                 index_prev = self._last_transition.cur_index
                 self.stats.index_reuses += 1
-            transition = Transition(
-                Snapshot(prev_arr),
-                Snapshot(cur_arr),
+            transition = Transition.from_views(
+                prev_arr,
+                cur_arr,
                 flagged,
                 cfg.r,
                 cfg.tau,
@@ -675,7 +730,10 @@ class OnlineCharacterizationService:
         else:
             self._last_cache = None
         self._verdicts = verdicts
+        self._record_verdict_codes(flagged, verdicts)
         self._store.advance_tick()
+        self._chain_cur = chain_next
+        self._chain_serial = self._store.tick_serial
         self._last_transition = transition
         self._last_flagged = flagged if transition is not None else None
         self.stats.ticks += 1
@@ -698,6 +756,34 @@ class OnlineCharacterizationService:
         for sink in self._sinks:
             sink(result)
         return result
+
+    def _record_verdict_codes(
+        self,
+        flagged: Tuple[int, ...],
+        verdicts: Dict[int, Characterization],
+    ) -> None:
+        """Mirror this tick's verdicts into the store's int8 code column."""
+        store = self._store
+        if self._verdict_rows is not None and self._verdict_rows.size:
+            store.set_verdict_codes(
+                self._verdict_rows,
+                np.full(self._verdict_rows.shape[0], -1, dtype=np.int8),
+            )
+        if flagged:
+            rows = np.fromiter(
+                (store.row_of(j) for j in flagged),
+                dtype=np.int64,
+                count=len(flagged),
+            )
+            codes = np.fromiter(
+                (_VERDICT_CODE[verdicts[j].anomaly_type] for j in flagged),
+                dtype=np.int8,
+                count=len(flagged),
+            )
+            store.set_verdict_codes(rows, codes)
+            self._verdict_rows = rows
+        else:
+            self._verdict_rows = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

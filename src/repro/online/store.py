@@ -1,23 +1,37 @@
-"""Sharded per-device state for the online characterization service.
+"""Columnar (structure-of-arrays) device state for the online service.
 
-:class:`DeviceStateStore` is the service's system-state mirror: for every
-device it holds the last two QoS snapshots (the ``S_{k-1}`` / ``S_k``
-pair a :class:`~repro.core.transition.Transition` needs), the current
-flag bit ``a_k(j)``, and a spatial home — devices are *sharded by grid
-cell*, so devices that are close in the QoS space land in the same shard
-and a tick's updates can be applied shard by shard with good locality.
+:class:`DeviceStateStore` is the service's system-state mirror: the last
+two QoS snapshots (the ``S_{k-1}`` / ``S_k`` pair a
+:class:`~repro.core.transition.Transition` needs), the flag bit
+``a_k(j)``, the last verdict code, and a spatial shard — for every
+device, as *columns*: two ``(capacity, d)`` position planes and a handful
+of ``(capacity,)`` vectors.  There is no per-device Python object
+anywhere in the store; a device is a row index.
 
-The store is deliberately dumb about time: callers apply updates one at
-a time (:meth:`apply`), then :meth:`advance_tick` rolls the current
-snapshot into the previous one.  Devices that did not report keep their
-position — a silent gateway has, as far as anyone can tell, a stationary
-trajectory.
+Identifiers map to rows through an id↔row table with a LIFO free-list:
+:meth:`join` reuses the most recently vacated row (best cache locality)
+and :meth:`leave` scrubs the row before freeing it so reuse can never
+resurrect stale positions or flags.  When the population is the initial
+``0..n-1`` range (the common service case) ids and rows coincide and the
+map costs nothing on the hot path.
+
+The hot path itself is :meth:`apply_rows`: one gather/compare/scatter
+over the tick's changed rows, one vectorized cell re-key in the adopted
+:class:`~repro.online.grid.MutableGridIndex` (which shares the current
+position plane zero-copy), and an :class:`AppliedBatch` of row vectors
+for the dirty-region tracker.  The per-device :meth:`apply` survives as
+a compatibility shim over a one-row batch.
+
+:meth:`snapshot_arrays` and :meth:`current_positions` return *read-only
+views* by default (``copy=True`` opts into a private copy); anything
+that must outlive the tick — e.g. a published ``Transition`` — copies
+explicitly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +43,10 @@ from repro.core.errors import (
 from repro.core.geometry import validate_unit_cube
 from repro.online.grid import CellKey, MutableGridIndex
 
-__all__ = ["AppliedUpdate", "DeviceStateStore"]
+__all__ = ["AppliedBatch", "AppliedUpdate", "DeviceStateStore"]
+
+#: Verdict-code column value meaning "no verdict recorded".
+NO_VERDICT = np.int8(-1)
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,29 @@ class AppliedUpdate:
     new_cell: CellKey
 
 
+@dataclass(frozen=True)
+class AppliedBatch:
+    """Row-vector description of one :meth:`DeviceStateStore.apply_rows`.
+
+    All arrays are aligned: entry ``i`` describes ``rows[i]`` (device id
+    ``ids[i]``).  ``old_keys`` / ``new_keys`` are ``(k, d)`` integer cell
+    keys; the tracker only materializes tuples for the relevant subset.
+    """
+
+    rows: np.ndarray
+    ids: np.ndarray
+    moved: np.ndarray
+    flag_changed: np.ndarray
+    flagged: np.ndarray
+    was_flagged: np.ndarray
+    cell_changed: np.ndarray
+    old_keys: np.ndarray
+    new_keys: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+
 class DeviceStateStore:
     """Last two snapshots + flag state for ``n`` devices, grid-sharded.
 
@@ -56,7 +96,8 @@ class DeviceStateStore:
     ----------
     initial_positions:
         ``(n, d)`` QoS state at service start; both snapshots begin equal
-        (every trajectory starts stationary).
+        (every trajectory starts stationary).  Devices get ids (= rows)
+        ``0..n-1``.
     cell:
         Grid-cell side for the spatial index and shard assignment
         (``max(2r, 1e-6)`` to match the transition indexes).
@@ -75,22 +116,33 @@ class DeviceStateStore:
             )
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+        n = pts.shape[0]
+        self._cell = float(cell)
         self._prev = pts.copy()
         self._cur = pts.copy()
-        self._flags = np.zeros(pts.shape[0], dtype=bool)
-        self._index = MutableGridIndex.from_points(pts, cell)
+        self._flags = np.zeros(n, dtype=bool)
+        self._alive = np.ones(n, dtype=bool)
+        self._verdict = np.full(n, NO_VERDICT, dtype=np.int8)
+        # The index adopts the current-position plane zero-copy: the
+        # store writes positions, the index keeps cell membership.
+        self._index = MutableGridIndex.from_array(self._cur, cell)
+        self._used = n  # high-water mark of ever-allocated rows
+        self._free: List[int] = []  # LIFO row free-list
+        self._id_of = np.arange(n, dtype=np.int64)  # row -> id (-1 free)
+        self._row_of: Dict[int, int] = {j: j for j in range(n)}
+        self._tick_serial = 0
         self._n_shards = int(shards)
         self._shard_members: List[set] = [set() for _ in range(self._n_shards)]
-        self._shard_of = np.empty(pts.shape[0], dtype=np.int64)
+        self._shard = np.empty(n, dtype=np.int64)
         # One hash per *occupied cell*, not per device — cells are the
         # sharding unit, and there are far fewer of them.
-        shard_of_key = {}
-        for device in range(pts.shape[0]):
-            key = self._index.key_of(device)
+        shard_of_key: Dict[CellKey, int] = {}
+        keys = np.floor(pts / self._cell).astype(np.int64)
+        for device, key in enumerate(map(tuple, keys.tolist())):
             shard = shard_of_key.get(key)
             if shard is None:
                 shard = shard_of_key[key] = self._shard_for(key)
-            self._shard_of[device] = shard
+            self._shard[device] = shard
             self._shard_members[shard].add(device)
 
     def _shard_for(self, key: CellKey) -> int:
@@ -103,8 +155,8 @@ class DeviceStateStore:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
-        """Number of devices."""
-        return self._cur.shape[0]
+        """Number of live devices."""
+        return len(self._row_of)
 
     @property
     def dim(self) -> int:
@@ -121,10 +173,50 @@ class DeviceStateStore:
         """The incrementally maintained index over *current* positions."""
         return self._index
 
+    @property
+    def tick_serial(self) -> int:
+        """Monotone counter bumped by each :meth:`advance_tick`.
+
+        Consumers that chain ``prev = last tick's cur`` (the service's
+        zero-extra-copy transition build) use this to detect a missed or
+        doubled roll and fall back to a fresh copy.
+        """
+        return self._tick_serial
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held in the store's columns (capacity, not n)."""
+        return int(
+            self._prev.nbytes
+            + self._cur.nbytes
+            + self._flags.nbytes
+            + self._alive.nbytes
+            + self._verdict.nbytes
+            + self._id_of.nbytes
+            + self._shard.nbytes
+        )
+
+    @property
+    def bytes_per_device(self) -> float:
+        """Columnar bytes per live device."""
+        return self.nbytes / max(1, self.n)
+
+    def row_of(self, device: int) -> int:
+        """The row currently backing ``device``."""
+        row = self._row_of.get(device)
+        if row is None:
+            raise UnknownDeviceError(f"device {device} is not in the store")
+        return row
+
+    def id_of(self, row: int) -> int:
+        """The device id stored in ``row``."""
+        if not 0 <= row < self._used or self._id_of[row] < 0:
+            raise UnknownDeviceError(f"row {row} is not occupied")
+        return int(self._id_of[row])
+
     def shard_of(self, device: int) -> int:
         """The shard currently holding ``device``."""
-        self._check_device(device)
-        return int(self._shard_of[device])
+        return int(self._shard[self.row_of(device)])
 
     def shard_members(self, shard: int) -> Tuple[int, ...]:
         """Devices of one shard, sorted."""
@@ -132,7 +224,9 @@ class DeviceStateStore:
             raise ConfigurationError(
                 f"shard {shard} not in [0, {self._n_shards})"
             )
-        return tuple(sorted(self._shard_members[shard]))
+        return tuple(
+            sorted(int(self._id_of[row]) for row in self._shard_members[shard])
+        )
 
     def shard_sizes(self) -> Tuple[int, ...]:
         """Device count per shard."""
@@ -140,81 +234,264 @@ class DeviceStateStore:
 
     def is_flagged(self, device: int) -> bool:
         """Current flag bit ``a_k(j)``."""
-        self._check_device(device)
-        return bool(self._flags[device])
+        return bool(self._flags[self.row_of(device)])
 
     def flagged_devices(self) -> Tuple[int, ...]:
-        """All currently flagged devices, sorted."""
-        return tuple(int(j) for j in np.nonzero(self._flags)[0])
+        """All currently flagged devices, sorted by id."""
+        rows = np.nonzero(self._flags[: self._used])[0]
+        return tuple(sorted(int(self._id_of[row]) for row in rows))
 
-    def snapshot_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Copies of ``(S_{k-1}, S_k)`` safe to freeze into a Transition."""
-        return self._prev.copy(), self._cur.copy()
+    def flagged_rows(self) -> np.ndarray:
+        """Rows of all currently flagged devices (ascending row order)."""
+        return np.nonzero(self._flags[: self._used])[0]
 
-    def current_positions(self) -> np.ndarray:
-        """Read-only view of the current ``(n, d)`` positions.
+    def flag_vector(self) -> np.ndarray:
+        """Read-only view of the flag column over allocated rows."""
+        view = self._flags[: self._used]
+        view.flags.writeable = False
+        return view
+
+    def verdict_codes(self) -> np.ndarray:
+        """Read-only view of the verdict-code column (−1 = none)."""
+        view = self._verdict[: self._used]
+        view.flags.writeable = False
+        return view
+
+    def set_verdict_codes(self, rows: np.ndarray, codes: np.ndarray) -> None:
+        """Record verdict codes for ``rows`` (int8; −1 clears)."""
+        self._verdict[np.asarray(rows, dtype=np.int64)] = np.asarray(
+            codes, dtype=np.int8
+        )
+
+    def snapshot_arrays(
+        self, *, copy: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(S_{k-1}, S_k)`` over allocated rows.
+
+        Read-only views by default — zero-copy, valid until the next
+        mutation.  Pass ``copy=True`` for private copies safe to freeze
+        into a long-lived :class:`~repro.core.transition.Transition`.
+        """
+        if copy:
+            return self._prev[: self._used].copy(), self._cur[: self._used].copy()
+        prev = self._prev[: self._used]
+        cur = self._cur[: self._used]
+        prev.flags.writeable = False
+        cur.flags.writeable = False
+        return prev, cur
+
+    def current_positions(self, *, copy: bool = False) -> np.ndarray:
+        """Current ``(n, d)`` positions over allocated rows.
 
         The service diffs incoming snapshots against this instead of the
         caller's remembered ``previous`` array, so mid-tick ingests can
-        never desynchronize the store from the fed stream.  A view (not
-        a copy) because the diff is read-only and runs every tick.
+        never desynchronize the store from the fed stream.  A read-only
+        view by default (the diff runs every tick); ``copy=True`` opts
+        into a private copy.
         """
-        view = self._cur.view()
+        if copy:
+            return self._cur[: self._used].copy()
+        view = self._cur[: self._used]
         view.flags.writeable = False
         return view
 
     def position(self, device: int) -> np.ndarray:
         """Current position of ``device`` (a copy)."""
-        self._check_device(device)
-        return self._cur[device].copy()
-
-    def _check_device(self, device: int) -> None:
-        if not 0 <= device < self.n:
-            raise UnknownDeviceError(f"device {device} not in [0, {self.n})")
+        return self._cur[self.row_of(device)].copy()
 
     # ------------------------------------------------------------------
-    # Mutation
+    # Membership (join / leave with row reuse)
     # ------------------------------------------------------------------
-    def apply(
-        self, device: int, position: Sequence[float], flagged: bool
-    ) -> AppliedUpdate:
-        """Apply one QoS report and describe what changed."""
-        self._check_device(device)
+    def join(
+        self, device: int, position: Sequence[float], flagged: bool = False
+    ) -> int:
+        """Admit a device, reusing a freed row if one exists.
+
+        Both snapshots start at ``position`` (a new trajectory is
+        stationary).  Returns the backing row.
+        """
+        if device in self._row_of:
+            raise ConfigurationError(f"device {device} is already stored")
+        if device < 0:
+            raise ConfigurationError(f"device id must be >= 0, got {device!r}")
         pos = validate_unit_cube(np.asarray(position, dtype=float))
         if pos.shape != (self.dim,):
             raise DimensionMismatchError(
                 f"position shape {pos.shape} incompatible with dim {self.dim}"
             )
-        moved = not np.array_equal(pos, self._cur[device])
-        old_cell = self._index.key_of(device)
-        new_cell = old_cell
-        if moved:
-            self._cur[device] = pos
-            old_cell, new_cell = self._index.move(device, pos)
-            if new_cell != old_cell:
-                new_shard = self._shard_for(new_cell)
-                old_shard = int(self._shard_of[device])
-                if new_shard != old_shard:
-                    self._shard_members[old_shard].discard(device)
-                    self._shard_members[new_shard].add(device)
-                    self._shard_of[device] = new_shard
-        flag_changed = bool(flagged) != bool(self._flags[device])
-        self._flags[device] = bool(flagged)
-        return AppliedUpdate(
-            device=device,
+        if self._free:
+            row = self._free.pop()
+        else:
+            if self._used == self._cur.shape[0]:
+                self._grow(max(4, 2 * self._cur.shape[0]))
+            row = self._used
+            self._used += 1
+        self._prev[row] = pos
+        self._cur[row] = pos
+        self._flags[row] = bool(flagged)
+        self._verdict[row] = NO_VERDICT
+        self._alive[row] = True
+        self._id_of[row] = device
+        self._row_of[device] = row
+        key = self._index.insert(row, pos)
+        shard = self._shard_for(key)
+        self._shard[row] = shard
+        self._shard_members[shard].add(row)
+        return row
+
+    def leave(self, device: int) -> int:
+        """Evict a device, scrubbing and freeing its row.
+
+        The row is zeroed (positions, flag, verdict) *before* it enters
+        the free-list, so a later :meth:`join` can never observe the
+        departed device's state.  Returns the freed row.
+        """
+        row = self.row_of(device)
+        self._index.remove(row)
+        self._shard_members[int(self._shard[row])].discard(row)
+        self._prev[row] = 0.0
+        self._cur[row] = 0.0
+        self._flags[row] = False
+        self._verdict[row] = NO_VERDICT
+        self._alive[row] = False
+        self._id_of[row] = -1
+        del self._row_of[device]
+        self._free.append(row)
+        return row
+
+    def _grow(self, capacity: int) -> None:
+        """Reallocate all columns to ``capacity`` rows and rebind the index."""
+        old = self._cur.shape[0]
+        d = self.dim
+
+        def grown(arr: np.ndarray, fill=0) -> np.ndarray:
+            shape = (capacity, d) if arr.ndim == 2 else (capacity,)
+            out = np.full(shape, fill, dtype=arr.dtype)
+            out[:old] = arr
+            return out
+
+        self._prev = grown(self._prev, 0.0)
+        self._cur = grown(self._cur, 0.0)
+        self._flags = grown(self._flags, False)
+        self._alive = grown(self._alive, False)
+        self._verdict = grown(self._verdict, NO_VERDICT)
+        self._id_of = grown(self._id_of, -1)
+        self._shard = grown(self._shard, 0)
+        self._index.rebind(self._cur)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_rows(
+        self, rows: np.ndarray, positions: np.ndarray, flags: np.ndarray
+    ) -> AppliedBatch:
+        """Apply one tick's reports for ``rows`` in a single vectorized pass.
+
+        ``rows`` must be unique, occupied row indices; ``positions`` is
+        the matching ``(k, d)`` new state and ``flags`` the matching flag
+        bits.  Gathers old state, scatters new state, re-keys movers in
+        the index, and reassigns shards only for the (few) devices that
+        crossed a cell boundary.  No per-device Python objects are
+        created on this path.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        k = rows.shape[0]
+        positions = np.asarray(positions, dtype=float)
+        flags = np.asarray(flags, dtype=bool)
+        if positions.shape != (k, self.dim) or flags.shape != (k,):
+            raise DimensionMismatchError(
+                f"batch shapes {positions.shape}/{flags.shape} incompatible "
+                f"with {k} rows of dim {self.dim}"
+            )
+        if k and (
+            rows.min() < 0
+            or rows.max() >= self._used
+            or not self._alive[rows].all()
+        ):
+            bad = rows[(rows < 0) | (rows >= self._used)]
+            if bad.size == 0:
+                bad = rows[~self._alive[rows]]
+            raise UnknownDeviceError(f"row {int(bad[0])} is not occupied")
+        validate_unit_cube(positions)
+
+        moved = np.any(positions != self._cur[rows], axis=1)
+        was_flagged = self._flags[rows].copy()
+        flag_changed = flags != was_flagged
+        old_keys = self._index.keys_of_rows(rows)
+        new_keys = old_keys
+        cell_changed = np.zeros(k, dtype=bool)
+        if moved.any():
+            moved_rows = rows[moved]
+            self._cur[moved_rows] = positions[moved]
+            _, moved_new, moved_changed = self._index.move_rows(moved_rows)
+            new_keys = old_keys.copy()
+            new_keys[moved] = moved_new
+            cell_changed[moved] = moved_changed
+            if moved_changed.any():
+                self._reshard(moved_rows[moved_changed], moved_new[moved_changed])
+        self._flags[rows] = flags
+        return AppliedBatch(
+            rows=rows,
+            ids=self._id_of[rows],
             moved=moved,
             flag_changed=flag_changed,
+            flagged=flags,
+            was_flagged=was_flagged,
+            cell_changed=cell_changed,
+            old_keys=old_keys,
+            new_keys=new_keys,
+        )
+
+    def _reshard(self, rows: np.ndarray, keys: np.ndarray) -> None:
+        """Re-bucket the rows whose grid cell changed this batch.
+
+        A small Python loop on purpose: sharding is ``hash(cell_tuple)``
+        (stable across processes, asserted by the tests) and only the
+        handful of cell-crossing movers per tick pay it.
+        """
+        for row, key in zip(rows.tolist(), map(tuple, keys.tolist())):
+            new_shard = self._shard_for(key)
+            old_shard = int(self._shard[row])
+            if new_shard != old_shard:
+                self._shard_members[old_shard].discard(row)
+                self._shard_members[new_shard].add(row)
+                self._shard[row] = new_shard
+
+    def apply(
+        self, device: int, position: Sequence[float], flagged: bool
+    ) -> AppliedUpdate:
+        """Apply one QoS report and describe what changed.
+
+        Compatibility shim over a one-row :meth:`apply_rows` batch.
+        """
+        row = self.row_of(device)
+        pos = validate_unit_cube(np.asarray(position, dtype=float))
+        if pos.shape != (self.dim,):
+            raise DimensionMismatchError(
+                f"position shape {pos.shape} incompatible with dim {self.dim}"
+            )
+        batch = self.apply_rows(
+            np.array([row], dtype=np.int64),
+            pos.reshape(1, -1),
+            np.array([bool(flagged)]),
+        )
+        return AppliedUpdate(
+            device=device,
+            moved=bool(batch.moved[0]),
+            flag_changed=bool(batch.flag_changed[0]),
             flagged=bool(flagged),
-            old_cell=old_cell,
-            new_cell=new_cell,
+            old_cell=tuple(batch.old_keys[0].tolist()),
+            new_cell=tuple(batch.new_keys[0].tolist()),
         )
 
     def advance_tick(self) -> None:
         """Roll ``S_k`` into ``S_{k-1}`` (one vectorized copy)."""
-        np.copyto(self._prev, self._cur)
+        np.copyto(self._prev[: self._used], self._cur[: self._used])
+        self._tick_serial += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DeviceStateStore(n={self.n}, d={self.dim}, "
-            f"shards={self._n_shards}, flagged={int(self._flags.sum())})"
+            f"shards={self._n_shards}, "
+            f"flagged={int(self._flags[: self._used].sum())})"
         )

@@ -43,7 +43,7 @@ def random_drive(service, rng, n, d, ticks, *, churn, flag_p, jump_p):
     Maintains its *own* mirror of positions and flags, so the reference
     transition is built independently of the service internals.
     """
-    positions = service.store.snapshot_arrays()[1]
+    positions = service.store.snapshot_arrays(copy=True)[1]
     flags = np.zeros(n, dtype=bool)
     for _ in range(ticks):
         k = max(1, int(round(churn * n)))
@@ -58,7 +58,7 @@ def random_drive(service, rng, n, d, ticks, *, churn, flag_p, jump_p):
             service.ingest(
                 QosUpdate(j, tuple(positions[j]), bool(flags[j]))
             )
-        previous = service.store.snapshot_arrays()[0]
+        previous = service.store.snapshot_arrays(copy=True)[0]
         out = service.end_tick()
         flagged = [int(x) for x in np.nonzero(flags)[0]]
         assert list(out.flagged) == flagged
