@@ -8,7 +8,9 @@ Usage::
     python -m repro.cli run table2 --backend process --workers 4
     python -m repro.cli run all --steps 2 --seeds 0
     python -m repro.cli serve --devices 10000 --ticks 20 --churn 0.01
+    python -m repro.cli serve --metrics-port 9100 --log-json
     python -m repro.cli replay --trace trace.jsonl --shards 8
+    python -m repro.cli metrics --url http://127.0.0.1:9100
 
 ``run`` executes an experiment's ``run()`` with optional scale overrides
 and prints the rendered table (plus an ASCII chart for the figure sweeps);
@@ -29,6 +31,12 @@ function ``a_k(j)`` (step, band, ewma, shewhart, cusum, holt-winters,
 kalman) and its plane (vectorized array bank — the default — or the
 scalar reference loop).  ``serve --raw`` ships raw QoS snapshots and
 lets the service's own in-service bank decide the flags.
+
+Both service commands take ``--metrics-port`` (a Prometheus + JSON
+``/metrics`` endpoint served for the duration of the run) and
+``--log-json`` (JSON-lines start/tick/summary events on stderr instead
+of the per-tick table); ``metrics`` fetches one snapshot from a running
+endpoint.
 """
 
 from __future__ import annotations
@@ -162,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--json", default=None, help="also write the summary JSON here"
         )
+        obs = sub_parser.add_argument_group(
+            "observability", "metrics endpoint and structured logging"
+        )
+        obs.add_argument(
+            "--metrics-port", type=int, default=None,
+            help="serve /metrics and /healthz on this port while running "
+            "(0 = ephemeral; the bound port is printed to stderr)",
+        )
+        obs.add_argument(
+            "--metrics-host", default="127.0.0.1",
+            help="bind address for --metrics-port",
+        )
+        obs.add_argument(
+            "--log-json", action="store_true",
+            help="emit JSON-lines events (start/tick/summary) on stderr "
+            "instead of the per-tick table",
+        )
         detect = sub_parser.add_argument_group(
             "detection", "error-detection function a_k(j) and its knobs"
         )
@@ -272,6 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=24, help="synthetic trace length"
     )
     replay.add_argument("--seed", type=int, default=0, help="synthetic trace seed")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch /metrics from a running endpoint "
+        "(or dump the in-process registry)",
+    )
+    metrics.add_argument(
+        "--url", default=None,
+        help="endpoint base, e.g. http://127.0.0.1:9100 "
+        "(omit to render this process's own registry)",
+    )
+    metrics.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format",
+    )
+    metrics.add_argument(
+        "--timeout", type=float, default=5.0, help="fetch timeout in seconds"
+    )
     return parser
 
 
@@ -391,15 +434,47 @@ def _write_service_json(path: str, result, service, extra: Dict) -> None:
                 "recomputed": len(tick.recomputed),
                 "reused": len(tick.reused),
                 "dirty_cells": tick.dirty_cells,
+                "stage_seconds": {
+                    stage: round(seconds, 6)
+                    for stage, seconds in tick.stage_seconds.items()
+                },
             }
             for tick in result.ticks
         ],
+        "stage_seconds": {
+            stage: round(seconds, 6)
+            for stage, seconds in result.stage_seconds.items()
+        },
         "elapsed_seconds": result.elapsed_seconds,
         **extra,
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"(wrote {path})")
+
+
+def _start_metrics_server(args: argparse.Namespace):
+    """Start the --metrics-port endpoint, if requested; else None."""
+    if args.metrics_port is None:
+        return None
+    from repro.obs import MetricsServer
+
+    server = MetricsServer(host=args.metrics_host, port=args.metrics_port)
+    port = server.start()
+    print(
+        f"metrics endpoint: http://{args.metrics_host}:{port}/metrics",
+        file=sys.stderr,
+    )
+    return server
+
+
+def _json_logger(args: argparse.Namespace, **static_fields):
+    """The --log-json event logger, if requested; else None."""
+    if not args.log_json:
+        return None
+    from repro.obs import JsonLinesLogger
+
+    return JsonLinesLogger(**static_fields)
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -428,46 +503,74 @@ def _run_serve(args: argparse.Namespace) -> int:
             "without it the load generator's own flags drive the service",
             file=sys.stderr,
         )
-    # The service is a context manager: leaving the block shuts down the
-    # persistent worker pool (no-op for the serial backend).
-    with OnlineCharacterizationService(
-        generator.initial_positions(),
-        _service_config(args),
-        detector=_detector_spec(args) if args.raw else None,
-        detection=args.detection if args.raw else None,
-    ) as service:
-        metrics = MetricsSink()
-        service.add_sink(metrics)
-        mode = "full-recompute" if args.full else "incremental"
-        flag_source = (
-            f"in-service {args.detector}/{args.detection} bank"
-            if args.raw
-            else "precomputed"
-        )
-        print(
-            f"serve: n={args.devices} ticks={args.ticks} churn={args.churn:.2%} "
-            f"shards={args.shards} backend={args.backend} mode={mode} "
-            f"flags={flag_source}"
-        )
-        if args.raw:
-            result = drive_load_measurements(service, generator, args.ticks)
-        else:
-            result = drive_load(service, generator, args.ticks)
-        _print_tick_table(result.ticks)
-        _print_service_summary(result, service)
-        print(f"verdict events: {metrics.verdict_counts}")
-        print(f"verdict device-ticks: {metrics.verdict_tick_counts}")
-        if args.json:
-            _write_service_json(
-                args.json,
-                result,
-                service,
-                {
-                    "metrics": metrics.as_dict(),
-                    "detector": args.detector if args.raw else None,
-                    "detection": args.detection if args.raw else None,
-                },
+    server = _start_metrics_server(args)
+    logger = _json_logger(
+        args, command="serve", devices=args.devices, shards=args.shards
+    )
+    try:
+        # The service is a context manager: leaving the block shuts down
+        # the persistent worker pool (no-op for the serial backend).
+        with OnlineCharacterizationService(
+            generator.initial_positions(),
+            _service_config(args),
+            detector=_detector_spec(args) if args.raw else None,
+            detection=args.detection if args.raw else None,
+        ) as service:
+            metrics = MetricsSink()
+            service.add_sink(metrics)
+            mode = "full-recompute" if args.full else "incremental"
+            flag_source = (
+                f"in-service {args.detector}/{args.detection} bank"
+                if args.raw
+                else "precomputed"
             )
+            if logger is not None:
+                service.add_sink(logger.tick_sink)
+                logger.event(
+                    "start",
+                    ticks=args.ticks,
+                    churn=args.churn,
+                    backend=args.backend,
+                    mode=mode,
+                    flags=flag_source,
+                )
+            else:
+                print(
+                    f"serve: n={args.devices} ticks={args.ticks} "
+                    f"churn={args.churn:.2%} shards={args.shards} "
+                    f"backend={args.backend} mode={mode} flags={flag_source}"
+                )
+            if args.raw:
+                result = drive_load_measurements(service, generator, args.ticks)
+            else:
+                result = drive_load(service, generator, args.ticks)
+            if logger is not None:
+                logger.event(
+                    "summary",
+                    stats=service.stats.as_dict(),
+                    verdict_counts=metrics.verdict_counts,
+                    verdict_tick_counts=metrics.verdict_tick_counts,
+                    elapsed_seconds=round(result.elapsed_seconds, 6),
+                )
+            else:
+                _print_tick_table(result.ticks)
+                _print_service_summary(result, service)
+                print(f"verdict events: {metrics.verdict_counts}")
+                print(f"verdict device-ticks: {metrics.verdict_tick_counts}")
+            if args.json:
+                _write_service_json(
+                    args.json,
+                    result,
+                    service,
+                    {
+                        "metrics": metrics.as_dict(),
+                        "detector": args.detector if args.raw else None,
+                        "detection": args.detection if args.raw else None,
+                    },
+                )
+    finally:
+        if server is not None:
+            server.close()
     return 0
 
 
@@ -511,19 +614,39 @@ def _run_replay(args: argparse.Namespace) -> int:
         trace = generate_trace(config, incidents)
         source = f"synthetic (devices={args.devices}, steps={args.steps})"
     mode = "full-recompute" if args.full else "incremental"
-    print(
-        f"replay: {source} shards={args.shards} mode={mode} "
-        f"detector={args.detector}/{args.detection}"
-    )
-    result = replay_trace_online(
-        trace,
-        config=_service_config(args),
-        detector=_detector_spec(args),
-        detection=args.detection,
-    )
+    server = _start_metrics_server(args)
+    logger = _json_logger(args, command="replay", shards=args.shards)
+    if logger is not None:
+        logger.event(
+            "start",
+            source=source,
+            mode=mode,
+            detector=f"{args.detector}/{args.detection}",
+        )
+    else:
+        print(
+            f"replay: {source} shards={args.shards} mode={mode} "
+            f"detector={args.detector}/{args.detection}"
+        )
+    result = None
     try:
-        _print_tick_table(result.ticks)
-        _print_service_summary(result, result.service)
+        result = replay_trace_online(
+            trace,
+            config=_service_config(args),
+            detector=_detector_spec(args),
+            detection=args.detection,
+        )
+        if logger is not None:
+            for tick in result.ticks:
+                logger.tick_sink(tick)
+            logger.event(
+                "summary",
+                stats=result.service.stats.as_dict(),
+                elapsed_seconds=round(result.elapsed_seconds, 6),
+            )
+        else:
+            _print_tick_table(result.ticks)
+            _print_service_summary(result, result.service)
         if args.json:
             _write_service_json(
                 args.json,
@@ -536,7 +659,25 @@ def _run_replay(args: argparse.Namespace) -> int:
                 },
             )
     finally:
-        result.service.close()
+        if result is not None:
+            result.service.close()
+        if server is not None:
+            server.close()
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import fetch_metrics, render_json, render_prometheus
+
+    if args.url:
+        try:
+            text = fetch_metrics(args.url, format=args.format, timeout=args.timeout)
+        except OSError as exc:
+            print(f"metrics: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        text = render_json() if args.format == "json" else render_prometheus()
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
     return 0
 
 
@@ -569,6 +710,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "replay":
         return _run_replay(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             module, _ = EXPERIMENTS[name]

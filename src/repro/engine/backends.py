@@ -61,6 +61,8 @@ from repro.core.transition import Transition
 from repro.core.types import Characterization
 
 from repro.engine.config import EngineConfig
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "BackendRun",
@@ -640,6 +642,11 @@ class WorkerPoolBackend(ExecutionBackend):
 
     name = "process"
 
+    #: Registry metric names (process-global registry; see repro.obs).
+    _GAUGE_WORKERS = "repro_pool_workers_live"
+    _GAUGE_RING_SEQ = "repro_pool_ring_seq"
+    _COUNTER_RESPAWNS = "repro_pool_worker_respawns_total"
+
     def __init__(self) -> None:
         self._state = _PoolState()
         self._started_config: Optional[Tuple] = None
@@ -666,6 +673,17 @@ class WorkerPoolBackend(ExecutionBackend):
     def workers_alive(self) -> int:
         """Currently running worker processes (0 before the first run)."""
         return sum(1 for w in self._state.workers if w.process.is_alive())
+
+    # -- telemetry -----------------------------------------------------
+    # Looked up per use (the getters are idempotent) rather than bound at
+    # construction, so a backend keeps reporting into whatever the
+    # process-global registry currently is — test harnesses swap it.
+    def _count_respawn(self, reason: str) -> None:
+        get_registry().counter(
+            self._COUNTER_RESPAWNS,
+            "Pool workers respawned, by reason (death, retirement)",
+            labelnames=("reason",),
+        ).labels(reason=reason.replace(" ", "-")).inc()
 
     # -- lifecycle -----------------------------------------------------
     def _pool_size(self, config: EngineConfig) -> int:
@@ -726,6 +744,7 @@ class WorkerPoolBackend(ExecutionBackend):
             if dead or expired:
                 self._retire_worker(worker)
                 self._state.workers[i] = self._spawn_worker(config)
+                self._count_respawn("dead" if dead else "retired")
 
     def _publish(self, transition: Transition) -> Tuple[str, str]:
         """Publish the snapshots through the ring; return segment names."""
@@ -754,13 +773,19 @@ class WorkerPoolBackend(ExecutionBackend):
             # carry); worker caches go stale, so void the next pool carry.
             self._last_pool_meta = None
             return SerialBackend().run(transition, devices, config, cache)
+        tracer = get_tracer()
+        registry = tracer.registry
         # Publish before (possibly) forking workers: creating the first
         # shared-memory segment starts the resource-tracker process, and
         # fork-context workers must inherit that tracker — a worker that
         # boots its own tracker would try to "clean up" (unlink) the
         # parent's live segments when it exits.
-        prev_name, cur_name = self._publish(transition)
+        with tracer.span("pool-publish"):
+            prev_name, cur_name = self._publish(transition)
         self._ensure_workers(workers, config)
+        registry.gauge(
+            self._GAUGE_WORKERS, "Live worker processes in the pool"
+        ).set(self.workers_alive)
         meta = (transition.n, transition.dim, transition.r, transition.tau)
         carry_ok = self._last_pool_meta == meta
         self._last_pool_meta = meta
@@ -781,6 +806,10 @@ class WorkerPoolBackend(ExecutionBackend):
             assignments[device % engaged].append(device)
         self._run_seq += 1
         seq = self._run_seq
+        registry.gauge(
+            self._GAUGE_RING_SEQ,
+            "Publish sequence number of the shared-memory snapshot ring",
+        ).set(seq)
         task_base = {
             "prev": prev_name,
             "cur": cur_name,
@@ -814,19 +843,24 @@ class WorkerPoolBackend(ExecutionBackend):
             )
         try:
             # Scatter first, then gather: workers compute concurrently.
-            for index, task in tasks:
-                self._send_task(index, task, config)
+            with tracer.span("pool-dispatch"):
+                for index, task in tasks:
+                    self._send_task(index, task, config)
             out: Dict[int, Characterization] = {}
             expansions = 0
             families_reused = 0
-            for index, task in tasks:
-                verdicts, worker_expansions, worker_reused = self._collect(
-                    index, task, config, seq
-                )
-                expansions += worker_expansions
-                families_reused += worker_reused
-                for verdict in verdicts:
-                    out[verdict.device] = verdict
+            with tracer.span("pool-collect"):
+                for index, task in tasks:
+                    # Per-worker round-trip: dispatch-to-reply latency of
+                    # each engaged worker, one histogram sample apiece.
+                    with tracer.span("pool-worker-roundtrip"):
+                        verdicts, worker_expansions, worker_reused = (
+                            self._collect(index, task, config, seq)
+                        )
+                    expansions += worker_expansions
+                    families_reused += worker_reused
+                    for verdict in verdicts:
+                        out[verdict.device] = verdict
         except BaseException:
             # A failed run strands unread replies in sibling pipes and
             # half-updated caches in workers; restart the pool wholesale
@@ -850,6 +884,7 @@ class WorkerPoolBackend(ExecutionBackend):
             )
         self._retire_worker(self._state.workers[index])
         worker = self._state.workers[index] = self._spawn_worker(config)
+        self._count_respawn(reason)
         return worker
 
     def _send_task(

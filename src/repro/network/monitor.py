@@ -42,6 +42,7 @@ from repro.detection.base import Detector
 from repro.network.faults import FaultInjector
 from repro.network.services import ServiceCatalog, default_catalog
 from repro.network.topology import IspTopology
+from repro.obs.trace import get_tracer
 from repro.online.service import OnlineCharacterizationService, ServiceConfig
 
 __all__ = ["ReportingPolicy", "Report", "TickResult", "NetworkMonitor"]
@@ -277,10 +278,13 @@ class NetworkMonitor:
 
     def tick(self) -> TickResult:
         """Run one monitoring interval."""
+        tracer = get_tracer()
         self._tick += 1
         self._injector.tick()
-        qos = self._measure_all()
-        detection = self._bank.observe_batch(qos)
+        with tracer.span("measure"):
+            qos = self._measure_all()
+        with tracer.span("detect"):
+            detection = self._bank.observe_batch(qos)
         self._last_detection = detection
         flagged = detection.flagged_devices()
         result = TickResult(
@@ -297,17 +301,19 @@ class NetworkMonitor:
         if previous is None or not flagged:
             self._last_transition = None
             return result
-        transition = Transition(
-            Snapshot(previous),
-            Snapshot(qos),
-            flagged,
-            self._r,
-            self._tau,
-            index_prev=self._reusable_prev_index(flagged),
-        )
+        with tracer.span("transition-build"):
+            transition = Transition(
+                Snapshot(previous),
+                Snapshot(qos),
+                flagged,
+                self._r,
+                self._tau,
+                index_prev=self._reusable_prev_index(flagged),
+            )
         self._last_transition = transition
         result.transition = transition
-        result.verdicts = self._engine.characterize(transition)
+        with tracer.span("verdict"):
+            result.verdicts = self._engine.characterize(transition)
         for device_id, verdict in result.verdicts.items():
             if self._policy.should_report(verdict.anomaly_type):
                 result.reports.append(

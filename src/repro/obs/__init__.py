@@ -1,0 +1,55 @@
+"""Telemetry spine: metric registry, stage spans, export plane, logging.
+
+Three layers, each consumable alone (see DESIGN.md, "Observability"):
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  fixed-bucket :class:`Histogram` primitives with label support, owned
+  by a :class:`Registry` that snapshots to plain dicts; a process-global
+  registry (:func:`get_registry`) is what instrumented modules default
+  to.
+* :mod:`repro.obs.trace` — :class:`Tracer` stage spans: nestable timing
+  contexts that feed both the per-stage latency histograms and each
+  tick's ``stage_seconds`` breakdown; ``Tracer(enabled=False)`` is the
+  guaranteed-cheap null path.
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  renderers over registry snapshots, plus the stdlib HTTP
+  :class:`MetricsServer` behind ``serve --metrics-port``; and
+  :mod:`repro.obs.logging` — JSON-lines structured logging for the
+  drivers.
+"""
+
+from repro.obs.export import (
+    MetricsServer,
+    fetch_metrics,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.logging import JsonLinesLogger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    Registry,
+    get_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLinesLogger",
+    "MetricFamily",
+    "MetricsServer",
+    "Registry",
+    "Span",
+    "Tracer",
+    "fetch_metrics",
+    "get_registry",
+    "get_tracer",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,240 @@
+"""Export plane: Prometheus text exposition, JSON snapshots, HTTP server.
+
+Both renderers consume :meth:`~repro.obs.metrics.Registry.snapshot`
+output, so anything a registry holds is exportable without the exporter
+knowing what was instrumented:
+
+* :func:`render_prometheus` — the text exposition format (version
+  0.0.4) any Prometheus-compatible scraper ingests: ``# HELP`` /
+  ``# TYPE`` headers, escaped label values, cumulative ``_bucket{le=}``
+  series plus ``_sum`` / ``_count`` per histogram;
+* :func:`render_json` — the same snapshot as JSON, with derived
+  p50/p95/p99 attached to every histogram sample (handy for humans and
+  for the ``repro metrics`` CLI);
+* :class:`MetricsServer` — a stdlib :mod:`http.server` on a daemon
+  thread serving ``/metrics`` (Prometheus), ``/metrics.json`` and
+  ``/healthz``; ``port=0`` binds an ephemeral port, reported by
+  :meth:`MetricsServer.start`.
+
+No third-party dependency anywhere: the scrape endpoint of an always-on
+service costs one stdlib thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Registry, get_registry
+
+__all__ = [
+    "MetricsServer",
+    "fetch_metrics",
+    "render_json",
+    "render_prometheus",
+]
+
+#: Derived quantiles attached to histogram samples in the JSON format.
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    # Counters and bucket counts are conceptually integers; render them
+    # without a trailing ".0" so the exposition stays diff-friendly.
+    as_float = float(value)
+    return str(int(as_float)) if as_float.is_integer() else repr(as_float)
+
+
+def render_prometheus(registry: Optional[Registry] = None) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    snapshot = (registry or get_registry()).snapshot()
+    lines: List[str] = []
+    for name, family in snapshot.items():
+        kind = family["kind"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in sample["buckets"].items():
+                    cumulative += count
+                    le = 'le="' + bound + '"'
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, le)} {cumulative}"
+                    )
+                cumulative += sample["inf"]
+                inf_le = 'le="+Inf"'
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, inf_le)} {cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} {repr(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: Optional[Registry] = None, *, indent: int = 2) -> str:
+    """Render a registry snapshot as JSON with derived quantiles."""
+    reg = registry or get_registry()
+    snapshot = reg.snapshot()
+    for family in reg.families():
+        if family.kind != "histogram":
+            continue
+        entry = snapshot[family.name]
+        with family._lock:
+            children = list(family._children.items())
+        quantiles = {
+            tuple(str(v) for v in key): {
+                f"p{int(q * 100)}": child.quantile(q) for q in _QUANTILES
+            }
+            for key, child in children
+        }
+        for sample in entry["samples"]:
+            key = tuple(
+                str(sample["labels"][name]) for name in family.labelnames
+            )
+            derived = quantiles.get(key, {})
+            # NaN (empty histogram) is not valid JSON; omit instead.
+            sample["quantiles"] = {
+                k: v for k, v in derived.items() if v == v
+            }
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics, /metrics.json and /healthz over one registry."""
+
+    registry: Registry  # set by MetricsServer on the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.registry).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = render_json(self.registry).encode()
+            content_type = "application/json"
+        elif path == "/healthz":
+            body = b'{"status": "ok"}\n'
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /healthz)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # pragma: no cover - silence
+        """Scrapes every few seconds must not spam the service's stderr."""
+
+
+class MetricsServer:
+    """Background HTTP endpoint over one registry.
+
+    ``start()`` binds (``port=0`` → ephemeral), serves on a daemon
+    thread and returns the bound port; ``close()`` shuts down and joins.
+    Also usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry or get_registry()
+        self._host = host
+        self._port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return f"http://{self._host}:{self._port}"
+
+    def start(self) -> int:
+        """Bind and serve in the background; returns the bound port."""
+        if self._server is not None:
+            return self._port
+        handler = type("_BoundHandler", (_Handler,), {"registry": self._registry})
+        self._server = ThreadingHTTPServer((self._host, self._port), handler)
+        self._server.daemon_threads = True
+        self._port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._port
+
+    def close(self) -> None:
+        """Stop serving (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def fetch_metrics(
+    url: str, *, format: str = "prometheus", timeout: float = 5.0
+) -> str:
+    """Fetch one snapshot from a running endpoint (``repro metrics``).
+
+    ``url`` is the endpoint base (``http://host:port``) or a full path;
+    ``format`` selects ``/metrics`` (``"prometheus"``) or
+    ``/metrics.json`` (``"json"``) when only a base was given.
+    """
+    target = url.rstrip("/")
+    if not target.endswith(("/metrics", "/metrics.json", "/healthz")):
+        target += "/metrics.json" if format == "json" else "/metrics"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return response.read().decode()

@@ -1,0 +1,74 @@
+"""JSON-lines structured logging for the serve/replay drivers.
+
+One event per line, machine-parseable, with the fields the telemetry
+plane keys on (tick / stage / shard) carried as plain JSON instead of
+being interpolated into prose::
+
+    {"event": "tick", "ts": 1733.21, "tick": 4, "applied": 102, ...}
+
+:class:`JsonLinesLogger` is deliberately tiny — a sink-shaped writer,
+not a logging framework: the CLI binds one static field set (run
+parameters such as the shard count) at construction and emits per-tick
+events through :meth:`event` or by attaching :meth:`tick_sink` to a
+service.  ``jq``-friendly output replaces the bare per-tick prints when
+``--log-json`` is given.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Dict, Optional
+
+__all__ = ["JsonLinesLogger"]
+
+
+class JsonLinesLogger:
+    """Writes one JSON object per line to a stream.
+
+    Parameters
+    ----------
+    stream:
+        Destination (defaults to stderr so stdout tables and piped JSON
+        reports stay uncorrupted).
+    **static_fields:
+        Fields stamped onto every event (e.g. ``shards=8``).
+    """
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, **static_fields: object
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._static = dict(static_fields)
+
+    def event(self, event: str, **fields: object) -> None:
+        """Emit one event line; static fields first, then ``fields``."""
+        payload: Dict[str, object] = {
+            "event": event,
+            "ts": round(time.time(), 6),
+        }
+        payload.update(self._static)
+        payload.update(fields)
+        self._stream.write(json.dumps(payload, default=str) + "\n")
+        self._stream.flush()
+
+    def tick_sink(self, tick) -> None:
+        """Service-sink adapter: logs one ``tick`` event per OnlineTick.
+
+        Attach with ``service.add_sink(logger.tick_sink)``; stage
+        timings are rounded to microseconds to keep lines compact.
+        """
+        self.event(
+            "tick",
+            tick=tick.tick,
+            applied=tick.applied,
+            flagged=len(tick.flagged),
+            recomputed=len(tick.recomputed),
+            reused=len(tick.reused),
+            dirty_cells=tick.dirty_cells,
+            stage_seconds={
+                stage: round(seconds, 6)
+                for stage, seconds in tick.stage_seconds.items()
+            },
+        )

@@ -20,7 +20,12 @@ This package keeps a live population warm instead:
 * :mod:`repro.online.replay` — drivers feeding recorded traces or
   synthetic load through the service.
 
-See DESIGN.md, section "Online subsystem".
+The tick pipeline is instrumented end to end through :mod:`repro.obs`:
+every service owns a stage-span tracer (``service.tracer``), each
+:class:`~repro.online.service.OnlineTick` carries a ``stage_seconds``
+breakdown, and the registry accumulates per-stage latency histograms.
+
+See DESIGN.md, sections "Online subsystem" and "Observability".
 """
 
 from repro.online.dirty import DirtyRegionTracker

@@ -52,6 +52,8 @@ from repro.core.types import AnomalyType, Characterization
 from repro.detection.banks import BankDetection, DetectorBank, DetectorLike, as_bank
 from repro.engine import CharacterizationEngine, EngineConfig
 from repro.engine.config import BACKENDS
+from repro.obs.metrics import Registry, get_registry
+from repro.obs.trace import Tracer
 from repro.online.dirty import DirtyRegionTracker
 from repro.online.store import DeviceStateStore
 
@@ -181,38 +183,82 @@ class ServiceConfig:
         return max(2.0 * self.r, 1e-6)
 
 
-@dataclass
-class ServiceStats:
-    """Run-level counters of one service instance."""
+#: ServiceStats field -> registry counter help string.
+_SERVICE_STAT_HELP = {
+    "ticks": "Service ticks completed",
+    "updates_applied": "QoS updates applied to the device store",
+    "updates_dropped": "Updates shed by drop-oldest backpressure",
+    "inline_drains": "Inline drains forced by block backpressure",
+    "verdicts_recomputed": "Verdicts recomputed through the engine",
+    "verdicts_reused": "Verdicts served from the per-device cache",
+    "index_reuses": "Grid indexes adopted from the previous transition",
+    "families_recomputed": "Motion families recomputed",
+    "families_reused": "Motion families carried across ticks",
+}
 
-    ticks: int = 0
-    updates_applied: int = 0
-    updates_dropped: int = 0
-    inline_drains: int = 0
-    verdicts_recomputed: int = 0
-    verdicts_reused: int = 0
-    index_reuses: int = 0
-    families_recomputed: int = 0
-    families_reused: int = 0
+
+class ServiceStats:
+    """Run-level counters of one service instance.
+
+    API-compatible with its former dataclass shape — readable/writable
+    int attributes plus :meth:`as_dict` — but the counters now *live* on
+    the metric registry: every positive increment is mirrored onto a
+    ``repro_service_<field>_total`` counter, so the export plane sees
+    one aggregate series per field across every service in the process
+    while each instance keeps its own exact values here.  (Registry
+    counters are monotone; a stat rewound by hand — never done by the
+    service — adjusts only the local view.)
+    """
+
+    _FIELDS = tuple(_SERVICE_STAT_HELP)
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        reg = registry or get_registry()
+        self.__dict__["_values"] = dict.fromkeys(self._FIELDS, 0)
+        self.__dict__["_counters"] = {
+            name: reg.counter(f"repro_service_{name}_total", help_text)
+            for name, help_text in _SERVICE_STAT_HELP.items()
+        }
+
+    def __getattr__(self, name: str) -> int:
+        values = self.__dict__.get("_values")
+        if values is not None and name in values:
+            return values[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: int) -> None:
+        values = self.__dict__["_values"]
+        if name not in values:
+            raise AttributeError(f"unknown service stat {name!r}")
+        delta = value - values[name]
+        values[name] = value
+        if delta > 0:
+            self.__dict__["_counters"][name].inc(delta)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for logging and result serialization."""
-        return {
-            "ticks": self.ticks,
-            "updates_applied": self.updates_applied,
-            "updates_dropped": self.updates_dropped,
-            "inline_drains": self.inline_drains,
-            "verdicts_recomputed": self.verdicts_recomputed,
-            "verdicts_reused": self.verdicts_reused,
-            "index_reuses": self.index_reuses,
-            "families_recomputed": self.families_recomputed,
-            "families_reused": self.families_reused,
-        }
+        return dict(self.__dict__["_values"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{name}={value}"
+            for name, value in self.__dict__["_values"].items()
+        )
+        return f"ServiceStats({body})"
 
 
 @dataclass
 class OnlineTick:
-    """Everything observable about one service tick."""
+    """Everything observable about one service tick.
+
+    ``stage_seconds`` is the tick's wall-clock breakdown by pipeline
+    stage (``ingest-drain``, ``detect``, ``index-update``,
+    ``dirty-region``, ``transition-build``, ``verdict``, ``sinks``) as
+    drained from the service's :class:`~repro.obs.trace.Tracer`; empty
+    when the tracer is disabled.
+    """
 
     tick: int
     applied: int
@@ -224,6 +270,7 @@ class OnlineTick:
     transition: Optional[Transition] = None
     families_recomputed: int = 0
     families_reused: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class MetricsSink:
@@ -237,9 +284,15 @@ class MetricsSink:
     included, so naive per-tick counting inflates by verdict lifetime.
     The per-tick view is still available as ``verdict_tick_counts``
     (device-ticks spent in each verdict type).
+
+    Like :class:`ServiceStats`, every increment is mirrored onto the
+    metric registry — ``repro_verdict_transitions_total{kind=...}`` and
+    ``repro_verdict_device_ticks_total{kind=...}`` — so verdict rates
+    by type are scrapeable without touching the sink object.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        reg = registry or get_registry()
         self.ticks = 0
         self.applied = 0
         self.recomputed = 0
@@ -253,6 +306,16 @@ class MetricsSink:
             kind.value: 0 for kind in AnomalyType
         }
         self._current_kinds: Dict[int, str] = {}
+        self._transitions_counter = reg.counter(
+            "repro_verdict_transitions_total",
+            "Verdict events: a device entering a verdict type",
+            labelnames=("kind",),
+        )
+        self._device_ticks_counter = reg.counter(
+            "repro_verdict_device_ticks_total",
+            "Device-ticks spent in each verdict type",
+            labelnames=("kind",),
+        )
 
     def __call__(self, tick: OnlineTick) -> None:
         self.ticks += 1
@@ -267,8 +330,10 @@ class MetricsSink:
         }
         for device, kind in kinds.items():
             self.verdict_tick_counts[kind] += 1
+            self._device_ticks_counter.labels(kind=kind).inc()
             if self._current_kinds.get(device) != kind:
                 self.verdict_counts[kind] += 1
+                self._transitions_counter.labels(kind=kind).inc()
         # Devices absent from this tick's verdicts are no longer flagged;
         # forgetting them means a later re-flag counts as a new event.
         self._current_kinds = kinds
@@ -292,17 +357,46 @@ class ReportSink:
 
     ``kinds`` filters which verdict types are worth a report — the ISP /
     OTT policies of :mod:`repro.network.monitor` expressed as a sink.
+
+    ``rows`` is *bounded*: an always-on service emits reports forever,
+    so the sink keeps at most ``max_rows`` of them, dropping the oldest
+    first (``None`` opts back into unbounded growth for short offline
+    replays).  Evictions are counted in :attr:`dropped` and mirrored to
+    the registry counter ``repro_report_rows_dropped_total``.
     """
 
-    def __init__(self, kinds: Iterable[AnomalyType] = tuple(AnomalyType)) -> None:
+    def __init__(
+        self,
+        kinds: Iterable[AnomalyType] = tuple(AnomalyType),
+        *,
+        max_rows: Optional[int] = 100_000,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        if max_rows is not None and max_rows < 1:
+            raise ConfigurationError(
+                f"max_rows must be >= 1 when given, got {max_rows!r}"
+            )
         self._kinds = frozenset(kinds)
-        self.rows: List[Tuple[int, int, AnomalyType]] = []
+        self.max_rows = max_rows
+        self.rows: Deque[Tuple[int, int, AnomalyType]] = deque(maxlen=max_rows)
+        self.dropped = 0
+        self._dropped_counter = (registry or get_registry()).counter(
+            "repro_report_rows_dropped_total",
+            "Report rows evicted from bounded ReportSinks (drop-oldest)",
+        )
 
     def __call__(self, tick: OnlineTick) -> None:
+        rows = self.rows
+        full_at = rows.maxlen
         for device in sorted(tick.verdicts):
             verdict = tick.verdicts[device]
             if verdict.anomaly_type in self._kinds:
-                self.rows.append((tick.tick, device, verdict.anomaly_type))
+                if full_at is not None and len(rows) == full_at:
+                    # deque(maxlen=...) evicts the oldest row itself;
+                    # this only accounts for the loss.
+                    self.dropped += 1
+                    self._dropped_counter.inc()
+                rows.append((tick.tick, device, verdict.anomaly_type))
 
 
 class OnlineCharacterizationService:
@@ -332,6 +426,11 @@ class OnlineCharacterizationService:
     detection:
         Plane the bank is built on when ``detector`` is a spec
         (``"bank"`` — vectorized, default — or ``"scalar"``).
+    tracer:
+        Stage-span :class:`~repro.obs.trace.Tracer` timing the tick
+        pipeline; defaults to an enabled tracer on the process-global
+        registry.  Pass ``Tracer(enabled=False)`` for the zero-overhead
+        null path (every tick's ``stage_seconds`` is then empty).
     """
 
     def __init__(
@@ -343,8 +442,22 @@ class OnlineCharacterizationService:
         sinks: Iterable[Callable[[OnlineTick], None]] = (),
         detector: Optional[DetectorLike] = None,
         detection: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._config = config or ServiceConfig()
+        self._tracer = tracer if tracer is not None else Tracer()
+        registry = self._tracer.registry
+        self._gauge_queue_depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Ingest-queue backlog observed at each tick close",
+        )
+        self._gauge_devices = registry.gauge(
+            "repro_service_devices", "Devices tracked by the store"
+        )
+        self._gauge_flagged = registry.gauge(
+            "repro_service_flagged_devices",
+            "Devices flagged at the latest tick",
+        )
         cfg = self._config
         self._store = DeviceStateStore(
             initial_positions, cell=cfg.cell, shards=cfg.shards
@@ -438,6 +551,11 @@ class OnlineCharacterizationService:
         return len(self._queue)
 
     @property
+    def tracer(self) -> Tracer:
+        """The stage-span tracer timing this service's tick pipeline."""
+        return self._tracer
+
+    @property
     def verdicts(self) -> Dict[int, Characterization]:
         """The current verdict map (flagged devices only; a copy)."""
         return dict(self._verdicts)
@@ -491,7 +609,8 @@ class OnlineCharacterizationService:
                 self.stats.updates_dropped += 1
                 accepted = False
             else:  # block: make room by doing the consumer's work now
-                self._apply_batch(cfg.max_batch or len(self._queue))
+                with self._tracer.span("ingest-drain"):
+                    self._apply_batch(cfg.max_batch or len(self._queue))
                 self.stats.inline_drains += 1
         self._queue.append(update)
         return accepted
@@ -575,19 +694,26 @@ class OnlineCharacterizationService:
         # Apply any events queued mid-tick first, so the diff below sees
         # the true store state (and emits corrections back to `current`
         # where a mid-tick ingest diverged from the fed snapshot).
-        while self._queue:
-            self._apply_batch(self._config.max_batch or len(self._queue))
-        rows, positions, new_flags = diff_rows(
-            self._store.current_positions(),
-            current,
-            self._store.flag_vector(),
-            flags,
-        )
-        if rows.size:
-            applied = self._store.apply_rows(rows, positions, new_flags)
-            self._tracker.mark_batch(applied, was_relevant=applied.was_flagged)
-            self.stats.updates_applied += int(rows.size)
-            self._applied_since_tick += int(rows.size)
+        if self._queue:
+            with self._tracer.span("ingest-drain"):
+                while self._queue:
+                    self._apply_batch(
+                        self._config.max_batch or len(self._queue)
+                    )
+        with self._tracer.span("index-update"):
+            rows, positions, new_flags = diff_rows(
+                self._store.current_positions(),
+                current,
+                self._store.flag_vector(),
+                flags,
+            )
+            if rows.size:
+                applied = self._store.apply_rows(rows, positions, new_flags)
+                self._tracker.mark_batch(
+                    applied, was_relevant=applied.was_flagged
+                )
+                self.stats.updates_applied += int(rows.size)
+                self._applied_since_tick += int(rows.size)
         return self.end_tick()
 
     def feed_measurements(self, values: np.ndarray) -> OnlineTick:
@@ -605,7 +731,8 @@ class OnlineCharacterizationService:
                 "with detector=DetectorSpec(...)"
             )
         arr = np.asarray(values, dtype=float)
-        detection = self._bank.observe_batch(arr)
+        with self._tracer.span("detect"):
+            detection = self._bank.observe_batch(arr)
         self._last_detection = detection
         return self.feed_snapshot(arr, detection.flags)
 
@@ -621,13 +748,20 @@ class OnlineCharacterizationService:
         the same transition.
         """
         cfg = self._config
-        while self._queue:
-            self._apply_batch(cfg.max_batch or len(self._queue))
+        tracer = self._tracer
+        self._gauge_queue_depth.set(len(self._queue))
+        if self._queue:
+            with tracer.span("ingest-drain"):
+                while self._queue:
+                    self._apply_batch(cfg.max_batch or len(self._queue))
         applied = self._applied_since_tick
         self._applied_since_tick = 0
         self._tick += 1
         flagged = self._store.flagged_devices()
-        dirty_cells, affected = self._tracker.finish_tick(self._store.index)
+        with tracer.span("dirty-region"):
+            dirty_cells, affected = self._tracker.finish_tick(
+                self._store.index
+            )
         transition: Optional[Transition] = None
         recompute: List[int] = []
         reused: List[int] = []
@@ -636,41 +770,43 @@ class OnlineCharacterizationService:
         families_reused = 0
         chain_next: Optional[np.ndarray] = None
         if flagged:
-            prev_view, cur_view = self._store.snapshot_arrays()
-            # One read-only copy freezes the current positions for the
-            # published transition (ticks retain them; live views would
-            # be corrupted by the next update).  The prev side chains
-            # the previous tick's frozen cur — same content as the
-            # store's prev plane, zero extra copy — unless the store
-            # rolled an unexpected number of times in between.
-            cur_arr = cur_view.copy()
-            cur_arr.flags.writeable = False
-            if (
-                self._chain_cur is not None
-                and self._store.tick_serial == self._chain_serial
-                and self._chain_cur.shape == prev_view.shape
-            ):
-                prev_arr = self._chain_cur
-            else:
-                prev_arr = prev_view.copy()
-                prev_arr.flags.writeable = False
-            chain_next = cur_arr
-            index_prev = None
-            if (
-                cfg.reuse_indexes
-                and self._last_transition is not None
-                and self._last_flagged == flagged
-            ):
-                index_prev = self._last_transition.cur_index
-                self.stats.index_reuses += 1
-            transition = Transition.from_views(
-                prev_arr,
-                cur_arr,
-                flagged,
-                cfg.r,
-                cfg.tau,
-                index_prev=index_prev,
-            )
+            with tracer.span("transition-build"):
+                prev_view, cur_view = self._store.snapshot_arrays()
+                # One read-only copy freezes the current positions for
+                # the published transition (ticks retain them; live
+                # views would be corrupted by the next update).  The
+                # prev side chains the previous tick's frozen cur —
+                # same content as the store's prev plane, zero extra
+                # copy — unless the store rolled an unexpected number
+                # of times in between.
+                cur_arr = cur_view.copy()
+                cur_arr.flags.writeable = False
+                if (
+                    self._chain_cur is not None
+                    and self._store.tick_serial == self._chain_serial
+                    and self._chain_cur.shape == prev_view.shape
+                ):
+                    prev_arr = self._chain_cur
+                else:
+                    prev_arr = prev_view.copy()
+                    prev_arr.flags.writeable = False
+                chain_next = cur_arr
+                index_prev = None
+                if (
+                    cfg.reuse_indexes
+                    and self._last_transition is not None
+                    and self._last_flagged == flagged
+                ):
+                    index_prev = self._last_transition.cur_index
+                    self.stats.index_reuses += 1
+                transition = Transition.from_views(
+                    prev_arr,
+                    cur_arr,
+                    flagged,
+                    cfg.r,
+                    cfg.tau,
+                    index_prev=index_prev,
+                )
             if cfg.incremental:
                 recompute = [
                     j
@@ -710,12 +846,13 @@ class OnlineCharacterizationService:
                 # The engine aggregates motion-family work across every
                 # cache the run touched — shared and worker-process — so
                 # the counters stay truthful under every backend.
-                run = self._engine.characterize_run(
-                    transition,
-                    devices=recompute,
-                    cache=carry,
-                    carry_clean=carry_clean,
-                )
+                with tracer.span("verdict"):
+                    run = self._engine.characterize_run(
+                        transition,
+                        devices=recompute,
+                        cache=carry,
+                        carry_clean=carry_clean,
+                    )
                 fresh = run.verdicts
                 families_recomputed = run.families_recomputed
                 families_reused = run.families_reused
@@ -741,6 +878,8 @@ class OnlineCharacterizationService:
         self.stats.verdicts_reused += len(reused)
         self.stats.families_recomputed += families_recomputed
         self.stats.families_reused += families_reused
+        self._gauge_devices.set(self._store.n)
+        self._gauge_flagged.set(len(flagged))
         result = OnlineTick(
             tick=self._tick,
             applied=applied,
@@ -752,9 +891,18 @@ class OnlineCharacterizationService:
             transition=transition,
             families_recomputed=families_recomputed,
             families_reused=families_reused,
+            stage_seconds=tracer.drain_stages(),
         )
-        for sink in self._sinks:
-            sink(result)
+        with tracer.span("sinks"):
+            for sink in self._sinks:
+                sink(result)
+        # The sinks span closed after the drain above; fold it (and any
+        # spans a sink itself opened) into this tick's breakdown so the
+        # next tick starts from a clean accumulator.
+        for stage, seconds in tracer.drain_stages().items():
+            result.stage_seconds[stage] = (
+                result.stage_seconds.get(stage, 0.0) + seconds
+            )
         return result
 
     def _record_verdict_codes(

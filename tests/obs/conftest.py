@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import _reset_global_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Give every test its own process-global registry.
+
+    ServiceStats / MetricsSink / Tracer default to the global registry;
+    without isolation one test's counters leak into the next's
+    snapshots.
+    """
+    _reset_global_registry()
+    yield
+    _reset_global_registry()

@@ -1,0 +1,118 @@
+"""Export plane: Prometheus text exposition, JSON renderer, HTTP server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    MetricsServer,
+    fetch_metrics,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import Registry
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    reg.counter("hits_total", "Requests served").inc(3)
+    reg.gauge("depth", "Queue depth").set(7)
+    hist = reg.histogram(
+        "lat_seconds", "Latency", labelnames=("stage",), buckets=(0.1, 1.0)
+    )
+    hist.labels(stage="detect").observe(0.05)
+    hist.labels(stage="detect").observe(0.5)
+    hist.labels(stage="detect").observe(5.0)
+    return reg
+
+
+class TestPrometheusFormat:
+    def test_help_and_type_headers(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP hits_total Requests served" in text
+        assert "# TYPE hits_total counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat_seconds histogram" in text
+
+    def test_counter_and_gauge_samples(self, registry):
+        lines = render_prometheus(registry).splitlines()
+        assert "hits_total 3" in lines
+        assert "depth 7" in lines
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        lines = render_prometheus(registry).splitlines()
+        assert 'lat_seconds_bucket{stage="detect",le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{stage="detect",le="1.0"} 2' in lines
+        assert 'lat_seconds_bucket{stage="detect",le="+Inf"} 3' in lines
+        assert 'lat_seconds_count{stage="detect"} 3' in lines
+        assert any(
+            line.startswith('lat_seconds_sum{stage="detect"}')
+            for line in lines
+        )
+
+    def test_label_values_escaped(self):
+        reg = Registry()
+        reg.counter("odd_total", labelnames=("k",)).labels(
+            k='sa"w\\tooth\n'
+        ).inc()
+        text = render_prometheus(reg)
+        assert 'odd_total{k="sa\\"w\\\\tooth\\n"} 1' in text
+
+    def test_ends_with_newline(self, registry):
+        assert render_prometheus(registry).endswith("\n")
+
+
+class TestJsonFormat:
+    def test_round_trips_and_attaches_quantiles(self, registry):
+        payload = json.loads(render_json(registry))
+        assert payload["hits_total"]["samples"][0]["value"] == 3.0
+        sample = payload["lat_seconds"]["samples"][0]
+        assert sample["count"] == 3
+        quantiles = sample["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert 0.0 < quantiles["p50"] <= 1.0
+
+    def test_empty_histogram_omits_nan_quantiles(self):
+        reg = Registry()
+        reg.histogram("empty_seconds", buckets=(1.0,))
+        payload = json.loads(render_json(reg))
+        assert payload["empty_seconds"]["samples"][0]["quantiles"] == {}
+
+
+class TestMetricsServer:
+    def test_serves_metrics_json_and_healthz(self, registry):
+        with MetricsServer(registry) as server:
+            base = server.url
+            text = fetch_metrics(base)
+            assert "hits_total 3" in text
+            payload = json.loads(fetch_metrics(base, format="json"))
+            assert payload["depth"]["samples"][0]["value"] == 7.0
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as r:
+                assert json.loads(r.read()) == {"status": "ok"}
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_ephemeral_port_bound_and_close_idempotent(self, registry):
+        server = MetricsServer(registry)
+        port = server.start()
+        assert port > 0
+        assert server.start() == port  # second start is a no-op
+        server.close()
+        server.close()
+
+    def test_live_updates_visible_across_scrapes(self, registry):
+        with MetricsServer(registry) as server:
+            before = fetch_metrics(server.url)
+            registry.counter("hits_total").inc(2)
+            after = fetch_metrics(server.url)
+        assert "hits_total 3" in before
+        assert "hits_total 5" in after

@@ -1,0 +1,131 @@
+"""MetricsSink transition counting and ReportSink bounding.
+
+The sinks consume :class:`OnlineTick` values, so the edge cases are
+drivable with fabricated ticks: a device that re-flags after a quiet
+spell must count as a *new* event, and a device that leaves the flagged
+set must stop accruing device-ticks immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import AnomalyType, Characterization, DecisionRule
+from repro.obs.metrics import Registry, get_registry
+from repro.online import MetricsSink, OnlineTick, ReportSink
+
+
+def _tick(number: int, verdicts: dict) -> OnlineTick:
+    built = {
+        device: Characterization(
+            device=device, anomaly_type=kind, rule=DecisionRule.THEOREM_5
+        )
+        for device, kind in verdicts.items()
+    }
+    return OnlineTick(
+        tick=number,
+        applied=0,
+        flagged=tuple(sorted(built)),
+        recomputed=tuple(sorted(built)),
+        reused=(),
+        dirty_cells=0,
+        verdicts=built,
+    )
+
+
+def _counter_value(registry, name: str, kind: str) -> float:
+    snap = registry.snapshot().get(name)
+    if snap is None:
+        return 0.0
+    for sample in snap["samples"]:
+        if sample["labels"] == {"kind": kind}:
+            return sample["value"]
+    return 0.0
+
+
+class TestTransitionCounting:
+    def test_steady_verdict_counts_once(self):
+        sink = MetricsSink()
+        for k in range(1, 6):
+            sink(_tick(k, {7: AnomalyType.ISOLATED}))
+        assert sink.verdict_counts["isolated"] == 1
+        assert sink.verdict_tick_counts["isolated"] == 5
+
+    def test_reflag_after_quiet_spell_is_a_new_event(self):
+        sink = MetricsSink()
+        sink(_tick(1, {7: AnomalyType.ISOLATED}))
+        sink(_tick(2, {}))  # quiet spell: device 7 unflagged
+        sink(_tick(3, {7: AnomalyType.ISOLATED}))
+        assert sink.verdict_counts["isolated"] == 2
+        assert sink.verdict_tick_counts["isolated"] == 2
+
+    def test_device_leave_stops_device_ticks(self):
+        sink = MetricsSink()
+        sink(_tick(1, {7: AnomalyType.MASSIVE, 9: AnomalyType.MASSIVE}))
+        sink(_tick(2, {9: AnomalyType.MASSIVE}))  # device 7 left
+        sink(_tick(3, {9: AnomalyType.MASSIVE}))
+        assert sink.verdict_counts["massive"] == 2  # one event per device
+        assert sink.verdict_tick_counts["massive"] == 4  # 2 + 1 + 1
+
+    def test_kind_change_is_a_transition(self):
+        sink = MetricsSink()
+        sink(_tick(1, {7: AnomalyType.ISOLATED}))
+        sink(_tick(2, {7: AnomalyType.MASSIVE}))
+        assert sink.verdict_counts["isolated"] == 1
+        assert sink.verdict_counts["massive"] == 1
+
+    def test_registry_mirrors_both_counters(self):
+        reg = Registry()
+        sink = MetricsSink(registry=reg)
+        sink(_tick(1, {7: AnomalyType.ISOLATED}))
+        sink(_tick(2, {}))
+        sink(_tick(3, {7: AnomalyType.ISOLATED}))
+        assert _counter_value(
+            reg, "repro_verdict_transitions_total", "isolated"
+        ) == 2.0
+        assert _counter_value(
+            reg, "repro_verdict_device_ticks_total", "isolated"
+        ) == 2.0
+
+    def test_defaults_to_global_registry(self):
+        sink = MetricsSink()
+        sink(_tick(1, {3: AnomalyType.UNRESOLVED}))
+        assert _counter_value(
+            get_registry(), "repro_verdict_transitions_total", "unresolved"
+        ) == 1.0
+
+
+class TestReportSinkBounding:
+    def test_drop_oldest_and_dropped_counter(self):
+        sink = ReportSink(max_rows=3)
+        for k in range(1, 6):
+            sink(_tick(k, {1: AnomalyType.ISOLATED}))
+        assert len(sink.rows) == 3
+        assert sink.dropped == 2
+        # Oldest rows were evicted: the survivors are ticks 3..5.
+        assert [row[0] for row in sink.rows] == [3, 4, 5]
+
+    def test_unbounded_when_max_rows_none(self):
+        sink = ReportSink(max_rows=None)
+        for k in range(1, 6):
+            sink(_tick(k, {1: AnomalyType.ISOLATED}))
+        assert len(sink.rows) == 5
+        assert sink.dropped == 0
+
+    def test_max_rows_validated(self):
+        with pytest.raises(ConfigurationError):
+            ReportSink(max_rows=0)
+
+    def test_drops_mirrored_to_registry(self):
+        reg = Registry()
+        sink = ReportSink(max_rows=1, registry=reg)
+        sink(_tick(1, {1: AnomalyType.ISOLATED}))
+        sink(_tick(2, {1: AnomalyType.ISOLATED}))
+        snap = reg.snapshot()["repro_report_rows_dropped_total"]
+        assert snap["samples"][0]["value"] == 1.0
+
+    def test_kind_filter_still_applies(self):
+        sink = ReportSink(kinds=(AnomalyType.MASSIVE,), max_rows=10)
+        sink(_tick(1, {1: AnomalyType.ISOLATED, 2: AnomalyType.MASSIVE}))
+        assert [row[1] for row in sink.rows] == [2]

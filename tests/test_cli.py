@@ -173,6 +173,122 @@ class TestOnlineCommands:
         assert len(payload["ticks"]) == 5
 
 
+class TestObservabilityFlags:
+    def test_json_report_carries_stage_seconds(self, tmp_path, capsys):
+        target = tmp_path / "replay.json"
+        assert (
+            main(
+                ["replay", "--devices", "40", "--steps", "6", "--json",
+                 str(target)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert "dirty-region" in payload["stage_seconds"]
+        for tick in payload["ticks"]:
+            assert "stage_seconds" in tick
+            assert all(v >= 0.0 for v in tick["stage_seconds"].values())
+
+    def test_serve_metrics_port_serves_prometheus(self, capsys, monkeypatch):
+        import re
+
+        from repro.obs import fetch_metrics
+        import repro.cli as cli
+
+        # The ephemeral endpoint only lives for the duration of main();
+        # scrape it mid-run by hooking the server factory.
+        scraped = {}
+        original = cli._start_metrics_server
+
+        def capture(args):
+            server = original(args)
+            scraped["url"] = server.url
+            return server
+
+        monkeypatch.setattr(cli, "_start_metrics_server", capture)
+        original_write = cli._write_service_json
+
+        def scrape_then_write(path, result, service, extra):
+            scraped["text"] = fetch_metrics(scraped["url"])
+            return original_write(path, result, service, extra)
+
+        monkeypatch.setattr(cli, "_write_service_json", scrape_then_write)
+        assert (
+            main(
+                ["serve", "--devices", "80", "--ticks", "3",
+                 "--churn", "0.1", "--metrics-port", "0",
+                 "--json", "/dev/null"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "metrics endpoint: http://127.0.0.1:" in err
+        text = scraped["text"]
+        assert re.search(
+            r'repro_stage_seconds_bucket\{stage="dirty-region",le="[^"]+"\} \d+',
+            text,
+        )
+        assert "repro_service_ticks_total" in text
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_devices 80" in text
+
+    def test_serve_log_json_emits_events(self, capsys):
+        assert (
+            main(
+                ["serve", "--devices", "60", "--ticks", "2", "--log-json"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds.count("tick") == 2
+        assert kinds[-1] == "summary"
+        tick_events = [e for e in events if e["event"] == "tick"]
+        assert all("stage_seconds" in e for e in tick_events)
+        # The per-tick table is replaced, not duplicated.
+        assert "tick  applied" not in captured.out
+
+    def test_replay_log_json_emits_events(self, capsys):
+        assert (
+            main(["replay", "--devices", "30", "--steps", "5", "--log-json"])
+            == 0
+        )
+        err_lines = capsys.readouterr().err.splitlines()
+        events = [json.loads(line) for line in err_lines]
+        assert [e["event"] for e in events].count("tick") == 4
+
+    def test_metrics_command_renders_local_registry(self, capsys):
+        from repro.obs import get_registry
+
+        get_registry().counter("cli_probe_total", "probe").inc(2)
+        assert main(["metrics"]) == 0
+        assert "cli_probe_total 2" in capsys.readouterr().out
+
+    def test_metrics_command_fetches_from_endpoint(self, capsys):
+        from repro.obs import MetricsServer
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        registry.gauge("remote_depth", "depth").set(4)
+        with MetricsServer(registry) as server:
+            assert main(["metrics", "--url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "remote_depth 4" in out
+            assert (
+                main(["metrics", "--url", server.url, "--format", "json"])
+                == 0
+            )
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["remote_depth"]["samples"][0]["value"] == 4.0
+
+    def test_metrics_command_unreachable_endpoint_fails(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
 class TestDetectorFlags:
     """The --detector family knob on serve/replay."""
 
@@ -205,6 +321,10 @@ class TestDetectorFlags:
         payload = json.loads(target.read_text())
         assert payload["detector"] == family
         assert payload["detection"] == plane
+        # Wall-clock stage timings differ run to run; the cross-plane
+        # contract covers the deterministic fields.
+        for tick in payload["ticks"]:
+            tick.pop("stage_seconds", None)
         return payload["ticks"]
 
     @pytest.mark.parametrize(
@@ -260,5 +380,8 @@ class TestDetectorFlags:
                 == 0
             )
             capsys.readouterr()
-            rows[plane] = json.loads(target.read_text())["ticks"]
+            ticks = json.loads(target.read_text())["ticks"]
+            for tick in ticks:
+                tick.pop("stage_seconds", None)  # wall-clock, run-varying
+            rows[plane] = ticks
         assert rows["bank"] == rows["scalar"]
