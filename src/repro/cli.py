@@ -49,6 +49,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.detection.banks import FAMILIES, PLANES
 from repro.engine.config import BACKENDS
+from repro.online.service import VALIDATION_MODES
 
 from repro.experiments import (
     ablation_locality,
@@ -186,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
             "--log-json", action="store_true",
             help="emit JSON-lines events (start/tick/summary) on stderr "
             "instead of the per-tick table",
+        )
+        fault = sub_parser.add_argument_group(
+            "fault tolerance", "supervision deadlines and checkpoint-restore"
+        )
+        fault.add_argument(
+            "--dispatch-deadline", type=float, default=None,
+            help="seconds a pool roundtrip may take before the worker "
+            "is declared hung, killed and the batch retried",
+        )
+        fault.add_argument(
+            "--validation", choices=VALIDATION_MODES, default="strict",
+            help="malformed-input policy: strict rejects the frame, "
+            "sanitize repairs bad rows from the last good state",
+        )
+        fault.add_argument(
+            "--checkpoint-dir", default=None,
+            help="checkpoint directory; the run resumes from its newest "
+            "checkpoint if one exists",
+        )
+        fault.add_argument(
+            "--checkpoint-every", type=int, default=1,
+            help="ticks between checkpoints (with --checkpoint-dir)",
+        )
+        fault.add_argument(
+            "--checkpoint-keep", type=int, default=3,
+            help="checkpoints retained after pruning",
         )
         detect = sub_parser.add_argument_group(
             "detection", "error-detection function a_k(j) and its knobs"
@@ -372,6 +399,8 @@ def _service_config(args: argparse.Namespace):
         backend=args.backend,
         workers=args.workers,
         max_worker_tasks=args.max_worker_tasks,
+        dispatch_deadline=args.dispatch_deadline,
+        validation=args.validation,
     )
 
 
@@ -479,12 +508,15 @@ def _json_logger(args: argparse.Namespace, **static_fields):
 
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.online import (
+        CheckpointWriter,
         LoadGenerator,
         LoadProfile,
         MetricsSink,
         OnlineCharacterizationService,
         drive_load,
         drive_load_measurements,
+        latest_checkpoint,
+        restore_service,
     )
 
     profile = LoadProfile(
@@ -507,15 +539,41 @@ def _run_serve(args: argparse.Namespace) -> int:
     logger = _json_logger(
         args, command="serve", devices=args.devices, shards=args.shards
     )
+    resume = (
+        latest_checkpoint(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
     try:
+        if resume is not None:
+            # A previous run left a checkpoint behind: rebuild the
+            # service from it and replay the load generator forward so
+            # the stream continues exactly where the dead process died.
+            service_cm = restore_service(resume, config=_service_config(args))
+        else:
+            service_cm = OnlineCharacterizationService(
+                generator.initial_positions(),
+                _service_config(args),
+                detector=_detector_spec(args) if args.raw else None,
+                detection=args.detection if args.raw else None,
+            )
         # The service is a context manager: leaving the block shuts down
         # the persistent worker pool (no-op for the serial backend).
-        with OnlineCharacterizationService(
-            generator.initial_positions(),
-            _service_config(args),
-            detector=_detector_spec(args) if args.raw else None,
-            detection=args.detection if args.raw else None,
-        ) as service:
+        with service_cm as service:
+            start_tick = service.current_tick
+            if start_tick:
+                generator.fast_forward(start_tick)
+                print(
+                    f"resuming from {resume} (tick {start_tick})",
+                    file=sys.stderr,
+                )
+            if args.checkpoint_dir:
+                service.add_sink(
+                    CheckpointWriter(
+                        service,
+                        args.checkpoint_dir,
+                        every=args.checkpoint_every,
+                        keep=args.checkpoint_keep,
+                    )
+                )
             metrics = MetricsSink()
             service.add_sink(metrics)
             mode = "full-recompute" if args.full else "incremental"
@@ -540,10 +598,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                     f"churn={args.churn:.2%} shards={args.shards} "
                     f"backend={args.backend} mode={mode} flags={flag_source}"
                 )
+            ticks_left = max(0, args.ticks - start_tick)
             if args.raw:
-                result = drive_load_measurements(service, generator, args.ticks)
+                result = drive_load_measurements(service, generator, ticks_left)
             else:
-                result = drive_load(service, generator, args.ticks)
+                result = drive_load(service, generator, ticks_left)
             if logger is not None:
                 logger.event(
                     "summary",
@@ -575,9 +634,17 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_replay(args: argparse.Namespace) -> int:
+    from repro.detection.banks import resolve_bank
     from repro.io.synthetic import Incident, TraceConfig, generate_trace
     from repro.io.traces import read_trace
-    from repro.online import replay_trace_online
+    from repro.online import (
+        CheckpointWriter,
+        OnlineCharacterizationService,
+        latest_checkpoint,
+        load_checkpoint,
+        replay_trace_online,
+        restore_service,
+    )
 
     if args.trace:
         with open(args.trace) as handle:
@@ -629,13 +696,54 @@ def _run_replay(args: argparse.Namespace) -> int:
             f"detector={args.detector}/{args.detection}"
         )
     result = None
+    service = None
     try:
-        result = replay_trace_online(
-            trace,
-            config=_service_config(args),
-            detector=_detector_spec(args),
-            detection=args.detection,
-        )
+        if args.checkpoint_dir:
+            # Checkpointed replay: the external detector bank rides in
+            # the checkpoint's extra blob so a resumed run flags exactly
+            # what the uninterrupted one would have.
+            resume = latest_checkpoint(args.checkpoint_dir)
+            if resume is not None:
+                ckpt = load_checkpoint(resume)
+                service = restore_service(ckpt)
+                bank = ckpt.extra.get("replay_bank")
+                skip = min(service.current_tick, len(trace) - 1)
+                print(
+                    f"resuming from {resume} (tick {service.current_tick})",
+                    file=sys.stderr,
+                )
+            else:
+                service = OnlineCharacterizationService(
+                    trace[0].qos, _service_config(args)
+                )
+                n, d = trace[0].qos.shape
+                bank = resolve_bank(
+                    n,
+                    d,
+                    detector=_detector_spec(args),
+                    detection=args.detection,
+                    r=service.config.r,
+                )
+                skip = 0
+            service.add_sink(
+                CheckpointWriter(
+                    service,
+                    args.checkpoint_dir,
+                    every=args.checkpoint_every,
+                    keep=args.checkpoint_keep,
+                    extra={"replay_bank": bank},
+                )
+            )
+            result = replay_trace_online(
+                trace, service=service, bank=bank, skip_steps=skip
+            )
+        else:
+            result = replay_trace_online(
+                trace,
+                config=_service_config(args),
+                detector=_detector_spec(args),
+                detection=args.detection,
+            )
         if logger is not None:
             for tick in result.ticks:
                 logger.tick_sink(tick)
@@ -661,6 +769,8 @@ def _run_replay(args: argparse.Namespace) -> int:
     finally:
         if result is not None:
             result.service.close()
+        elif service is not None:
+            service.close()
         if server is not None:
             server.close()
     return 0

@@ -47,6 +47,7 @@ import math
 import multiprocessing
 import os
 import sys
+import time
 import traceback
 import weakref
 from dataclasses import dataclass, field
@@ -56,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.characterize import Characterizer
+from repro.core.errors import PoolError
 from repro.core.neighborhood import MotionCache
 from repro.core.transition import Transition
 from repro.core.types import Characterization
@@ -63,6 +65,7 @@ from repro.core.types import Characterization
 from repro.engine.config import EngineConfig
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.robust.chaos import get_injector
 
 __all__ = [
     "BackendRun",
@@ -400,6 +403,16 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
                 reused_before = cache.carried_used
                 verdicts = [characterizer.characterize(j) for j in devices]
                 last_seq = seq
+                # Chaos hooks (inert in production: the keys are only
+                # ever present when a FaultPlan injected them).  A hang
+                # delays the reply past the parent's deadline; a dropped
+                # reply never arrives at all — either way the parent
+                # kills this process and re-runs the slice elsewhere.
+                hang = task.get("chaos_hang")
+                if hang:  # pragma: no cover - exercised via tests/chaos
+                    time.sleep(hang)
+                if task.get("chaos_drop_reply"):
+                    continue
                 conn.send(
                     (
                         "ok",
@@ -427,6 +440,10 @@ def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
             except (OSError, BufferError):  # pragma: no cover - already gone
                 pass
         conn.close()
+
+
+class _DeadlineExpired(Exception):
+    """A worker missed its dispatch deadline (internal control flow)."""
 
 
 @dataclass
@@ -638,6 +655,38 @@ class WorkerPoolBackend(ExecutionBackend):
     ``max_worker_tasks`` retirement recomputes instead).  A run that
     fails mid-flight restarts the pool wholesale, so no later run can
     consume a stranded reply or a half-updated cache.
+
+    Supervision
+    -----------
+    Every roundtrip is supervised.  ``dispatch_deadline`` bounds how
+    long the parent waits for a worker's reply; a worker that misses it
+    is declared hung, killed, respawned and its task re-sent — up to
+    ``dispatch_retries`` times with exponential backoff
+    (``retry_backoff``).  A slice that keeps killing workers
+    (``poison_threshold``) is *quarantined*: its devices run on the
+    in-process serial path (verdict-identical, just slower) so one
+    pathological batch cannot take the pool down, and the event is
+    counted on ``repro_pool_poison_batches_total``.  Worker *error
+    replies* (a deterministic Python exception in the characterization
+    itself) are never retried — re-running deterministic code cannot
+    help — and surface immediately as :class:`PoolError` carrying the
+    worker traceback (also kept on :attr:`last_worker_error`, so a
+    later teardown can never mask the root cause).
+
+    Pool health is an explicit three-state machine, exported as the
+    gauge ``repro_pool_health_state`` (0 healthy / 1 degraded /
+    2 serial-fallback) with transitions counted on
+    ``repro_pool_health_transitions_total{from,to}``:
+
+    * ``healthy`` → ``degraded`` on any supervised fault in a run;
+    * ``degraded`` → ``healthy`` after ``recovery_runs`` consecutive
+      clean pool runs;
+    * ``degraded`` → ``serial-fallback`` after
+      ``serial_fallback_after`` consecutive faulty runs: runs execute
+      serially (counted on ``repro_pool_serial_fallback_runs_total``)
+      except a pool *probe* every ``recovery_probe_every`` runs — a
+      clean probe promotes back to ``degraded``, a faulty one restarts
+      the probe countdown.
     """
 
     name = "process"
@@ -645,13 +694,34 @@ class WorkerPoolBackend(ExecutionBackend):
     #: Registry metric names (process-global registry; see repro.obs).
     _GAUGE_WORKERS = "repro_pool_workers_live"
     _GAUGE_RING_SEQ = "repro_pool_ring_seq"
+    _GAUGE_HEALTH = "repro_pool_health_state"
     _COUNTER_RESPAWNS = "repro_pool_worker_respawns_total"
+    _COUNTER_HUNG = "repro_pool_hung_workers_total"
+    _COUNTER_RETRIES = "repro_pool_dispatch_retries_total"
+    _COUNTER_POISON = "repro_pool_poison_batches_total"
+    _COUNTER_FALLBACK_RUNS = "repro_pool_serial_fallback_runs_total"
+    _COUNTER_TRANSITIONS = "repro_pool_health_transitions_total"
+
+    #: Health state -> exported gauge level.
+    _HEALTH_LEVELS = {"healthy": 0, "degraded": 1, "serial-fallback": 2}
 
     def __init__(self) -> None:
         self._state = _PoolState()
         self._started_config: Optional[Tuple] = None
         self._last_pool_meta: Optional[Tuple] = None
         self._run_seq = 0
+        self._closed = False
+        # Supervision / health state.
+        self._health = "healthy"
+        self._faulty_streak = 0
+        self._clean_streak = 0
+        self._runs_since_probe = 0
+        self._faults_this_run = 0
+        self.poisoned_batches = 0
+        #: Most recent worker traceback observed (kept across close /
+        #: atexit sweeps, so the root cause of a failed run survives
+        #: the teardown that follows it).
+        self.last_worker_error: Optional[str] = None
         # Prefer fork only on Linux, where it is both safe and an order
         # of magnitude faster to start; macOS abandoned fork as the
         # default for good reasons (Objective-C / Accelerate threads in
@@ -685,6 +755,60 @@ class WorkerPoolBackend(ExecutionBackend):
             labelnames=("reason",),
         ).labels(reason=reason.replace(" ", "-")).inc()
 
+    def _count(self, name: str, help_text: str) -> None:
+        get_registry().counter(name, help_text).inc()
+
+    # -- health state machine ------------------------------------------
+    @property
+    def health(self) -> str:
+        """Current pool health: healthy / degraded / serial-fallback."""
+        return self._health
+
+    def _set_health(self, new: str) -> None:
+        old = self._health
+        if new == old:
+            return
+        self._health = new
+        registry = get_registry()
+        registry.counter(
+            self._COUNTER_TRANSITIONS,
+            "Pool health state transitions",
+            labelnames=("from", "to"),
+        ).labels(**{"from": old, "to": new}).inc()
+        registry.gauge(
+            self._GAUGE_HEALTH,
+            "Pool health: 0 healthy, 1 degraded, 2 serial-fallback",
+        ).set(self._HEALTH_LEVELS[new])
+
+    def _note_run_outcome(self, config: EngineConfig, *, faulty: bool) -> None:
+        """Advance the health machine after one pool-path run."""
+        if faulty:
+            self._clean_streak = 0
+            self._faulty_streak += 1
+            if self._health == "healthy":
+                self._set_health("degraded")
+            if (
+                self._health == "degraded"
+                and self._faulty_streak >= config.serial_fallback_after
+            ):
+                self._set_health("serial-fallback")
+                self._runs_since_probe = 0
+            elif self._health == "serial-fallback":
+                # A faulty probe: restart the countdown to the next one.
+                self._runs_since_probe = 0
+        else:
+            self._faulty_streak = 0
+            self._clean_streak += 1
+            if self._health == "serial-fallback":
+                # Clean probe: the pool works again, but stay wary.
+                self._set_health("degraded")
+                self._clean_streak = 1
+            elif (
+                self._health == "degraded"
+                and self._clean_streak >= config.recovery_runs
+            ):
+                self._set_health("healthy")
+
     # -- lifecycle -----------------------------------------------------
     def _pool_size(self, config: EngineConfig) -> int:
         # The pool always holds the *configured* worker count — sizing it
@@ -695,6 +819,13 @@ class WorkerPoolBackend(ExecutionBackend):
     def plans_fanout(
         self, devices: Sequence[int], config: EngineConfig
     ) -> bool:
+        if (
+            self._health == "serial-fallback"
+            and self._runs_since_probe + 1 < config.recovery_probe_every
+        ):
+            # The next run executes serially, so the parent-side warm-up
+            # pays off exactly as on the serial backend.
+            return False
         return (
             self._pool_size(config) > 1
             and len(devices) >= config.min_process_devices
@@ -734,8 +865,9 @@ class WorkerPoolBackend(ExecutionBackend):
         for i, worker in enumerate(self._state.workers):
             dead = not worker.process.is_alive()
             if dead and not config.worker_respawn:
-                raise RuntimeError(
-                    f"pool worker {i} died and worker_respawn is off"
+                raise PoolError(
+                    f"pool worker {i} died and worker_respawn is off",
+                    worker_traceback=self.last_worker_error,
                 )
             expired = (
                 config.max_worker_tasks is not None
@@ -751,7 +883,15 @@ class WorkerPoolBackend(ExecutionBackend):
         return self._state.ring.publish(transition)
 
     def close(self) -> None:
-        """Shut workers down and release the shared-memory segments."""
+        """Shut workers down and release the shared-memory segments.
+
+        Idempotent: a double close (or a close racing the atexit sweep)
+        is a clean no-op.  Worker tracebacks are never consumed here —
+        the last one observed stays on :attr:`last_worker_error`.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._state.close()
         self._started_config = None
         self._last_pool_meta = None
@@ -773,6 +913,24 @@ class WorkerPoolBackend(ExecutionBackend):
             # carry); worker caches go stale, so void the next pool carry.
             self._last_pool_meta = None
             return SerialBackend().run(transition, devices, config, cache)
+        if self._health == "serial-fallback":
+            self._runs_since_probe += 1
+            if self._runs_since_probe < config.recovery_probe_every:
+                # Degraded mode: the pool keeps faulting, so run serially
+                # (same shared cache as the small-tick fallback, so reuse
+                # keeps working) until the next recovery probe is due.
+                self._count(
+                    self._COUNTER_FALLBACK_RUNS,
+                    "Runs executed serially because pool health is "
+                    "serial-fallback",
+                )
+                self._last_pool_meta = None
+                return SerialBackend().run(transition, devices, config, cache)
+            # This run is the recovery probe: take the pool path and let
+            # its outcome decide whether the pool is trustworthy again.
+            self._runs_since_probe = 0
+        self._closed = False
+        self._faults_this_run = 0
         tracer = get_tracer()
         registry = tracer.registry
         # Publish before (possibly) forking workers: creating the first
@@ -845,7 +1003,7 @@ class WorkerPoolBackend(ExecutionBackend):
             # Scatter first, then gather: workers compute concurrently.
             with tracer.span("pool-dispatch"):
                 for index, task in tasks:
-                    self._send_task(index, task, config)
+                    self._send_task(index, task, config, seq)
             out: Dict[int, Characterization] = {}
             expansions = 0
             families_reused = 0
@@ -855,7 +1013,7 @@ class WorkerPoolBackend(ExecutionBackend):
                     # each engaged worker, one histogram sample apiece.
                     with tracer.span("pool-worker-roundtrip"):
                         verdicts, worker_expansions, worker_reused = (
-                            self._collect(index, task, config, seq)
+                            self._collect(index, task, config, seq, transition)
                         )
                     expansions += worker_expansions
                     families_reused += worker_reused
@@ -868,7 +1026,9 @@ class WorkerPoolBackend(ExecutionBackend):
             # BaseException on purpose: a KeyboardInterrupt mid-gather
             # strands replies exactly the same way.
             self._reset_pool()
+            self._note_run_outcome(config, faulty=True)
             raise
+        self._note_run_outcome(config, faulty=self._faults_this_run > 0)
         return BackendRun(
             verdicts=out,
             expansions=expansions,
@@ -879,8 +1039,9 @@ class WorkerPoolBackend(ExecutionBackend):
         self, index: int, config: EngineConfig, reason: str
     ) -> _PoolWorker:
         if not config.worker_respawn:
-            raise RuntimeError(
-                f"pool worker {index} {reason} and worker_respawn is off"
+            raise PoolError(
+                f"pool worker {index} {reason} and worker_respawn is off",
+                worker_traceback=self.last_worker_error,
             )
         self._retire_worker(self._state.workers[index])
         worker = self._state.workers[index] = self._spawn_worker(config)
@@ -888,23 +1049,57 @@ class WorkerPoolBackend(ExecutionBackend):
         return worker
 
     def _send_task(
-        self, index: int, task: Dict[str, object], config: EngineConfig
+        self,
+        index: int,
+        task: Dict[str, object],
+        config: EngineConfig,
+        seq: int,
     ) -> None:
         """Send one task, respawning a dead worker once.
 
         A respawned worker has no cache, so its task is sent without a
         clean set — it recomputes everything it was assigned (correct,
-        just slower for one tick).
+        just slower for one tick).  The chaos injector hooks in here:
+        inert in production, it can kill the worker, delay the send,
+        corrupt the ring sequence number, or arm a worker-side hang or
+        reply drop for the ``tests/chaos`` suite.
         """
+        action = None
+        injector = get_injector()
+        if injector.active:
+            action = injector.pool_dispatch(seq, index)
+        if action is not None:
+            if action.delay:
+                time.sleep(action.delay)
+            if action.corrupt_seq:
+                task = {**task, "seq": -int(task["seq"])}
+            if action.hang:
+                task = {**task, "chaos_hang": action.hang}
+            if action.drop_reply:
+                task = {**task, "chaos_drop_reply": True}
+            if action.kill:
+                self._state.workers[index].process.kill()
+                self._state.workers[index].process.join()
         worker = self._state.workers[index]
         if not worker.process.is_alive():
+            self._faults_this_run += 1
             worker = self._respawn(index, config, "died")
             task = {**task, "clean": None}
         try:
             worker.conn.send(task)
         except (OSError, ValueError, BrokenPipeError):
+            self._faults_this_run += 1
             worker = self._respawn(index, config, "lost its pipe")
             worker.conn.send({**task, "clean": None})
+        if action is not None and action.kill_after:
+            worker.process.kill()
+
+    @staticmethod
+    def _await_reply(worker: _PoolWorker, deadline: Optional[float]):
+        """Receive one reply, bounded by the dispatch deadline."""
+        if deadline is not None and not worker.conn.poll(deadline):
+            raise _DeadlineExpired()
+        return worker.conn.recv()
 
     def _collect(
         self,
@@ -912,27 +1107,93 @@ class WorkerPoolBackend(ExecutionBackend):
         task: Dict[str, object],
         config: EngineConfig,
         seq: int,
+        transition: Transition,
     ) -> Tuple[List[Characterization], int, int]:
-        """Await one worker's reply; respawn and retry once on death."""
+        """Await one worker's reply under the supervision policy.
+
+        Infrastructure faults (the worker died or missed the dispatch
+        deadline) are retried against a respawned worker with
+        exponential backoff, up to ``dispatch_retries`` times; a slice
+        that keeps killing workers (``poison_threshold``) is quarantined
+        onto the serial path.  A worker *error reply* — a deterministic
+        exception inside the characterization — is never retried and
+        surfaces as :class:`PoolError` carrying the worker traceback.
+        """
+        deadline = config.dispatch_deadline
         worker = self._state.workers[index]
-        try:
-            reply = worker.conn.recv()
-        except (EOFError, OSError) as exc:
-            # The worker died mid-task: respawn, re-run its slice fresh.
-            worker = self._respawn(index, config, "died mid-task")
+        attempt = 0
+        kills = 0
+        while True:
+            failure = None
+            try:
+                reply = self._await_reply(worker, deadline)
+            except _DeadlineExpired:
+                failure = "hung"
+                self._count(
+                    self._COUNTER_HUNG,
+                    "Pool workers killed after missing the dispatch deadline",
+                )
+                worker.process.kill()
+            except (EOFError, OSError):
+                failure = "died mid-task"
+            if failure is None:
+                worker.tasks_done += 1
+                if reply[0] == "err":
+                    self.last_worker_error = reply[1]
+                    raise PoolError(
+                        f"pool worker {index} failed:\n{reply[1]}",
+                        worker_traceback=reply[1],
+                    )
+                worker.last_seq = seq
+                return reply[1], reply[2], reply[3]
+            self._faults_this_run += 1
+            kills += 1
+            if (
+                kills >= config.poison_threshold
+                or attempt >= config.dispatch_retries
+            ):
+                return self._quarantine(index, task, config, transition, failure)
+            attempt += 1
+            if config.retry_backoff:
+                time.sleep(config.retry_backoff * 2 ** (attempt - 1))
+            self._count(
+                self._COUNTER_RETRIES,
+                "Pool dispatches retried after a worker fault",
+            )
+            worker = self._respawn(index, config, failure)
             try:
                 worker.conn.send({**task, "clean": None})
-                reply = worker.conn.recv()
-            except (EOFError, OSError) as retry_exc:  # pragma: no cover
-                raise RuntimeError(
-                    f"pool worker {index} died twice while processing a task"
-                ) from retry_exc
-            del exc
-        worker.tasks_done += 1
-        if reply[0] == "err":
-            raise RuntimeError(f"pool worker {index} failed:\n{reply[1]}")
-        worker.last_seq = seq
-        return reply[1], reply[2], reply[3]
+            except (OSError, ValueError, BrokenPipeError):
+                # The respawned worker is already gone; the next await
+                # sees EOF and loops back here.
+                pass
+
+    def _quarantine(
+        self,
+        index: int,
+        task: Dict[str, object],
+        config: EngineConfig,
+        transition: Transition,
+        failure: str,
+    ) -> Tuple[List[Characterization], int, int]:
+        """Run a poison slice serially; keep the pool whole.
+
+        The respawn keeps worker ``index`` available for sibling tasks
+        and later runs.  The serial re-run uses a private cache so its
+        expansion count can be reported like a worker's.
+        """
+        self.poisoned_batches += 1
+        self._count(
+            self._COUNTER_POISON,
+            "Task slices quarantined to the serial path after repeatedly "
+            "killing workers",
+        )
+        self._respawn(index, config, failure)
+        cache = MotionCache(transition, kernel=config.kernel)
+        run = SerialBackend().run(
+            transition, task["devices"], config, cache
+        )
+        return list(run.verdicts.values()), cache.expansions, 0
 
     def _reset_pool(self) -> None:
         """Retire every worker; the next run rebuilds from scratch."""

@@ -71,6 +71,37 @@ class EngineConfig:
         When true (default) a persistent-pool worker that dies mid-run
         is respawned and its task re-sent (without a cache carry); when
         false a dead worker raises instead.
+    dispatch_deadline:
+        Per-roundtrip deadline in seconds for a persistent-pool task.
+        A worker that has not replied by the deadline is declared hung,
+        killed and respawned, and its task re-sent (bounded by
+        ``dispatch_retries``).  ``None`` (default) keeps the seed
+        behaviour: wait forever.
+    dispatch_retries:
+        How many times a failed dispatch (worker died or hung) is
+        retried against a respawned worker before the batch is routed
+        to the quarantine path.
+    retry_backoff:
+        Base seconds slept before each dispatch retry; doubles per
+        attempt (exponential backoff).
+    poison_threshold:
+        A batch that kills (or hangs) workers this many times is
+        declared *poison* and quarantined: its devices run on the
+        in-process serial path instead of taking the pool down with
+        them, and the event is counted on
+        ``repro_pool_poison_batches_total``.
+    serial_fallback_after:
+        Consecutive faulty runs (any hung/dead worker during the run)
+        after which the pool health state machine degrades from
+        ``degraded`` to ``serial-fallback``: runs execute serially
+        until a recovery probe succeeds.
+    recovery_probe_every:
+        In ``serial-fallback``, every this-many runs one run is sent
+        through the pool as a recovery probe; a clean probe promotes
+        the pool back to ``degraded``.
+    recovery_runs:
+        Consecutive clean pool runs required to promote ``degraded``
+        back to ``healthy``.
     precompute_neighborhoods:
         When true (default) the engine batch-computes the ``2r``
         neighbourhoods *and* the ``4r`` knowledge balls of every device in
@@ -93,6 +124,13 @@ class EngineConfig:
     min_process_devices: int = 4
     max_worker_tasks: Optional[int] = None
     worker_respawn: bool = True
+    dispatch_deadline: Optional[float] = None
+    dispatch_retries: int = 2
+    retry_backoff: float = 0.05
+    poison_threshold: int = 3
+    serial_fallback_after: int = 3
+    recovery_probe_every: int = 8
+    recovery_runs: int = 3
     precompute_neighborhoods: bool = True
     kernel: str = "bitset"
     full_nsc: bool = True
@@ -128,6 +166,37 @@ class EngineConfig:
             raise ConfigurationError(
                 "max_worker_tasks must be >= 1 when given, got "
                 f"{self.max_worker_tasks!r}"
+            )
+        if self.dispatch_deadline is not None and self.dispatch_deadline <= 0:
+            raise ConfigurationError(
+                "dispatch_deadline must be > 0 when given, got "
+                f"{self.dispatch_deadline!r}"
+            )
+        if self.dispatch_retries < 0:
+            raise ConfigurationError(
+                f"dispatch_retries must be >= 0, got {self.dispatch_retries!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff!r}"
+            )
+        if self.poison_threshold < 1:
+            raise ConfigurationError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold!r}"
+            )
+        if self.serial_fallback_after < 1:
+            raise ConfigurationError(
+                "serial_fallback_after must be >= 1, got "
+                f"{self.serial_fallback_after!r}"
+            )
+        if self.recovery_probe_every < 1:
+            raise ConfigurationError(
+                "recovery_probe_every must be >= 1, got "
+                f"{self.recovery_probe_every!r}"
+            )
+        if self.recovery_runs < 1:
+            raise ConfigurationError(
+                f"recovery_runs must be >= 1, got {self.recovery_runs!r}"
             )
 
     def characterizer_kwargs(self) -> Dict[str, object]:

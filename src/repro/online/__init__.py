@@ -30,6 +30,18 @@ See DESIGN.md, sections "Online subsystem" and "Observability".
 
 from repro.online.dirty import DirtyRegionTracker
 from repro.online.grid import MutableGridIndex
+from repro.online.recovery import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointWriter,
+    checkpoint_path,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+    restore_service,
+    save_checkpoint,
+)
 from repro.online.replay import (
     LoadGenerator,
     LoadProfile,
@@ -41,6 +53,7 @@ from repro.online.replay import (
 )
 from repro.online.service import (
     BACKPRESSURE_POLICIES,
+    VALIDATION_MODES,
     MetricsSink,
     OnlineCharacterizationService,
     OnlineTick,
@@ -54,6 +67,9 @@ from repro.online.store import AppliedUpdate, DeviceStateStore
 __all__ = [
     "AppliedUpdate",
     "BACKPRESSURE_POLICIES",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointWriter",
     "DeviceStateStore",
     "DirtyRegionTracker",
     "LoadGenerator",
@@ -67,8 +83,16 @@ __all__ = [
     "ReportSink",
     "ServiceConfig",
     "ServiceStats",
+    "VALIDATION_MODES",
+    "checkpoint_path",
     "diff_updates",
+    "list_checkpoints",
     "drive_load",
     "drive_load_measurements",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "prune_checkpoints",
     "replay_trace_online",
+    "restore_service",
+    "save_checkpoint",
 ]

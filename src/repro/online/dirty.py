@@ -41,7 +41,7 @@ that moved in tick ``k`` re-dirties its cells in tick ``k+1`` (its
 from __future__ import annotations
 
 import math
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -186,6 +186,36 @@ class DirtyRegionTracker:
         self._carry = self._carry_next
         self._carry_next = set()
         return tuple(sorted(dirty)), affected
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, np.ndarray]:
+        """The three cell sets as ``(k, d)`` integer arrays (sorted)."""
+
+        def pack(cells: Set[CellKey]) -> np.ndarray:
+            if not cells:
+                return np.empty((0, 0), dtype=np.int64)
+            return np.array(sorted(cells), dtype=np.int64)
+
+        return {
+            "pending": pack(self._pending),
+            "carry": pack(self._carry),
+            "carry_next": pack(self._carry_next),
+        }
+
+    def restore_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the cell sets from :meth:`state` output."""
+
+        def unpack(arr: np.ndarray) -> Set[CellKey]:
+            arr = np.asarray(arr, dtype=np.int64)
+            if arr.size == 0:
+                return set()
+            return {tuple(key) for key in arr.tolist()}
+
+        self._pending = unpack(state["pending"])
+        self._carry = unpack(state["carry"])
+        self._carry_next = unpack(state["carry_next"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -45,7 +45,11 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import ConfigurationError, QueueFullError
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    QueueFullError,
+)
 from repro.core.neighborhood import MotionCache
 from repro.core.transition import Transition
 from repro.core.types import AnomalyType, Characterization
@@ -56,9 +60,11 @@ from repro.obs.metrics import Registry, get_registry
 from repro.obs.trace import Tracer
 from repro.online.dirty import DirtyRegionTracker
 from repro.online.store import DeviceStateStore
+from repro.robust.chaos import get_injector
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "VALIDATION_MODES",
     "MetricsSink",
     "OnlineCharacterizationService",
     "OnlineTick",
@@ -70,6 +76,9 @@ __all__ = [
 
 #: Accepted ``ServiceConfig.backpressure`` values.
 BACKPRESSURE_POLICIES = ("block", "drop-oldest", "error")
+
+#: Accepted ``ServiceConfig.validation`` values.
+VALIDATION_MODES = ("strict", "sanitize")
 
 #: Stable int8 encoding of verdict types for the store's verdict column.
 _VERDICT_CODE = {kind: np.int8(i) for i, kind in enumerate(AnomalyType)}
@@ -141,6 +150,21 @@ class ServiceConfig:
         Engine execution knobs (ignored when a shared engine is passed
         to the service directly); ``max_worker_tasks`` bounds a
         persistent-pool worker's lifetime before it is respawned.
+    dispatch_deadline:
+        Per-roundtrip deadline (seconds) for pool dispatches; hung
+        workers are killed and their task retried.  ``None`` (default)
+        waits forever.  Ignored when a shared engine is passed in.
+    validation:
+        How :meth:`feed_measurements` treats malformed frames.
+        ``"strict"`` (default) counts the rejection reasons on
+        ``repro_service_rejected_total{reason}`` and raises before the
+        detector bank consumes anything — the frame is refused
+        atomically.  ``"sanitize"`` substitutes each bad *row* (NaN,
+        inf, out-of-range) with the device's current stored position —
+        the device simply does not report this tick — and proceeds;
+        only a frame whose shape does not match the fleet still raises
+        (it cannot be partially applied).  Queued :class:`QosUpdate`
+        events are always filtered per event, in either mode.
     """
 
     r: float = 0.03
@@ -155,6 +179,8 @@ class ServiceConfig:
     backend: str = "serial"
     workers: Optional[int] = None
     max_worker_tasks: Optional[int] = None
+    dispatch_deadline: Optional[float] = None
+    validation: str = "strict"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -175,6 +201,16 @@ class ServiceConfig:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.validation not in VALIDATION_MODES:
+            raise ConfigurationError(
+                f"validation must be one of {VALIDATION_MODES}, "
+                f"got {self.validation!r}"
+            )
+        if self.dispatch_deadline is not None and self.dispatch_deadline <= 0:
+            raise ConfigurationError(
+                "dispatch_deadline must be > 0 when given, got "
+                f"{self.dispatch_deadline!r}"
             )
 
     @property
@@ -473,6 +509,7 @@ class OnlineCharacterizationService:
                 backend=cfg.backend,
                 workers=cfg.workers,
                 max_worker_tasks=cfg.max_worker_tasks,
+                dispatch_deadline=cfg.dispatch_deadline,
             )
         )
         self._bank: Optional[DetectorBank] = None
@@ -510,7 +547,16 @@ class OnlineCharacterizationService:
         self._verdict_rows: Optional[np.ndarray] = None
         self._sinks: List[Callable[[OnlineTick], None]] = list(sinks)
         self._tick = 0
+        self._closed = False
         self.stats = ServiceStats()
+        #: Rejected-input tally by reason (mirrored to the registry
+        #: counter ``repro_service_rejected_total{reason}``).
+        self.rejected: Dict[str, int] = {}
+        self._rejected_counter = registry.counter(
+            "repro_service_rejected_total",
+            "Malformed inputs rejected by the service, by reason",
+            labelnames=("reason",),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -576,8 +622,12 @@ class OnlineCharacterizationService:
 
         A shared engine (passed at construction) belongs to its owner —
         e.g. a :class:`~repro.network.monitor.NetworkMonitor` — which is
-        responsible for closing it.  Idempotent.
+        responsible for closing it.  Idempotent: a double close (or a
+        close racing the pool's atexit sweep) is a clean no-op.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_engine:
             self._engine.close()
 
@@ -586,6 +636,37 @@ class OnlineCharacterizationService:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def checkpoint(self, path, *, extra: Optional[Dict[str, object]] = None):
+        """Write an atomic checkpoint of this service to ``path``.
+
+        See :mod:`repro.online.recovery` for the format; returns the
+        published path.
+        """
+        from repro.online.recovery import save_checkpoint
+
+        return save_checkpoint(self, path, extra=extra)
+
+    @classmethod
+    def restore(
+        cls,
+        source,
+        *,
+        config=None,
+        engine: Optional[CharacterizationEngine] = None,
+        sinks: Iterable[Callable[["OnlineTick"], None]] = (),
+        tracer: Optional[Tracer] = None,
+    ) -> "OnlineCharacterizationService":
+        """Rebuild a service from a checkpoint path (or loaded object).
+
+        The restored service continues the stream verdict-identically;
+        see :func:`repro.online.recovery.restore_service`.
+        """
+        from repro.online.recovery import restore_service
+
+        return restore_service(
+            source, config=config, engine=engine, sinks=sinks, tracer=tracer
+        )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -636,32 +717,79 @@ class OnlineCharacterizationService:
             return 0
         start = 0
         seen = set()
+        applied = 0
         for i, update in enumerate(batch):
             if update.device in seen:
-                self._apply_segment(batch[start:i])
+                applied += self._apply_segment(batch[start:i])
                 start = i
                 seen = set()
             seen.add(update.device)
-        self._apply_segment(batch[start:])
-        self.stats.updates_applied += len(batch)
-        self._applied_since_tick += len(batch)
+        applied += self._apply_segment(batch[start:])
+        # Rejected events are tallied separately — only events that
+        # actually landed in the store count as applied.
+        self.stats.updates_applied += applied
+        self._applied_since_tick += applied
         return len(batch)
 
-    def _apply_segment(self, segment: List[QosUpdate]) -> None:
-        """Apply one duplicate-free event run as a single row batch."""
+    def _reject(self, reason: str, count: int = 1) -> None:
+        """Count ``count`` rejected inputs under ``reason``."""
+        if count <= 0:
+            return
+        self.rejected[reason] = self.rejected.get(reason, 0) + count
+        self._rejected_counter.labels(reason=reason).inc(count)
+
+    def _apply_segment(self, segment: List[QosUpdate]) -> int:
+        """Apply one duplicate-free event run as a single row batch.
+
+        Malformed events are dropped *per event*, counted on
+        ``repro_service_rejected_total{reason}``: an unknown device id,
+        a position of the wrong dimension, a non-finite coordinate or
+        one outside the unit cube must not crash the tick (or desync
+        the store) for every well-formed report in the same batch.
+        Returns how many events actually landed in the store.
+        """
         store = self._store
-        count = len(segment)
-        rows = np.fromiter(
-            (store.row_of(update.device) for update in segment),
-            dtype=np.int64,
-            count=count,
+        dim = store.dim
+        rows: List[int] = []
+        kept: List[QosUpdate] = []
+        for update in segment:
+            row = store.row_if_present(update.device)
+            if row is None:
+                self._reject("unknown-device")
+                continue
+            if len(update.position) != dim:
+                self._reject("dimension-mismatch")
+                continue
+            rows.append(row)
+            kept.append(update)
+        if not kept:
+            return 0
+        positions = np.array([update.position for update in kept], dtype=float)
+        nan_bad = np.isnan(positions).any(axis=1)
+        inf_bad = np.isinf(positions).any(axis=1)
+        finite = ~(nan_bad | inf_bad)
+        range_bad = finite & (
+            (positions < 0.0).any(axis=1) | (positions > 1.0).any(axis=1)
         )
-        positions = np.array([update.position for update in segment], dtype=float)
+        self._reject("nan", int(nan_bad.sum()))
+        self._reject("inf", int(inf_bad.sum()))
+        self._reject("out-of-range", int(range_bad.sum()))
+        good = finite & ~range_bad
+        if not good.all():
+            idx = np.nonzero(good)[0]
+            if idx.size == 0:
+                return 0
+            positions = positions[idx]
+            rows = [rows[i] for i in idx.tolist()]
+            kept = [kept[i] for i in idx.tolist()]
+        count = len(kept)
+        rows_arr = np.asarray(rows, dtype=np.int64)
         flags = np.fromiter(
-            (update.flagged for update in segment), dtype=bool, count=count
+            (update.flagged for update in kept), dtype=bool, count=count
         )
-        applied = store.apply_rows(rows, positions, flags)
+        applied = store.apply_rows(rows_arr, positions, flags)
         self._tracker.mark_batch(applied, was_relevant=applied.was_flagged)
+        return count
 
     def feed_snapshot(
         self, current: np.ndarray, flags: Iterable[bool]
@@ -731,10 +859,52 @@ class OnlineCharacterizationService:
                 "with detector=DetectorSpec(...)"
             )
         arr = np.asarray(values, dtype=float)
+        injector = get_injector()
+        if injector.active:
+            arr = injector.corrupt_frame(self._tick + 1, arr)
+        arr = self._validate_frame(arr)
         with self._tracer.span("detect"):
             detection = self._bank.observe_batch(arr)
         self._last_detection = detection
         return self.feed_snapshot(arr, detection.flags)
+
+    def _validate_frame(self, arr: np.ndarray) -> np.ndarray:
+        """Apply the configured validation mode to one raw QoS frame.
+
+        Runs *before* the detector bank observes anything, so a
+        rejected frame can never leave the bank one observation ahead
+        of the store.  ``"strict"`` counts every bad row's reason and
+        raises; ``"sanitize"`` substitutes each bad row with the
+        device's current stored position — that device simply does not
+        report this tick — and returns the repaired frame.  A frame
+        whose shape does not match the fleet always raises: it cannot
+        be partially applied.
+        """
+        n, dim = self._store.n, self._store.dim
+        if arr.ndim != 2 or arr.shape != (n, dim):
+            self._reject("dimension-mismatch")
+            raise DimensionMismatchError(
+                f"measurement frame shape {arr.shape} incompatible with "
+                f"({n}, {dim})"
+            )
+        nan_bad = np.isnan(arr).any(axis=1)
+        inf_bad = np.isinf(arr).any(axis=1)
+        finite = ~(nan_bad | inf_bad)
+        range_bad = finite & ((arr < 0.0).any(axis=1) | (arr > 1.0).any(axis=1))
+        bad = ~finite | range_bad
+        if not bad.any():
+            return arr
+        self._reject("nan", int(nan_bad.sum()))
+        self._reject("inf", int(inf_bad.sum()))
+        self._reject("out-of-range", int(range_bad.sum()))
+        if self._config.validation == "strict":
+            raise ConfigurationError(
+                f"measurement frame has {int(bad.sum())} malformed rows "
+                "(NaN/inf/out-of-range) and validation is strict"
+            )
+        repaired = arr.copy()
+        repaired[bad] = self._store.current_positions()[bad]
+        return repaired
 
     # ------------------------------------------------------------------
     # Tick processing

@@ -31,7 +31,7 @@ explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -207,6 +207,10 @@ class DeviceStateStore:
         if row is None:
             raise UnknownDeviceError(f"device {device} is not in the store")
         return row
+
+    def row_if_present(self, device: int) -> Optional[int]:
+        """The row backing ``device``, or ``None`` when unknown."""
+        return self._row_of.get(device)
 
     def id_of(self, row: int) -> int:
         """The device id stored in ``row``."""
@@ -488,6 +492,67 @@ class DeviceStateStore:
         """Roll ``S_k`` into ``S_{k-1}`` (one vectorized copy)."""
         np.copyto(self._prev[: self._used], self._cur[: self._used])
         self._tick_serial += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, np.ndarray]:
+        """The store's full state as plain arrays (trimmed to used rows).
+
+        Everything derived — the grid index, the shard assignment, the
+        id→row map — is rebuilt by :meth:`from_state`, so only the
+        columns, the free-list and the scalars travel.
+        """
+        return {
+            "prev": self._prev[: self._used].copy(),
+            "cur": self._cur[: self._used].copy(),
+            "flags": self._flags[: self._used].copy(),
+            "alive": self._alive[: self._used].copy(),
+            "verdict": self._verdict[: self._used].copy(),
+            "id_of": self._id_of[: self._used].copy(),
+            "free": np.asarray(self._free, dtype=np.int64),
+            "cell": np.float64(self._cell),
+            "n_shards": np.int64(self._n_shards),
+            "tick_serial": np.int64(self._tick_serial),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, np.ndarray]) -> "DeviceStateStore":
+        """Rebuild a store from :meth:`state` output, bit-identically."""
+        store = cls.__new__(cls)
+        store._cell = float(state["cell"])
+        store._prev = np.array(state["prev"], dtype=float)
+        store._cur = np.array(state["cur"], dtype=float)
+        store._flags = np.array(state["flags"], dtype=bool)
+        store._alive = np.array(state["alive"], dtype=bool)
+        store._verdict = np.array(state["verdict"], dtype=np.int8)
+        store._id_of = np.array(state["id_of"], dtype=np.int64)
+        store._free = [int(r) for r in np.asarray(state["free"]).tolist()]
+        store._used = store._cur.shape[0]
+        store._tick_serial = int(state["tick_serial"])
+        store._row_of = {
+            int(device): row
+            for row, device in enumerate(store._id_of.tolist())
+            if device >= 0
+        }
+        # The index adopts every row 0..used-1; scrubbed free rows must
+        # not haunt cell (0, ..., 0), so they are removed explicitly.
+        store._index = MutableGridIndex.from_array(store._cur, store._cell)
+        for row in store._free:
+            store._index.remove(row)
+        store._n_shards = int(state["n_shards"])
+        store._shard_members = [set() for _ in range(store._n_shards)]
+        store._shard = np.zeros(store._used, dtype=np.int64)
+        alive_rows = np.nonzero(store._alive)[0]
+        keys = np.floor(store._cur[alive_rows] / store._cell).astype(np.int64)
+        shard_of_key: Dict[CellKey, int] = {}
+        for row, key in zip(alive_rows.tolist(), map(tuple, keys.tolist())):
+            shard = shard_of_key.get(key)
+            if shard is None:
+                shard = shard_of_key[key] = store._shard_for(key)
+            store._shard[row] = shard
+            store._shard_members[shard].add(row)
+        return store
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -6,7 +6,10 @@
 * :mod:`repro.robust.characterizer` — the f-tolerant defense: harden the
   density threshold to ``tau + f`` so massive verdicts survive up to
   ``f`` forgeries, with the inherent completeness loss surfaced as an
-  explicit ``SUSPECT`` label.
+  explicit ``SUSPECT`` label;
+* :mod:`repro.robust.chaos` — deterministic fault injection (worker
+  kills/hangs, dropped replies, corrupted frames) driving the
+  ``tests/chaos`` suite that pins the service's fault tolerance.
 """
 
 from repro.robust.attacks import (
@@ -15,6 +18,7 @@ from repro.robust.attacks import (
     MimicryAttack,
     apply_forgeries,
 )
+from repro.robust.chaos import ChaosInjector, FaultPlan, get_injector, inject
 from repro.robust.characterizer import (
     RobustCharacterizer,
     RobustLabel,
@@ -24,9 +28,13 @@ from repro.robust.characterizer import (
 __all__ = [
     "AmbiguityAttack",
     "AttackOutcome",
+    "ChaosInjector",
+    "FaultPlan",
     "MimicryAttack",
     "RobustCharacterizer",
     "RobustLabel",
     "RobustVerdict",
     "apply_forgeries",
+    "get_injector",
+    "inject",
 ]

@@ -1,0 +1,20 @@
+"""Shared fixtures for the chaos suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import _reset_global_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Give every chaos test its own process-global metric registry.
+
+    The fault-tolerance counters (respawns, retries, health
+    transitions) default to the global registry; without isolation one
+    test's faults leak into the next's assertions.
+    """
+    _reset_global_registry()
+    yield
+    _reset_global_registry()

@@ -1,0 +1,320 @@
+"""Supervised pool: deadlines, retries, quarantine, health machine.
+
+PR 8's fault-tolerance contract for :class:`WorkerPoolBackend`:
+
+* a worker that misses the ``dispatch_deadline`` is killed and its slice
+  retried against a respawn (bounded by ``dispatch_retries``) — the run
+  still returns verdicts bit-identical to the serial path;
+* a slice that keeps killing workers is quarantined onto the serial
+  path (``poison_threshold``) instead of failing the run;
+* worker *error replies* are never retried: they surface immediately as
+  :class:`PoolError` carrying the worker traceback, which also survives
+  teardown on ``last_worker_error``;
+* run outcomes drive an explicit health machine
+  ``healthy -> degraded -> serial-fallback`` with periodic recovery
+  probes, exported as a gauge plus transition counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.errors import ConfigurationError, PoolError
+from repro.core.transition import Snapshot, Transition
+from repro.engine import EngineConfig, WorkerPoolBackend
+from repro.obs.metrics import get_registry
+from repro.robust.chaos import FaultPlan, inject
+
+
+def _transition(seed=0, n=60, r=0.05, tau=2, drift=0.01):
+    rng = np.random.default_rng(seed)
+    prev = rng.random((n, 2))
+    cur = np.clip(prev + rng.normal(0, drift, (n, 2)), 0, 1)
+    return Transition(Snapshot(prev), Snapshot(cur), range(n), r, tau)
+
+
+def _same_verdicts(got, expected):
+    assert set(got) == set(expected)
+    for device in expected:
+        assert got[device].anomaly_type == expected[device].anomaly_type
+        assert got[device].rule == expected[device].rule
+        assert got[device].witness == expected[device].witness
+
+
+def _config(**overrides):
+    base = dict(
+        backend="process",
+        workers=2,
+        min_process_devices=1,
+        dispatch_deadline=2.0,
+        retry_backoff=0.01,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+class TestConfigKnobs:
+    @pytest.mark.parametrize(
+        "field, bad",
+        [
+            ("dispatch_deadline", 0.0),
+            ("dispatch_deadline", -1.0),
+            ("dispatch_retries", -1),
+            ("retry_backoff", -0.5),
+            ("poison_threshold", 0),
+            ("serial_fallback_after", 0),
+            ("recovery_probe_every", 0),
+            ("recovery_runs", 0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(**{field: bad})
+
+    def test_supervision_knobs_do_not_restart_the_pool(self):
+        # The knobs steer the parent only, so flipping them must not
+        # invalidate the started pool (workers never see them).
+        backend = WorkerPoolBackend()
+        key_a = backend._config_key(2, _config(dispatch_retries=1))
+        key_b = backend._config_key(2, _config(dispatch_retries=5))
+        assert key_a == key_b
+
+
+class TestDeadlineSupervision:
+    def test_hung_worker_is_killed_and_retried(self):
+        config = _config(dispatch_deadline=0.5)
+        t = _transition(0)
+        expected = Characterizer(t).characterize_all()
+        backend = WorkerPoolBackend()
+        try:
+            plan = FaultPlan(drop_reply_at={1: 0})
+            with inject(plan) as injector:
+                run = backend.run(t, t.flagged_sorted, config)
+            assert injector.injected.get("drop_reply") == 1
+            _same_verdicts(run.verdicts, expected)
+            # The fault degraded health; the retry kept the run whole.
+            assert backend.health == "degraded"
+            assert backend.poisoned_batches == 0
+            assert backend.workers_alive == 2
+            # A clean streak heals the pool.
+            for _ in range(config.recovery_runs):
+                backend.run(t, t.flagged_sorted, config)
+            assert backend.health == "healthy"
+        finally:
+            backend.close()
+
+    def test_no_deadline_means_unbounded_wait(self):
+        # Without a deadline the pool blocks on the reply; a short hang
+        # resolves by itself and costs no respawn.
+        config = _config(dispatch_deadline=None)
+        t = _transition(1)
+        backend = WorkerPoolBackend()
+        try:
+            backend.run(t, t.flagged_sorted, config)
+            pids = {w.process.pid for w in backend._state.workers}
+            plan = FaultPlan(hang_at={2: 0}, hang_seconds=0.2)
+            with inject(plan):
+                run = backend.run(t, t.flagged_sorted, config)
+            assert {w.process.pid for w in backend._state.workers} == pids
+            _same_verdicts(run.verdicts, Characterizer(t).characterize_all())
+            assert backend.health == "healthy"
+        finally:
+            backend.close()
+
+    def test_kill_after_dispatch_is_retried(self):
+        # The worker dies after the task is sent: collect sees EOF and
+        # must retry against a respawn.
+        config = _config()
+        t = _transition(2)
+        backend = WorkerPoolBackend()
+        try:
+            with inject(FaultPlan(kill_after_at={1: 0})):
+                run = backend.run(t, t.flagged_sorted, config)
+            _same_verdicts(run.verdicts, Characterizer(t).characterize_all())
+            assert backend.health == "degraded"
+        finally:
+            backend.close()
+
+    def test_retry_counter_is_exported(self):
+        config = _config(dispatch_deadline=0.5)
+        t = _transition(3)
+        backend = WorkerPoolBackend()
+        before = get_registry().counter(
+            WorkerPoolBackend._COUNTER_RETRIES, ""
+        ).value
+        try:
+            with inject(FaultPlan(drop_reply_at={1: 1})):
+                backend.run(t, t.flagged_sorted, config)
+        finally:
+            backend.close()
+        after = get_registry().counter(
+            WorkerPoolBackend._COUNTER_RETRIES, ""
+        ).value
+        assert after == before + 1
+
+
+class TestPoisonQuarantine:
+    def test_exhausted_retries_quarantine_the_slice(self):
+        # dispatch_retries=0: the first deadline miss quarantines the
+        # slice onto the serial path instead of failing the run.
+        config = _config(dispatch_deadline=0.5, dispatch_retries=0)
+        t = _transition(4)
+        expected = Characterizer(t).characterize_all()
+        backend = WorkerPoolBackend()
+        try:
+            with inject(FaultPlan(drop_reply_at={1: 0})):
+                run = backend.run(t, t.flagged_sorted, config)
+            _same_verdicts(run.verdicts, expected)
+            assert backend.poisoned_batches == 1
+            # The quarantine respawned the worker: the pool stays whole
+            # and serves the next run on the pool path.
+            assert backend.workers_alive == 2
+            run2 = backend.run(t, t.flagged_sorted, config)
+            _same_verdicts(run2.verdicts, expected)
+        finally:
+            backend.close()
+
+    def test_poison_threshold_counts_kills(self):
+        # poison_threshold=1 quarantines on the first kill even though
+        # retries remain.
+        config = _config(poison_threshold=1, dispatch_retries=5)
+        t = _transition(5)
+        backend = WorkerPoolBackend()
+        try:
+            with inject(FaultPlan(kill_after_at={1: 0})):
+                run = backend.run(t, t.flagged_sorted, config)
+            assert backend.poisoned_batches == 1
+            _same_verdicts(run.verdicts, Characterizer(t).characterize_all())
+        finally:
+            backend.close()
+
+
+class TestWorkerErrors:
+    def test_error_reply_is_never_retried(self):
+        # A deterministic in-worker exception must not burn retries or
+        # kill workers: it surfaces immediately with the traceback.
+        config = _config(dispatch_retries=5)
+        t = _transition(6, n=20)
+        backend = WorkerPoolBackend()
+        try:
+            with pytest.raises(PoolError) as info:
+                backend.run(t, [10**6] + list(t.flagged_sorted), config)
+            assert info.value.worker_traceback is not None
+            assert "Traceback" in info.value.worker_traceback
+            # The traceback survives the post-failure pool reset.
+            assert backend.last_worker_error == info.value.worker_traceback
+        finally:
+            backend.close()
+        assert backend.last_worker_error is not None
+
+    def test_pool_error_is_a_runtime_error(self):
+        # Compatibility: callers matching RuntimeError keep working.
+        assert issubclass(PoolError, RuntimeError)
+
+
+class TestHealthMachine:
+    def test_fault_streak_reaches_serial_fallback_and_recovers(self):
+        config = _config(
+            dispatch_deadline=0.5,
+            dispatch_retries=1,
+            serial_fallback_after=2,
+            recovery_probe_every=3,
+            recovery_runs=1,
+        )
+        t = _transition(7)
+        expected = Characterizer(t).characterize_all()
+        backend = WorkerPoolBackend()
+        try:
+            # Two consecutive faulty pool runs: healthy -> degraded ->
+            # serial-fallback.  (Seq only advances on pool-path runs.)
+            with inject(FaultPlan(drop_reply_at={1: 0, 2: 0})):
+                backend.run(t, t.flagged_sorted, config)
+                assert backend.health == "degraded"
+                backend.run(t, t.flagged_sorted, config)
+            assert backend.health == "serial-fallback"
+            # The next probe is 3 runs out: until then runs execute
+            # serially (and verdict-identically), without fanout.
+            assert not backend.plans_fanout(t.flagged_sorted, config)
+            for _ in range(config.recovery_probe_every - 1):
+                run = backend.run(t, t.flagged_sorted, config)
+                _same_verdicts(run.verdicts, expected)
+                assert backend.health == "serial-fallback"
+            # Probe run: pool path, clean -> degraded; one more clean
+            # run -> healthy.
+            assert backend.plans_fanout(t.flagged_sorted, config)
+            backend.run(t, t.flagged_sorted, config)
+            assert backend.health == "degraded"
+            backend.run(t, t.flagged_sorted, config)
+            assert backend.health == "healthy"
+        finally:
+            backend.close()
+
+    def test_faulty_probe_restarts_the_countdown(self):
+        config = _config(
+            dispatch_deadline=0.5,
+            dispatch_retries=1,
+            serial_fallback_after=1,
+            recovery_probe_every=2,
+            recovery_runs=2,
+        )
+        t = _transition(8)
+        backend = WorkerPoolBackend()
+        try:
+            # Run 1 (seq 1) faulty: straight to serial-fallback.
+            # Run 3 is the probe (seq 2) and faults too: stay fallen.
+            with inject(FaultPlan(drop_reply_at={1: 0, 2: 0})):
+                backend.run(t, t.flagged_sorted, config)
+                assert backend.health == "serial-fallback"
+                backend.run(t, t.flagged_sorted, config)  # serial
+                backend.run(t, t.flagged_sorted, config)  # faulty probe
+            assert backend.health == "serial-fallback"
+        finally:
+            backend.close()
+
+    def test_health_gauge_and_transitions_are_exported(self):
+        config = _config(dispatch_deadline=0.5)
+        t = _transition(9)
+        backend = WorkerPoolBackend()
+        try:
+            with inject(FaultPlan(drop_reply_at={1: 0})):
+                backend.run(t, t.flagged_sorted, config)
+        finally:
+            backend.close()
+        registry = get_registry()
+        gauge = registry.gauge(WorkerPoolBackend._GAUGE_HEALTH, "")
+        assert gauge.value == 1.0  # degraded
+        transitions = registry.counter(
+            WorkerPoolBackend._COUNTER_TRANSITIONS,
+            "",
+            labelnames=("from", "to"),
+        )
+        child = transitions.labels(**{"from": "healthy", "to": "degraded"})
+        assert child.value >= 1
+
+
+class TestShutdownRaciness:
+    def test_double_close_is_a_clean_noop(self):
+        config = _config()
+        t = _transition(10)
+        backend = WorkerPoolBackend()
+        backend.run(t, t.flagged_sorted, config)
+        backend.close()
+        backend.close()
+        assert backend.workers_alive == 0
+        # And the pool restarts lazily afterwards.
+        run = backend.run(t, t.flagged_sorted, config)
+        _same_verdicts(run.verdicts, Characterizer(t).characterize_all())
+        backend.close()
+
+    def test_close_after_failed_run_keeps_last_worker_error(self):
+        config = _config()
+        t = _transition(11, n=20)
+        backend = WorkerPoolBackend()
+        with pytest.raises(PoolError):
+            backend.run(t, [10**6] + list(t.flagged_sorted), config)
+        backend.close()
+        backend.close()
+        assert backend.last_worker_error is not None
+        assert "Traceback" in backend.last_worker_error
