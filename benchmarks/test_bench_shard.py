@@ -1,0 +1,181 @@
+"""Sharded-topology benchmarks: spatial scale-out of the tick pipeline.
+
+Asserted claims, at ``n = 10k`` with ~1% flagged churn per tick:
+
+* the cell→shard tiling balances a uniform population — no shard owns
+  more than twice the smallest shard's share;
+* the sharded tick emits the same flagged set and verdict types as the
+  single service on the identical stream (the identity contract, held
+  at benchmark scale);
+* per-shard partial tick work shrinks with the shard count — the
+  per-tick verdict load of the busiest shard at 4 shards is well below
+  the single-shard load (the near-linear partial-work curve CI tracks
+  via the summary artifact).
+
+Wall-clock per configuration is *recorded* in the summary rows (CI
+plots the scaling trajectory) but not asserted — thread-pool speedups
+on a loaded two-core runner are noise; the partial-work counters are
+the stable proxy.
+
+A 1M-device smoke rides behind ``REPRO_BENCH_SHARD_1M=1`` (minutes of
+runtime; off in the default CI lane).
+
+Every run appends rows to a ``BENCH_shard.json`` summary written at
+session end (path overridable via the ``BENCH_SHARD_JSON`` env var);
+CI merges it into ``BENCH_summary.json`` and uploads both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.online import OnlineCharacterizationService, ServiceConfig, ShardedService
+
+CFG = ServiceConfig(r=0.01, tau=2)
+N = 10_000
+TICKS = 3
+
+_SUMMARY_ROWS: list = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_summary_artifact():
+    """Collect per-test rows; write the JSON summary after the module."""
+    yield
+    if not _SUMMARY_ROWS:
+        return
+    path = os.environ.get("BENCH_SHARD_JSON", "BENCH_shard.json")
+    with open(path, "w") as handle:
+        json.dump({"benchmark": "shard", "rows": _SUMMARY_ROWS}, handle, indent=2)
+
+
+def _stream(n, ticks, seed):
+    """Pre-generated identical (frame, flags) stream for every config."""
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, 2))
+    frames = []
+    flags = np.zeros(n, dtype=bool)
+    for _ in range(ticks):
+        movers = rng.choice(n, size=n // 100, replace=False)
+        positions[movers] = np.clip(
+            positions[movers] + rng.normal(0, 0.004, (len(movers), 2)), 0, 1
+        )
+        flags = flags.copy()
+        flags[movers] = rng.random(len(movers)) < 0.5
+        frames.append((positions.copy(), flags))
+    return frames
+
+
+def _drive(service, frames):
+    """Feed the stream; returns (seconds, per-tick busiest-shard load)."""
+    peak_targets = []
+    start = time.perf_counter()
+    for positions, flags in frames:
+        out = service.feed_snapshot(positions, flags)
+        if hasattr(service, "workers"):
+            sizes = [
+                int(w.store.flagged_rows().size) for w in service.workers
+            ]
+            peak_targets.append(max(sizes))
+        else:
+            peak_targets.append(len(out.flagged))
+    return time.perf_counter() - start, peak_targets
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_tick_scaling(shards):
+    frames = _stream(N, TICKS, seed=0)
+    with ShardedService(
+        frames[0][0], CFG, topology_shards=shards, parallel=True
+    ) as service:
+        sizes = service.shard_sizes()
+        assert sum(sizes) == N
+        # Uniform population, contiguous cell boxes: balanced shards.
+        assert max(sizes) <= 2 * max(1, min(sizes)), sizes
+        seconds, peaks = _drive(service, frames)
+        assert service.current_tick == TICKS
+        assert all(service.verdicts), "flagged devices carry verdicts"
+    _SUMMARY_ROWS.append(
+        {
+            "claim": "tick_scaling",
+            "n": N,
+            "topology_shards": shards,
+            "ticks": TICKS,
+            "seconds": seconds,
+            "per_tick_ms": seconds / TICKS * 1e3,
+            "shard_sizes": list(sizes),
+            "peak_shard_flagged": max(peaks),
+        }
+    )
+
+
+def test_busiest_shard_load_shrinks_with_shard_count():
+    """Partial per-shard work is the stable scaling proxy: at 4 shards
+    the busiest shard owns well under the whole flagged set."""
+    frames = _stream(N, TICKS, seed=0)
+    loads = {}
+    for shards in (1, 4):
+        with ShardedService(
+            frames[0][0], CFG, topology_shards=shards, parallel=False
+        ) as service:
+            _, peaks = _drive(service, frames)
+            loads[shards] = max(peaks)
+    # A uniform flagged population splits ~4 ways; 60% is a loose gate
+    # covering stat noise at ~50 flagged devices per tick.
+    assert loads[4] <= 0.6 * loads[1], loads
+    _SUMMARY_ROWS.append(
+        {
+            "claim": "partial_work",
+            "n": N,
+            "peak_flagged_1_shard": loads[1],
+            "peak_flagged_4_shards": loads[4],
+        }
+    )
+
+
+def test_sharded_matches_single_at_bench_scale():
+    n, ticks = 5_000, 2
+    frames = _stream(n, ticks, seed=3)
+    with OnlineCharacterizationService(frames[0][0].copy(), CFG) as single:
+        with ShardedService(
+            frames[0][0].copy(), CFG, topology_shards=4, parallel=True
+        ) as sharded:
+            for positions, flags in frames:
+                want = single.feed_snapshot(positions, flags)
+                got = sharded.feed_snapshot(positions, flags)
+                assert got.flagged == want.flagged
+                assert set(got.verdicts) == set(want.verdicts)
+                for device, verdict in want.verdicts.items():
+                    assert (
+                        got.verdicts[device].anomaly_type
+                        == verdict.anomaly_type
+                    ), device
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_SHARD_1M"),
+    reason="1M-device scale smoke: set REPRO_BENCH_SHARD_1M=1 to run",
+)
+def test_million_device_tick():
+    n = 1_000_000
+    rng = np.random.default_rng(7)
+    positions = rng.random((n, 2))
+    cfg = ServiceConfig(r=0.001, tau=2)
+    with ShardedService(
+        positions, cfg, topology_shards=8, parallel=True
+    ) as service:
+        assert sum(service.shard_sizes()) == n
+        flags = np.zeros(n, dtype=bool)
+        flags[rng.choice(n, size=1_000, replace=False)] = True
+        start = time.perf_counter()
+        out = service.feed_snapshot(positions, flags)
+        seconds = time.perf_counter() - start
+        assert len(out.flagged) == 1_000
+    _SUMMARY_ROWS.append(
+        {"claim": "million_devices", "n": n, "seconds": seconds}
+    )

@@ -9,7 +9,8 @@ Usage::
     python -m repro.cli run all --steps 2 --seeds 0
     python -m repro.cli serve --devices 10000 --ticks 20 --churn 0.01
     python -m repro.cli serve --metrics-port 9100 --log-json
-    python -m repro.cli replay --trace trace.jsonl --shards 8
+    python -m repro.cli replay --trace trace.jsonl --store-shards 8
+    python -m repro.cli serve --devices 100000 --topology-shards 4
     python -m repro.cli metrics --url http://127.0.0.1:9100
 
 ``run`` executes an experiment's ``run()`` with optional scale overrides
@@ -24,8 +25,10 @@ optional coordinated bursts) through the online characterization service
 and prints per-tick and aggregate figures; ``replay`` runs a detector
 bank over a recorded JSON-lines QoS trace (or a generated synthetic one)
 and feeds the resulting event stream through the same service.  Both
-accept ``--shards`` / ``--batch`` / ``--backend`` to exercise the
-service's sharding, batching and execution knobs, plus ``--detector`` /
+accept ``--store-shards`` / ``--batch`` / ``--backend`` to exercise the
+service's sharding, batching and execution knobs (``--shards`` survives
+as a deprecated alias), ``--topology-shards N`` to scale out across N
+spatial shards with halo exchange, plus ``--detector`` /
 ``--detection`` and per-family knobs selecting the error detection
 function ``a_k(j)`` (step, band, ewma, shewhart, cusum, holt-winters,
 kalman) and its plane (vectorized array bank — the default — or the
@@ -136,10 +139,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --backend process",
     )
 
+    class _DeprecatedStoreShards(argparse.Action):
+        """``--shards`` alias for ``--store-shards``, with a warning."""
+
+        def __call__(self, parser, namespace, values, option_string=None):
+            print(
+                "warning: --shards is deprecated; use --store-shards "
+                "(store-internal hash shards) or --topology-shards "
+                "(spatial shards)",
+                file=sys.stderr,
+            )
+            setattr(namespace, self.dest, values)
+
     def add_service_args(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument("--r", type=float, default=0.03, help="impact radius")
         sub_parser.add_argument("--tau", type=int, default=3, help="density threshold")
-        sub_parser.add_argument("--shards", type=int, default=8, help="store shards")
+        sub_parser.add_argument(
+            "--store-shards", dest="store_shards", type=int, default=8,
+            help="hash shards inside each device-state store",
+        )
+        sub_parser.add_argument(
+            "--shards", dest="store_shards", type=int,
+            action=_DeprecatedStoreShards, help=argparse.SUPPRESS,
+        )
+        sub_parser.add_argument(
+            "--topology-shards", type=int, default=0,
+            help="spatial shards with halo exchange (0 = single service)",
+        )
         sub_parser.add_argument(
             "--batch", type=int, default=None, help="updates applied per drain pass"
         )
@@ -391,7 +417,7 @@ def _service_config(args: argparse.Namespace):
     return ServiceConfig(
         r=args.r,
         tau=args.tau,
-        shards=args.shards,
+        shards=args.store_shards,
         queue_capacity=args.queue,
         max_batch=args.batch,
         incremental=not args.full,
@@ -434,7 +460,8 @@ def _print_service_summary(result, service) -> None:
         f"motion families: recomputed={stats.families_recomputed} "
         f"reused={stats.families_reused}"
     )
-    store = service.store
+    # The sharded front door exposes the same footprint figures itself.
+    store = getattr(service, "store", service)
     print(
         f"store memory: {store.nbytes:,} bytes "
         f"({store.bytes_per_device:.0f} bytes/device, n={store.n}, "
@@ -447,13 +474,14 @@ def _print_service_summary(result, service) -> None:
 
 
 def _write_service_json(path: str, result, service, extra: Dict) -> None:
+    store = getattr(service, "store", service)
     payload = {
         "stats": service.stats.as_dict(),
         "store": {
-            "n": service.store.n,
-            "dim": service.store.dim,
-            "nbytes": service.store.nbytes,
-            "bytes_per_device": service.store.bytes_per_device,
+            "n": store.n,
+            "dim": store.dim,
+            "nbytes": store.nbytes,
+            "bytes_per_device": store.bytes_per_device,
         },
         "ticks": [
             {
@@ -513,11 +541,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         LoadProfile,
         MetricsSink,
         OnlineCharacterizationService,
+        ShardedCheckpointWriter,
+        ShardedService,
         drive_load,
         drive_load_measurements,
         latest_checkpoint,
+        latest_sharded_checkpoint,
         restore_service,
+        restore_sharded_service,
     )
+
+    sharded = args.topology_shards > 0
 
     profile = LoadProfile(
         devices=args.devices,
@@ -537,17 +571,41 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
     server = _start_metrics_server(args)
     logger = _json_logger(
-        args, command="serve", devices=args.devices, shards=args.shards
+        args,
+        command="serve",
+        devices=args.devices,
+        shards=args.store_shards,
+        topology_shards=args.topology_shards,
     )
-    resume = (
-        latest_checkpoint(args.checkpoint_dir) if args.checkpoint_dir else None
-    )
+    if args.checkpoint_dir:
+        resume = (
+            latest_sharded_checkpoint(args.checkpoint_dir)
+            if sharded
+            else latest_checkpoint(args.checkpoint_dir)
+        )
+    else:
+        resume = None
     try:
         if resume is not None:
             # A previous run left a checkpoint behind: rebuild the
             # service from it and replay the load generator forward so
             # the stream continues exactly where the dead process died.
-            service_cm = restore_service(resume, config=_service_config(args))
+            if sharded:
+                service_cm = restore_sharded_service(
+                    resume, config=_service_config(args)
+                )
+            else:
+                service_cm = restore_service(
+                    resume, config=_service_config(args)
+                )
+        elif sharded:
+            service_cm = ShardedService(
+                generator.initial_positions(),
+                _service_config(args),
+                topology_shards=args.topology_shards,
+                detector=_detector_spec(args) if args.raw else None,
+                detection=args.detection if args.raw else None,
+            )
         else:
             service_cm = OnlineCharacterizationService(
                 generator.initial_positions(),
@@ -566,8 +624,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             if args.checkpoint_dir:
+                writer_cls = (
+                    ShardedCheckpointWriter if sharded else CheckpointWriter
+                )
                 service.add_sink(
-                    CheckpointWriter(
+                    writer_cls(
                         service,
                         args.checkpoint_dir,
                         every=args.checkpoint_every,
@@ -593,10 +654,16 @@ def _run_serve(args: argparse.Namespace) -> int:
                     flags=flag_source,
                 )
             else:
+                topo = (
+                    f" topology-shards={args.topology_shards}"
+                    if sharded
+                    else ""
+                )
                 print(
                     f"serve: n={args.devices} ticks={args.ticks} "
-                    f"churn={args.churn:.2%} shards={args.shards} "
-                    f"backend={args.backend} mode={mode} flags={flag_source}"
+                    f"churn={args.churn:.2%} store-shards={args.store_shards}"
+                    f"{topo} backend={args.backend} mode={mode} "
+                    f"flags={flag_source}"
                 )
             ticks_left = max(0, args.ticks - start_tick)
             if args.raw:
@@ -640,11 +707,18 @@ def _run_replay(args: argparse.Namespace) -> int:
     from repro.online import (
         CheckpointWriter,
         OnlineCharacterizationService,
+        ShardedCheckpointWriter,
+        ShardedService,
         latest_checkpoint,
+        latest_sharded_checkpoint,
         load_checkpoint,
+        load_sharded_checkpoint,
         replay_trace_online,
         restore_service,
+        restore_sharded_service,
     )
+
+    sharded = args.topology_shards > 0
 
     if args.trace:
         with open(args.trace) as handle:
@@ -682,7 +756,12 @@ def _run_replay(args: argparse.Namespace) -> int:
         source = f"synthetic (devices={args.devices}, steps={args.steps})"
     mode = "full-recompute" if args.full else "incremental"
     server = _start_metrics_server(args)
-    logger = _json_logger(args, command="replay", shards=args.shards)
+    logger = _json_logger(
+        args,
+        command="replay",
+        shards=args.store_shards,
+        topology_shards=args.topology_shards,
+    )
     if logger is not None:
         logger.event(
             "start",
@@ -691,9 +770,12 @@ def _run_replay(args: argparse.Namespace) -> int:
             detector=f"{args.detector}/{args.detection}",
         )
     else:
+        topo = (
+            f" topology-shards={args.topology_shards}" if sharded else ""
+        )
         print(
-            f"replay: {source} shards={args.shards} mode={mode} "
-            f"detector={args.detector}/{args.detection}"
+            f"replay: {source} store-shards={args.store_shards}{topo} "
+            f"mode={mode} detector={args.detector}/{args.detection}"
         )
     result = None
     service = None
@@ -702,10 +784,18 @@ def _run_replay(args: argparse.Namespace) -> int:
             # Checkpointed replay: the external detector bank rides in
             # the checkpoint's extra blob so a resumed run flags exactly
             # what the uninterrupted one would have.
-            resume = latest_checkpoint(args.checkpoint_dir)
+            resume = (
+                latest_sharded_checkpoint(args.checkpoint_dir)
+                if sharded
+                else latest_checkpoint(args.checkpoint_dir)
+            )
             if resume is not None:
-                ckpt = load_checkpoint(resume)
-                service = restore_service(ckpt)
+                if sharded:
+                    ckpt = load_sharded_checkpoint(resume)
+                    service = restore_sharded_service(ckpt)
+                else:
+                    ckpt = load_checkpoint(resume)
+                    service = restore_service(ckpt)
                 bank = ckpt.extra.get("replay_bank")
                 skip = min(service.current_tick, len(trace) - 1)
                 print(
@@ -713,9 +803,16 @@ def _run_replay(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             else:
-                service = OnlineCharacterizationService(
-                    trace[0].qos, _service_config(args)
-                )
+                if sharded:
+                    service = ShardedService(
+                        trace[0].qos,
+                        _service_config(args),
+                        topology_shards=args.topology_shards,
+                    )
+                else:
+                    service = OnlineCharacterizationService(
+                        trace[0].qos, _service_config(args)
+                    )
                 n, d = trace[0].qos.shape
                 bank = resolve_bank(
                     n,
@@ -725,8 +822,11 @@ def _run_replay(args: argparse.Namespace) -> int:
                     r=service.config.r,
                 )
                 skip = 0
+            writer_cls = (
+                ShardedCheckpointWriter if sharded else CheckpointWriter
+            )
             service.add_sink(
-                CheckpointWriter(
+                writer_cls(
                     service,
                     args.checkpoint_dir,
                     every=args.checkpoint_every,
@@ -736,6 +836,18 @@ def _run_replay(args: argparse.Namespace) -> int:
             )
             result = replay_trace_online(
                 trace, service=service, bank=bank, skip_steps=skip
+            )
+        elif sharded:
+            service = ShardedService(
+                trace[0].qos,
+                _service_config(args),
+                topology_shards=args.topology_shards,
+            )
+            result = replay_trace_online(
+                trace,
+                service=service,
+                detector=_detector_spec(args),
+                detection=args.detection,
             )
         else:
             result = replay_trace_online(

@@ -551,15 +551,30 @@ class _SnapshotRing:
 
     def publish(self, transition: Transition) -> Tuple[str, str]:
         """Write one transition's snapshots; return ``(prev, cur)`` names."""
-        needed = transition.n * transition.dim * 8
+        return self.publish_pair(
+            transition.previous.positions, transition.current.positions
+        )
+
+    def publish_pair(
+        self, prev_pos: np.ndarray, cur_pos: np.ndarray
+    ) -> Tuple[str, str]:
+        """Write one raw ``(prev, cur)`` snapshot pair; return segment names.
+
+        The transition-free entry point: the sharded topology's halo
+        exchange publishes boundary-ring rows through the same
+        double-buffered protocol without materializing a
+        :class:`~repro.core.transition.Transition` first.  The hot path
+        (one copy per steady-state publish) triggers whenever ``prev``
+        is, by object identity, the frozen array published as the last
+        call's ``cur``.
+        """
+        needed = prev_pos.size * 8
         if self.prev_seg is None or self.capacity < needed:
             # Geometric growth: a regrow renames every segment and makes
             # each worker re-attach, so a monotonically growing
             # population must not pay that on every run.
             self.reallocate(max(needed, 2 * self.capacity, 1))
-        count = transition.n * transition.dim
-        prev_pos = transition.previous.positions
-        cur_pos = transition.current.positions
+        count = prev_pos.size
         hot = self.last_cur is prev_pos and not prev_pos.flags.writeable
         if hot:
             prev_seg = self.slots[self.last_slot]

@@ -18,7 +18,13 @@ This package keeps a live population warm instead:
   (:class:`~repro.online.service.ServiceConfig`), pluggable sinks, and a
   per-tick verdict map equal to full batch recharacterization;
 * :mod:`repro.online.replay` — drivers feeding recorded traces or
-  synthetic load through the service.
+  synthetic load through the service;
+* :mod:`repro.online.stages` — the tick pipeline decomposed into
+  composable stage objects over a shared :class:`TickContext`;
+* :mod:`repro.online.sharded` — spatial shards with per-tick halo
+  exchange: N shard workers behind one
+  :class:`~repro.online.sharded.ShardedService` front door, verdicts
+  identical to one big service.
 
 The tick pipeline is instrumented end to end through :mod:`repro.obs`:
 every service owns a stage-span tracer (``service.tracer``), each
@@ -34,13 +40,22 @@ from repro.online.recovery import (
     CHECKPOINT_VERSION,
     Checkpoint,
     CheckpointWriter,
+    ShardedCheckpoint,
+    ShardedCheckpointWriter,
     checkpoint_path,
     latest_checkpoint,
+    latest_sharded_checkpoint,
     list_checkpoints,
+    list_sharded_checkpoints,
     load_checkpoint,
+    load_sharded_checkpoint,
     prune_checkpoints,
+    prune_sharded_checkpoints,
     restore_service,
+    restore_sharded_service,
     save_checkpoint,
+    save_sharded_checkpoint,
+    sharded_manifest_path,
 )
 from repro.online.replay import (
     LoadGenerator,
@@ -62,6 +77,22 @@ from repro.online.service import (
     ServiceConfig,
     ServiceStats,
 )
+from repro.online.sharded import (
+    HaloTransitionBuildStage,
+    ShardMap,
+    ShardedService,
+)
+from repro.online.stages import (
+    DetectStage,
+    DirtyRegionStage,
+    IndexUpdateStage,
+    IngestDrainStage,
+    SinkStage,
+    TickContext,
+    TickPipeline,
+    TransitionBuildStage,
+    VerdictStage,
+)
 from repro.online.store import AppliedUpdate, DeviceStateStore
 
 __all__ = [
@@ -70,8 +101,13 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointWriter",
+    "DetectStage",
     "DeviceStateStore",
+    "DirtyRegionStage",
     "DirtyRegionTracker",
+    "HaloTransitionBuildStage",
+    "IndexUpdateStage",
+    "IngestDrainStage",
     "LoadGenerator",
     "LoadProfile",
     "MetricsSink",
@@ -83,16 +119,32 @@ __all__ = [
     "ReportSink",
     "ServiceConfig",
     "ServiceStats",
+    "ShardMap",
+    "ShardedCheckpoint",
+    "ShardedCheckpointWriter",
+    "ShardedService",
+    "SinkStage",
+    "TickContext",
+    "TickPipeline",
+    "TransitionBuildStage",
     "VALIDATION_MODES",
+    "VerdictStage",
     "checkpoint_path",
     "diff_updates",
-    "list_checkpoints",
     "drive_load",
     "drive_load_measurements",
     "latest_checkpoint",
+    "latest_sharded_checkpoint",
+    "list_checkpoints",
+    "list_sharded_checkpoints",
     "load_checkpoint",
+    "load_sharded_checkpoint",
     "prune_checkpoints",
+    "prune_sharded_checkpoints",
     "replay_trace_online",
     "restore_service",
+    "restore_sharded_service",
     "save_checkpoint",
+    "save_sharded_checkpoint",
+    "sharded_manifest_path",
 ]

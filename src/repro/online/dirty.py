@@ -167,6 +167,22 @@ class DirtyRegionTracker:
                 self._carry_next.add(new_cells[i])
         return count
 
+    def finish_cells(self) -> Tuple[CellKey, ...]:
+        """Close the tick's *cell* bookkeeping: return the dirty cells.
+
+        Resets per-tick state; the carry of this tick's moves seeds the
+        next tick's dirty set.  The sharded topology uses this half of
+        :meth:`finish_tick` on its own: each shard closes its cells,
+        the front door unions them, and every shard then derives its
+        affected set from the *global* union — a change near a shard
+        boundary must invalidate verdicts on both sides.
+        """
+        dirty = self._pending | self._carry
+        self._pending = set()
+        self._carry = self._carry_next
+        self._carry_next = set()
+        return tuple(sorted(dirty))
+
     def finish_tick(
         self, index: MutableGridIndex
     ) -> Tuple[Tuple[CellKey, ...], Set[int]]:
@@ -180,12 +196,9 @@ class DirtyRegionTracker:
         from the returned cells via
         ``index.devices_near_cells(dirty_cells, tracker.family_rings)``.
         """
-        dirty = self._pending | self._carry
+        dirty = self.finish_cells()
         affected = index.devices_near_cells(dirty, self._rings) if dirty else set()
-        self._pending = set()
-        self._carry = self._carry_next
-        self._carry_next = set()
-        return tuple(sorted(dirty)), affected
+        return dirty, affected
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -59,6 +59,17 @@ from repro.engine.config import BACKENDS
 from repro.obs.metrics import Registry, get_registry
 from repro.obs.trace import Tracer
 from repro.online.dirty import DirtyRegionTracker
+from repro.online.stages import (
+    DetectStage,
+    DirtyRegionStage,
+    IndexUpdateStage,
+    IngestDrainStage,
+    SinkStage,
+    TickContext,
+    TickPipeline,
+    TransitionBuildStage,
+    VerdictStage,
+)
 from repro.online.store import DeviceStateStore
 from repro.robust.chaos import get_injector
 
@@ -110,7 +121,9 @@ class ServiceConfig:
         Characterization parameters of every transition the service
         builds.
     shards:
-        Shard count of the device-state store.
+        *Store* shard count — the hash-shard fan-out inside each
+        :class:`~repro.online.store.DeviceStateStore`, not the spatial
+        topology (that is ``ShardedService``'s ``topology_shards``).
     queue_capacity:
         Bound on the ingest queue.
     max_batch:
@@ -184,7 +197,9 @@ class ServiceConfig:
 
     def __post_init__(self) -> None:
         if self.shards < 1:
-            raise ConfigurationError(f"shards must be >= 1, got {self.shards!r}")
+            raise ConfigurationError(
+                f"store shards must be >= 1, got {self.shards!r}"
+            )
         if self.queue_capacity < 1:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity!r}"
@@ -532,20 +547,38 @@ class OnlineCharacterizationService:
         # drains forced by "block" backpressure, so per-tick accounting
         # never undercounts.
         self._applied_since_tick = 0
-        self._verdicts: Dict[int, Characterization] = {}
-        self._last_transition: Optional[Transition] = None
-        self._last_flagged: Optional[Tuple[int, ...]] = None
-        self._last_cache: Optional[MotionCache] = None
-        # Published-transition chaining: a tick's transition freezes one
-        # read-only copy of the store's current positions; the next tick
-        # adopts it as its *prev* side iff the store rolled exactly once
-        # in between (tick_serial check), so steady-state ticks pay one
-        # (n, d) copy, not two.
-        self._chain_cur: Optional[np.ndarray] = None
-        self._chain_serial = -1
         # Rows whose verdict-code column entries are currently set.
         self._verdict_rows: Optional[np.ndarray] = None
         self._sinks: List[Callable[[OnlineTick], None]] = list(sinks)
+        # The tick pipeline: every span name the tracer emits is a real
+        # stage object (see repro.online.stages).  The stages own the
+        # cross-tick state the inline code used to keep on the service —
+        # the transition chain lives on the transition-build stage, the
+        # verdict cache and motion-cache carry on the verdict stage —
+        # and read the store/tracker/engine through the service, so a
+        # checkpoint restore that swaps the store is seen everywhere.
+        self._ingest_stage = IngestDrainStage(
+            lambda: self._apply_batch(
+                self._config.max_batch or len(self._queue)
+            ),
+            lambda: len(self._queue),
+        )
+        self._detect_stage = DetectStage(lambda: self._bank)
+        self._index_stage = IndexUpdateStage(self)
+        self._dirty_stage = DirtyRegionStage(self)
+        self._transition_stage = TransitionBuildStage(
+            self, cfg.r, cfg.tau, reuse_indexes=cfg.reuse_indexes
+        )
+        self._verdict_stage = VerdictStage(
+            self,
+            incremental=cfg.incremental,
+            reuse_motions=cfg.reuse_motions,
+            transition_source=self._transition_stage,
+        )
+        self._sink_stage = SinkStage(self._sinks)
+        self._pipeline = TickPipeline(
+            [self._dirty_stage, self._transition_stage, self._verdict_stage]
+        )
         self._tick = 0
         self._closed = False
         self.stats = ServiceStats()
@@ -572,9 +605,82 @@ class OnlineCharacterizationService:
         return self._store
 
     @property
+    def n(self) -> int:
+        """Number of live devices (drivers use this instead of ``store.n``
+        so the sharded front door can satisfy the same contract)."""
+        return self._store.n
+
+    @property
+    def dim(self) -> int:
+        """Number of services per device."""
+        return self._store.dim
+
+    @property
+    def tracker(self) -> DirtyRegionTracker:
+        """The dirty-region tracker accumulating this tick's cells."""
+        return self._tracker
+
+    @property
     def engine(self) -> CharacterizationEngine:
         """The characterization engine recomputations route through."""
         return self._engine
+
+    @property
+    def pipeline(self) -> TickPipeline:
+        """The ordered core stages one ``end_tick`` runs."""
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    # Cross-tick stage state, re-exposed under the historical attribute
+    # names (recovery and the perf tests reach for these).
+    # ------------------------------------------------------------------
+    @property
+    def _verdicts(self) -> Dict[int, Characterization]:
+        return self._verdict_stage.cache
+
+    @_verdicts.setter
+    def _verdicts(self, value: Dict[int, Characterization]) -> None:
+        self._verdict_stage.cache = value
+
+    @property
+    def _last_cache(self) -> Optional[MotionCache]:
+        return self._verdict_stage.last_cache
+
+    @_last_cache.setter
+    def _last_cache(self, value: Optional[MotionCache]) -> None:
+        self._verdict_stage.last_cache = value
+
+    @property
+    def _last_transition(self) -> Optional[Transition]:
+        return self._transition_stage.last_transition
+
+    @_last_transition.setter
+    def _last_transition(self, value: Optional[Transition]) -> None:
+        self._transition_stage.last_transition = value
+
+    @property
+    def _last_flagged(self) -> Optional[Tuple[int, ...]]:
+        return self._transition_stage.last_flagged
+
+    @_last_flagged.setter
+    def _last_flagged(self, value: Optional[Tuple[int, ...]]) -> None:
+        self._transition_stage.last_flagged = value
+
+    @property
+    def _chain_cur(self) -> Optional[np.ndarray]:
+        return self._transition_stage.chain_cur
+
+    @_chain_cur.setter
+    def _chain_cur(self, value: Optional[np.ndarray]) -> None:
+        self._transition_stage.chain_cur = value
+
+    @property
+    def _chain_serial(self) -> int:
+        return self._transition_stage.chain_serial
+
+    @_chain_serial.setter
+    def _chain_serial(self, value: int) -> None:
+        self._transition_stage.chain_serial = value
 
     @property
     def current_tick(self) -> int:
@@ -817,31 +923,16 @@ class OnlineCharacterizationService:
         objects are created at any point (the steady-state allocation
         test pins this down).
         """
-        from repro.online.replay import diff_rows
-
         # Apply any events queued mid-tick first, so the diff below sees
         # the true store state (and emits corrections back to `current`
         # where a mid-tick ingest diverged from the fed snapshot).
-        if self._queue:
-            with self._tracer.span("ingest-drain"):
-                while self._queue:
-                    self._apply_batch(
-                        self._config.max_batch or len(self._queue)
-                    )
-        with self._tracer.span("index-update"):
-            rows, positions, new_flags = diff_rows(
-                self._store.current_positions(),
-                current,
-                self._store.flag_vector(),
-                flags,
-            )
-            if rows.size:
-                applied = self._store.apply_rows(rows, positions, new_flags)
-                self._tracker.mark_batch(
-                    applied, was_relevant=applied.was_flagged
-                )
-                self.stats.updates_applied += int(rows.size)
-                self._applied_since_tick += int(rows.size)
+        self._ingest_stage.run(self._tracer)
+        applied_rows = self._index_stage.apply_diff(
+            current, flags, self._tracer
+        )
+        if applied_rows:
+            self.stats.updates_applied += applied_rows
+            self._applied_since_tick += applied_rows
         return self.end_tick()
 
     def feed_measurements(self, values: np.ndarray) -> OnlineTick:
@@ -853,18 +944,13 @@ class OnlineCharacterizationService:
         and the resulting flag *diffs* drive the usual dirty-region
         invalidation — callers ship measurements, not verdicts.
         """
-        if self._bank is None:
-            raise ConfigurationError(
-                "feed_measurements needs a detector; construct the service "
-                "with detector=DetectorSpec(...)"
-            )
+        self._detect_stage.require_bank()
         arr = np.asarray(values, dtype=float)
         injector = get_injector()
         if injector.active:
             arr = injector.corrupt_frame(self._tick + 1, arr)
         arr = self._validate_frame(arr)
-        with self._tracer.span("detect"):
-            detection = self._bank.observe_batch(arr)
+        detection = self._detect_stage.observe(arr, self._tracer)
         self._last_detection = detection
         return self.feed_snapshot(arr, detection.flags)
 
@@ -917,155 +1003,39 @@ class OnlineCharacterizationService:
         and is equal (type / rule / witness) to a full batch pass over
         the same transition.
         """
-        cfg = self._config
         tracer = self._tracer
         self._gauge_queue_depth.set(len(self._queue))
-        if self._queue:
-            with tracer.span("ingest-drain"):
-                while self._queue:
-                    self._apply_batch(cfg.max_batch or len(self._queue))
+        self._ingest_stage.run(tracer)
         applied = self._applied_since_tick
         self._applied_since_tick = 0
         self._tick += 1
-        flagged = self._store.flagged_devices()
-        with tracer.span("dirty-region"):
-            dirty_cells, affected = self._tracker.finish_tick(
-                self._store.index
-            )
-        transition: Optional[Transition] = None
-        recompute: List[int] = []
-        reused: List[int] = []
-        verdicts: Dict[int, Characterization] = {}
-        families_recomputed = 0
-        families_reused = 0
-        chain_next: Optional[np.ndarray] = None
-        if flagged:
-            with tracer.span("transition-build"):
-                prev_view, cur_view = self._store.snapshot_arrays()
-                # One read-only copy freezes the current positions for
-                # the published transition (ticks retain them; live
-                # views would be corrupted by the next update).  The
-                # prev side chains the previous tick's frozen cur —
-                # same content as the store's prev plane, zero extra
-                # copy — unless the store rolled an unexpected number
-                # of times in between.
-                cur_arr = cur_view.copy()
-                cur_arr.flags.writeable = False
-                if (
-                    self._chain_cur is not None
-                    and self._store.tick_serial == self._chain_serial
-                    and self._chain_cur.shape == prev_view.shape
-                ):
-                    prev_arr = self._chain_cur
-                else:
-                    prev_arr = prev_view.copy()
-                    prev_arr.flags.writeable = False
-                chain_next = cur_arr
-                index_prev = None
-                if (
-                    cfg.reuse_indexes
-                    and self._last_transition is not None
-                    and self._last_flagged == flagged
-                ):
-                    index_prev = self._last_transition.cur_index
-                    self.stats.index_reuses += 1
-                transition = Transition.from_views(
-                    prev_arr,
-                    cur_arr,
-                    flagged,
-                    cfg.r,
-                    cfg.tau,
-                    index_prev=index_prev,
-                )
-            if cfg.incremental:
-                recompute = [
-                    j
-                    for j in flagged
-                    if j in affected or j not in self._verdicts
-                ]
-                recompute_set = set(recompute)
-                reused = [j for j in flagged if j not in recompute_set]
-            else:
-                recompute = list(flagged)
-            # Cross-tick motion-family carry: families see only the 2r
-            # ball, half the verdicts' 4r reach, so the family-clean set
-            # (outside the tighter family_rings band) is strictly larger
-            # than the verdict-clean set — devices whose verdicts must
-            # be recomputed still reuse their own and their neighbours'
-            # families.  The decision is per *run*: the serial path (and
-            # any pool tick that degrades to it) carries the engine's
-            # shared cache, while the persistent pool receives the clean
-            # set so its workers carry their private caches.
-            reuse_effective = cfg.incremental and cfg.reuse_motions
-            carry: Optional[MotionCache] = None
-            carry_clean: Optional[List[int]] = None
-            if reuse_effective and self._last_transition is not None:
-                family_dirty = (
-                    self._store.index.devices_near_cells(
-                        dirty_cells, self._tracker.family_rings
-                    )
-                    if dirty_cells
-                    else set()
-                )
-                carry_clean = [j for j in flagged if j not in family_dirty]
-                if self._last_cache is not None:
-                    carry = MotionCache.carry_from(
-                        self._last_cache, transition, carry_clean
-                    )
-            if recompute:
-                # The engine aggregates motion-family work across every
-                # cache the run touched — shared and worker-process — so
-                # the counters stay truthful under every backend.
-                with tracer.span("verdict"):
-                    run = self._engine.characterize_run(
-                        transition,
-                        devices=recompute,
-                        cache=carry,
-                        carry_clean=carry_clean,
-                    )
-                fresh = run.verdicts
-                families_recomputed = run.families_recomputed
-                families_reused = run.families_reused
-                self._last_cache = (
-                    self._engine.motion_cache if reuse_effective else None
-                )
-            else:
-                fresh = {}
-                self._last_cache = carry
-            for j in flagged:
-                verdicts[j] = fresh[j] if j in fresh else self._verdicts[j]
-        else:
-            self._last_cache = None
-        self._verdicts = verdicts
-        self._record_verdict_codes(flagged, verdicts)
-        self._store.advance_tick()
-        self._chain_cur = chain_next
-        self._chain_serial = self._store.tick_serial
-        self._last_transition = transition
-        self._last_flagged = flagged if transition is not None else None
+        ctx = TickContext(tick=self._tick, applied=applied)
+        self._pipeline.run(ctx, tracer)
+        if ctx.index_reused:
+            self.stats.index_reuses += 1
+        self._record_verdict_codes(ctx.flagged, ctx.verdicts)
+        self._transition_stage.advance(ctx)
         self.stats.ticks += 1
-        self.stats.verdicts_recomputed += len(recompute)
-        self.stats.verdicts_reused += len(reused)
-        self.stats.families_recomputed += families_recomputed
-        self.stats.families_reused += families_reused
+        self.stats.verdicts_recomputed += len(ctx.recompute)
+        self.stats.verdicts_reused += len(ctx.reused)
+        self.stats.families_recomputed += ctx.families_recomputed
+        self.stats.families_reused += ctx.families_reused
         self._gauge_devices.set(self._store.n)
-        self._gauge_flagged.set(len(flagged))
+        self._gauge_flagged.set(len(ctx.flagged))
         result = OnlineTick(
             tick=self._tick,
             applied=applied,
-            flagged=flagged,
-            recomputed=tuple(recompute),
-            reused=tuple(reused),
-            dirty_cells=len(dirty_cells),
-            verdicts=verdicts,
-            transition=transition,
-            families_recomputed=families_recomputed,
-            families_reused=families_reused,
+            flagged=ctx.flagged,
+            recomputed=tuple(ctx.recompute),
+            reused=tuple(ctx.reused),
+            dirty_cells=len(ctx.dirty_cells),
+            verdicts=ctx.verdicts,
+            transition=ctx.transition,
+            families_recomputed=ctx.families_recomputed,
+            families_reused=ctx.families_reused,
             stage_seconds=tracer.drain_stages(),
         )
-        with tracer.span("sinks"):
-            for sink in self._sinks:
-                sink(result)
+        self._sink_stage.run(result, tracer)
         # The sinks span closed after the drain above; fold it (and any
         # spans a sink itself opened) into this tick's breakdown so the
         # next tick starts from a clean accumulator.

@@ -1,0 +1,1262 @@
+"""Sharded multi-service topology: spatial shards with halo exchange.
+
+One :class:`~repro.online.service.OnlineCharacterizationService` holds
+the whole fleet in one store and one verdict pipeline.  That is the
+right shape up to a few hundred thousand devices; beyond it, one
+process's tick becomes one long critical path.  This module decomposes
+the plane instead of the pipeline: the unit QoS cube is tiled into
+``topology_shards`` axis-aligned boxes of grid cells, each owned by a
+:class:`_ShardWorker` — its own columnar
+:class:`~repro.online.store.DeviceStateStore` partition (keyed by
+*global* device ids), dirty-region tracker, characterization engine and
+tracer — and a :class:`ShardedService` front door that speaks the same
+API as the single service.
+
+The paper's locality theorem is what makes the decomposition exact: a
+flagged device's verdict depends only on flagged devices within ``4r``
+(uniform norm) of it at the interval endpoints.  So a shard can
+characterize its residents *locally*, provided it also sees the flagged
+devices just across its borders — the **halo**.  Per tick:
+
+1. **route & apply** — ingested events and snapshot diffs are applied on
+   each device's owning shard (the front door keeps the device→shard
+   map); devices whose new cell falls in another shard's box migrate via
+   :meth:`~repro.online.store.DeviceStateStore.admit`, which carries the
+   ``prev`` endpoint so the crossing move itself is not erased;
+2. **dirty union** — every shard closes its tracker's cell bookkeeping
+   (:meth:`~repro.online.dirty.DirtyRegionTracker.finish_cells`) and the
+   front door unions the cells: an update near a boundary must
+   invalidate verdicts on *both* sides, so each shard derives its
+   affected set from the global union against its own index;
+3. **halo exchange** — each shard publishes the ``(prev, cur)`` rows of
+   its flagged devices within ``halo_rings`` cells of its box boundary
+   through a :class:`~repro.engine.backends._SnapshotRing` (the same
+   double-buffered shared-memory publication path the worker pool uses);
+   consumers take the bands whose cells lie within ``halo_rings``
+   *outside* their own box;
+4. **local pipelines** — each shard runs a
+   :class:`~repro.online.stages.TickPipeline` of a halo-aware
+   transition-build stage plus the standard
+   :class:`~repro.online.stages.VerdictStage`, optionally across a
+   thread pool;
+5. **merge** — verdicts (already remapped to global ids), flagged sets,
+   stats and stage timings are merged into one ordinary
+   :class:`~repro.online.service.OnlineTick` for the sinks.
+
+Why the halo band is sufficient: a local verdict for owned device ``j``
+is exact iff the local transition contains every flagged device ``i``
+in ``j``'s transition neighbourhood, and that neighbourhood *intersects*
+prev-side and cur-side ``4r`` balls — any qualifying ``i`` has its
+**current** position within ``4r`` of ``j``'s, which lies in the box, so
+``i``'s current cell is within ``rings`` cells of the box and the
+``halo_rings = rings + 1`` band (one spare ring absorbing the indexes'
+``1e-12`` query tolerance) contains it.  Devices that are prev-near but
+cur-far are dropped by the intersection on both sides of the
+decomposition, and extra halo members are harmless supersets.  See
+DESIGN.md ("Sharded topology") for the full argument.
+
+**Verdict identity** with the single service is exact — type, rule *and*
+witness.  Shard-local transitions number devices by the rank of their
+global id among the shard's participants (owned ∪ halo, sorted), a
+strictly monotone map; every order the characterization pipeline relies
+on (canonical motion sort keys, candidate pools, local universes) is
+either geometric or lexicographic in device ids, and lexicographic
+comparisons are invariant under monotone relabelling.  The randomized
+equivalence suite (``tests/online/test_sharded.py``) pins this down,
+churn and shard-crossing movers included.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    QueueFullError,
+)
+from repro.core.transition import Transition
+from repro.core.types import Characterization
+from repro.detection.banks import BankDetection, DetectorBank, DetectorLike, as_bank
+from repro.engine import CharacterizationEngine, EngineConfig
+from repro.engine.backends import _SnapshotRing
+from repro.obs.trace import Tracer
+from repro.online.dirty import DirtyRegionTracker
+from repro.online.grid import CellKey
+from repro.online.service import (
+    _VERDICT_CODE,
+    OnlineTick,
+    QosUpdate,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.online.stages import (
+    IndexUpdateStage,
+    IngestDrainStage,
+    SinkStage,
+    TickContext,
+    TickPipeline,
+    VerdictStage,
+)
+from repro.online.store import DeviceStateStore
+from repro.robust.chaos import get_injector
+
+__all__ = [
+    "HaloTransitionBuildStage",
+    "ShardMap",
+    "ShardedService",
+]
+
+
+def _grid_for(shards: int, dim: int) -> Tuple[int, ...]:
+    """Factor ``shards`` into a near-square grid over the first axes.
+
+    Tiling at most two axes keeps halo volume O(boundary) while leaving
+    the membership arithmetic trivially vectorizable; one axis in 1-D.
+    """
+    if dim == 1:
+        return (shards,)
+    best = 1
+    for a in range(1, int(math.isqrt(shards)) + 1):
+        if shards % a == 0:
+            best = a
+    return (shards // best, best)
+
+
+class ShardMap:
+    """Arithmetic cell→shard tiling of the unit cube, with halo masks.
+
+    The cube holds ``K = floor(1/cell) + 1`` grid cells per axis (cell
+    keys ``floor(p / cell)`` for ``p`` in ``[0, 1]``).  A tiled axis
+    with ``g`` shards maps cell ``c`` to shard coordinate
+    ``min(g - 1, c * g // K)`` — a pure integer expression, so placement
+    is stable across processes and checkpoint restores and every shard's
+    territory is a contiguous cell interval ``[lo, hi]``.  Shard ids are
+    row-major over the (at most two-axis) grid.
+
+    ``halo_rings`` is the exchange band width in cells: a cell belongs
+    to shard ``s``'s halo iff its Chebyshev cell-distance to ``s``'s box
+    is in ``(0, halo_rings]``.
+    """
+
+    def __init__(
+        self, shards: int, *, cell: float, dim: int, halo_rings: int
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(
+                f"topology shards must be >= 1, got {shards!r}"
+            )
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim!r}")
+        if halo_rings < 1:
+            raise ConfigurationError(
+                f"halo_rings must be >= 1, got {halo_rings!r}"
+            )
+        self._cell = float(cell)
+        self._dim = int(dim)
+        self._halo_rings = int(halo_rings)
+        self._K = int(math.floor(1.0 / self._cell)) + 1
+        self._grid = _grid_for(int(shards), self._dim)
+        for g in self._grid:
+            if g > self._K:
+                raise ConfigurationError(
+                    f"grid axis of {g} shards exceeds the {self._K} grid "
+                    f"cells per axis at cell={self._cell}; use fewer "
+                    "topology shards or a finer cell"
+                )
+        self._n_shards = int(shards)
+        # Per tiled axis: lo/hi cell of each shard coordinate.
+        self._lo: List[np.ndarray] = []
+        self._hi: List[np.ndarray] = []
+        K = self._K
+        for g in self._grid:
+            coords = np.arange(g, dtype=np.int64)
+            lo = (coords * K + g - 1) // g
+            hi = np.empty(g, dtype=np.int64)
+            hi[:-1] = lo[1:] - 1
+            hi[-1] = K - 1
+            self._lo.append(lo)
+            self._hi.append(hi)
+
+    @property
+    def n_shards(self) -> int:
+        """Total shard count (product of the grid axes)."""
+        return self._n_shards
+
+    @property
+    def grid(self) -> Tuple[int, ...]:
+        """Shards per tiled axis (row-major id order)."""
+        return self._grid
+
+    @property
+    def halo_rings(self) -> int:
+        """Exchange band width, in grid cells."""
+        return self._halo_rings
+
+    @property
+    def cells_per_axis(self) -> int:
+        """Grid cells per axis in the unit cube."""
+        return self._K
+
+    def _coords(self, shard: int) -> Tuple[int, ...]:
+        if not 0 <= shard < self._n_shards:
+            raise ConfigurationError(
+                f"shard {shard} not in [0, {self._n_shards})"
+            )
+        if len(self._grid) == 1:
+            return (shard,)
+        return divmod(shard, self._grid[1])
+
+    def box(self, shard: int) -> Tuple[Tuple[int, int], ...]:
+        """Per tiled axis, the inclusive ``(lo, hi)`` cell interval."""
+        coords = self._coords(shard)
+        return tuple(
+            (int(self._lo[axis][c]), int(self._hi[axis][c]))
+            for axis, c in enumerate(coords)
+        )
+
+    def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized cell→shard id for ``(m, d)`` integer cell keys."""
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        K = self._K
+        out = np.zeros(keys.shape[0], dtype=np.int64)
+        for axis, g in enumerate(self._grid):
+            c = np.clip(keys[:, axis], 0, K - 1)
+            coord = np.minimum(g - 1, (c * g) // K)
+            out = out * g + coord if axis else coord
+        return out
+
+    def box_distance(self, keys: np.ndarray, shard: int) -> np.ndarray:
+        """Chebyshev cell-distance of each key to ``shard``'s box.
+
+        Zero inside the box; untiled axes never contribute.  A key is in
+        ``shard``'s halo iff ``0 < distance <= halo_rings``.
+        """
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        coords = self._coords(shard)
+        dist = np.zeros(keys.shape[0], dtype=np.int64)
+        for axis, c in enumerate(coords):
+            lo = int(self._lo[axis][c])
+            hi = int(self._hi[axis][c])
+            col = keys[:, axis]
+            axis_dist = np.maximum(np.maximum(lo - col, col - hi), 0)
+            np.maximum(dist, axis_dist, out=dist)
+        return dist
+
+    def boundary_mask(self, keys: np.ndarray, shard: int) -> np.ndarray:
+        """Which of a shard's own cells another shard could need.
+
+        A cell with interior slack ``m`` (cells to its box's nearest
+        face, from inside) is at Chebyshev distance ``>= m + 1`` from
+        every cell outside the box, so only ``m < halo_rings`` rows can
+        land inside any consumer's halo band — the producer-side filter
+        that keeps the exchanged payload O(boundary), not O(area).
+        """
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        coords = self._coords(shard)
+        slack = np.full(keys.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
+        for axis, c in enumerate(coords):
+            lo = int(self._lo[axis][c])
+            hi = int(self._hi[axis][c])
+            col = keys[:, axis]
+            axis_slack = np.minimum(col - lo, hi - col)
+            np.minimum(slack, axis_slack, out=slack)
+        return slack < self._halo_rings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardMap(grid={self._grid}, cells={self._K}/axis, "
+            f"halo_rings={self._halo_rings})"
+        )
+
+
+class _HaloChannel:
+    """One shard's halo publication over a snapshot ring.
+
+    The position payload rides the same double-buffered shared-memory
+    segments the process pool publishes transitions through
+    (:meth:`~repro.engine.backends._SnapshotRing.publish_pair`); the
+    global ids and cell keys of the published rows stay in process
+    memory alongside.  Readers resolve the returned segment names
+    against the ring's own handles — same process, no re-attach — and
+    copy the band out before the next publish can reallocate.
+    """
+
+    def __init__(self) -> None:
+        self._ring = _SnapshotRing()
+        self._shape: Tuple[int, int] = (0, 0)
+        self._names: Optional[Tuple[str, str]] = None
+        self.ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self.keys: np.ndarray = np.empty((0, 0), dtype=np.int64)
+
+    def publish(
+        self, ids: np.ndarray, keys: np.ndarray, prev: np.ndarray, cur: np.ndarray
+    ) -> None:
+        self.ids = ids
+        self.keys = keys
+        self._shape = (int(prev.shape[0]), int(prev.shape[1]))
+        if prev.size == 0:
+            self._names = None
+            return
+        self._names = self._ring.publish_pair(
+            np.ascontiguousarray(prev, dtype=np.float64),
+            np.ascontiguousarray(cur, dtype=np.float64),
+        )
+
+    def _segment(self, name: str):
+        for seg in (*self._ring.slots, self._ring.prev_seg):
+            if seg is not None and seg.name == name:
+                return seg
+        raise ConfigurationError(
+            f"halo segment {name!r} is not live on this ring"
+        )  # pragma: no cover - protocol violation
+
+    def read(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The published ``(prev, cur)`` band, copied out of the ring."""
+        rows, dim = self._shape
+        if self._names is None or rows == 0:
+            empty = np.empty((0, dim), dtype=np.float64)
+            return empty, empty
+        count = rows * dim
+        out = []
+        for name in self._names:
+            seg = self._segment(name)
+            out.append(
+                np.frombuffer(seg.buf, dtype=np.float64, count=count)
+                .reshape(rows, dim)
+                .copy()
+            )
+        return out[0], out[1]
+
+    def close(self) -> None:
+        self._ring.drop_segments()
+        self._names = None
+
+
+class HaloTransitionBuildStage:
+    """``transition-build`` over one shard's residents plus its halo.
+
+    The halo-aware twin of
+    :class:`~repro.online.stages.TransitionBuildStage`.  Participants
+    are the shard's live devices plus the halo band deposited by the
+    front door (:meth:`stage_halo`), numbered by the rank of their
+    global id — a strictly monotone local→global map, which is what
+    keeps every id-lexicographic tie-break in the characterization
+    pipeline (canonical motion order, candidate pools) invariant and the
+    shard's verdicts bit-identical to the single service's.
+
+    No cross-tick chain or index adoption: the participant set churns
+    with the halo every tick, so ``last_transition`` stays ``None`` and
+    the verdict stage's motion carry is gated off via
+    ``ctx.allow_carry`` (verdict-level caching, the big win, still
+    applies — it is keyed by global id and survives any relabelling).
+    """
+
+    name = "transition-build"
+
+    def __init__(self, owner: "_ShardWorker", r: float, tau: int) -> None:
+        self._owner = owner
+        self._r = float(r)
+        self._tau = int(tau)
+        #: Carry gate read by :class:`VerdictStage`; intentionally never set.
+        self.last_transition: Optional[Transition] = None
+        self._halo_ids = np.empty(0, dtype=np.int64)
+        self._halo_prev = np.empty((0, 0), dtype=np.float64)
+        self._halo_cur = np.empty((0, 0), dtype=np.float64)
+
+    def stage_halo(
+        self, ids: np.ndarray, prev: np.ndarray, cur: np.ndarray
+    ) -> None:
+        """Deposit this tick's halo band (global ids + both endpoints)."""
+        self._halo_ids = ids
+        self._halo_prev = prev
+        self._halo_cur = cur
+
+    def run(self, ctx: TickContext, tracer: Tracer) -> None:
+        store = self._owner.store
+        ctx.allow_carry = False
+        flagged_rows = store.flagged_rows()
+        if flagged_rows.size == 0:
+            # No verdicts owed by this shard: publish-only tick.
+            ctx.flagged = ()
+            ctx.verdict_targets = ()
+            return
+        with tracer.span("dirty-region"):
+            affected_rows = (
+                store.index.devices_near_cells(
+                    ctx.dirty_cells, self._owner.tracker.rings
+                )
+                if ctx.dirty_cells
+                else set()
+            )
+        with tracer.span(self.name):
+            ids = store.row_ids()
+            alive_rows = np.nonzero(np.asarray(ids) >= 0)[0]
+            own_ids = np.asarray(ids)[alive_rows]
+            halo_ids = self._halo_ids
+            part_ids = np.concatenate([own_ids, halo_ids])
+            n_part = part_ids.shape[0]
+            order = np.argsort(part_ids, kind="stable")
+            rank = np.empty(n_part, dtype=np.int64)
+            rank[order] = np.arange(n_part, dtype=np.int64)
+            n_owned = own_ids.shape[0]
+            # Store row -> local rank, for targets and affected rows.
+            used = np.asarray(ids).shape[0]
+            rank_by_row = np.full(used, -1, dtype=np.int64)
+            rank_by_row[alive_rows] = rank[:n_owned]
+            prev_plane, cur_plane = store.snapshot_arrays()
+            dim = store.dim
+            # tau needs at least tau + 1 participants; the pad rows are
+            # unflagged zeros — invisible to the flagged-only indexes,
+            # so the padded transition is exact, not approximate.
+            pad = max(0, self._tau + 1 - n_part)
+            prev_arr = np.empty((n_part + pad, dim), dtype=np.float64)
+            cur_arr = np.empty((n_part + pad, dim), dtype=np.float64)
+            prev_arr[rank[:n_owned]] = prev_plane[alive_rows]
+            cur_arr[rank[:n_owned]] = cur_plane[alive_rows]
+            if halo_ids.size:
+                prev_arr[rank[n_owned:]] = self._halo_prev
+                cur_arr[rank[n_owned:]] = self._halo_cur
+            if pad:
+                prev_arr[n_part:] = 0.0
+                cur_arr[n_part:] = 0.0
+            prev_arr.flags.writeable = False
+            cur_arr.flags.writeable = False
+            key_of = np.full(n_part + pad, -1, dtype=np.int64)
+            key_of[rank] = part_ids
+            targets = tuple(
+                int(l) for l in np.sort(rank_by_row[flagged_rows])
+            )
+            flagged_local = sorted(targets)
+            if halo_ids.size:
+                flagged_local = sorted(
+                    [*flagged_local, *rank[n_owned:].tolist()]
+                )
+            ctx.key_of = key_of
+            ctx.verdict_targets = targets
+            ctx.flagged = tuple(flagged_local)
+            ctx.affected = {
+                int(rank_by_row[row])
+                for row in affected_rows
+                if rank_by_row[row] >= 0
+            }
+            ctx.transition = Transition.from_views(
+                prev_arr, cur_arr, ctx.flagged, self._r, self._tau
+            )
+
+
+class _ShardWorker:
+    """One spatial shard: store partition, tracker, engine, pipeline."""
+
+    def __init__(
+        self,
+        shard: int,
+        positions: np.ndarray,
+        ids: np.ndarray,
+        dim: int,
+        config: ServiceConfig,
+        tracer: Tracer,
+    ) -> None:
+        self.shard = int(shard)
+        cfg = config
+        if positions.shape[0]:
+            self.store = DeviceStateStore(
+                positions, cell=cfg.cell, shards=cfg.shards, ids=ids
+            )
+        else:
+            # The store needs at least one row to exist; seed a
+            # placeholder and evict it so the shard starts empty with a
+            # reusable free row.
+            self.store = DeviceStateStore(
+                np.zeros((1, dim)), cell=cfg.cell, shards=cfg.shards
+            )
+            self.store.leave(0)
+        self.tracker = DirtyRegionTracker(
+            cell=cfg.cell,
+            influence_radius=4.0 * cfg.r,
+            family_radius=2.0 * cfg.r,
+        )
+        self.engine = CharacterizationEngine(
+            EngineConfig(
+                backend=cfg.backend,
+                workers=cfg.workers,
+                max_worker_tasks=cfg.max_worker_tasks,
+                dispatch_deadline=cfg.dispatch_deadline,
+            )
+        )
+        self.tracer = tracer
+        self.channel = _HaloChannel()
+        self.index_stage = IndexUpdateStage(self)
+        self.transition_stage = HaloTransitionBuildStage(self, cfg.r, cfg.tau)
+        self.verdict_stage = VerdictStage(
+            self,
+            incremental=cfg.incremental,
+            reuse_motions=False,
+            transition_source=self.transition_stage,
+        )
+        self.pipeline = TickPipeline(
+            [self.transition_stage, self.verdict_stage]
+        )
+        self._verdict_rows: Optional[np.ndarray] = None
+
+    def publish_halo(self, boundary: "ShardMap") -> None:
+        """Publish this shard's boundary band of flagged rows."""
+        store = self.store
+        rows = store.flagged_rows()
+        if rows.size:
+            keys = store.index.keys_of_rows(rows)
+            mask = boundary.boundary_mask(keys, self.shard)
+            rows = rows[mask]
+            keys = keys[mask]
+        else:
+            keys = np.empty((0, store.dim), dtype=np.int64)
+        ids = np.asarray(store.row_ids())[rows]
+        prev_plane, cur_plane = store.snapshot_arrays()
+        self.channel.publish(ids, keys, prev_plane[rows], cur_plane[rows])
+
+    def run_tick(self, ctx: TickContext) -> TickContext:
+        """Run the local pipeline, record codes, roll the snapshots."""
+        self.pipeline.run(ctx, self.tracer)
+        self._record_verdict_codes(ctx)
+        self.store.advance_tick()
+        return ctx
+
+    def _record_verdict_codes(self, ctx: TickContext) -> None:
+        store = self.store
+        if self._verdict_rows is not None and self._verdict_rows.size:
+            store.set_verdict_codes(
+                self._verdict_rows,
+                np.full(self._verdict_rows.shape[0], -1, dtype=np.int8),
+            )
+        targets = ctx.verdict_targets or ()
+        if targets and ctx.key_of is not None:
+            devices = [int(ctx.key_of[l]) for l in targets]
+            rows = np.fromiter(
+                (store.row_of(j) for j in devices),
+                dtype=np.int64,
+                count=len(devices),
+            )
+            codes = np.fromiter(
+                (
+                    _VERDICT_CODE[ctx.verdicts[j].anomaly_type]
+                    for j in devices
+                ),
+                dtype=np.int8,
+                count=len(devices),
+            )
+            store.set_verdict_codes(rows, codes)
+            self._verdict_rows = rows
+        else:
+            self._verdict_rows = None
+
+    def close(self) -> None:
+        self.channel.close()
+        self.engine.close()
+
+
+class ShardedService:
+    """Front door over ``topology_shards`` spatial shard workers.
+
+    Speaks the single service's driver API — :meth:`ingest`,
+    :meth:`feed_snapshot`, :meth:`feed_measurements`, :meth:`end_tick`,
+    sinks — and produces one merged
+    :class:`~repro.online.service.OnlineTick` per tick whose verdict map
+    is identical (type, rule, witness) to what one
+    :class:`~repro.online.service.OnlineCharacterizationService` over
+    the same stream would produce.  ``OnlineTick.transition`` is
+    ``None``: there is no global transition object, only per-shard ones.
+
+    Parameters
+    ----------
+    initial_positions:
+        ``(n, d)`` QoS state at service start; devices get global ids
+        ``0..n-1`` and are partitioned by the cell→shard map.
+    config:
+        The standard :class:`~repro.online.service.ServiceConfig`
+        (``shards`` remains the *store-internal* shard count, applied
+        per partition store; the spatial topology is this class's own
+        parameter).
+    topology_shards:
+        Number of spatial shards tiling the unit cube.
+    parallel:
+        Run the per-shard pipelines on a thread pool (per-shard engines
+        may themselves be process pools for multi-core scaling).
+    """
+
+    def __init__(
+        self,
+        initial_positions: np.ndarray,
+        config: Optional[ServiceConfig] = None,
+        *,
+        topology_shards: int = 4,
+        parallel: bool = True,
+        sinks: Iterable[Callable[[OnlineTick], None]] = (),
+        detector: Optional[DetectorLike] = None,
+        detection: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._config = config or ServiceConfig()
+        cfg = self._config
+        pts = np.asarray(initial_positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] < 1:
+            raise DimensionMismatchError(
+                "initial_positions must be a non-empty (n, d) array"
+            )
+        self._dim = int(pts.shape[1])
+        self._tracer = tracer if tracer is not None else Tracer()
+        registry = self._tracer.registry
+        self._gauge_queue_depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Ingest-queue backlog observed at each tick close",
+        )
+        self._gauge_devices = registry.gauge(
+            "repro_service_devices", "Devices tracked by the store"
+        )
+        self._gauge_flagged = registry.gauge(
+            "repro_service_flagged_devices",
+            "Devices flagged at the latest tick",
+        )
+        self._gauge_shard_devices = registry.gauge(
+            "repro_shard_devices",
+            "Devices resident per spatial shard",
+            labelnames=("shard",),
+        )
+        self._gauge_shard_flagged = registry.gauge(
+            "repro_shard_flagged_devices",
+            "Flagged devices per spatial shard",
+            labelnames=("shard",),
+        )
+        self._hist_shard_stage = registry.histogram(
+            "repro_shard_stage_seconds",
+            "Per-shard wall-clock seconds by pipeline stage",
+            labelnames=("shard", "stage"),
+        )
+        tracker_probe = DirtyRegionTracker(
+            cell=cfg.cell, influence_radius=4.0 * cfg.r
+        )
+        # One spare ring on top of the influence band absorbs the grid
+        # indexes' 1e-12 query tolerance at cell-boundary extremes.
+        self._map = ShardMap(
+            topology_shards,
+            cell=cfg.cell,
+            dim=self._dim,
+            halo_rings=tracker_probe.rings + 1,
+        )
+        keys = np.floor(pts / cfg.cell).astype(np.int64)
+        owners = self._map.shard_of_keys(keys)
+        self._workers: List[_ShardWorker] = []
+        for shard in range(self._map.n_shards):
+            mask = owners == shard
+            ids = np.nonzero(mask)[0].astype(np.int64)
+            self._workers.append(
+                _ShardWorker(
+                    shard,
+                    pts[mask],
+                    ids,
+                    self._dim,
+                    cfg,
+                    Tracer(registry, enabled=self._tracer.enabled),
+                )
+            )
+        self._owner: Dict[int, int] = {
+            int(device): int(shard)
+            for device, shard in enumerate(owners.tolist())
+        }
+        self._bank: Optional[DetectorBank] = None
+        self._last_detection: Optional[BankDetection] = None
+        if detector is not None:
+            self._bank = as_bank(detector, pts.shape[0], self._dim, plane=detection)
+            self._last_detection = self._bank.observe_batch(pts)
+        elif detection is not None:
+            raise ConfigurationError(
+                "detection plane given without a detector spec or bank"
+            )
+        self._queue: Deque[QosUpdate] = deque()
+        self._applied_since_tick = 0
+        self._sinks: List[Callable[[OnlineTick], None]] = list(sinks)
+        self._ingest_stage = IngestDrainStage(
+            lambda: self._apply_batch(
+                self._config.max_batch or len(self._queue)
+            ),
+            lambda: len(self._queue),
+        )
+        self._sink_stage = SinkStage(self._sinks)
+        self._parallel = bool(parallel) and self._map.n_shards > 1
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=self._map.n_shards,
+                thread_name_prefix="repro-shard",
+            )
+            if self._parallel
+            else None
+        )
+        self._tick = 0
+        self._closed = False
+        self.stats = ServiceStats()
+        self.rejected: Dict[str, int] = {}
+        self._rejected_counter = registry.counter(
+            "repro_service_rejected_total",
+            "Malformed inputs rejected by the service, by reason",
+            labelnames=("reason",),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ServiceConfig:
+        """The (per-shard) service configuration."""
+        return self._config
+
+    @property
+    def topology(self) -> ShardMap:
+        """The cell→shard tiling of the unit cube."""
+        return self._map
+
+    @property
+    def n_shards(self) -> int:
+        """Number of spatial shards."""
+        return self._map.n_shards
+
+    @property
+    def workers(self) -> Tuple[_ShardWorker, ...]:
+        """The per-shard workers (read-only tuple view)."""
+        return tuple(self._workers)
+
+    @property
+    def n(self) -> int:
+        """Number of live devices across every shard."""
+        return sum(worker.store.n for worker in self._workers)
+
+    @property
+    def dim(self) -> int:
+        """Number of services per device."""
+        return self._dim
+
+    @property
+    def nbytes(self) -> int:
+        """Columnar bytes held across every shard's store."""
+        return sum(worker.store.nbytes for worker in self._workers)
+
+    @property
+    def bytes_per_device(self) -> float:
+        """Average columnar bytes per live device."""
+        return self.nbytes / max(1, self.n)
+
+    @property
+    def current_tick(self) -> int:
+        """Number of completed ticks."""
+        return self._tick
+
+    @property
+    def queued(self) -> int:
+        """Events currently waiting in the front-door queue."""
+        return len(self._queue)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The front-door tracer (workers own per-shard tracers)."""
+        return self._tracer
+
+    @property
+    def bank(self) -> Optional[DetectorBank]:
+        """The front-door detector bank (None without a ``detector``)."""
+        return self._bank
+
+    @property
+    def last_detection(self) -> Optional[BankDetection]:
+        """The bank's most recent batch detection, if any."""
+        return self._last_detection
+
+    @property
+    def verdicts(self) -> Dict[int, Characterization]:
+        """The merged verdict map across shards (a copy)."""
+        merged: Dict[int, Characterization] = {}
+        for worker in self._workers:
+            merged.update(worker.verdict_stage.cache)
+        return merged
+
+    def flagged_devices(self) -> Tuple[int, ...]:
+        """Currently flagged devices across every shard, sorted."""
+        out: List[int] = []
+        for worker in self._workers:
+            out.extend(worker.store.flagged_devices())
+        return tuple(sorted(out))
+
+    def shard_of(self, device: int) -> int:
+        """The spatial shard currently owning ``device``."""
+        shard = self._owner.get(int(device))
+        if shard is None:
+            raise ConfigurationError(f"device {device} is not in the service")
+        return shard
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Resident device count per spatial shard."""
+        return tuple(worker.store.n for worker in self._workers)
+
+    def add_sink(self, sink: Callable[[OnlineTick], None]) -> None:
+        """Attach a sink called with every finished :class:`OnlineTick`."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every shard's engine, halo ring and the thread pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def checkpoint(self, directory, *, extra=None):
+        """Write one consistent-cut sharded checkpoint under ``directory``."""
+        from repro.online.recovery import save_sharded_checkpoint
+
+        return save_sharded_checkpoint(self, directory, extra=extra)
+
+    @classmethod
+    def restore(cls, source, **kwargs) -> "ShardedService":
+        """Rebuild a sharded service from a checkpoint manifest."""
+        from repro.online.recovery import restore_sharded_service
+
+        return restore_sharded_service(source, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(
+        self, device: int, position: Sequence[float], flagged: bool = False
+    ) -> int:
+        """Admit a device on the shard owning its cell; returns the shard."""
+        device = int(device)
+        if device in self._owner:
+            raise ConfigurationError(f"device {device} is already stored")
+        pos = np.asarray(position, dtype=float)
+        key = np.floor(pos / self._config.cell).astype(np.int64)
+        shard = int(self._map.shard_of_keys(key[None, :])[0])
+        self._workers[shard].store.join(device, pos, flagged)
+        self._owner[device] = shard
+        return shard
+
+    def leave(self, device: int) -> int:
+        """Evict a device from its owning shard; returns the shard."""
+        shard = self.shard_of(device)
+        self._workers[shard].store.leave(int(device))
+        del self._owner[int(device)]
+        return shard
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, update: QosUpdate) -> bool:
+        """Enqueue one event; same backpressure contract as the service."""
+        cfg = self._config
+        accepted = True
+        if len(self._queue) >= cfg.queue_capacity:
+            if cfg.backpressure == "error":
+                raise QueueFullError(
+                    f"ingest queue is at capacity ({cfg.queue_capacity})"
+                )
+            if cfg.backpressure == "drop-oldest":
+                self._queue.popleft()
+                self.stats.updates_dropped += 1
+                accepted = False
+            else:
+                with self._tracer.span("ingest-drain"):
+                    self._apply_batch(cfg.max_batch or len(self._queue))
+                self.stats.inline_drains += 1
+        self._queue.append(update)
+        return accepted
+
+    def ingest_many(self, updates: Iterable[QosUpdate]) -> int:
+        """Enqueue a batch; returns how many were accepted cleanly."""
+        return sum(1 for update in updates if self.ingest(update))
+
+    def _reject(self, reason: str, count: int = 1) -> None:
+        if count <= 0:
+            return
+        self.rejected[reason] = self.rejected.get(reason, 0) + count
+        self._rejected_counter.labels(reason=reason).inc(count)
+
+    def _apply_batch(self, limit: int) -> int:
+        """Pop up to ``limit`` events and apply them, routed per shard."""
+        batch: List[QosUpdate] = []
+        while self._queue and len(batch) < limit:
+            batch.append(self._queue.popleft())
+        if not batch:
+            return 0
+        start = 0
+        seen: Set[int] = set()
+        applied = 0
+        for i, update in enumerate(batch):
+            if update.device in seen:
+                applied += self._apply_segment(batch[start:i])
+                start = i
+                seen = set()
+            seen.add(update.device)
+        applied += self._apply_segment(batch[start:])
+        self.stats.updates_applied += applied
+        self._applied_since_tick += applied
+        return len(batch)
+
+    def _apply_segment(self, segment: List[QosUpdate]) -> int:
+        """Apply one duplicate-free run, one row batch per owning shard."""
+        dim = self._dim
+        by_shard: Dict[int, Tuple[List[int], List[QosUpdate]]] = {}
+        for update in segment:
+            shard = self._owner.get(update.device)
+            if shard is None:
+                self._reject("unknown-device")
+                continue
+            if len(update.position) != dim:
+                self._reject("dimension-mismatch")
+                continue
+            rows, kept = by_shard.setdefault(shard, ([], []))
+            rows.append(self._workers[shard].store.row_of(update.device))
+            kept.append(update)
+        total = 0
+        for shard, (rows, kept) in by_shard.items():
+            positions = np.array(
+                [update.position for update in kept], dtype=float
+            )
+            nan_bad = np.isnan(positions).any(axis=1)
+            inf_bad = np.isinf(positions).any(axis=1)
+            finite = ~(nan_bad | inf_bad)
+            range_bad = finite & (
+                (positions < 0.0).any(axis=1) | (positions > 1.0).any(axis=1)
+            )
+            self._reject("nan", int(nan_bad.sum()))
+            self._reject("inf", int(inf_bad.sum()))
+            self._reject("out-of-range", int(range_bad.sum()))
+            good = finite & ~range_bad
+            if not good.all():
+                idx = np.nonzero(good)[0]
+                if idx.size == 0:
+                    continue
+                positions = positions[idx]
+                rows = [rows[i] for i in idx.tolist()]
+                kept = [kept[i] for i in idx.tolist()]
+            worker = self._workers[shard]
+            flags = np.fromiter(
+                (update.flagged for update in kept),
+                dtype=bool,
+                count=len(kept),
+            )
+            applied = worker.store.apply_rows(
+                np.asarray(rows, dtype=np.int64), positions, flags
+            )
+            worker.tracker.mark_batch(applied, was_relevant=applied.was_flagged)
+            total += len(kept)
+        return total
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def _migrate(self) -> int:
+        """Move devices whose current cell left their shard's box.
+
+        Runs after the tick's updates are applied (the source shard's
+        tracker has already marked the crossing move's cells, and they
+        enter the global dirty union) and before the halo exchange, so
+        every published row lies in its publisher's own box.  The
+        handover uses :meth:`DeviceStateStore.admit` — a plain ``join``
+        would restart the trajectory as stationary and erase the very
+        move that crossed the border.
+        """
+        moves: List[Tuple[int, int, int]] = []
+        for shard, worker in enumerate(self._workers):
+            store = worker.store
+            ids = np.asarray(store.row_ids())
+            alive_rows = np.nonzero(ids >= 0)[0]
+            if alive_rows.size == 0:
+                continue
+            keys = store.index.keys_of_rows(alive_rows)
+            dest = self._map.shard_of_keys(keys)
+            off = np.nonzero(dest != shard)[0]
+            for i in off.tolist():
+                moves.append((shard, int(dest[i]), int(alive_rows[i])))
+        for src, dst, row in moves:
+            device, prev, cur, flagged, code = self._workers[
+                src
+            ].store.row_state(row)
+            self._workers[src].store.leave(device)
+            self._workers[dst].store.admit(device, prev, cur, flagged, code)
+            self._owner[device] = dst
+        return len(moves)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def _gather_current(self) -> np.ndarray:
+        """Current positions gathered into one global-id-indexed frame."""
+        frame = np.zeros((self.n, self._dim), dtype=float)
+        for worker in self._workers:
+            store = worker.store
+            ids = np.asarray(store.row_ids())
+            alive_rows = np.nonzero(ids >= 0)[0]
+            if alive_rows.size:
+                frame[ids[alive_rows]] = store.current_positions()[alive_rows]
+        return frame
+
+    def feed_snapshot(
+        self, current: np.ndarray, flags: Iterable[bool]
+    ) -> OnlineTick:
+        """One tick from a full snapshot + flag vector, fanned out by id.
+
+        ``current`` is indexed by *global device id* and must cover the
+        dense id range ``0..n-1`` — the fixed-fleet contract the
+        snapshot drivers (monitor, trace replay, load generator) already
+        satisfy.  Churned populations with id gaps flow through
+        :meth:`ingest` / :meth:`join` / :meth:`leave` instead.
+        """
+        current = np.asarray(current, dtype=float)
+        flags_arr = np.asarray(list(flags), dtype=bool)
+        if (
+            current.ndim != 2
+            or current.shape[1] != self._dim
+            or flags_arr.shape[0] != current.shape[0]
+        ):
+            self._reject("dimension-mismatch")
+            raise DimensionMismatchError(
+                f"snapshot frame {current.shape} with {flags_arr.shape[0]} "
+                f"flags incompatible with dim {self._dim}"
+            )
+        self._ingest_stage.run(self._tracer)
+        applied_rows = 0
+        for worker in self._workers:
+            store = worker.store
+            ids = np.asarray(store.row_ids())
+            alive_rows = np.nonzero(ids >= 0)[0]
+            if alive_rows.size == 0:
+                continue
+            alive_ids = ids[alive_rows]
+            if int(alive_ids.max()) >= current.shape[0]:
+                self._reject("dimension-mismatch")
+                raise DimensionMismatchError(
+                    "snapshot frame rows do not cover the fleet's "
+                    "global id range; feed churned populations "
+                    "through ingest/join/leave"
+                )
+            sub_cur = store.current_positions().copy()
+            sub_flags = store.flag_vector().copy()
+            sub_cur[alive_rows] = current[alive_ids]
+            sub_flags[alive_rows] = flags_arr[alive_ids]
+            applied_rows += worker.index_stage.apply_diff(
+                sub_cur, sub_flags, worker.tracer
+            )
+        if applied_rows:
+            self.stats.updates_applied += applied_rows
+            self._applied_since_tick += applied_rows
+        return self.end_tick()
+
+    def feed_measurements(self, values: np.ndarray) -> OnlineTick:
+        """One tick from raw QoS vectors: detect at the front door, flag."""
+        if self._bank is None:
+            raise ConfigurationError(
+                "feed_measurements needs a detector; construct the service "
+                "with detector=DetectorSpec(...)"
+            )
+        arr = np.asarray(values, dtype=float)
+        injector = get_injector()
+        if injector.active:
+            arr = injector.corrupt_frame(self._tick + 1, arr)
+        arr = self._validate_frame(arr)
+        with self._tracer.span("detect"):
+            detection = self._bank.observe_batch(arr)
+        self._last_detection = detection
+        return self.feed_snapshot(arr, detection.flags)
+
+    def _validate_frame(self, arr: np.ndarray) -> np.ndarray:
+        n, dim = self.n, self._dim
+        if arr.ndim != 2 or arr.shape != (n, dim):
+            self._reject("dimension-mismatch")
+            raise DimensionMismatchError(
+                f"measurement frame shape {arr.shape} incompatible with "
+                f"({n}, {dim})"
+            )
+        nan_bad = np.isnan(arr).any(axis=1)
+        inf_bad = np.isinf(arr).any(axis=1)
+        finite = ~(nan_bad | inf_bad)
+        range_bad = finite & (
+            (arr < 0.0).any(axis=1) | (arr > 1.0).any(axis=1)
+        )
+        bad = ~finite | range_bad
+        if not bad.any():
+            return arr
+        self._reject("nan", int(nan_bad.sum()))
+        self._reject("inf", int(inf_bad.sum()))
+        self._reject("out-of-range", int(range_bad.sum()))
+        if self._config.validation == "strict":
+            raise ConfigurationError(
+                f"measurement frame has {int(bad.sum())} malformed rows "
+                "(NaN/inf/out-of-range) and validation is strict"
+            )
+        repaired = arr.copy()
+        repaired[bad] = self._gather_current()[bad]
+        return repaired
+
+    # ------------------------------------------------------------------
+    # Tick processing
+    # ------------------------------------------------------------------
+    def end_tick(self) -> OnlineTick:
+        """Close the interval across every shard and merge the results."""
+        tracer = self._tracer
+        self._gauge_queue_depth.set(len(self._queue))
+        self._ingest_stage.run(tracer)
+        with tracer.span("shard-migrate"):
+            self._migrate()
+        applied = self._applied_since_tick
+        self._applied_since_tick = 0
+        self._tick += 1
+
+        with tracer.span("dirty-region"):
+            union: Set[CellKey] = set()
+            for worker in self._workers:
+                union.update(worker.tracker.finish_cells())
+            dirty_cells: Tuple[CellKey, ...] = tuple(sorted(union))
+
+        with tracer.span("halo-exchange"):
+            for worker in self._workers:
+                worker.publish_halo(self._map)
+            halo_rings = self._map.halo_rings
+            halos: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for consumer in self._workers:
+                ids_parts: List[np.ndarray] = []
+                prev_parts: List[np.ndarray] = []
+                cur_parts: List[np.ndarray] = []
+                for producer in self._workers:
+                    if producer.shard == consumer.shard:
+                        continue
+                    channel = producer.channel
+                    if channel.ids.size == 0:
+                        continue
+                    dist = self._map.box_distance(
+                        channel.keys, consumer.shard
+                    )
+                    mask = (dist > 0) & (dist <= halo_rings)
+                    if not mask.any():
+                        continue
+                    prev_band, cur_band = channel.read()
+                    ids_parts.append(channel.ids[mask])
+                    prev_parts.append(prev_band[mask])
+                    cur_parts.append(cur_band[mask])
+                if ids_parts:
+                    halos.append(
+                        (
+                            np.concatenate(ids_parts),
+                            np.concatenate(prev_parts),
+                            np.concatenate(cur_parts),
+                        )
+                    )
+                else:
+                    halos.append(
+                        (
+                            np.empty(0, dtype=np.int64),
+                            np.empty((0, self._dim), dtype=np.float64),
+                            np.empty((0, self._dim), dtype=np.float64),
+                        )
+                    )
+
+        tick = self._tick
+
+        def run_one(shard: int) -> TickContext:
+            worker = self._workers[shard]
+            ids, prev_band, cur_band = halos[shard]
+            worker.transition_stage.stage_halo(ids, prev_band, cur_band)
+            ctx = TickContext(tick=tick, dirty_cells=dirty_cells)
+            return worker.run_tick(ctx)
+
+        if self._executor is not None:
+            contexts = list(
+                self._executor.map(run_one, range(self._map.n_shards))
+            )
+        else:
+            contexts = [run_one(s) for s in range(self._map.n_shards)]
+
+        verdicts: Dict[int, Characterization] = {}
+        flagged: List[int] = []
+        recomputed: List[int] = []
+        reused: List[int] = []
+        families_recomputed = 0
+        families_reused = 0
+        stage_seconds = tracer.drain_stages()
+        for worker, ctx in zip(self._workers, contexts):
+            verdicts.update(ctx.verdicts)
+            if ctx.key_of is not None:
+                targets = ctx.verdict_targets or ()
+                flagged.extend(int(ctx.key_of[l]) for l in targets)
+                recomputed.extend(int(ctx.key_of[l]) for l in ctx.recompute)
+                reused.extend(int(ctx.key_of[l]) for l in ctx.reused)
+            families_recomputed += ctx.families_recomputed
+            families_reused += ctx.families_reused
+            shard_label = str(worker.shard)
+            self._gauge_shard_devices.labels(shard=shard_label).set(
+                worker.store.n
+            )
+            self._gauge_shard_flagged.labels(shard=shard_label).set(
+                len(ctx.verdict_targets or ())
+            )
+            for stage, seconds in worker.tracer.drain_stages().items():
+                self._hist_shard_stage.labels(
+                    shard=shard_label, stage=stage
+                ).observe(seconds)
+                stage_seconds[stage] = (
+                    stage_seconds.get(stage, 0.0) + seconds
+                )
+
+        self.stats.ticks += 1
+        self.stats.verdicts_recomputed += len(recomputed)
+        self.stats.verdicts_reused += len(reused)
+        self.stats.families_recomputed += families_recomputed
+        self.stats.families_reused += families_reused
+        self._gauge_devices.set(self.n)
+        self._gauge_flagged.set(len(flagged))
+        result = OnlineTick(
+            tick=tick,
+            applied=applied,
+            flagged=tuple(sorted(flagged)),
+            recomputed=tuple(sorted(recomputed)),
+            reused=tuple(sorted(reused)),
+            dirty_cells=len(dirty_cells),
+            verdicts=verdicts,
+            transition=None,
+            families_recomputed=families_recomputed,
+            families_reused=families_reused,
+            stage_seconds=stage_seconds,
+        )
+        self._sink_stage.run(result, tracer)
+        for stage, seconds in tracer.drain_stages().items():
+            result.stage_seconds[stage] = (
+                result.stage_seconds.get(stage, 0.0) + seconds
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedService(n={self.n}, shards={self._map.n_shards}, "
+            f"ticks={self._tick}, queued={len(self._queue)})"
+        )

@@ -43,10 +43,58 @@ from repro.core.errors import (
 from repro.core.geometry import validate_unit_cube
 from repro.online.grid import CellKey, MutableGridIndex
 
-__all__ = ["AppliedBatch", "AppliedUpdate", "DeviceStateStore"]
+__all__ = [
+    "AppliedBatch",
+    "AppliedUpdate",
+    "DeviceStateStore",
+    "SHARD_HASHES",
+    "stable_cell_hash",
+]
 
 #: Verdict-code column value meaning "no verdict recorded".
 NO_VERDICT = np.int8(-1)
+
+#: Accepted ``DeviceStateStore`` shard-hash modes.  ``"splitmix64"`` is
+#: the default: an explicit integer mix over zig-zag-packed cell
+#: coordinates, identical across Python versions, processes and
+#: checkpoint restores.  ``"legacy"`` keeps the historical
+#: ``hash(cell_tuple) % shards`` placement (stable only within one
+#: Python version's tuple-hash algorithm) for one release.
+SHARD_HASHES = ("splitmix64", "legacy")
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (vectorized)."""
+    x = (x + _SPLITMIX_GAMMA).astype(np.uint64)
+    x ^= x >> np.uint64(30)
+    x *= _SPLITMIX_M1
+    x ^= x >> np.uint64(27)
+    x *= _SPLITMIX_M2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def stable_cell_hash(keys: np.ndarray) -> np.ndarray:
+    """Stable 64-bit hash of ``(k, d)`` integer cell keys.
+
+    Each signed coordinate is zig-zag packed into uint64 and folded
+    through the splitmix64 finalizer, one round per dimension.  The
+    result depends only on the key values — never on Python's tuple
+    hashing, which changed across interpreter versions and would move
+    shard placement under a restored checkpoint.
+    """
+    arr = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+    # Zig-zag: map ..., -2, -1, 0, 1, 2, ... to 3, 1, 0, 2, 4, ...
+    packed = ((arr << 1) ^ (arr >> 63)).astype(np.uint64)
+    acc = np.full(packed.shape[0], np.uint64(0x8C2F9D3A6B41E875), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for axis in range(packed.shape[1]):
+            acc = _splitmix64(acc ^ packed[:, axis])
+    return acc
 
 
 @dataclass(frozen=True)
@@ -104,10 +152,26 @@ class DeviceStateStore:
     shards:
         Number of shards; a device's shard is a stable hash of its
         current grid cell, so spatial neighbours co-locate.
+    shard_hash:
+        ``"splitmix64"`` (default) hashes cells with
+        :func:`stable_cell_hash`, identical across Python versions and
+        checkpoint restores; ``"legacy"`` keeps the historical
+        ``hash(cell) % shards`` placement for one release.
+    ids:
+        Optional explicit device ids for the initial rows (defaults to
+        ``0..n-1``).  A sharded topology builds each partition store
+        with the global ids of its residents, so verdicts and
+        checkpoints stay in one id space.
     """
 
     def __init__(
-        self, initial_positions: np.ndarray, *, cell: float, shards: int = 8
+        self,
+        initial_positions: np.ndarray,
+        *,
+        cell: float,
+        shards: int = 8,
+        shard_hash: str = "splitmix64",
+        ids: Optional[np.ndarray] = None,
     ) -> None:
         pts = validate_unit_cube(np.asarray(initial_positions, dtype=float))
         if pts.ndim != 2 or pts.shape[0] < 1:
@@ -115,9 +179,16 @@ class DeviceStateStore:
                 "initial_positions must be a non-empty (n, d) array"
             )
         if shards < 1:
-            raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+            raise ConfigurationError(
+                f"store shards must be >= 1, got {shards!r}"
+            )
+        if shard_hash not in SHARD_HASHES:
+            raise ConfigurationError(
+                f"shard_hash must be one of {SHARD_HASHES}, got {shard_hash!r}"
+            )
         n = pts.shape[0]
         self._cell = float(cell)
+        self._shard_hash = shard_hash
         self._prev = pts.copy()
         self._cur = pts.copy()
         self._flags = np.zeros(n, dtype=bool)
@@ -128,8 +199,23 @@ class DeviceStateStore:
         self._index = MutableGridIndex.from_array(self._cur, cell)
         self._used = n  # high-water mark of ever-allocated rows
         self._free: List[int] = []  # LIFO row free-list
-        self._id_of = np.arange(n, dtype=np.int64)  # row -> id (-1 free)
-        self._row_of: Dict[int, int] = {j: j for j in range(n)}
+        if ids is None:
+            self._id_of = np.arange(n, dtype=np.int64)  # row -> id (-1 free)
+            self._row_of: Dict[int, int] = {j: j for j in range(n)}
+        else:
+            id_arr = np.asarray(ids, dtype=np.int64)
+            if id_arr.shape != (n,):
+                raise DimensionMismatchError(
+                    f"ids shape {id_arr.shape} incompatible with {n} rows"
+                )
+            if id_arr.min(initial=0) < 0:
+                raise ConfigurationError("device ids must be >= 0")
+            self._id_of = id_arr.copy()
+            self._row_of = {
+                int(device): row for row, device in enumerate(id_arr.tolist())
+            }
+            if len(self._row_of) != n:
+                raise ConfigurationError("device ids must be unique")
         self._tick_serial = 0
         self._n_shards = int(shards)
         self._shard_members: List[set] = [set() for _ in range(self._n_shards)]
@@ -146,9 +232,16 @@ class DeviceStateStore:
             self._shard_members[shard].add(device)
 
     def _shard_for(self, key: CellKey) -> int:
-        # Tuples of ints hash deterministically across processes, so
-        # shard placement is stable run to run.
-        return hash(key) % self._n_shards
+        if self._shard_hash == "legacy":
+            # Tuples of ints hash deterministically across processes of
+            # one Python version, but the tuple-hash algorithm itself
+            # has changed between versions — kept under the compat flag
+            # only.
+            return hash(key) % self._n_shards
+        return int(
+            stable_cell_hash(np.asarray(key, dtype=np.int64))[0]
+            % np.uint64(self._n_shards)
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -167,6 +260,11 @@ class DeviceStateStore:
     def n_shards(self) -> int:
         """Number of shards."""
         return self._n_shards
+
+    @property
+    def shard_hash(self) -> str:
+        """The cell→shard hash mode (``"splitmix64"`` or ``"legacy"``)."""
+        return self._shard_hash
 
     @property
     def index(self) -> MutableGridIndex:
@@ -255,6 +353,36 @@ class DeviceStateStore:
         view.flags.writeable = False
         return view
 
+    def row_ids(self) -> np.ndarray:
+        """Read-only view of the row→id column (−1 marks a free row).
+
+        The sharded topology's partition view: a shard store built with
+        explicit global ``ids`` exposes, per row, which global device it
+        backs — the id map every local transition and checkpoint is
+        keyed through.
+        """
+        view = self._id_of[: self._used]
+        view.flags.writeable = False
+        return view
+
+    def row_state(
+        self, row: int
+    ) -> Tuple[int, np.ndarray, np.ndarray, bool, int]:
+        """One row's full migratable state.
+
+        ``(device, prev, cur, flagged, verdict_code)`` — exactly what
+        :meth:`admit` on another store needs to take the device over
+        without restarting its trajectory.  Positions are copies.
+        """
+        device = self.id_of(row)
+        return (
+            device,
+            self._prev[row].copy(),
+            self._cur[row].copy(),
+            bool(self._flags[row]),
+            int(self._verdict[row]),
+        )
+
     def verdict_codes(self) -> np.ndarray:
         """Read-only view of the verdict-code column (−1 = none)."""
         view = self._verdict[: self._used]
@@ -341,6 +469,32 @@ class DeviceStateStore:
         shard = self._shard_for(key)
         self._shard[row] = shard
         self._shard_members[shard].add(row)
+        return row
+
+    def admit(
+        self,
+        device: int,
+        prev: Sequence[float],
+        cur: Sequence[float],
+        flagged: bool = False,
+        verdict_code: int = int(NO_VERDICT),
+    ) -> int:
+        """Admit a device mid-trajectory, with distinct snapshot endpoints.
+
+        The migration path of a sharded topology: a device crossing a
+        shard boundary must arrive with its *previous* position intact —
+        :meth:`join` would restart its trajectory as stationary
+        (``prev = cur``), silently erasing the very move that made it
+        cross.  Returns the backing row.
+        """
+        row = self.join(device, cur, flagged)
+        prev_pos = validate_unit_cube(np.asarray(prev, dtype=float))
+        if prev_pos.shape != (self.dim,):
+            raise DimensionMismatchError(
+                f"prev shape {prev_pos.shape} incompatible with dim {self.dim}"
+            )
+        self._prev[row] = prev_pos
+        self._verdict[row] = np.int8(verdict_code)
         return row
 
     def leave(self, device: int) -> int:
@@ -449,9 +603,9 @@ class DeviceStateStore:
     def _reshard(self, rows: np.ndarray, keys: np.ndarray) -> None:
         """Re-bucket the rows whose grid cell changed this batch.
 
-        A small Python loop on purpose: sharding is ``hash(cell_tuple)``
-        (stable across processes, asserted by the tests) and only the
-        handful of cell-crossing movers per tick pay it.
+        A small Python loop on purpose: sharding is one stable cell hash
+        (splitmix64 by default, asserted stable by the tests) and only
+        the handful of cell-crossing movers per tick pay it.
         """
         for row, key in zip(rows.tolist(), map(tuple, keys.tolist())):
             new_shard = self._shard_for(key)
@@ -513,6 +667,7 @@ class DeviceStateStore:
             "free": np.asarray(self._free, dtype=np.int64),
             "cell": np.float64(self._cell),
             "n_shards": np.int64(self._n_shards),
+            "shard_hash": np.str_(self._shard_hash),
             "tick_serial": np.int64(self._tick_serial),
         }
 
@@ -521,6 +676,11 @@ class DeviceStateStore:
         """Rebuild a store from :meth:`state` output, bit-identically."""
         store = cls.__new__(cls)
         store._cell = float(state["cell"])
+        # Checkpoints written before the stable-hash migration carry no
+        # mode marker; they were placed with the legacy tuple hash.
+        store._shard_hash = (
+            str(state["shard_hash"]) if "shard_hash" in state else "legacy"
+        )
         store._prev = np.array(state["prev"], dtype=float)
         store._cur = np.array(state["cur"], dtype=float)
         store._flags = np.array(state["flags"], dtype=bool)

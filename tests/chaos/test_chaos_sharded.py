@@ -1,0 +1,141 @@
+"""Sharded-topology chaos: one shard's pool under fire, poisoned frames.
+
+Two contracts:
+
+* killing one shard's pool workers mid-stream degrades that shard to
+  supervised retries — never to wrong answers: the sharded service
+  still emits the exact verdict stream of a fault-free single service
+  fed the same updates;
+* corrupted measurement frames are handled by the sharded front door
+  exactly like the single service's: strict validation refuses the
+  frame atomically, sanitize repairs the bad rows and the tick goes on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.detection.banks import DetectorSpec
+from repro.engine import CharacterizationEngine, EngineConfig
+from repro.online import (
+    OnlineCharacterizationService,
+    QosUpdate,
+    ServiceConfig,
+    ShardedService,
+)
+from repro.robust.chaos import FaultPlan, inject
+
+CFG = ServiceConfig(r=0.05, tau=2)
+
+
+def _history(service, base, ticks, seed):
+    """Drive a seeded random stream; return the verdict history."""
+    n, d = base.shape
+    rng = np.random.default_rng(seed)
+    positions = base.copy()
+    history = []
+    for _ in range(ticks):
+        movers = rng.choice(n, size=max(1, n // 4), replace=False)
+        for j in movers:
+            j = int(j)
+            sigma = 0.1 if rng.random() < 0.3 else 0.01
+            positions[j] = np.clip(
+                positions[j] + rng.normal(0, sigma, d), 0, 1
+            )
+            service.ingest(
+                QosUpdate(j, tuple(positions[j]), bool(rng.random() < 0.5))
+            )
+        tick = service.end_tick()
+        history.append(
+            {
+                j: (v.anomaly_type, v.rule, v.witness)
+                for j, v in tick.verdicts.items()
+            }
+        )
+    return history
+
+
+class TestShardWorkerKill:
+    def test_killing_one_shards_pool_degrades_not_diverges(self):
+        base = np.random.default_rng(10).random((60, 2))
+
+        with OnlineCharacterizationService(base.copy(), CFG) as single:
+            clean = _history(single, base, ticks=5, seed=77)
+
+        sharded = ShardedService(
+            base.copy(), CFG, topology_shards=2, parallel=False
+        )
+        victim = sharded.workers[0]
+        victim.engine.close()
+        victim.engine = CharacterizationEngine(
+            EngineConfig(
+                backend="process",
+                workers=2,
+                min_process_devices=1,
+                dispatch_deadline=2.0,
+                retry_backoff=0.01,
+                serial_fallback_after=1_000,
+            )
+        )
+        plan = FaultPlan(seed=11, kill_probability=0.15, drop_probability=0.1)
+        try:
+            with inject(plan) as injector:
+                chaotic = _history(sharded, base, ticks=5, seed=77)
+            assert sum(injector.injected.values()) > 0
+            assert chaotic == clean
+        finally:
+            sharded.close()
+
+
+class TestShardedFrameCorruption:
+    def _raw(self, validation, n=24, seed=0):
+        rng = np.random.default_rng(seed)
+        base = rng.random((n, 2))
+        service = ShardedService(
+            base,
+            ServiceConfig(r=0.05, tau=2, validation=validation),
+            topology_shards=4,
+            parallel=False,
+            detector=DetectorSpec("step", {"max_step": 0.2}),
+            detection="bank",
+        )
+        return service, base
+
+    def test_strict_rejects_the_frame_atomically(self):
+        service, base = self._raw("strict")
+        try:
+            rng = np.random.default_rng(1)
+            drift = np.clip(base + rng.normal(0, 0.01, base.shape), 0, 1)
+            service.feed_measurements(drift)
+            seen = service.bank.samples_seen
+            with inject(FaultPlan(frame_nan_at={2: [3, 5]})):
+                with pytest.raises(ConfigurationError):
+                    service.feed_measurements(drift)
+            assert service.rejected.get("nan") == 2
+            assert service.bank.samples_seen == seen
+            assert service.current_tick == 1
+            # A clean frame afterwards goes through untouched.
+            out = service.feed_measurements(drift)
+            assert out.tick == 2
+        finally:
+            service.close()
+
+    def test_sanitize_repairs_rows_and_continues(self):
+        service, base = self._raw("sanitize")
+        try:
+            rng = np.random.default_rng(2)
+            drift = np.clip(base + rng.normal(0, 0.01, base.shape), 0, 1)
+            service.feed_measurements(drift)
+            plan = FaultPlan(frame_nan_at={2: [0]}, frame_oob_at={2: [1]})
+            with inject(plan):
+                tick = service.feed_measurements(drift)
+            assert tick.tick == 2
+            assert service.rejected == {"nan": 1, "out-of-range": 1}
+            for worker in service.workers:
+                positions = worker.store.current_positions()
+                assert np.isfinite(positions).all()
+                assert ((positions >= 0) & (positions <= 1)).all()
+        finally:
+            service.close()

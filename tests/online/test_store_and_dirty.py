@@ -11,6 +11,7 @@ from repro.core.errors import (
     UnknownDeviceError,
 )
 from repro.online import DeviceStateStore, DirtyRegionTracker
+from repro.online.store import stable_cell_hash
 
 
 def make_store(n=20, d=2, seed=0, shards=4, cell=0.06):
@@ -67,6 +68,18 @@ class TestSharding:
         for _ in range(30):
             pos = rng.random(2)
             store.apply(0, pos, False)
+            key = np.asarray(store.index.key_of(0), dtype=np.int64)
+            expect = int(stable_cell_hash(key)[0] % np.uint64(store.n_shards))
+            assert store.shard_of(0) == expect
+
+    def test_legacy_hash_mode_matches_tuple_hash(self):
+        pts = np.random.default_rng(5).random((10, 2))
+        store = DeviceStateStore(
+            pts, cell=0.05, shards=7, shard_hash="legacy"
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            store.apply(0, rng.random(2), False)
             key = store.index.key_of(0)
             assert store.shard_of(0) == hash(key) % store.n_shards
 

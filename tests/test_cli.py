@@ -96,9 +96,17 @@ class TestOnlineCommands:
         args = build_parser().parse_args(["serve"])
         assert args.command == "serve"
         assert args.devices == 10_000
-        assert args.shards == 8
+        assert args.store_shards == 8
+        assert args.topology_shards == 0
         assert args.batch is None
         assert not args.full
+
+    def test_store_shards_flag_and_deprecated_alias(self, capsys):
+        args = build_parser().parse_args(["serve", "--store-shards", "4"])
+        assert args.store_shards == 4
+        args = build_parser().parse_args(["serve", "--shards", "5"])
+        assert args.store_shards == 5
+        assert "deprecated" in capsys.readouterr().err
 
     def test_replay_parser_defaults(self):
         args = build_parser().parse_args(["replay"])
