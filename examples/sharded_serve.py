@@ -58,6 +58,9 @@ def main() -> None:
     parser.add_argument("--devices", type=int, default=1000)
     parser.add_argument("--ticks", type=int, default=12)
     parser.add_argument("--topology-shards", type=int, default=4)
+    parser.add_argument(
+        "--topology-workers", choices=("thread", "process"), default="thread"
+    )
     parser.add_argument("--seed", type=int, default=17)
     args = parser.parse_args()
     cfg = ServiceConfig(r=0.03, tau=2)
@@ -69,12 +72,14 @@ def main() -> None:
         generator.initial_positions(),
         cfg,
         topology_shards=args.topology_shards,
+        topology_workers=args.topology_workers,
         parallel=True,
         sinks=(metrics,),
     ) as service:
         topology = service.topology
         print(
-            f"topology      : {service.n_shards} shards, grid "
+            f"topology      : {service.n_shards} shards "
+            f"({args.topology_workers} workers), grid "
             f"{topology.grid}, halo band {topology.halo_rings} cells"
         )
         print(f"  initial shard sizes: {service.shard_sizes()}")

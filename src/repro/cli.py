@@ -167,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="spatial shards with halo exchange (0 = single service)",
         )
         sub_parser.add_argument(
+            "--topology-workers", choices=("thread", "process"),
+            default="thread",
+            help="where shard pipelines run: in-parent threads or "
+            "per-shard processes over shared-memory partitions",
+        )
+        sub_parser.add_argument(
+            "--min-shard-devices", type=int, default=1024,
+            help="auto-collapse the shard count so every shard keeps at "
+            "least this many devices (0 disables)",
+        )
+        sub_parser.add_argument(
             "--batch", type=int, default=None, help="updates applied per drain pass"
         )
         sub_parser.add_argument(
@@ -592,7 +603,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             # the stream continues exactly where the dead process died.
             if sharded:
                 service_cm = restore_sharded_service(
-                    resume, config=_service_config(args)
+                    resume,
+                    config=_service_config(args),
+                    topology_workers=args.topology_workers,
                 )
             else:
                 service_cm = restore_service(
@@ -603,6 +616,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                 generator.initial_positions(),
                 _service_config(args),
                 topology_shards=args.topology_shards,
+                topology_workers=args.topology_workers,
+                min_shard_devices=args.min_shard_devices,
                 detector=_detector_spec(args) if args.raw else None,
                 detection=args.detection if args.raw else None,
             )
@@ -792,7 +807,9 @@ def _run_replay(args: argparse.Namespace) -> int:
             if resume is not None:
                 if sharded:
                     ckpt = load_sharded_checkpoint(resume)
-                    service = restore_sharded_service(ckpt)
+                    service = restore_sharded_service(
+                        ckpt, topology_workers=args.topology_workers
+                    )
                 else:
                     ckpt = load_checkpoint(resume)
                     service = restore_service(ckpt)
@@ -808,6 +825,8 @@ def _run_replay(args: argparse.Namespace) -> int:
                         trace[0].qos,
                         _service_config(args),
                         topology_shards=args.topology_shards,
+                        topology_workers=args.topology_workers,
+                        min_shard_devices=args.min_shard_devices,
                     )
                 else:
                     service = OnlineCharacterizationService(
@@ -842,6 +861,8 @@ def _run_replay(args: argparse.Namespace) -> int:
                 trace[0].qos,
                 _service_config(args),
                 topology_shards=args.topology_shards,
+                topology_workers=args.topology_workers,
+                min_shard_devices=args.min_shard_devices,
             )
             result = replay_trace_online(
                 trace,

@@ -63,6 +63,15 @@ from repro.core.transition import Transition
 from repro.core.types import Characterization
 
 from repro.engine.config import EngineConfig
+from repro.ipc import (
+    SnapshotRing,
+    WorkerHandle,
+    reap_worker,
+    shm_unregister,
+    shutdown_worker,
+    shutdown_workers,
+    signal_worker_shutdown,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.robust.chaos import get_injector
@@ -241,23 +250,14 @@ class SpawnProcessBackend(ExecutionBackend):
 
 # ----------------------------------------------------------------------
 # Persistent worker pool.
+#
+# The shared-memory ring and the worker supervision helpers were born
+# here as private names and grew cross-module importers (the sharded
+# topology's halo exchange).  They now live in :mod:`repro.ipc` under
+# public names; the ``_``-prefixed bindings below are deprecated aliases
+# kept so existing importers keep working.
 # ----------------------------------------------------------------------
-def _shm_unregister(name: str) -> None:
-    """Detach a shared-memory attachment from the resource tracker.
-
-    Only needed for *spawn*-context workers, which run their own resource
-    tracker: attaching registers the parent-owned segment there, and the
-    tracker would "clean up" (unlink!) the segment when the worker exits.
-    Fork-context workers share the parent's tracker, where registration
-    is a set and the parent's own entry must stay.  Best-effort: tracker
-    internals vary across Python versions.
-    """
-    try:  # pragma: no cover - depends on interpreter internals
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(f"/{name}", "shared_memory")
-    except Exception:
-        pass
+_shm_unregister = shm_unregister
 
 
 def _pool_worker(conn, kwargs: Dict[str, object], unregister_shm: bool) -> None:
@@ -446,169 +446,16 @@ class _DeadlineExpired(Exception):
     """A worker missed its dispatch deadline (internal control flow)."""
 
 
-@dataclass
-class _PoolWorker:
-    """One persistent worker process and its duplex pipe.
-
-    ``last_seq`` is the backend run-sequence number of the last task this
-    worker completed; a worker whose last task is not the *immediately
-    previous* run holds a cache too old for the caller's one-step clean
-    set, so the carry is withheld from it.
-    """
-
-    process: multiprocessing.process.BaseProcess
-    conn: object
-    tasks_done: int = 0
-    last_seq: Optional[int] = None
+# Deprecated aliases for the supervision primitives now in repro.ipc.
+_PoolWorker = WorkerHandle
+_signal_worker_shutdown = signal_worker_shutdown
+_reap_worker = reap_worker
+_shutdown_worker = shutdown_worker
+_shutdown_workers = shutdown_workers
 
 
-def _signal_worker_shutdown(worker: _PoolWorker) -> None:
-    """Send the shutdown sentinel (half of :func:`_shutdown_worker`)."""
-    try:
-        worker.conn.send(None)
-    except (OSError, ValueError, BrokenPipeError):
-        pass
+_SnapshotRing = SnapshotRing
 
-
-def _reap_worker(worker: _PoolWorker) -> None:
-    """Join (terminating if stuck) and drop the pipe."""
-    worker.process.join(timeout=2.0)
-    if worker.process.is_alive():  # pragma: no cover - stuck worker
-        worker.process.terminate()
-        worker.process.join(timeout=2.0)
-    try:
-        worker.conn.close()
-    except OSError:  # pragma: no cover - already closed
-        pass
-
-
-def _shutdown_worker(worker: _PoolWorker) -> None:
-    """The one worker-shutdown protocol: sentinel, join, close pipe."""
-    _signal_worker_shutdown(worker)
-    _reap_worker(worker)
-
-
-def _shutdown_workers(workers: List[_PoolWorker]) -> None:
-    """Two-phase sweep: broadcast sentinels first so workers wind down
-    concurrently, then join/terminate each."""
-    for worker in workers:
-        _signal_worker_shutdown(worker)
-    for worker in workers:
-        _reap_worker(worker)
-
-
-@dataclass
-class _SnapshotRing:
-    """Double-buffered shared-memory ring for snapshot publication.
-
-    Three segments: two *cur* slots written alternately plus one *prev*
-    fallback.  The protocol exploits the online service's transition
-    chaining — tick ``k+1``'s ``prev`` array is, by object identity, the
-    exact array published as tick ``k``'s ``cur``:
-
-    * **hot publish** (identity holds and the array is frozen read-only):
-      the ``prev`` side is already resident in the slot written last run,
-      so only ``cur`` is copied, into the *other* slot.  One ``(n, d)``
-      copy per steady-state tick.
-    * **cold publish** (first run, chain broken, or a mutable prev): both
-      endpoints are copied — ``prev`` into the fallback segment, ``cur``
-      into the next slot — and the chain restarts.
-
-    The alternation guarantees the previous run's ``cur`` slot survives
-    exactly one more run; workers' sequence gates are calibrated to that
-    lifetime.  ``last_cur`` is compared by ``is`` only, never
-    dereferenced — holding the reference also keeps the object from
-    being recycled at the same address.
-    """
-
-    slots: List[Optional[shared_memory.SharedMemory]] = field(
-        default_factory=lambda: [None, None]
-    )
-    prev_seg: Optional[shared_memory.SharedMemory] = None
-    capacity: int = 0
-    last_cur: Optional[np.ndarray] = None
-    last_slot: int = 0
-
-    def segment_names(self) -> Tuple[str, ...]:
-        """Names of every live segment (shipped so workers evict strays)."""
-        return tuple(
-            seg.name
-            for seg in (*self.slots, self.prev_seg)
-            if seg is not None
-        )
-
-    def reallocate(self, capacity: int) -> None:
-        """Recreate all segments at ``capacity`` bytes; breaks the chain."""
-        self.drop_segments()
-        self.slots = [
-            shared_memory.SharedMemory(create=True, size=capacity),
-            shared_memory.SharedMemory(create=True, size=capacity),
-        ]
-        self.prev_seg = shared_memory.SharedMemory(create=True, size=capacity)
-        self.capacity = capacity
-        self.last_cur = None
-        self.last_slot = 0
-
-    def publish(self, transition: Transition) -> Tuple[str, str]:
-        """Write one transition's snapshots; return ``(prev, cur)`` names."""
-        return self.publish_pair(
-            transition.previous.positions, transition.current.positions
-        )
-
-    def publish_pair(
-        self, prev_pos: np.ndarray, cur_pos: np.ndarray
-    ) -> Tuple[str, str]:
-        """Write one raw ``(prev, cur)`` snapshot pair; return segment names.
-
-        The transition-free entry point: the sharded topology's halo
-        exchange publishes boundary-ring rows through the same
-        double-buffered protocol without materializing a
-        :class:`~repro.core.transition.Transition` first.  The hot path
-        (one copy per steady-state publish) triggers whenever ``prev``
-        is, by object identity, the frozen array published as the last
-        call's ``cur``.
-        """
-        needed = prev_pos.size * 8
-        if self.prev_seg is None or self.capacity < needed:
-            # Geometric growth: a regrow renames every segment and makes
-            # each worker re-attach, so a monotonically growing
-            # population must not pay that on every run.
-            self.reallocate(max(needed, 2 * self.capacity, 1))
-        count = prev_pos.size
-        hot = self.last_cur is prev_pos and not prev_pos.flags.writeable
-        if hot:
-            prev_seg = self.slots[self.last_slot]
-            cur_slot = 1 - self.last_slot
-        else:
-            prev_seg = self.prev_seg
-            np.copyto(
-                np.frombuffer(prev_seg.buf, dtype=np.float64, count=count),
-                prev_pos.ravel(),
-            )
-            cur_slot = 1 - self.last_slot
-        cur_seg = self.slots[cur_slot]
-        np.copyto(
-            np.frombuffer(cur_seg.buf, dtype=np.float64, count=count),
-            cur_pos.ravel(),
-        )
-        self.last_cur = cur_pos
-        self.last_slot = cur_slot
-        return prev_seg.name, cur_seg.name
-
-    def drop_segments(self) -> None:
-        """Close and unlink every segment (idempotent)."""
-        for seg in (*self.slots, self.prev_seg):
-            if seg is not None:
-                try:
-                    seg.close()
-                    seg.unlink()
-                except (OSError, FileNotFoundError):  # pragma: no cover
-                    pass
-        self.slots = [None, None]
-        self.prev_seg = None
-        self.capacity = 0
-        self.last_cur = None
-        self.last_slot = 0
 
 
 @dataclass

@@ -167,6 +167,20 @@ class DirtyRegionTracker:
                 self._carry_next.add(new_cells[i])
         return count
 
+    def invalidate_cells(self, keys) -> None:
+        """Force ``keys`` dirty this tick *and* carry them into the next.
+
+        Recovery hook: after a shard process is respawned from its
+        shared-memory planes, the in-flight verdict caches are gone and
+        any partially applied updates are unattributable, so the parent
+        conservatively dirties every alive cell.  Adding the cells to
+        the move carry as well covers trajectories whose ``prev``
+        endpoint shifted in the lost tick.
+        """
+        cells = {tuple(key) for key in keys}
+        self._pending.update(cells)
+        self._carry_next.update(cells)
+
     def finish_cells(self) -> Tuple[CellKey, ...]:
         """Close the tick's *cell* bookkeeping: return the dirty cells.
 

@@ -429,23 +429,25 @@ def save_sharded_checkpoint(
     directory = Path(directory)
     tick = service.current_tick
     shard_files: List[str] = []
-    for worker in service.workers:
+    for shard, (store_state, tracker_state, verdicts) in enumerate(
+        service.shard_states()
+    ):
         meta = {
             "version": CHECKPOINT_VERSION,
             "tick": tick,
-            "shard": worker.shard,
+            "shard": shard,
         }
         arrays: Dict[str, np.ndarray] = {
             "meta_json": np.frombuffer(
                 json.dumps(meta).encode("utf-8"), dtype=np.uint8
             ),
-            "verdicts_blob": _pack(dict(worker.verdict_stage.cache)),
+            "verdicts_blob": _pack(dict(verdicts)),
         }
-        for key, value in worker.store.state().items():
+        for key, value in store_state.items():
             arrays[f"store_{key}"] = value
-        for key, value in worker.tracker.state().items():
+        for key, value in tracker_state.items():
             arrays[f"tracker_{key}"] = value
-        rel = f"shard-{worker.shard:02d}/part-{tick:08d}.npz"
+        rel = f"shard-{shard:02d}/part-{tick:08d}.npz"
         _write_npz(directory / rel, arrays)
         shard_files.append(rel)
     front_meta = {
@@ -600,14 +602,17 @@ def restore_sharded_service(
     sinks: Iterable[Callable[[OnlineTick], None]] = (),
     tracer=None,
     parallel: bool = True,
+    topology_workers: str = "thread",
 ):
     """Rebuild a :class:`ShardedService` from a consistent cut.
 
     Mirrors :func:`restore_service` per shard: stores, trackers and
     verdict caches are reinstated exactly; cross-tick perf caches start
-    cold; the device→shard owner map is rebuilt from the restored
-    stores (authoritative — placement is part of the stores' state, not
-    recomputed from positions).
+    cold; the device→shard owner map is rebuilt from the parts'
+    id columns (authoritative — placement is part of the stores' state,
+    not recomputed from positions).  ``topology_workers`` picks where
+    the restored shards run; a cut taken under either topology restores
+    under either.
     """
     from repro.online.sharded import ShardedService
 
@@ -625,26 +630,13 @@ def restore_sharded_service(
         parallel=parallel,
         sinks=sinks,
         tracer=tracer,
+        topology_workers=topology_workers,
     )
-    owner: Dict[int, int] = {}
-    for worker, part in zip(service.workers, ckpt.shards):
-        if worker.shard != part.shard:
-            raise CheckpointError(
-                f"shard part order mismatch: worker {worker.shard} got "
-                f"part {part.shard}"
-            )
-        store = DeviceStateStore.from_state(part.store_state)
-        worker.store = store
-        worker.tracker.restore_state(part.tracker_state)
-        worker.verdict_stage.cache = dict(part.verdicts)
-        worker.verdict_stage.last_cache = None
-        worker.transition_stage.last_transition = None
-        rows = np.nonzero(store.verdict_codes() != NO_VERDICT)[0]
-        worker._verdict_rows = rows if rows.size else None
-        ids = np.asarray(store.row_ids())
-        for row in np.nonzero(ids >= 0)[0]:
-            owner[int(ids[row])] = worker.shard
-    service._owner = owner
+    try:
+        service.load_shard_states(ckpt.shards)
+    except ConfigurationError as exc:
+        service.close()
+        raise CheckpointError(str(exc)) from exc
     service._bank = ckpt.bank
     service._last_detection = ckpt.last_detection
     service._queue.extend(ckpt.queue)

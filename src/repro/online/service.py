@@ -167,6 +167,11 @@ class ServiceConfig:
         Per-roundtrip deadline (seconds) for pool dispatches; hung
         workers are killed and their task retried.  ``None`` (default)
         waits forever.  Ignored when a shared engine is passed in.
+    dispatch_retries:
+        How many times a failed shard-process roundtrip (dead or hung
+        worker) is retried against a respawned process before the front
+        door falls back to running that shard inline.  Only the
+        process topology consults it.
     validation:
         How :meth:`feed_measurements` treats malformed frames.
         ``"strict"`` (default) counts the rejection reasons on
@@ -193,6 +198,7 @@ class ServiceConfig:
     workers: Optional[int] = None
     max_worker_tasks: Optional[int] = None
     dispatch_deadline: Optional[float] = None
+    dispatch_retries: int = 2
     validation: str = "strict"
 
     def __post_init__(self) -> None:
@@ -226,6 +232,10 @@ class ServiceConfig:
             raise ConfigurationError(
                 "dispatch_deadline must be > 0 when given, got "
                 f"{self.dispatch_deadline!r}"
+            )
+        if self.dispatch_retries < 0:
+            raise ConfigurationError(
+                f"dispatch_retries must be >= 0, got {self.dispatch_retries!r}"
             )
 
     @property
@@ -309,6 +319,9 @@ class OnlineTick:
     ``dirty-region``, ``transition-build``, ``verdict``, ``sinks``) as
     drained from the service's :class:`~repro.obs.trace.Tracer`; empty
     when the tracer is disabled.
+
+    ``halo_bytes`` is the total payload shipped through halo rings this
+    tick (sharded topologies only; always 0 on the single service).
     """
 
     tick: int
@@ -322,6 +335,7 @@ class OnlineTick:
     families_recomputed: int = 0
     families_reused: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    halo_bytes: int = 0
 
 
 class MetricsSink:

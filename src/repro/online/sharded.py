@@ -69,9 +69,13 @@ churn and shard-crossing movers included.
 from __future__ import annotations
 
 import math
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from collections import deque
+from multiprocessing import shared_memory
 from typing import (
+    Any,
     Callable,
     Deque,
     Dict,
@@ -94,10 +98,25 @@ from repro.core.transition import Transition
 from repro.core.types import Characterization
 from repro.detection.banks import BankDetection, DetectorBank, DetectorLike, as_bank
 from repro.engine import CharacterizationEngine, EngineConfig
-from repro.engine.backends import _SnapshotRing
+from repro.ipc import (
+    ShardRoundtripError,
+    ShmPlanes,
+    SnapshotRing,
+    StaleHaloError,
+    unlink_by_name,
+)
 from repro.obs.trace import Tracer
 from repro.online.dirty import DirtyRegionTracker
 from repro.online.grid import CellKey
+from repro.online.procshard import (
+    _CHILD_ERRORS,
+    _FrameBoard,
+    _InlineShardHandle,
+    _ProcessShardHandle,
+    _mark_recovered,
+    _serial_config,
+    handle_command,
+)
 from repro.online.service import (
     _VERDICT_CODE,
     OnlineTick,
@@ -113,13 +132,19 @@ from repro.online.stages import (
     TickPipeline,
     VerdictStage,
 )
-from repro.online.store import DeviceStateStore
+from repro.online.store import (
+    NO_VERDICT,
+    DeviceStateStore,
+    attach_store_planes,
+    store_plane_fields,
+)
 from repro.robust.chaos import get_injector
 
 __all__ = [
     "HaloTransitionBuildStage",
     "ShardMap",
     "ShardedService",
+    "StaleHaloError",
 ]
 
 
@@ -286,37 +311,82 @@ class ShardMap:
 
 
 class _HaloChannel:
-    """One shard's halo publication over a snapshot ring.
+    """One shard's halo publication over a snapshot ring, seq-gated.
 
     The position payload rides the same double-buffered shared-memory
     segments the process pool publishes transitions through
-    (:meth:`~repro.engine.backends._SnapshotRing.publish_pair`); the
-    global ids and cell keys of the published rows stay in process
-    memory alongside.  Readers resolve the returned segment names
-    against the ring's own handles — same process, no re-attach — and
-    copy the band out before the next publish can reallocate.
+    (:meth:`~repro.ipc.SnapshotRing.publish_pair`); the global ids and
+    cell keys of the published rows stay in process memory alongside
+    (they are small, and in the process topology they travel up the
+    pipe inside :meth:`meta`).  A 16-byte header segment carries
+    ``(seq, rows)``; the sequence slot is written strictly *after* the
+    payload, so a cross-process consumer that observes the expected
+    sequence before copying knows the band is complete, and one that
+    re-observes it after copying knows the band was not overwritten
+    mid-read.  In-process readers resolve the segment names against the
+    ring's own handles — same process, no re-attach — and gate on the
+    remembered sequence instead.
     """
 
     def __init__(self) -> None:
-        self._ring = _SnapshotRing()
+        self._ring = SnapshotRing()
+        self._hdr: Optional[shared_memory.SharedMemory] = None
         self._shape: Tuple[int, int] = (0, 0)
         self._names: Optional[Tuple[str, str]] = None
+        self._seq = 0
         self.ids: np.ndarray = np.empty(0, dtype=np.int64)
         self.keys: np.ndarray = np.empty((0, 0), dtype=np.int64)
 
+    def _header(self) -> np.ndarray:
+        if self._hdr is None:
+            self._hdr = shared_memory.SharedMemory(create=True, size=16)
+        return np.frombuffer(self._hdr.buf, dtype=np.int64, count=2)
+
     def publish(
-        self, ids: np.ndarray, keys: np.ndarray, prev: np.ndarray, cur: np.ndarray
+        self,
+        ids: np.ndarray,
+        keys: np.ndarray,
+        prev: np.ndarray,
+        cur: np.ndarray,
+        *,
+        seq: int = 0,
     ) -> None:
         self.ids = ids
         self.keys = keys
         self._shape = (int(prev.shape[0]), int(prev.shape[1]))
+        self._seq = int(seq)
         if prev.size == 0:
             self._names = None
-            return
-        self._names = self._ring.publish_pair(
-            np.ascontiguousarray(prev, dtype=np.float64),
-            np.ascontiguousarray(cur, dtype=np.float64),
-        )
+        else:
+            self._names = self._ring.publish_pair(
+                np.ascontiguousarray(prev, dtype=np.float64),
+                np.ascontiguousarray(cur, dtype=np.float64),
+            )
+        # Sequence last: observing it proves the payload above is whole.
+        hdr = self._header()
+        hdr[1] = self._shape[0]
+        hdr[0] = self._seq
+
+    def meta(self, shard: int) -> Dict[str, Any]:
+        """Everything a cross-process consumer needs to read this band."""
+        names = self._names or (None, None)
+        hdr_name = self._hdr.name if self._hdr is not None else None
+        live = [
+            name
+            for name in (*self._ring.segment_names(), hdr_name)
+            if name
+        ]
+        return {
+            "shard": int(shard),
+            "seq": self._seq,
+            "rows": self._shape[0],
+            "hdr": hdr_name,
+            "prev": names[0],
+            "cur": names[1],
+            "ids": self.ids,
+            "keys": self.keys,
+            "live": live,
+        }
 
     def _segment(self, name: str):
         for seg in (*self._ring.slots, self._ring.prev_seg):
@@ -326,8 +396,14 @@ class _HaloChannel:
             f"halo segment {name!r} is not live on this ring"
         )  # pragma: no cover - protocol violation
 
-    def read(self) -> Tuple[np.ndarray, np.ndarray]:
+    def read(
+        self, *, expected_seq: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """The published ``(prev, cur)`` band, copied out of the ring."""
+        if expected_seq is not None and self._seq != int(expected_seq):
+            raise StaleHaloError(
+                f"halo band holds seq {self._seq}, expected {expected_seq}"
+            )
         rows, dim = self._shape
         if self._names is None or rows == 0:
             empty = np.empty((0, dim), dtype=np.float64)
@@ -346,6 +422,13 @@ class _HaloChannel:
     def close(self) -> None:
         self._ring.drop_segments()
         self._names = None
+        if self._hdr is not None:
+            try:
+                self._hdr.close()
+                self._hdr.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+            self._hdr = None
 
 
 class HaloTransitionBuildStage:
@@ -378,6 +461,9 @@ class HaloTransitionBuildStage:
         self._halo_ids = np.empty(0, dtype=np.int64)
         self._halo_prev = np.empty((0, 0), dtype=np.float64)
         self._halo_cur = np.empty((0, 0), dtype=np.float64)
+        self._prestaged: Optional[
+            Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     def stage_halo(
         self, ids: np.ndarray, prev: np.ndarray, cur: np.ndarray
@@ -386,6 +472,29 @@ class HaloTransitionBuildStage:
         self._halo_ids = ids
         self._halo_prev = prev
         self._halo_cur = cur
+
+    def prestage(self, tick: int) -> None:
+        """Gather the owned-row planes early, overlapping the barrier.
+
+        A process-topology child calls this right after replying to the
+        ``halo`` command: no command between ``halo`` and ``verdict``
+        mutates the store, so the copies are exactly what :meth:`run`
+        would gather — made while the front door is still collecting the
+        peers' halo metadata and computing consumer masks.  :meth:`run`
+        consumes the cache only when the tick matches, so a respawn or
+        retry in between degrades to a fresh gather, never a stale one.
+        """
+        store = self._owner.store
+        ids = np.asarray(store.row_ids())
+        alive_rows = np.nonzero(ids >= 0)[0]
+        prev_plane, cur_plane = store.snapshot_arrays()
+        self._prestaged = (
+            int(tick),
+            alive_rows,
+            ids[alive_rows].copy(),
+            prev_plane[alive_rows].copy(),
+            cur_plane[alive_rows].copy(),
+        )
 
     def run(self, ctx: TickContext, tracer: Tracer) -> None:
         store = self._owner.store
@@ -405,9 +514,17 @@ class HaloTransitionBuildStage:
                 else set()
             )
         with tracer.span(self.name):
-            ids = store.row_ids()
-            alive_rows = np.nonzero(np.asarray(ids) >= 0)[0]
-            own_ids = np.asarray(ids)[alive_rows]
+            pre = self._prestaged
+            self._prestaged = None
+            if pre is not None and pre[0] == ctx.tick:
+                _, alive_rows, own_ids, own_prev, own_cur = pre
+            else:
+                ids_arr = np.asarray(store.row_ids())
+                alive_rows = np.nonzero(ids_arr >= 0)[0]
+                own_ids = ids_arr[alive_rows]
+                prev_plane, cur_plane = store.snapshot_arrays()
+                own_prev = prev_plane[alive_rows]
+                own_cur = cur_plane[alive_rows]
             halo_ids = self._halo_ids
             part_ids = np.concatenate([own_ids, halo_ids])
             n_part = part_ids.shape[0]
@@ -416,10 +533,9 @@ class HaloTransitionBuildStage:
             rank[order] = np.arange(n_part, dtype=np.int64)
             n_owned = own_ids.shape[0]
             # Store row -> local rank, for targets and affected rows.
-            used = np.asarray(ids).shape[0]
+            used = np.asarray(store.row_ids()).shape[0]
             rank_by_row = np.full(used, -1, dtype=np.int64)
             rank_by_row[alive_rows] = rank[:n_owned]
-            prev_plane, cur_plane = store.snapshot_arrays()
             dim = store.dim
             # tau needs at least tau + 1 participants; the pad rows are
             # unflagged zeros — invisible to the flagged-only indexes,
@@ -427,8 +543,8 @@ class HaloTransitionBuildStage:
             pad = max(0, self._tau + 1 - n_part)
             prev_arr = np.empty((n_part + pad, dim), dtype=np.float64)
             cur_arr = np.empty((n_part + pad, dim), dtype=np.float64)
-            prev_arr[rank[:n_owned]] = prev_plane[alive_rows]
-            cur_arr[rank[:n_owned]] = cur_plane[alive_rows]
+            prev_arr[rank[:n_owned]] = own_prev
+            cur_arr[rank[:n_owned]] = own_cur
             if halo_ids.size:
                 prev_arr[rank[n_owned:]] = self._halo_prev
                 cur_arr[rank[n_owned:]] = self._halo_cur
@@ -461,29 +577,52 @@ class HaloTransitionBuildStage:
 
 
 class _ShardWorker:
-    """One spatial shard: store partition, tracker, engine, pipeline."""
+    """One spatial shard: store partition, tracker, engine, pipeline.
+
+    ``planes_factory`` backs the store with shared-memory planes (the
+    process topology's kill-survivable partition); ``store`` hands in a
+    pre-built store (a respawned child adopting its predecessor's
+    planes, or a degraded inline fallback); ``defer_advance`` makes
+    :meth:`run_tick` leave the snapshot roll to the *next* tick's first
+    mutating command, so a mid-verdict kill always leaves the planes
+    holding a consistent ``(S_{k-1}, S_k)`` pair.
+    """
 
     def __init__(
         self,
         shard: int,
-        positions: np.ndarray,
-        ids: np.ndarray,
+        positions: Optional[np.ndarray],
+        ids: Optional[np.ndarray],
         dim: int,
         config: ServiceConfig,
         tracer: Tracer,
+        *,
+        planes_factory=None,
+        defer_advance: bool = False,
+        store: Optional[DeviceStateStore] = None,
     ) -> None:
         self.shard = int(shard)
+        self._defer_advance = bool(defer_advance)
         cfg = config
-        if positions.shape[0]:
+        if store is not None:
+            self.store = store
+        elif positions is not None and positions.shape[0]:
             self.store = DeviceStateStore(
-                positions, cell=cfg.cell, shards=cfg.shards, ids=ids
+                positions,
+                cell=cfg.cell,
+                shards=cfg.shards,
+                ids=ids,
+                planes_factory=planes_factory,
             )
         else:
             # The store needs at least one row to exist; seed a
             # placeholder and evict it so the shard starts empty with a
             # reusable free row.
             self.store = DeviceStateStore(
-                np.zeros((1, dim)), cell=cfg.cell, shards=cfg.shards
+                np.zeros((1, dim)),
+                cell=cfg.cell,
+                shards=cfg.shards,
+                planes_factory=planes_factory,
             )
             self.store.leave(0)
         self.tracker = DirtyRegionTracker(
@@ -514,8 +653,18 @@ class _ShardWorker:
         )
         self._verdict_rows: Optional[np.ndarray] = None
 
-    def publish_halo(self, boundary: "ShardMap") -> None:
-        """Publish this shard's boundary band of flagged rows."""
+    def publish_halo(self, boundary: "ShardMap", *, seq: int = 0) -> None:
+        """Publish this shard's boundary band of flagged rows.
+
+        ``seq`` (the tick number) gates the consumers' reads; the chaos
+        injector can stall the publish here, which must delay only the
+        consumers' seq-gated barrier, never hand them a stale band.
+        """
+        injector = get_injector()
+        if injector.active:
+            stall = injector.halo_publish(int(seq), self.shard)
+            if stall:
+                time.sleep(stall)
         store = self.store
         rows = store.flagged_rows()
         if rows.size:
@@ -527,13 +676,16 @@ class _ShardWorker:
             keys = np.empty((0, store.dim), dtype=np.int64)
         ids = np.asarray(store.row_ids())[rows]
         prev_plane, cur_plane = store.snapshot_arrays()
-        self.channel.publish(ids, keys, prev_plane[rows], cur_plane[rows])
+        self.channel.publish(
+            ids, keys, prev_plane[rows], cur_plane[rows], seq=seq
+        )
 
     def run_tick(self, ctx: TickContext) -> TickContext:
         """Run the local pipeline, record codes, roll the snapshots."""
         self.pipeline.run(ctx, self.tracer)
         self._record_verdict_codes(ctx)
-        self.store.advance_tick()
+        if not self._defer_advance:
+            self.store.advance_tick()
         return ctx
 
     def _record_verdict_codes(self, ctx: TickContext) -> None:
@@ -569,6 +721,37 @@ class _ShardWorker:
         self.engine.close()
 
 
+def _ctx_result(worker: _ShardWorker, ctx: TickContext) -> Dict[str, Any]:
+    """One shard's tick outcome as a plain, picklable result dict.
+
+    The single merge currency of both topologies: thread-mode workers
+    produce it in the parent, process-mode children produce it in
+    :func:`repro.online.procshard.handle_command` and ship it up the
+    pipe — so the front door's merge loop cannot diverge between modes.
+    Verdict maps are already keyed by global ids; local ranks are
+    translated through ``ctx.key_of`` here, before the context dies.
+    """
+    key_of = ctx.key_of
+    targets = ctx.verdict_targets or ()
+    if key_of is not None:
+        flagged = [int(key_of[l]) for l in targets]
+        recomputed = [int(key_of[l]) for l in ctx.recompute]
+        reused = [int(key_of[l]) for l in ctx.reused]
+    else:
+        flagged, recomputed, reused = [], [], []
+    return {
+        "verdicts": dict(ctx.verdicts),
+        "flagged": flagged,
+        "recomputed": recomputed,
+        "reused": reused,
+        "families_recomputed": int(ctx.families_recomputed),
+        "families_reused": int(ctx.families_reused),
+        "n_targets": len(targets),
+        "stage_seconds": worker.tracer.drain_stages(),
+        "n": worker.store.n,
+    }
+
+
 class ShardedService:
     """Front door over ``topology_shards`` spatial shard workers.
 
@@ -593,9 +776,21 @@ class ShardedService:
         parameter).
     topology_shards:
         Number of spatial shards tiling the unit cube.
+    topology_workers:
+        ``"thread"`` (default) runs shard pipelines on an in-process
+        thread pool; ``"process"`` hosts each shard in a supervised
+        long-lived daemonic process whose store partition lives in
+        shared-memory planes — the wall-clock-scaling topology (thread
+        shards share the GIL and anti-scale).
+    min_shard_devices:
+        When positive, collapse the topology so every shard starts with
+        at least this many devices (a shard below it pays more in halo
+        exchange and fixed per-tick overhead than it wins back); emits a
+        :class:`RuntimeWarning` naming the collapsed shard count.
     parallel:
         Run the per-shard pipelines on a thread pool (per-shard engines
         may themselves be process pools for multi-core scaling).
+        Ignored under the process topology, which is always parallel.
     """
 
     def __init__(
@@ -604,6 +799,8 @@ class ShardedService:
         config: Optional[ServiceConfig] = None,
         *,
         topology_shards: int = 4,
+        topology_workers: str = "thread",
+        min_shard_devices: int = 0,
         parallel: bool = True,
         sinks: Iterable[Callable[[OnlineTick], None]] = (),
         detector: Optional[DetectorLike] = None,
@@ -612,12 +809,29 @@ class ShardedService:
     ) -> None:
         self._config = config or ServiceConfig()
         cfg = self._config
+        if topology_workers not in ("thread", "process"):
+            raise ConfigurationError(
+                f"topology_workers must be 'thread' or 'process', "
+                f"got {topology_workers!r}"
+            )
         pts = np.asarray(initial_positions, dtype=float)
         if pts.ndim != 2 or pts.shape[0] < 1:
             raise DimensionMismatchError(
                 "initial_positions must be a non-empty (n, d) array"
             )
         self._dim = int(pts.shape[1])
+        self._process = topology_workers == "process"
+        if min_shard_devices and topology_shards > 1:
+            cap = max(1, pts.shape[0] // int(min_shard_devices))
+            if cap < topology_shards:
+                warnings.warn(
+                    f"collapsing topology from {topology_shards} to {cap} "
+                    f"shard(s): {pts.shape[0]} devices is below "
+                    f"min_shard_devices={min_shard_devices} per shard",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                topology_shards = cap
         self._tracer = tracer if tracer is not None else Tracer()
         registry = self._tracer.registry
         self._gauge_queue_depth = registry.gauge(
@@ -646,6 +860,19 @@ class ShardedService:
             "Per-shard wall-clock seconds by pipeline stage",
             labelnames=("shard", "stage"),
         )
+        self._counter_respawns = registry.counter(
+            "repro_shard_respawns_total",
+            "Shard worker processes killed and respawned by supervision",
+            labelnames=("shard",),
+        )
+        self._gauge_degraded = registry.gauge(
+            "repro_topology_degraded_shards",
+            "Shards degraded to the in-parent serial fallback",
+        )
+        self._counter_halo_bytes = registry.counter(
+            "repro_halo_bytes_total",
+            "Halo band bytes shipped between shards, both endpoints",
+        )
         tracker_probe = DirtyRegionTracker(
             cell=cfg.cell, influence_radius=4.0 * cfg.r
         )
@@ -660,19 +887,44 @@ class ShardedService:
         keys = np.floor(pts / cfg.cell).astype(np.int64)
         owners = self._map.shard_of_keys(keys)
         self._workers: List[_ShardWorker] = []
-        for shard in range(self._map.n_shards):
-            mask = owners == shard
-            ids = np.nonzero(mask)[0].astype(np.int64)
-            self._workers.append(
-                _ShardWorker(
-                    shard,
-                    pts[mask],
-                    ids,
-                    self._dim,
-                    cfg,
-                    Tracer(registry, enabled=self._tracer.enabled),
+        self._handles: List[Any] = []
+        self._board: Optional[_FrameBoard] = None
+        self._orphans: List[str] = []
+        self._respawned_since_dirty = False
+        self._prev_dirty: Tuple[CellKey, ...] = ()
+        self._mover_cells: Set[CellKey] = set()
+        self._mover_carry: Set[CellKey] = set()
+        self._shard_flagged: List[int] = [0] * self._map.n_shards
+        if self._process:
+            self._board = _FrameBoard()
+            for shard in range(self._map.n_shards):
+                mask = owners == shard
+                ids = np.nonzero(mask)[0].astype(np.int64)
+                self._handles.append(
+                    _ProcessShardHandle(
+                        shard,
+                        cfg,
+                        self._dim,
+                        self._map,
+                        pts[mask],
+                        ids,
+                        self._tracer.enabled,
+                    )
                 )
-            )
+        else:
+            for shard in range(self._map.n_shards):
+                mask = owners == shard
+                ids = np.nonzero(mask)[0].astype(np.int64)
+                self._workers.append(
+                    _ShardWorker(
+                        shard,
+                        pts[mask],
+                        ids,
+                        self._dim,
+                        cfg,
+                        Tracer(registry, enabled=self._tracer.enabled),
+                    )
+                )
         self._owner: Dict[int, int] = {
             int(device): int(shard)
             for device, shard in enumerate(owners.tolist())
@@ -696,7 +948,9 @@ class ShardedService:
             lambda: len(self._queue),
         )
         self._sink_stage = SinkStage(self._sinks)
-        self._parallel = bool(parallel) and self._map.n_shards > 1
+        self._parallel = (
+            bool(parallel) and self._map.n_shards > 1 and not self._process
+        )
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
                 max_workers=self._map.n_shards,
@@ -734,13 +988,25 @@ class ShardedService:
         return self._map.n_shards
 
     @property
+    def topology_workers(self) -> str:
+        """``"thread"`` or ``"process"`` — where shard pipelines run."""
+        return "process" if self._process else "thread"
+
+    @property
     def workers(self) -> Tuple[_ShardWorker, ...]:
-        """The per-shard workers (read-only tuple view)."""
+        """The per-shard workers (thread topology; empty under process)."""
         return tuple(self._workers)
+
+    @property
+    def handles(self) -> Tuple[Any, ...]:
+        """The per-shard process handles (process topology; else empty)."""
+        return tuple(self._handles)
 
     @property
     def n(self) -> int:
         """Number of live devices across every shard."""
+        if self._process:
+            return sum(handle.n for handle in self._handles)
         return sum(worker.store.n for worker in self._workers)
 
     @property
@@ -750,7 +1016,23 @@ class ShardedService:
 
     @property
     def nbytes(self) -> int:
-        """Columnar bytes held across every shard's store."""
+        """Columnar bytes held across every shard's store.
+
+        Process shards report their shm plane segment size (derived
+        from the capacity echoed in every reply header), so no
+        roundtrip is needed.
+        """
+        if self._process:
+            fields = store_plane_fields(self._dim)
+            total = 0
+            for handle in self._handles:
+                if isinstance(handle, _InlineShardHandle):
+                    total += handle.inner.store.nbytes
+                else:
+                    total += ShmPlanes.required_bytes(
+                        handle.plane_capacity, fields
+                    )
+            return total
         return sum(worker.store.nbytes for worker in self._workers)
 
     @property
@@ -787,6 +1069,10 @@ class ShardedService:
     def verdicts(self) -> Dict[int, Characterization]:
         """The merged verdict map across shards (a copy)."""
         merged: Dict[int, Characterization] = {}
+        if self._process:
+            for cache in self._query("verdicts"):
+                merged.update(cache)
+            return merged
         for worker in self._workers:
             merged.update(worker.verdict_stage.cache)
         return merged
@@ -794,9 +1080,17 @@ class ShardedService:
     def flagged_devices(self) -> Tuple[int, ...]:
         """Currently flagged devices across every shard, sorted."""
         out: List[int] = []
-        for worker in self._workers:
-            out.extend(worker.store.flagged_devices())
+        if self._process:
+            for part in self._query("flagged"):
+                out.extend(part)
+        else:
+            for worker in self._workers:
+                out.extend(worker.store.flagged_devices())
         return tuple(sorted(out))
+
+    def shard_flagged_counts(self) -> Tuple[int, ...]:
+        """Verdict targets per shard at the latest tick (both modes)."""
+        return tuple(self._shard_flagged)
 
     def shard_of(self, device: int) -> int:
         """The spatial shard currently owning ``device``."""
@@ -807,6 +1101,8 @@ class ShardedService:
 
     def shard_sizes(self) -> Tuple[int, ...]:
         """Resident device count per spatial shard."""
+        if self._process:
+            return tuple(handle.n for handle in self._handles)
         return tuple(worker.store.n for worker in self._workers)
 
     def add_sink(self, sink: Callable[[OnlineTick], None]) -> None:
@@ -825,6 +1121,184 @@ class ShardedService:
             self._executor.shutdown(wait=True)
         for worker in self._workers:
             worker.close()
+        for handle in self._handles:
+            handle.shutdown()
+        if self._board is not None:
+            self._board.close()
+        self._drain_orphans()
+
+    # ------------------------------------------------------------------
+    # Process-topology supervision
+    # ------------------------------------------------------------------
+    def _phase(
+        self, msgs: List[Optional[tuple]], *, chaos: bool = False
+    ) -> List[Any]:
+        """One scatter/collect roundtrip; ``None`` skips that shard.
+
+        All commands go down every pipe before any reply is awaited —
+        the shards run the phase concurrently and the parent blocks on
+        the slowest.  A child-side error is re-raised only after *every*
+        outstanding reply is drained, so one failing shard never leaves
+        another's reply stranded in a pipe to desynchronize the next
+        phase.
+        """
+        for handle, msg in zip(self._handles, msgs):
+            if msg is None:
+                continue
+            if chaos:
+                self._send_with_chaos(handle, msg)
+            else:
+                handle.send(msg)
+        results: List[Any] = [None] * len(msgs)
+        error: Optional[BaseException] = None
+        for shard, msg in enumerate(msgs):
+            if msg is None:
+                continue
+            try:
+                results[shard] = self._collect_one(shard)
+            except Exception as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def _query(self, what: str) -> List[Any]:
+        """Read-only fan-out (``frame`` / ``verdicts`` / ``flagged``)."""
+        return self._phase(
+            [
+                ("query", self._tick, {"what": what})
+                for _ in range(self._map.n_shards)
+            ]
+        )
+
+    def _collect_one(self, shard: int) -> Any:
+        """Await one shard's reply, supervising the roundtrip.
+
+        A dead or deadline-missing child is respawned against its
+        surviving shm planes and the last *canonical* command is resent,
+        up to ``dispatch_retries`` times; after that the shard degrades
+        to an in-parent serial worker running the same command handler
+        (degraded, never divergent).  Error replies from a *healthy*
+        child are protocol answers, not faults — they map back to the
+        original exception class and are never retried.
+        """
+        deadline = self._config.dispatch_deadline
+        retries = self._config.dispatch_retries
+        attempt = 0
+        while True:
+            handle = self._handles[shard]
+            try:
+                ok, name, capacity, n, payload = handle.recv(deadline)
+            except ShardRoundtripError:
+                if attempt < retries:
+                    attempt += 1
+                    self._note_respawn(shard, handle.respawn())
+                    handle.resend_last()
+                    continue
+                self._fallback_inline(shard)
+                continue
+            if ok:
+                if name is not None:
+                    handle.plane_name = name
+                    handle.plane_capacity = int(capacity)
+                    handle.n = int(n)
+                return payload
+            exc_name, tb = payload
+            exc_cls = _CHILD_ERRORS.get(exc_name, RuntimeError)
+            raise exc_cls(f"shard {shard} worker command failed:\n{tb}")
+
+    def _send_with_chaos(self, handle: Any, msg: tuple) -> None:
+        """Ship one verdict command through the chaos injector.
+
+        Reuses the pool-dispatch fault vocabulary keyed on (tick,
+        shard): ``kill`` strikes before the send (dispatch meets a dead
+        worker), ``kill_after`` right after (EOF mid-task); drop/hang
+        decorate the payload with flags only the child's *pipe loop*
+        honors — the canonical, undecorated command is what supervision
+        remembers and resends, so a retry replays the intended work.
+        """
+        injector = get_injector()
+        action = (
+            injector.pool_dispatch(int(msg[1]), handle.shard)
+            if injector.active
+            else None
+        )
+        if action is None:
+            handle.send(msg)
+            return
+        if action.delay:
+            time.sleep(action.delay)
+        if action.kill:
+            handle.terminate_child()
+        decorated = msg
+        if action.drop_reply or action.hang:
+            op, tick, payload = msg
+            payload = dict(payload)
+            if action.drop_reply:
+                payload["_drop_reply"] = True
+            if action.hang:
+                payload["_hang"] = action.hang
+            decorated = (op, tick, payload)
+        handle.send(decorated, canonical=msg)
+        if action.kill_after:
+            handle.terminate_child()
+
+    def _note_respawn(self, shard: int, orphans: Iterable[str]) -> None:
+        self._orphans.extend(orphans)
+        self._respawned_since_dirty = True
+        self._counter_respawns.labels(shard=str(shard)).inc()
+
+    def _fallback_inline(self, shard: int) -> None:
+        """Degrade ``shard`` to an in-parent serial worker.
+
+        The dead child's shm planes are adopted, copied onto the heap
+        (releasing the segments), and wrapped in a fresh deferred-advance
+        worker with conservatively invalidated caches; the in-flight
+        command is re-queued on the inline handle so the caller's
+        ``recv`` loop re-executes it locally.
+        """
+        handle = self._handles[shard]
+        msg = handle.last_msg
+        self._orphans.extend(handle.kill())
+        self._respawned_since_dirty = True
+        cfg = self._config
+        planes = attach_store_planes(
+            handle.plane_name, handle.plane_capacity, self._dim
+        )
+        adopted = DeviceStateStore.adopt_planes(
+            planes, cell=cfg.cell, shards=cfg.shards
+        )
+        state = adopted.state()
+        adopted.release_planes(unlink=True)
+        worker = _ShardWorker(
+            shard,
+            None,
+            None,
+            self._dim,
+            _serial_config(cfg),
+            Tracer(self._tracer.registry, enabled=self._tracer.enabled),
+            store=DeviceStateStore.from_state(state),
+            defer_advance=True,
+        )
+        _mark_recovered(worker)
+        inline = _InlineShardHandle(worker, self._map)
+        inline.send(msg)
+        self._handles[shard] = inline
+        self._gauge_degraded.set(
+            sum(
+                1
+                for h in self._handles
+                if isinstance(h, _InlineShardHandle)
+            )
+        )
+
+    def _drain_orphans(self) -> None:
+        """Unlink segments orphaned by kills — only after the tick's
+        consumers are done reading them (end of ``end_tick``)."""
+        for name in self._orphans:
+            unlink_by_name(name)
+        self._orphans = []
 
     def __enter__(self) -> "ShardedService":
         return self
@@ -845,6 +1319,73 @@ class ShardedService:
 
         return restore_sharded_service(source, **kwargs)
 
+    def shard_states(self) -> List[Tuple[Dict, Dict, Dict]]:
+        """Per-shard ``(store_state, tracker_state, verdict_cache)``.
+
+        The sharded checkpoint's consistent cut, topology-agnostic:
+        under the process topology the ``state`` command first rolls any
+        deferred tick advance, so the captured states are bit-identical
+        to what the thread topology would hand over between ticks.
+        """
+        if self._process:
+            return self._phase(
+                [("state", self._tick, {}) for _ in range(self._map.n_shards)]
+            )
+        return [
+            (
+                worker.store.state(),
+                worker.tracker.state(),
+                dict(worker.verdict_stage.cache),
+            )
+            for worker in self._workers
+        ]
+
+    def load_shard_states(self, parts) -> None:
+        """Reinstate per-shard states from checkpoint parts, in shard order.
+
+        Stores, trackers and verdict caches are reinstated exactly;
+        cross-tick perf caches start cold.  The device→shard owner map
+        is rebuilt from the parts' id columns at the front door —
+        placement is part of the stores' state, never recomputed from
+        positions — so neither topology needs a post-restore roundtrip.
+        """
+        owner: Dict[int, int] = {}
+        for shard, part in enumerate(parts):
+            if int(part.shard) != shard:
+                raise ConfigurationError(
+                    f"shard part order mismatch: slot {shard} got part "
+                    f"{part.shard}"
+                )
+            ids = np.asarray(part.store_state["id_of"])
+            for device in ids[ids >= 0].tolist():
+                owner[int(device)] = shard
+        if self._process:
+            self._phase(
+                [
+                    (
+                        "restore",
+                        0,
+                        {
+                            "store": part.store_state,
+                            "tracker": part.tracker_state,
+                            "verdicts": part.verdicts,
+                        },
+                    )
+                    for part in parts
+                ]
+            )
+        else:
+            for worker, part in zip(self._workers, parts):
+                store = DeviceStateStore.from_state(part.store_state)
+                worker.store = store
+                worker.tracker.restore_state(part.tracker_state)
+                worker.verdict_stage.cache = dict(part.verdicts)
+                worker.verdict_stage.last_cache = None
+                worker.transition_stage.last_transition = None
+                rows = np.nonzero(store.verdict_codes() != NO_VERDICT)[0]
+                worker._verdict_rows = rows if rows.size else None
+        self._owner = owner
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
@@ -858,16 +1399,41 @@ class ShardedService:
         pos = np.asarray(position, dtype=float)
         key = np.floor(pos / self._config.cell).astype(np.int64)
         shard = int(self._map.shard_of_keys(key[None, :])[0])
-        self._workers[shard].store.join(device, pos, flagged)
+        if self._process:
+            self._phase_one(
+                shard,
+                (
+                    "join",
+                    self._tick + 1,
+                    {
+                        "device": device,
+                        "position": pos,
+                        "flagged": bool(flagged),
+                    },
+                ),
+            )
+        else:
+            self._workers[shard].store.join(device, pos, flagged)
         self._owner[device] = shard
         return shard
 
     def leave(self, device: int) -> int:
         """Evict a device from its owning shard; returns the shard."""
         shard = self.shard_of(device)
-        self._workers[shard].store.leave(int(device))
+        if self._process:
+            self._phase_one(
+                shard, ("leave", self._tick + 1, {"device": int(device)})
+            )
+        else:
+            self._workers[shard].store.leave(int(device))
         del self._owner[int(device)]
         return shard
+
+    def _phase_one(self, shard: int, msg: tuple) -> Any:
+        """A single-shard roundtrip (membership commands)."""
+        msgs: List[Optional[tuple]] = [None] * self._map.n_shards
+        msgs[shard] = msg
+        return self._phase(msgs)[shard]
 
     # ------------------------------------------------------------------
     # Ingest
@@ -924,9 +1490,16 @@ class ShardedService:
         return len(batch)
 
     def _apply_segment(self, segment: List[QosUpdate]) -> int:
-        """Apply one duplicate-free run, one row batch per owning shard."""
+        """Apply one duplicate-free run, one row batch per owning shard.
+
+        Routing and input validation happen here at the front door in
+        both topologies (identical rejection counters); the thread path
+        then applies rows directly, while the process path ships
+        *global device ids* down the pipes — row numbers are a private
+        concern of whichever child currently hosts the partition.
+        """
         dim = self._dim
-        by_shard: Dict[int, Tuple[List[int], List[QosUpdate]]] = {}
+        by_shard: Dict[int, List[QosUpdate]] = {}
         for update in segment:
             shard = self._owner.get(update.device)
             if shard is None:
@@ -935,11 +1508,10 @@ class ShardedService:
             if len(update.position) != dim:
                 self._reject("dimension-mismatch")
                 continue
-            rows, kept = by_shard.setdefault(shard, ([], []))
-            rows.append(self._workers[shard].store.row_of(update.device))
-            kept.append(update)
+            by_shard.setdefault(shard, []).append(update)
         total = 0
-        for shard, (rows, kept) in by_shard.items():
+        msgs: List[Optional[tuple]] = [None] * self._map.n_shards
+        for shard, kept in by_shard.items():
             positions = np.array(
                 [update.position for update in kept], dtype=float
             )
@@ -958,19 +1530,37 @@ class ShardedService:
                 if idx.size == 0:
                     continue
                 positions = positions[idx]
-                rows = [rows[i] for i in idx.tolist()]
                 kept = [kept[i] for i in idx.tolist()]
-            worker = self._workers[shard]
             flags = np.fromiter(
                 (update.flagged for update in kept),
                 dtype=bool,
                 count=len(kept),
             )
-            applied = worker.store.apply_rows(
-                np.asarray(rows, dtype=np.int64), positions, flags
+            ids = np.fromiter(
+                (update.device for update in kept),
+                dtype=np.int64,
+                count=len(kept),
             )
-            worker.tracker.mark_batch(applied, was_relevant=applied.was_flagged)
+            if self._process:
+                msgs[shard] = (
+                    "events",
+                    self._tick + 1,
+                    {"ids": ids, "positions": positions, "flags": flags},
+                )
+            else:
+                worker = self._workers[shard]
+                rows = np.fromiter(
+                    (worker.store.row_of(int(j)) for j in ids.tolist()),
+                    dtype=np.int64,
+                    count=ids.shape[0],
+                )
+                applied = worker.store.apply_rows(rows, positions, flags)
+                worker.tracker.mark_batch(
+                    applied, was_relevant=applied.was_flagged
+                )
             total += len(kept)
+        if self._process and any(msg is not None for msg in msgs):
+            self._phase(msgs)
         return total
 
     # ------------------------------------------------------------------
@@ -987,6 +1577,8 @@ class ShardedService:
         would restart the trajectory as stationary and erase the very
         move that crossed the border.
         """
+        if self._process:
+            return self._migrate_process()
         moves: List[Tuple[int, int, int]] = []
         for shard, worker in enumerate(self._workers):
             store = worker.store
@@ -1008,12 +1600,64 @@ class ShardedService:
             self._owner[device] = dst
         return len(moves)
 
+    def _migrate_process(self) -> int:
+        """Cross-shard handover over the pipes, in three idempotent phases.
+
+        ``movers`` is scan-only, so the parent holds the full handover
+        records before any store mutates; ``migrate_out`` then evicts
+        (leave-if-present) and ``migrate_in`` admits (admit-if-absent) —
+        each phase replays safely after a kill+respawn at any point.
+        The parent also folds every mover's trajectory-endpoint cells
+        into this tick's and the next tick's dirty union
+        (``_mover_cells`` / ``_mover_carry``): if the *source* shard is
+        respawned later this tick, the departed device exists in neither
+        of its recovered planes, so conservative plane-scan invalidation
+        alone would miss the cells its move touched.
+        """
+        tick = self._tick + 1
+        n_shards = self._map.n_shards
+        replies = self._phase([("movers", tick, {})] * n_shards)
+        out_by_src: Dict[int, List[int]] = {}
+        in_by_dst: Dict[int, List[tuple]] = {}
+        cell = self._config.cell
+        moves = 0
+        for src, records in enumerate(replies):
+            for dest, device, prev, cur, flagged, code in records or ():
+                device, dest = int(device), int(dest)
+                out_by_src.setdefault(src, []).append(device)
+                in_by_dst.setdefault(dest, []).append(
+                    (device, prev, cur, bool(flagged), int(code))
+                )
+                self._owner[device] = dest
+                for point in (prev, cur):
+                    key = np.floor(
+                        np.asarray(point, dtype=float) / cell
+                    ).astype(np.int64)
+                    self._mover_cells.add(tuple(key.tolist()))
+                moves += 1
+        if not moves:
+            return 0
+        out_msgs: List[Optional[tuple]] = [None] * n_shards
+        in_msgs: List[Optional[tuple]] = [None] * n_shards
+        for src, devices in out_by_src.items():
+            out_msgs[src] = ("migrate_out", tick, {"devices": devices})
+        for dst, records in in_by_dst.items():
+            in_msgs[dst] = ("migrate_in", tick, {"records": records})
+        self._phase(out_msgs)
+        self._phase(in_msgs)
+        return moves
+
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
     def _gather_current(self) -> np.ndarray:
         """Current positions gathered into one global-id-indexed frame."""
         frame = np.zeros((self.n, self._dim), dtype=float)
+        if self._process:
+            for ids, positions in self._query("frame"):
+                if ids.size:
+                    frame[ids] = positions
+            return frame
         for worker in self._workers:
             store = worker.store
             ids = np.asarray(store.row_ids())
@@ -1047,27 +1691,45 @@ class ShardedService:
             )
         self._ingest_stage.run(self._tracer)
         applied_rows = 0
-        for worker in self._workers:
-            store = worker.store
-            ids = np.asarray(store.row_ids())
-            alive_rows = np.nonzero(ids >= 0)[0]
-            if alive_rows.size == 0:
-                continue
-            alive_ids = ids[alive_rows]
-            if int(alive_ids.max()) >= current.shape[0]:
-                self._reject("dimension-mismatch")
-                raise DimensionMismatchError(
-                    "snapshot frame rows do not cover the fleet's "
-                    "global id range; feed churned populations "
-                    "through ingest/join/leave"
+        if self._process:
+            name, rows, _ = self._board.publish(current, flags_arr)
+            try:
+                counts = self._phase(
+                    [
+                        (
+                            "frame",
+                            self._tick + 1,
+                            {"board": name, "rows": rows, "live": [name]},
+                        )
+                        for _ in range(self._map.n_shards)
+                    ]
                 )
-            sub_cur = store.current_positions().copy()
-            sub_flags = store.flag_vector().copy()
-            sub_cur[alive_rows] = current[alive_ids]
-            sub_flags[alive_rows] = flags_arr[alive_ids]
-            applied_rows += worker.index_stage.apply_diff(
-                sub_cur, sub_flags, worker.tracer
-            )
+            except DimensionMismatchError:
+                self._reject("dimension-mismatch")
+                raise
+            applied_rows = sum(int(count) for count in counts)
+        else:
+            for worker in self._workers:
+                store = worker.store
+                ids = np.asarray(store.row_ids())
+                alive_rows = np.nonzero(ids >= 0)[0]
+                if alive_rows.size == 0:
+                    continue
+                alive_ids = ids[alive_rows]
+                if int(alive_ids.max()) >= current.shape[0]:
+                    self._reject("dimension-mismatch")
+                    raise DimensionMismatchError(
+                        "snapshot frame rows do not cover the fleet's "
+                        "global id range; feed churned populations "
+                        "through ingest/join/leave"
+                    )
+                sub_cur = store.current_positions().copy()
+                sub_flags = store.flag_vector().copy()
+                sub_cur[alive_rows] = current[alive_ids]
+                sub_flags[alive_rows] = flags_arr[alive_ids]
+                applied_rows += worker.index_stage.apply_diff(
+                    sub_cur, sub_flags, worker.tracer
+                )
         if applied_rows:
             self.stats.updates_applied += applied_rows
             self._applied_since_tick += applied_rows
@@ -1133,15 +1795,86 @@ class ShardedService:
         self._applied_since_tick = 0
         self._tick += 1
 
+        if self._process:
+            results, dirty_cells, halo_bytes = self._tick_process(tracer)
+        else:
+            results, dirty_cells, halo_bytes = self._tick_threads(tracer)
+
+        verdicts: Dict[int, Characterization] = {}
+        flagged: List[int] = []
+        recomputed: List[int] = []
+        reused: List[int] = []
+        families_recomputed = 0
+        families_reused = 0
+        stage_seconds = tracer.drain_stages()
+        for shard, result in enumerate(results):
+            verdicts.update(result["verdicts"])
+            flagged.extend(result["flagged"])
+            recomputed.extend(result["recomputed"])
+            reused.extend(result["reused"])
+            families_recomputed += result["families_recomputed"]
+            families_reused += result["families_reused"]
+            self._shard_flagged[shard] = result["n_targets"]
+            shard_label = str(shard)
+            self._gauge_shard_devices.labels(shard=shard_label).set(
+                result["n"]
+            )
+            self._gauge_shard_flagged.labels(shard=shard_label).set(
+                result["n_targets"]
+            )
+            for stage, seconds in result["stage_seconds"].items():
+                self._hist_shard_stage.labels(
+                    shard=shard_label, stage=stage
+                ).observe(seconds)
+                stage_seconds[stage] = (
+                    stage_seconds.get(stage, 0.0) + seconds
+                )
+
+        self.stats.ticks += 1
+        self.stats.verdicts_recomputed += len(recomputed)
+        self.stats.verdicts_reused += len(reused)
+        self.stats.families_recomputed += families_recomputed
+        self.stats.families_reused += families_reused
+        self._gauge_devices.set(self.n)
+        self._gauge_flagged.set(len(flagged))
+        if halo_bytes:
+            self._counter_halo_bytes.inc(halo_bytes)
+        result = OnlineTick(
+            tick=self._tick,
+            applied=applied,
+            flagged=tuple(sorted(flagged)),
+            recomputed=tuple(sorted(recomputed)),
+            reused=tuple(sorted(reused)),
+            dirty_cells=len(dirty_cells),
+            verdicts=verdicts,
+            transition=None,
+            families_recomputed=families_recomputed,
+            families_reused=families_reused,
+            stage_seconds=stage_seconds,
+            halo_bytes=halo_bytes,
+        )
+        self._sink_stage.run(result, tracer)
+        for stage, seconds in tracer.drain_stages().items():
+            result.stage_seconds[stage] = (
+                result.stage_seconds.get(stage, 0.0) + seconds
+            )
+        return result
+
+    def _tick_threads(
+        self, tracer: Tracer
+    ) -> Tuple[List[Dict[str, Any]], Tuple[CellKey, ...], int]:
+        """Thread-topology tick: shared-memory in the literal sense."""
+        tick = self._tick
         with tracer.span("dirty-region"):
             union: Set[CellKey] = set()
             for worker in self._workers:
                 union.update(worker.tracker.finish_cells())
             dirty_cells: Tuple[CellKey, ...] = tuple(sorted(union))
 
+        halo_bytes = 0
         with tracer.span("halo-exchange"):
             for worker in self._workers:
-                worker.publish_halo(self._map)
+                worker.publish_halo(self._map, seq=tick)
             halo_rings = self._map.halo_rings
             halos: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
             for consumer in self._workers:
@@ -1160,10 +1893,11 @@ class ShardedService:
                     mask = (dist > 0) & (dist <= halo_rings)
                     if not mask.any():
                         continue
-                    prev_band, cur_band = channel.read()
+                    prev_band, cur_band = channel.read(expected_seq=tick)
                     ids_parts.append(channel.ids[mask])
                     prev_parts.append(prev_band[mask])
                     cur_parts.append(cur_band[mask])
+                    halo_bytes += int(mask.sum()) * self._dim * 16
                 if ids_parts:
                     halos.append(
                         (
@@ -1181,8 +1915,6 @@ class ShardedService:
                         )
                     )
 
-        tick = self._tick
-
         def run_one(shard: int) -> TickContext:
             worker = self._workers[shard]
             ids, prev_band, cur_band = halos[shard]
@@ -1196,64 +1928,117 @@ class ShardedService:
             )
         else:
             contexts = [run_one(s) for s in range(self._map.n_shards)]
+        results = [
+            _ctx_result(worker, ctx)
+            for worker, ctx in zip(self._workers, contexts)
+        ]
+        return results, dirty_cells, halo_bytes
 
-        verdicts: Dict[int, Characterization] = {}
-        flagged: List[int] = []
-        recomputed: List[int] = []
-        reused: List[int] = []
-        families_recomputed = 0
-        families_reused = 0
-        stage_seconds = tracer.drain_stages()
-        for worker, ctx in zip(self._workers, contexts):
-            verdicts.update(ctx.verdicts)
-            if ctx.key_of is not None:
-                targets = ctx.verdict_targets or ()
-                flagged.extend(int(ctx.key_of[l]) for l in targets)
-                recomputed.extend(int(ctx.key_of[l]) for l in ctx.recompute)
-                reused.extend(int(ctx.key_of[l]) for l in ctx.reused)
-            families_recomputed += ctx.families_recomputed
-            families_reused += ctx.families_reused
-            shard_label = str(worker.shard)
-            self._gauge_shard_devices.labels(shard=shard_label).set(
-                worker.store.n
-            )
-            self._gauge_shard_flagged.labels(shard=shard_label).set(
-                len(ctx.verdict_targets or ())
-            )
-            for stage, seconds in worker.tracer.drain_stages().items():
-                self._hist_shard_stage.labels(
-                    shard=shard_label, stage=stage
-                ).observe(seconds)
-                stage_seconds[stage] = (
-                    stage_seconds.get(stage, 0.0) + seconds
+    def _tick_process(
+        self, tracer: Tracer
+    ) -> Tuple[List[Dict[str, Any]], Tuple[CellKey, ...], int]:
+        """Process-topology tick: overlapped halo barrier over shm rings.
+
+        The ``halo`` phase makes every child publish its boundary band
+        (seq-stamped with the tick) and reply with its dirty cells and
+        ring metadata; while the parent unions the dirty sets and
+        computes per-consumer halo masks, the children overlap by
+        pre-gathering their owned-row planes (:meth:`prestage`).  The
+        ``verdict`` phase then ships segment *names* — each child gates
+        on the publisher's sequence header before copying its band, so a
+        slow publisher delays only its consumers' barrier and can never
+        hand them a stale band.
+
+        Three parent-side insurances widen the dirty union beyond the
+        children's reports: mover endpoint cells for this tick and the
+        next (a respawned source shard has no trace of departed
+        devices), and — after any respawn or degrade since the last
+        union — the previous tick's whole dirty union, which is a
+        superset of the carry set the dead child's tracker lost.
+        """
+        tick = self._tick
+        n_shards = self._map.n_shards
+        dim = self._dim
+        with tracer.span("halo-exchange"):
+            # The halo-delay fault is consulted here, in the parent (a
+            # forked child's injector counts would be invisible), and
+            # shipped as a reply stall: the child publishes its band
+            # first and sleeps before replying, so the fault delays only
+            # the barrier — the seq gate proves consumers still read a
+            # whole, current band.
+            injector = get_injector()
+            halo_msgs: List[Optional[tuple]] = []
+            for shard in range(n_shards):
+                payload: Dict[str, Any] = {}
+                if injector.active:
+                    stall = injector.halo_publish(tick, shard)
+                    if stall:
+                        payload["_hang"] = stall
+                halo_msgs.append(("halo", tick, payload))
+            replies = self._phase(halo_msgs)
+            union: Set[CellKey] = set()
+            metas: List[Dict[str, Any]] = []
+            for shard, (cells, meta) in enumerate(replies):
+                union.update(map(tuple, cells))
+                metas.append(meta)
+                self._handles[shard].ring_names = tuple(meta["live"])
+            union.update(self._mover_cells)
+            union.update(self._mover_carry)
+            if self._respawned_since_dirty:
+                union.update(self._prev_dirty)
+                self._respawned_since_dirty = False
+            dirty_cells: Tuple[CellKey, ...] = tuple(sorted(union))
+            self._prev_dirty = dirty_cells
+            self._mover_carry = self._mover_cells
+            self._mover_cells = set()
+
+            halo_rings = self._map.halo_rings
+            halo_bytes = 0
+            sources_of: List[List[Dict[str, Any]]] = []
+            for consumer in range(n_shards):
+                sources: List[Dict[str, Any]] = []
+                for meta in metas:
+                    if meta["shard"] == consumer:
+                        continue
+                    ids = meta["ids"]
+                    if ids.size == 0:
+                        continue
+                    dist = self._map.box_distance(meta["keys"], consumer)
+                    mask = (dist > 0) & (dist <= halo_rings)
+                    if not mask.any():
+                        continue
+                    take = np.nonzero(mask)[0]
+                    halo_bytes += int(take.size) * dim * 16
+                    sources.append(
+                        {
+                            "shard": meta["shard"],
+                            "seq": meta["seq"],
+                            "rows": meta["rows"],
+                            "hdr": meta["hdr"],
+                            "prev": meta["prev"],
+                            "cur": meta["cur"],
+                            "ids": ids[take],
+                            "take": take,
+                            "live": meta["live"],
+                        }
+                    )
+                sources_of.append(sources)
+
+        results = self._phase(
+            [
+                (
+                    "verdict",
+                    tick,
+                    {"sources": sources_of[shard], "dirty": dirty_cells},
                 )
-
-        self.stats.ticks += 1
-        self.stats.verdicts_recomputed += len(recomputed)
-        self.stats.verdicts_reused += len(reused)
-        self.stats.families_recomputed += families_recomputed
-        self.stats.families_reused += families_reused
-        self._gauge_devices.set(self.n)
-        self._gauge_flagged.set(len(flagged))
-        result = OnlineTick(
-            tick=tick,
-            applied=applied,
-            flagged=tuple(sorted(flagged)),
-            recomputed=tuple(sorted(recomputed)),
-            reused=tuple(sorted(reused)),
-            dirty_cells=len(dirty_cells),
-            verdicts=verdicts,
-            transition=None,
-            families_recomputed=families_recomputed,
-            families_reused=families_reused,
-            stage_seconds=stage_seconds,
+                for shard in range(n_shards)
+            ],
+            chaos=True,
         )
-        self._sink_stage.run(result, tracer)
-        for stage, seconds in tracer.drain_stages().items():
-            result.stage_seconds[stage] = (
-                result.stage_seconds.get(stage, 0.0) + seconds
-            )
-        return result
+        # Segments orphaned by kills stay linked until every consumer is
+        # done reading the tick's bands; unlink them only now.
+        self._drain_orphans()
+        return results, dirty_cells, halo_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

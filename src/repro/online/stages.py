@@ -76,6 +76,13 @@ class TickContext:
     transition arrays and ``key_of`` carries the local→global id map
     (``None`` means identity).  ``verdicts`` is always keyed by the
     *cache key* (global id).
+
+    The context itself never crosses a process boundary: a process-shard
+    child builds it from the ``verdict`` command's payload (tick plus
+    the global dirty-cell union) and ships back only the plain result
+    dict distilled by :func:`repro.online.sharded._ctx_result`, so every
+    field here may hold arbitrarily large arrays without ever being
+    pickled down a pipe.
     """
 
     tick: int

@@ -41,6 +41,7 @@ from repro.core.errors import (
     UnknownDeviceError,
 )
 from repro.core.geometry import validate_unit_cube
+from repro.ipc import ShmPlanes
 from repro.online.grid import CellKey, MutableGridIndex
 
 __all__ = [
@@ -48,7 +49,10 @@ __all__ = [
     "AppliedUpdate",
     "DeviceStateStore",
     "SHARD_HASHES",
+    "attach_store_planes",
+    "shm_planes_factory",
     "stable_cell_hash",
+    "store_plane_fields",
 ]
 
 #: Verdict-code column value meaning "no verdict recorded".
@@ -95,6 +99,58 @@ def stable_cell_hash(keys: np.ndarray) -> np.ndarray:
         for axis in range(packed.shape[1]):
             acc = _splitmix64(acc ^ packed[:, axis])
     return acc
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plane layout.
+#
+# The process topology keeps each shard's partition in one shm segment
+# so the partition outlives the worker process that mutates it: a killed
+# worker's successor re-attaches by name and resumes from the exact row
+# data its predecessor last scattered.  Header slots: [0] used high-water
+# mark, [1] tick serial, [2] capacity, [3] dim — the two mutable scalars
+# are written through on every change, the two fixed ones let an
+# attacher recompute the layout from the segment alone.
+# ----------------------------------------------------------------------
+_HDR_USED, _HDR_SERIAL, _HDR_CAPACITY, _HDR_DIM = 0, 1, 2, 3
+
+
+def store_plane_fields(dim: int):
+    """The store's column layout as :class:`~repro.ipc.ShmPlanes` fields."""
+    return (
+        ("prev", np.float64, (dim,)),
+        ("cur", np.float64, (dim,)),
+        ("flags", np.bool_, ()),
+        ("alive", np.bool_, ()),
+        ("verdict", np.int8, ()),
+        ("id_of", np.int64, ()),
+        ("shard", np.int64, ()),
+    )
+
+
+def shm_planes_factory(*, unregister: bool = False):
+    """A ``planes_factory`` allocating store columns in shared memory.
+
+    Fork-context creators leave resource tracking alone (the shared
+    tracker pairs create/attach registrations with the eventual unlink);
+    ``unregister=True`` exists for spawn-context processes whose private
+    tracker would unlink the segment at their exit.
+    """
+
+    def factory(capacity: int, dim: int) -> ShmPlanes:
+        planes = ShmPlanes.create(
+            capacity, store_plane_fields(dim), unregister=unregister
+        )
+        planes.header[_HDR_CAPACITY] = capacity
+        planes.header[_HDR_DIM] = dim
+        return planes
+
+    return factory
+
+
+def attach_store_planes(name: str, capacity: int, dim: int) -> ShmPlanes:
+    """Attach an existing store plane segment by name."""
+    return ShmPlanes.attach(name, capacity, store_plane_fields(dim))
 
 
 @dataclass(frozen=True)
@@ -172,6 +228,7 @@ class DeviceStateStore:
         shards: int = 8,
         shard_hash: str = "splitmix64",
         ids: Optional[np.ndarray] = None,
+        planes_factory=None,
     ) -> None:
         pts = validate_unit_cube(np.asarray(initial_positions, dtype=float))
         if pts.ndim != 2 or pts.shape[0] < 1:
@@ -189,18 +246,20 @@ class DeviceStateStore:
         n = pts.shape[0]
         self._cell = float(cell)
         self._shard_hash = shard_hash
-        self._prev = pts.copy()
-        self._cur = pts.copy()
-        self._flags = np.zeros(n, dtype=bool)
-        self._alive = np.ones(n, dtype=bool)
-        self._verdict = np.full(n, NO_VERDICT, dtype=np.int8)
+        self._planes_factory = planes_factory
+        self._planes: Optional[ShmPlanes] = None
+        self.retired_planes: List[ShmPlanes] = []
+        self._materialize(n, pts.shape[1])
+        self._prev[:] = pts
+        self._cur[:] = pts
+        self._alive[:] = True
         # The index adopts the current-position plane zero-copy: the
         # store writes positions, the index keeps cell membership.
         self._index = MutableGridIndex.from_array(self._cur, cell)
         self._used = n  # high-water mark of ever-allocated rows
         self._free: List[int] = []  # LIFO row free-list
         if ids is None:
-            self._id_of = np.arange(n, dtype=np.int64)  # row -> id (-1 free)
+            self._id_of[:] = np.arange(n, dtype=np.int64)  # row -> id (-1 free)
             self._row_of: Dict[int, int] = {j: j for j in range(n)}
         else:
             id_arr = np.asarray(ids, dtype=np.int64)
@@ -210,7 +269,7 @@ class DeviceStateStore:
                 )
             if id_arr.min(initial=0) < 0:
                 raise ConfigurationError("device ids must be >= 0")
-            self._id_of = id_arr.copy()
+            self._id_of[:] = id_arr
             self._row_of = {
                 int(device): row for row, device in enumerate(id_arr.tolist())
             }
@@ -219,7 +278,6 @@ class DeviceStateStore:
         self._tick_serial = 0
         self._n_shards = int(shards)
         self._shard_members: List[set] = [set() for _ in range(self._n_shards)]
-        self._shard = np.empty(n, dtype=np.int64)
         # One hash per *occupied cell*, not per device — cells are the
         # sharding unit, and there are far fewer of them.
         shard_of_key: Dict[CellKey, int] = {}
@@ -230,6 +288,83 @@ class DeviceStateStore:
                 shard = shard_of_key[key] = self._shard_for(key)
             self._shard[device] = shard
             self._shard_members[shard].add(device)
+        self._sync_header()
+
+    def _materialize(self, capacity: int, dim: int) -> None:
+        """Point the columns at fresh zeroed backing of ``capacity`` rows.
+
+        Heap arrays by default.  With a ``planes_factory`` installed the
+        columns become views into one shared-memory segment (the process
+        topology's crash-survivable partition); a previous segment, if
+        any, is parked on ``retired_planes`` — its creator must keep it
+        alive until the supervisor has learned the new segment's name,
+        because a crash in between is recovered by re-attaching the
+        *old* name.
+        """
+        if self._planes_factory is None:
+            self._prev = np.zeros((capacity, dim), dtype=np.float64)
+            self._cur = np.zeros((capacity, dim), dtype=np.float64)
+            self._flags = np.zeros(capacity, dtype=bool)
+            self._alive = np.zeros(capacity, dtype=bool)
+            self._verdict = np.full(capacity, NO_VERDICT, dtype=np.int8)
+            self._id_of = np.full(capacity, -1, dtype=np.int64)
+            self._shard = np.zeros(capacity, dtype=np.int64)
+            return
+        planes = self._planes_factory(capacity, dim)
+        if self._planes is not None:
+            self.retired_planes.append(self._planes)
+        self._planes = planes
+        self._bind_planes(planes)
+        self._verdict[:] = NO_VERDICT
+        self._id_of[:] = -1
+
+    def _bind_planes(self, planes: ShmPlanes) -> None:
+        arrs = planes.arrays
+        self._prev = arrs["prev"]
+        self._cur = arrs["cur"]
+        self._flags = arrs["flags"]
+        self._alive = arrs["alive"]
+        self._verdict = arrs["verdict"]
+        self._id_of = arrs["id_of"]
+        self._shard = arrs["shard"]
+
+    def _sync_header(self) -> None:
+        """Write-through the mutable scalars into the shm plane header."""
+        if self._planes is not None:
+            self._planes.header[_HDR_USED] = self._used
+            self._planes.header[_HDR_SERIAL] = self._tick_serial
+
+    @property
+    def planes(self) -> Optional[ShmPlanes]:
+        """The shm plane set backing the columns (``None`` on the heap)."""
+        return self._planes
+
+    def drop_retired_planes(self) -> None:
+        """Unlink plane segments retired by growth (creator-side)."""
+        for planes in self.retired_planes:
+            planes.unlink()
+        self.retired_planes = []
+
+    def release_planes(self, *, unlink: bool) -> None:
+        """Drop every shm view and close (optionally unlink) the planes.
+
+        The worker-exit path: numpy views pin the mapping, so the
+        columns and the adopted grid index must be dropped *before* the
+        segment closes.  The store is unusable afterwards.
+        """
+        if self._planes is None:
+            return
+        planes, self._planes = self._planes, None
+        self._prev = self._cur = None
+        self._flags = self._alive = self._verdict = None
+        self._id_of = self._shard = None
+        self._index = None
+        self._row_of = {}
+        self.drop_retired_planes()
+        if unlink:
+            planes.unlink()
+        else:
+            planes.close()
 
     def _shard_for(self, key: CellKey) -> int:
         if self._shard_hash == "legacy":
@@ -469,6 +604,7 @@ class DeviceStateStore:
         shard = self._shard_for(key)
         self._shard[row] = shard
         self._shard_members[shard].add(row)
+        self._sync_header()
         return row
 
     def admit(
@@ -521,21 +657,29 @@ class DeviceStateStore:
         """Reallocate all columns to ``capacity`` rows and rebind the index."""
         old = self._cur.shape[0]
         d = self.dim
-
-        def grown(arr: np.ndarray, fill=0) -> np.ndarray:
-            shape = (capacity, d) if arr.ndim == 2 else (capacity,)
-            out = np.full(shape, fill, dtype=arr.dtype)
-            out[:old] = arr
-            return out
-
-        self._prev = grown(self._prev, 0.0)
-        self._cur = grown(self._cur, 0.0)
-        self._flags = grown(self._flags, False)
-        self._alive = grown(self._alive, False)
-        self._verdict = grown(self._verdict, NO_VERDICT)
-        self._id_of = grown(self._id_of, -1)
-        self._shard = grown(self._shard, 0)
+        olds = (
+            self._prev,
+            self._cur,
+            self._flags,
+            self._alive,
+            self._verdict,
+            self._id_of,
+            self._shard,
+        )
+        self._materialize(capacity, d)
+        news = (
+            self._prev,
+            self._cur,
+            self._flags,
+            self._alive,
+            self._verdict,
+            self._id_of,
+            self._shard,
+        )
+        for new, prev in zip(news, olds):
+            new[:old] = prev
         self._index.rebind(self._cur)
+        self._sync_header()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -646,6 +790,7 @@ class DeviceStateStore:
         """Roll ``S_k`` into ``S_{k-1}`` (one vectorized copy)."""
         np.copyto(self._prev[: self._used], self._cur[: self._used])
         self._tick_serial += 1
+        self._sync_header()
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -672,8 +817,14 @@ class DeviceStateStore:
         }
 
     @classmethod
-    def from_state(cls, state: Dict[str, np.ndarray]) -> "DeviceStateStore":
-        """Rebuild a store from :meth:`state` output, bit-identically."""
+    def from_state(
+        cls, state: Dict[str, np.ndarray], *, planes_factory=None
+    ) -> "DeviceStateStore":
+        """Rebuild a store from :meth:`state` output, bit-identically.
+
+        ``planes_factory`` restores the columns into shared memory (the
+        process topology's restore path) instead of heap arrays.
+        """
         store = cls.__new__(cls)
         store._cell = float(state["cell"])
         # Checkpoints written before the stable-hash migration carry no
@@ -681,15 +832,21 @@ class DeviceStateStore:
         store._shard_hash = (
             str(state["shard_hash"]) if "shard_hash" in state else "legacy"
         )
-        store._prev = np.array(state["prev"], dtype=float)
-        store._cur = np.array(state["cur"], dtype=float)
-        store._flags = np.array(state["flags"], dtype=bool)
-        store._alive = np.array(state["alive"], dtype=bool)
-        store._verdict = np.array(state["verdict"], dtype=np.int8)
-        store._id_of = np.array(state["id_of"], dtype=np.int64)
+        store._planes_factory = planes_factory
+        store._planes = None
+        store.retired_planes = []
+        cur = np.asarray(state["cur"], dtype=float)
+        store._materialize(cur.shape[0], cur.shape[1])
+        store._prev[:] = np.asarray(state["prev"], dtype=float)
+        store._cur[:] = cur
+        store._flags[:] = np.asarray(state["flags"], dtype=bool)
+        store._alive[:] = np.asarray(state["alive"], dtype=bool)
+        store._verdict[:] = np.asarray(state["verdict"], dtype=np.int8)
+        store._id_of[:] = np.asarray(state["id_of"], dtype=np.int64)
         store._free = [int(r) for r in np.asarray(state["free"]).tolist()]
         store._used = store._cur.shape[0]
         store._tick_serial = int(state["tick_serial"])
+        store._sync_header()
         store._row_of = {
             int(device): row
             for row, device in enumerate(store._id_of.tolist())
@@ -704,6 +861,66 @@ class DeviceStateStore:
         store._shard_members = [set() for _ in range(store._n_shards)]
         store._shard = np.zeros(store._used, dtype=np.int64)
         alive_rows = np.nonzero(store._alive)[0]
+        keys = np.floor(store._cur[alive_rows] / store._cell).astype(np.int64)
+        shard_of_key: Dict[CellKey, int] = {}
+        for row, key in zip(alive_rows.tolist(), map(tuple, keys.tolist())):
+            shard = shard_of_key.get(key)
+            if shard is None:
+                shard = shard_of_key[key] = store._shard_for(key)
+            store._shard[row] = shard
+            store._shard_members[shard].add(row)
+        return store
+
+    @classmethod
+    def adopt_planes(
+        cls,
+        planes: ShmPlanes,
+        *,
+        cell: float,
+        shards: int = 8,
+        shard_hash: str = "splitmix64",
+        planes_factory=None,
+    ) -> "DeviceStateStore":
+        """Rebind a store onto existing shm planes without copying rows.
+
+        The respawn path of the process topology: a freshly forked shard
+        worker adopts the partition its killed predecessor left in
+        shared memory.  Row data, the used high-water mark, and the tick
+        serial come straight from the segment; everything derived — the
+        id→row map, the free-list, the grid index, the shard buckets —
+        is rebuilt.  The free-list's LIFO *order* does not survive (only
+        its membership); the sharded topology never observes it because
+        participants rank by global id, and callers that do need the
+        exact recycling order restore from a checkpoint instead.
+        """
+        store = cls.__new__(cls)
+        store._cell = float(cell)
+        store._shard_hash = shard_hash
+        store._planes_factory = planes_factory
+        store._planes = planes
+        store.retired_planes = []
+        store._bind_planes(planes)
+        store._used = int(planes.header[_HDR_USED])
+        store._tick_serial = int(planes.header[_HDR_SERIAL])
+        id_list = store._id_of[: store._used].tolist()
+        store._row_of = {
+            int(device): row for row, device in enumerate(id_list) if device >= 0
+        }
+        store._free = [row for row, device in enumerate(id_list) if device < 0]
+        # The index adopts the *full-capacity* plane — not just the
+        # used-rows view — because a later ``join`` may claim row
+        # ``_used`` without triggering a plane grow (capacity > used),
+        # and an external index refuses inserts beyond its bound extent.
+        # Rows that never held a device are de-indexed exactly like
+        # freed rows; a genuine grow rebinds as usual.
+        store._index = MutableGridIndex.from_array(store._cur, store._cell)
+        for row in store._free:
+            store._index.remove(row)
+        for row in range(store._used, store._cur.shape[0]):
+            store._index.remove(row)
+        store._n_shards = int(shards)
+        store._shard_members = [set() for _ in range(store._n_shards)]
+        alive_rows = np.nonzero(store._alive[: store._used])[0]
         keys = np.floor(store._cur[alive_rows] / store._cell).astype(np.int64)
         shard_of_key: Dict[CellKey, int] = {}
         for row, key in zip(alive_rows.tolist(), map(tuple, keys.tolist())):

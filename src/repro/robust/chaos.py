@@ -92,6 +92,8 @@ class FaultPlan:
     frame_nan_at: Mapping[int, Sequence[int]] = field(default_factory=dict)
     frame_inf_at: Mapping[int, Sequence[int]] = field(default_factory=dict)
     frame_oob_at: Mapping[int, Sequence[int]] = field(default_factory=dict)
+    # tick -> shard whose halo publish is delayed by ``delay_seconds``
+    halo_delay_at: Mapping[int, int] = field(default_factory=dict)
 
 
 class ChaosInjector:
@@ -150,6 +152,21 @@ class ChaosInjector:
             delay=delay,
             corrupt_seq=corrupt,
         )
+
+    def halo_publish(self, tick: int, shard: int) -> float:
+        """Seconds to stall ``shard``'s halo publish at ``tick`` (0 = none).
+
+        Exercises the overlap window of the sharded topology: a slow
+        publisher must delay only the consumers' seq-gated barrier,
+        never hand them a stale band.
+        """
+        plan = self.plan
+        if plan is None:
+            return 0.0
+        if plan.halo_delay_at.get(tick) != shard:
+            return 0.0
+        self._count("halo_delay")
+        return plan.delay_seconds
 
     def corrupt_frame(self, tick: int, values: np.ndarray) -> np.ndarray:
         """Return ``values`` with this tick's frame faults applied.

@@ -89,6 +89,73 @@ class TestShardWorkerKill:
             sharded.close()
 
 
+class TestProcessShardKill:
+    """Chaos against the process topology's own supervision plane.
+
+    Here the kill strikes the *shard child process* (not a pool worker
+    inside it): the front door must respawn it against the surviving shm
+    planes — or degrade it to an in-parent serial worker when retries
+    run out — and keep the verdict stream bit-identical to a fault-free
+    single service.
+    """
+
+    def test_probabilistic_kills_respawn_never_diverge(self):
+        base = np.random.default_rng(20).random((60, 2))
+        cfg = ServiceConfig(
+            r=0.05, tau=2, dispatch_deadline=5.0, dispatch_retries=3
+        )
+
+        with OnlineCharacterizationService(base.copy(), cfg) as single:
+            clean = _history(single, base, ticks=6, seed=88)
+
+        sharded = ShardedService(
+            base.copy(), cfg, topology_shards=4,
+            topology_workers="process",
+        )
+        plan = FaultPlan(seed=13, kill_probability=0.15, drop_probability=0.1)
+        try:
+            with inject(plan) as injector:
+                chaotic = _history(sharded, base, ticks=6, seed=88)
+            assert sum(injector.injected.values()) > 0
+            assert chaotic == clean
+            assert sum(
+                h.respawns for h in sharded.handles
+                if hasattr(h, "respawns")
+            ) > 0
+        finally:
+            sharded.close()
+
+    def test_exhausted_retries_degrade_to_inline_not_divergent(self):
+        from repro.online.procshard import _InlineShardHandle
+
+        base = np.random.default_rng(30).random((48, 2))
+        cfg = ServiceConfig(
+            r=0.05, tau=2, dispatch_deadline=5.0, dispatch_retries=0
+        )
+
+        with OnlineCharacterizationService(base.copy(), cfg) as single:
+            clean = _history(single, base, ticks=5, seed=55)
+
+        sharded = ShardedService(
+            base.copy(), cfg, topology_shards=2,
+            topology_workers="process",
+        )
+        plan = FaultPlan(kill_at={2: 1})
+        try:
+            with inject(plan) as injector:
+                chaotic = _history(sharded, base, ticks=5, seed=55)
+            assert injector.injected.get("kill") == 1
+            degraded = [
+                h for h in sharded.handles
+                if isinstance(h, _InlineShardHandle)
+            ]
+            assert len(degraded) == 1
+            assert degraded[0].shard == 1
+            assert chaotic == clean
+        finally:
+            sharded.close()
+
+
 class TestShardedFrameCorruption:
     def _raw(self, validation, n=24, seed=0):
         rng = np.random.default_rng(seed)

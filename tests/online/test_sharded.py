@@ -42,12 +42,17 @@ from repro.online import (
 
 CFG = ServiceConfig(r=0.05, tau=2)
 
+#: Both places a shard pipeline can run; the identity contract is the same.
+TOPOLOGIES = ("thread", "process")
 
-def make_pair(positions, cfg=CFG, *, shards=4, parallel=False):
+
+def make_pair(positions, cfg=CFG, *, shards=4, parallel=False,
+              workers="thread"):
     """One big service and its sharded twin over the same population."""
     single = OnlineCharacterizationService(positions.copy(), cfg)
     sharded = ShardedService(
-        positions.copy(), cfg, topology_shards=shards, parallel=parallel
+        positions.copy(), cfg, topology_shards=shards, parallel=parallel,
+        topology_workers=workers,
     )
     return single, sharded
 
@@ -172,10 +177,11 @@ class TestShardMap:
 
 
 class TestShardedIdentity:
-    def test_random_walk_identity_serial(self):
+    @pytest.mark.parametrize("workers", TOPOLOGIES)
+    def test_random_walk_identity_serial(self, workers):
         rng = np.random.default_rng(11)
         positions = rng.random((60, 2))
-        single, sharded = make_pair(positions)
+        single, sharded = make_pair(positions, workers=workers)
         flags = np.zeros(60, dtype=bool)
         stream = random_stream(
             rng, positions, flags, 10, flag_p=0.5, jump_p=0.15
@@ -198,11 +204,12 @@ class TestShardedIdentity:
         finally:
             sharded.close()
 
-    def test_shard_crossing_teleports_identity(self):
+    @pytest.mark.parametrize("workers", TOPOLOGIES)
+    def test_shard_crossing_teleports_identity(self, workers):
         """Movers that jump across shard boxes every tick still match."""
         rng = np.random.default_rng(5)
         positions = rng.random((50, 2))
-        single, sharded = make_pair(positions)
+        single, sharded = make_pair(positions, workers=workers)
         flags = np.zeros(50, dtype=bool)
         try:
             for _ in range(8):
@@ -219,7 +226,8 @@ class TestShardedIdentity:
         finally:
             sharded.close()
 
-    def test_churn_identity(self):
+    @pytest.mark.parametrize("workers", TOPOLOGIES)
+    def test_churn_identity(self, workers):
         """Join/leave churn mixed into the stream still matches.
 
         Freed ids are recycled LIFO: the single service's transition is
@@ -231,7 +239,7 @@ class TestShardedIdentity:
         rng = np.random.default_rng(7)
         n = 48
         positions = rng.random((n, 2))
-        single, sharded = make_pair(positions)
+        single, sharded = make_pair(positions, workers=workers)
         flags = {j: False for j in range(n)}
         pos = {j: positions[j].copy() for j in range(n)}
         free_ids: list = []
@@ -265,14 +273,19 @@ class TestShardedIdentity:
                 # Owner map stays consistent with the stores.
                 for j in pos:
                     s = sharded.shard_of(j)
-                    assert sharded.workers[s].store.row_of(j) >= 0
+                    if workers == "thread":
+                        assert sharded.workers[s].store.row_of(j) >= 0
+                assert sorted(sharded.flagged_devices()) == sorted(
+                    single.store.flagged_devices()
+                )
         finally:
             sharded.close()
 
-    def test_feed_snapshot_identity(self):
+    @pytest.mark.parametrize("workers", TOPOLOGIES)
+    def test_feed_snapshot_identity(self, workers):
         rng = np.random.default_rng(13)
         positions = rng.random((40, 2))
-        single, sharded = make_pair(positions)
+        single, sharded = make_pair(positions, workers=workers)
         try:
             for _ in range(6):
                 positions = np.clip(
@@ -614,3 +627,162 @@ class TestShardedRecovery:
         ticks_left = {int(p.stem.split("-")[1]) for p in left}
         for part in tmp_path.glob("shard-*/part-*.npz"):
             assert int(part.stem.split("-")[1]) in ticks_left
+
+
+class TestProcessTopology:
+    """Contracts specific to per-shard processes over shm partitions."""
+
+    def test_halo_seq_gate_rejects_stale_band(self):
+        """A consumer must never read a band from the wrong tick: the
+        in-process read raises on a sequence mismatch, and the
+        cross-process gate times out into the same error instead of
+        copying whatever the ring currently holds."""
+        from repro.ipc import SegmentReader
+        from repro.online import procshard
+        from repro.online.sharded import StaleHaloError, _HaloChannel
+
+        channel = _HaloChannel()
+        try:
+            ids = np.array([3, 7], dtype=np.int64)
+            keys = np.array([[0, 0], [1, 1]], dtype=np.int64)
+            band = np.array([[0.1, 0.2], [0.3, 0.4]])
+            channel.publish(ids, keys, band, band + 0.01, seq=5)
+            prev, cur = channel.read(expected_seq=5)
+            assert np.allclose(prev, band)
+            with pytest.raises(StaleHaloError):
+                channel.read(expected_seq=6)
+
+            meta = channel.meta(0)
+            assert meta["seq"] == 5
+            reader = SegmentReader()
+            source = dict(meta, take=np.array([0, 1]), seq=6)
+            old_timeout = procshard._HALO_GATE_TIMEOUT
+            procshard._HALO_GATE_TIMEOUT = 0.05
+            try:
+                with pytest.raises(StaleHaloError):
+                    procshard._read_halo_sources(reader, [source], 2)
+                # The published sequence itself gates through cleanly.
+                source["seq"] = 5
+                got_ids, got_prev, got_cur = procshard._read_halo_sources(
+                    reader, [source], 2
+                )
+                assert got_ids.tolist() == [3, 7]
+                assert np.allclose(got_prev, band)
+                assert np.allclose(got_cur, band + 0.01)
+            finally:
+                procshard._HALO_GATE_TIMEOUT = old_timeout
+                reader.close()
+        finally:
+            channel.close()
+
+    def test_halo_delay_stalls_barrier_never_corrupts(self):
+        """Chaos-delaying one shard's halo publish slows the tick but the
+        seq-gated barrier still hands every consumer the right band —
+        verdicts stay identical to the fault-free single service."""
+        from repro.robust.chaos import FaultPlan, inject
+
+        rng = np.random.default_rng(17)
+        positions = rng.random((48, 2))
+        single, sharded = make_pair(positions, workers="process")
+        flags = np.zeros(48, dtype=bool)
+        stream = random_stream(
+            rng, positions, flags, 4, flag_p=0.5, jump_p=0.1
+        )
+        plan = FaultPlan(halo_delay_at={2: 0}, delay_seconds=0.2)
+        try:
+            with inject(plan) as injector:
+                drive_twins(single, sharded, stream)
+            assert injector.injected.get("halo_delay") == 1
+        finally:
+            sharded.close()
+
+    def test_kill_chaos_respawns_never_diverges(self):
+        """Scheduled kills of shard children mid-verdict force respawns
+        (and possibly degraded inline shards) — never wrong answers."""
+        from repro.robust.chaos import FaultPlan, inject
+
+        rng = np.random.default_rng(29)
+        positions = rng.random((56, 2))
+        cfg = ServiceConfig(
+            r=0.05, tau=2, dispatch_deadline=5.0, dispatch_retries=2
+        )
+        single, sharded = make_pair(positions, cfg=cfg, workers="process")
+        flags = np.zeros(56, dtype=bool)
+        stream = random_stream(
+            rng, positions, flags, 6, flag_p=0.5, jump_p=0.15
+        )
+        plan = FaultPlan(kill_at={2: 1}, kill_after_at={4: 3})
+        try:
+            with inject(plan) as injector:
+                drive_twins(single, sharded, stream)
+            assert injector.injected.get("kill") == 1
+            assert injector.injected.get("kill_after") == 1
+            # The pre-send kill guarantees at least one respawn; the
+            # post-send kill races the child's reply and may be absorbed.
+            assert sum(h.respawns for h in sharded.handles
+                       if hasattr(h, "respawns")) >= 1
+        finally:
+            sharded.close()
+
+    def test_min_shard_devices_collapses_and_warns(self):
+        positions = np.random.default_rng(33).random((16, 2))
+        with pytest.warns(RuntimeWarning, match="collaps"):
+            svc = ShardedService(
+                positions, CFG, topology_shards=4, parallel=False,
+                min_shard_devices=8,
+            )
+        try:
+            assert svc.n_shards == 2
+            assert svc.n == 16
+        finally:
+            svc.close()
+        # Large-enough fleets keep the requested shard count, silently.
+        big = np.random.default_rng(34).random((64, 2))
+        with ShardedService(big, CFG, topology_shards=4, parallel=False,
+                            min_shard_devices=8) as svc:
+            assert svc.n_shards == 4
+
+    def test_process_checkpoint_restores_under_either_topology(
+        self, tmp_path
+    ):
+        rng = np.random.default_rng(37)
+        positions = rng.random((40, 2))
+        flags = np.zeros(40, dtype=bool)
+        svc = ShardedService(
+            positions.copy(), CFG, topology_shards=4,
+            topology_workers="process",
+        )
+        history = []
+        pos = positions.copy()
+        try:
+            for _ in range(3):
+                movers = rng.choice(40, size=10, replace=False)
+                pos[movers] = np.clip(
+                    pos[movers] + rng.normal(0, 0.02, (10, 2)), 0, 1
+                )
+                flags[movers] = rng.random(10) < 0.5
+                history.append(svc.feed_snapshot(pos, flags))
+            path = svc.checkpoint(tmp_path)
+            want = svc.verdicts
+            sizes = svc.shard_sizes()
+        finally:
+            svc.close()
+        for workers in TOPOLOGIES:
+            restored = restore_sharded_service(
+                path, topology_workers=workers
+            )
+            try:
+                assert restored.topology_workers == workers
+                assert restored.current_tick == 3
+                assert restored.shard_sizes() == sizes
+                got = restored.verdicts
+                assert set(got) == set(want)
+                for device, v in want.items():
+                    assert got[device].anomaly_type == v.anomaly_type
+                    assert got[device].witness == v.witness
+                # And the restored service keeps ticking identically.
+                nxt = np.clip(pos + 0.005, 0, 1)
+                out = restored.feed_snapshot(nxt, flags)
+                assert out.tick == 4
+            finally:
+                restored.close()
